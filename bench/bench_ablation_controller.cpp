@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Controller-policy ablations on the conventional baseline: the
+ * row-hit cap (the paper adopts 4, after Kaseridis et al.), write-queue
+ * watermarks, and precharge power-down. These show why the baseline is
+ * configured the way the paper configures it.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace pra;
+using namespace pra::bench;
+
+int
+main()
+{
+    const workloads::Mix mix{"MIX1",
+                             {"bzip2", "lbm", "libquantum", "omnetpp"}};
+
+    Table cap("Row-hit cap sweep (relaxed close-page, MIX1)");
+    cap.header({"cap", "rd hit", "wr hit", "IPC0", "power mW"});
+    for (unsigned c : {1u, 2u, 4u, 8u, 16u}) {
+        sim::SystemConfig cfg = benchConfig(
+            {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
+            500'000);
+        cfg.dram.rowHitCap = c;
+        const sim::RunResult r = sim::runWorkload(mix, cfg);
+        cap.addRow({std::to_string(c),
+                    Table::pct(r.dramStats.readHitRate()),
+                    Table::pct(r.dramStats.writeHitRate()),
+                    Table::fmt(r.ipc[0], 3),
+                    Table::fmt(r.avgPowerMw, 0)});
+    }
+    cap.print(std::cout);
+
+    Table wm("Write-drain watermark sweep (GUPS)");
+    wm.header({"high/low", "IPC0", "rd latency-sensitive power mW"});
+    const workloads::Mix gups{"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}};
+    struct Wm
+    {
+        unsigned hi, lo;
+    };
+    for (Wm w : {Wm{16, 4}, Wm{32, 8}, Wm{48, 16}, Wm{60, 32}}) {
+        sim::SystemConfig cfg = benchConfig(
+            {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
+            500'000);
+        cfg.dram.writeHighWatermark = w.hi;
+        cfg.dram.writeLowWatermark = w.lo;
+        const sim::RunResult r = sim::runWorkload(gups, cfg);
+        wm.addRow({std::to_string(w.hi) + "/" + std::to_string(w.lo),
+                   Table::fmt(r.ipc[0], 3), Table::fmt(r.avgPowerMw, 0)});
+    }
+    wm.print(std::cout);
+
+    Table pd("Precharge power-down (bzip2, low intensity)");
+    pd.header({"power-down", "BG energy nJ", "total power mW", "IPC0"});
+    const workloads::Mix bzip{"bzip2",
+                              {"bzip2", "bzip2", "bzip2", "bzip2"}};
+    for (bool enabled : {false, true}) {
+        sim::SystemConfig cfg = benchConfig(
+            {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
+            500'000);
+        cfg.dram.powerDownEnabled = enabled;
+        const sim::RunResult r = sim::runWorkload(bzip, cfg);
+        pd.addRow({enabled ? "on" : "off",
+                   Table::fmt(r.breakdown.background, 0),
+                   Table::fmt(r.avgPowerMw, 0), Table::fmt(r.ipc[0], 3)});
+    }
+    pd.print(std::cout);
+    return 0;
+}

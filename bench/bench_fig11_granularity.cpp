@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Figure 11 — proportion of row-activation granularities under PRA for
+ * both the restricted (a) and relaxed (b) close-page policies.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace pra;
+using namespace pra::bench;
+
+namespace {
+
+void
+report(dram::PagePolicy policy, const char *title,
+       const double paper_avg[8])
+{
+    const sim::ConfigPoint pra{Scheme::Pra, policy, false};
+
+    Table t(title);
+    std::vector<std::string> header{"Benchmark"};
+    for (unsigned g = 1; g <= 8; ++g)
+        header.push_back(std::to_string(g) + "/8");
+    t.header(header);
+
+    Histogram total(9);
+    for (const auto &mix : workloads::allWorkloads()) {
+        const sim::RunResult r = runPoint(mix, pra);
+        std::vector<std::string> row{mix.name};
+        for (unsigned g = 1; g <= 8; ++g) {
+            row.push_back(Table::pct(r.dramStats.actGranularity
+                                         .fraction(g),
+                                     1));
+            total.record(g, r.dramStats.actGranularity.count(g));
+        }
+        t.addRow(row);
+    }
+    std::vector<std::string> avg{"average"};
+    for (unsigned g = 1; g <= 8; ++g)
+        avg.push_back(Table::pct(total.fraction(g), 1));
+    t.addRow(avg);
+    std::vector<std::string> paper{"paper avg"};
+    for (unsigned g = 0; g < 8; ++g)
+        paper.push_back(Table::fmt(paper_avg[g], 2) + "%");
+    t.addRow(paper);
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    // Paper-reported average proportions, 1/8 .. 8/8.
+    const double relaxed_paper[8] = {39, 2, 0.43, 0.45,
+                                     0.05, 0.05, 0.02, 58};
+    const double restricted_paper[8] = {36, 2.3, 0.4, 1.2,
+                                        0.04, 0.04, 0.02, 60};
+
+    report(dram::PagePolicy::RestrictedClose,
+           "Figure 11a: activation granularities, restricted close-page",
+           restricted_paper);
+    report(dram::PagePolicy::RelaxedClose,
+           "Figure 11b: activation granularities, relaxed close-page",
+           relaxed_paper);
+    return 0;
+}

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Figure 13 — normalized performance (weighted speedup, Eq. 3), DRAM
+ * energy consumption, and energy-delay product of FGA, Half-DRAM, and
+ * PRA relative to the baseline (relaxed close-page), over all 14
+ * workloads.
+ */
+#include <iostream>
+
+#include "bench_util.h"
+
+using namespace pra;
+using namespace pra::bench;
+
+int
+main()
+{
+    const dram::PagePolicy policy = dram::PagePolicy::RelaxedClose;
+    const std::vector<Scheme> schemes = {Scheme::Fga, Scheme::HalfDram,
+                                         Scheme::Pra};
+
+    sim::AloneIpcCache alone;
+
+    Table tp("Figure 13a: normalized performance (weighted speedup)");
+    Table te("Figure 13b: normalized DRAM energy");
+    Table td("Figure 13c: normalized energy-delay product");
+    for (Table *t : {&tp, &te, &td})
+        t->header({"Workload", "FGA", "Half-DRAM", "PRA"});
+
+    double sum[3][3] = {};
+    double n = 0;
+    for (const auto &mix : workloads::allWorkloads()) {
+        const sim::ConfigPoint base_pt{Scheme::Baseline, policy, false};
+        const sim::RunResult base = runPoint(mix, base_pt);
+        const double base_ws =
+            sim::weightedSpeedup(mix, base, base_pt, alone);
+
+        std::vector<std::string> rp{mix.name}, re{mix.name},
+            rd{mix.name};
+        for (std::size_t s = 0; s < schemes.size(); ++s) {
+            const sim::ConfigPoint pt{schemes[s], policy, false};
+            const sim::RunResult r = runPoint(mix, pt);
+            const double ws = sim::weightedSpeedup(mix, r, pt, alone);
+            const double perf = ws / base_ws;
+            const double energy = r.totalEnergyNj / base.totalEnergyNj;
+            const double edp = r.edp / base.edp;
+            rp.push_back(Table::fmt(perf, 3));
+            re.push_back(Table::fmt(energy, 3));
+            rd.push_back(Table::fmt(edp, 3));
+            sum[0][s] += perf;
+            sum[1][s] += energy;
+            sum[2][s] += edp;
+        }
+        tp.addRow(rp);
+        te.addRow(re);
+        td.addRow(rd);
+        n += 1;
+    }
+
+    Table *tables[3] = {&tp, &te, &td};
+    const char *paper[3] = {
+        "paper avg: PRA -0.8% (worst -4.8%); Half-DRAM +0.3%; "
+        "FGA -14% (worst -18%)",
+        "paper avg: PRA -23% (up to -34%), best of the three",
+        "paper avg: PRA -22% (up to -32%), best of the three"};
+    for (int k = 0; k < 3; ++k) {
+        std::vector<std::string> avg{"average"};
+        for (int s = 0; s < 3; ++s)
+            avg.push_back(Table::fmt(sum[k][s] / n, 3));
+        tables[k]->addRow(avg);
+        tables[k]->print(std::cout);
+        std::cout << paper[k] << "\n\n";
+    }
+    return 0;
+}

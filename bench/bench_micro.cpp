@@ -1,0 +1,105 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the simulator's hot paths: the
+ * address mapper, the FGD cache, the memory controller tick loop, and
+ * the workload generators. These guard simulation throughput (the whole
+ * evaluation reruns dozens of multi-million-cycle simulations).
+ */
+#include <benchmark/benchmark.h>
+
+#include "cache/hierarchy.h"
+#include "common/rng.h"
+#include "dram/dram_system.h"
+#include "workloads/factory.h"
+
+using namespace pra;
+
+namespace {
+
+void
+BM_AddressDecode(benchmark::State &state)
+{
+    dram::DramConfig cfg;
+    const dram::AddressMapper mapper(cfg);
+    Rng rng(1);
+    Addr a = rng.below(mapper.capacityBytes());
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(mapper.decode(a));
+        a = (a + 4097 * kLineBytes) & (mapper.capacityBytes() - 1);
+    }
+}
+BENCHMARK(BM_AddressDecode);
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    cache::Cache cache(cache::CacheParams{
+        static_cast<std::size_t>(state.range(0)) * 1024, 8, kLineBytes});
+    Rng rng(2);
+    for (auto _ : state) {
+        const Addr a = rng.below(64ull << 20);
+        benchmark::DoNotOptimize(
+            cache.access(a, rng.chance(0.3), ByteMask::word(a % 8)));
+    }
+}
+BENCHMARK(BM_CacheAccess)->Arg(32)->Arg(4096);
+
+void
+BM_HierarchyAccess(benchmark::State &state)
+{
+    cache::HierarchyConfig hc;
+    cache::Hierarchy hier(hc);
+    Rng rng(3);
+    for (auto _ : state) {
+        const Addr a = rng.below(64ull << 20);
+        benchmark::DoNotOptimize(
+            hier.access(0, a, rng.chance(0.3), ByteMask::word(a % 8)));
+    }
+}
+BENCHMARK(BM_HierarchyAccess);
+
+void
+BM_DramSystemTick(benchmark::State &state)
+{
+    dram::DramConfig cfg;
+    cfg.scheme = static_cast<Scheme>(state.range(0));
+    dram::DramSystem sys(cfg);
+    Rng rng(4);
+    std::uint64_t tag = 0;
+    for (auto _ : state) {
+        const Addr a = rng.below(sys.mapper().capacityBytes());
+        const bool wr = rng.chance(0.35);
+        if (sys.canAccept(a, wr))
+            sys.enqueue(a, wr, WordMask::single(rng.below(8)), 0, ++tag);
+        sys.tick();
+        if ((tag & 0xff) == 0)
+            benchmark::DoNotOptimize(sys.drainCompletions());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_DramSystemTick)
+    ->Arg(static_cast<int>(Scheme::Baseline))
+    ->Arg(static_cast<int>(Scheme::Pra));
+
+void
+BM_WorkloadGenerator(benchmark::State &state)
+{
+    const auto &names = workloads::benchmarkNames();
+    auto gen = workloads::makeGenerator(names[state.range(0)], 1);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(gen->next());
+}
+BENCHMARK(BM_WorkloadGenerator)->DenseRange(0, 7);
+
+void
+BM_Rng(benchmark::State &state)
+{
+    Rng rng(5);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(rng.next());
+}
+BENCHMARK(BM_Rng);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Table 2 — DRAM die area and row-activation energy breakdown of the
+ * 2Gb x8 DDR3-1600 chip from the analytic CACTI-style model, printed
+ * against the paper's published values.
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "power/cacti_model.h"
+
+using namespace pra;
+using power::CactiModel;
+
+int
+main()
+{
+    const CactiModel model;
+    const auto &area = model.area();
+    const auto &e = model.components();
+
+    Table at("Table 2 (area): die area breakdown, mm^2");
+    at.header({"Component", "Model", "Paper"});
+    at.addRow({"DRAM cell", Table::fmt(area.dramCell, 3), "4.677"});
+    at.addRow({"Sense amplifier", Table::fmt(area.senseAmplifier, 3),
+               "1.909"});
+    at.addRow({"Row predecoder", Table::fmt(area.rowPredecoder, 3),
+               "0.067"});
+    at.addRow({"Local wordline driver",
+               Table::fmt(area.localWordlineDriver, 3), "1.617"});
+    at.addRow({"Total die (incl. others)", Table::fmt(area.totalDie, 3),
+               "11.884"});
+    at.print(std::cout);
+
+    Table et("Table 2 (energy): row activation energy, pJ");
+    et.header({"Component", "Model", "Paper"});
+    et.addRow({"Local bitline (per MAT)", Table::fmt(e.localBitline, 3),
+               "15.583"});
+    et.addRow({"Local sense amplifier (per MAT)",
+               Table::fmt(e.localSenseAmp, 3), "1.257"});
+    et.addRow({"Local wordline (per MAT)", Table::fmt(e.localWordline, 3),
+               "0.046"});
+    et.addRow({"Row decoder (per MAT)", Table::fmt(e.rowDecoder, 3),
+               "0.035"});
+    et.addRow({"Total per MAT", Table::fmt(e.perMat(), 3), "16.921"});
+    et.addRow({"Row activation bus (per bank)",
+               Table::fmt(e.rowActivationBus, 3), "17.944"});
+    et.addRow({"Row predecoder (per bank)", Table::fmt(e.rowPredecoder, 3),
+               "0.072"});
+    et.addRow({"Total per bank (16 MATs)",
+               Table::fmt(model.fullRowEnergy(), 3), "288.752"});
+    et.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Shared helpers for the experiment harnesses: standard run
+ * configuration and normalization utilities.
+ */
+#ifndef PRA_BENCH_BENCH_UTIL_H
+#define PRA_BENCH_BENCH_UTIL_H
+
+#include <string>
+#include <vector>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+
+namespace pra::bench {
+
+/** Paper-baseline system configuration for a scheme/policy point. */
+inline sim::SystemConfig
+benchConfig(const sim::ConfigPoint &point,
+            std::uint64_t target_instructions = 800'000)
+{
+    sim::SystemConfig cfg = sim::makeConfig(point);
+    cfg.targetInstructions = target_instructions;
+    return cfg;
+}
+
+/** Run one of the paper's 14 workloads under a configuration point. */
+inline sim::RunResult
+runPoint(const workloads::Mix &mix, const sim::ConfigPoint &point,
+         std::uint64_t target_instructions = 800'000)
+{
+    return sim::runWorkload(mix, benchConfig(point, target_instructions));
+}
+
+/** "0.77" style normalized value. */
+inline std::string
+norm(double value, double baseline)
+{
+    return Table::fmt(baseline != 0.0 ? value / baseline : 0.0, 3);
+}
+
+} // namespace pra::bench
+
+#endif // PRA_BENCH_BENCH_UTIL_H

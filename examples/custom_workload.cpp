@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Example: plugging a custom workload into the platform. Implements a
+ * small "log-structured append" generator from scratch (sequential
+ * 1-word appends with periodic random index lookups), runs it under
+ * Baseline and PRA, and shows how to read the per-component results.
+ *
+ * This is the template to follow to evaluate PRA on your own traffic.
+ */
+#include <iostream>
+#include <memory>
+
+#include "common/rng.h"
+#include "common/table.h"
+#include "sim/experiment.h"
+
+using namespace pra;
+
+namespace {
+
+/**
+ * Log-structured append workload: appends a record header into each
+ * 64 B log slot (one dirty word per line, sequential lines — ideal for
+ * PRA's partial activation AND for row locality; the record payload is
+ * written later by a different stage we don't model), with occasional
+ * random index lookups that trash the row buffer.
+ */
+class LogAppend : public cpu::Generator
+{
+  public:
+    explicit LogAppend(std::uint64_t seed) : rng_(seed) {}
+
+    cpu::MemOp
+    next() override
+    {
+        cpu::MemOp op;
+        if (rng_.chance(0.25)) {
+            // Random index lookup.
+            op.gap = 20;
+            op.addr = rng_.below((256ull << 20) / kLineBytes) * kLineBytes +
+                      (1ull << 29);
+            return op;
+        }
+        // Append one record header: one word in the next 64 B slot.
+        op.gap = 10;
+        op.isWrite = true;
+        op.addr = logHead_;
+        op.bytes = ByteMask::word(0);
+        logHead_ = (logHead_ + kLineBytes) % (128ull << 20);
+        return op;
+    }
+
+    const char *name() const override { return "log-append"; }
+
+  private:
+    Rng rng_;
+    Addr logHead_ = 0;
+};
+
+sim::RunResult
+runUnder(Scheme scheme)
+{
+    sim::SystemConfig cfg = sim::makeConfig(
+        {scheme, dram::PagePolicy::RelaxedClose, false});
+    std::vector<std::unique_ptr<cpu::Generator>> gens;
+    for (unsigned c = 0; c < 4; ++c)
+        gens.push_back(std::make_unique<LogAppend>(c + 1));
+    sim::System system(cfg, std::move(gens));
+    return system.run();
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "Custom workload: log-structured append "
+                 "(75% 1-word appends, 25% random lookups)\n\n";
+
+    const sim::RunResult base = runUnder(Scheme::Baseline);
+    const sim::RunResult pra = runUnder(Scheme::Pra);
+
+    Table t("Baseline vs PRA on the custom workload");
+    t.header({"Metric", "Baseline", "PRA"});
+    t.addRow({"IPC (core 0)", Table::fmt(base.ipc[0], 3),
+              Table::fmt(pra.ipc[0], 3)});
+    t.addRow({"avg DRAM power (mW)", Table::fmt(base.avgPowerMw, 0),
+              Table::fmt(pra.avgPowerMw, 0)});
+    t.addRow({"ACT-PRE energy (nJ)", Table::fmt(base.breakdown.actPre, 0),
+              Table::fmt(pra.breakdown.actPre, 0)});
+    t.addRow({"write I/O energy (nJ)",
+              Table::fmt(base.breakdown.writeIo, 0),
+              Table::fmt(pra.breakdown.writeIo, 0)});
+    t.addRow({"mean ACT granularity",
+              Table::fmt(base.energy.meanActGranularity(), 2),
+              Table::fmt(pra.energy.meanActGranularity(), 2)});
+    t.addRow({"write row-hit rate",
+              Table::pct(base.dramStats.writeHitRate()),
+              Table::pct(pra.dramStats.writeHitRate())});
+    t.print(std::cout);
+
+    std::cout << "Appends dirty one word per line, so PRA activates "
+                 "1/8-rows for almost every writeback while the "
+                 "sequential log keeps the read path untouched.\n";
+    return 0;
+}

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Example: multiprogrammed mix study. Runs one of the paper's Table 4
+ * mixes (default MIX2 — the memory-hammering one) under every scheme and
+ * prints a side-by-side comparison of performance and power, the way
+ * Section 5.2.2 of the paper slices its results.
+ *
+ * Usage: mix_study [MIX1..MIX6]
+ */
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+
+using namespace pra;
+
+int
+main(int argc, char **argv)
+{
+    const std::string wanted = argc > 1 ? argv[1] : "MIX2";
+    const auto &all = workloads::mixes();
+    const auto it = std::find_if(all.begin(), all.end(),
+                                 [&](const workloads::Mix &m) {
+                                     return m.name == wanted;
+                                 });
+    if (it == all.end()) {
+        std::cerr << "unknown mix " << wanted
+                  << " (use MIX1..MIX6)\n";
+        return 1;
+    }
+    const workloads::Mix &mix = *it;
+
+    std::cout << "Workload " << mix.name << ": ";
+    for (const auto &app : mix.apps)
+        std::cout << app << " ";
+    std::cout << "\n\n";
+
+    sim::AloneIpcCache alone;
+    Table t("Scheme comparison (relaxed close-page)");
+    t.header({"Scheme", "WS", "norm WS", "power mW", "norm power",
+              "norm energy", "norm EDP", "falseHit r/w"});
+
+    double base_ws = 0, base_power = 0, base_energy = 0, base_edp = 0;
+    for (Scheme scheme : {Scheme::Baseline, Scheme::Fga, Scheme::HalfDram,
+                          Scheme::Sds, Scheme::Pra,
+                          Scheme::HalfDramPra}) {
+        const sim::ConfigPoint point{scheme,
+                                     dram::PagePolicy::RelaxedClose,
+                                     false};
+        const sim::RunResult r =
+            sim::runWorkload(mix, sim::makeConfig(point));
+        const double ws = sim::weightedSpeedup(mix, r, point, alone);
+        if (scheme == Scheme::Baseline) {
+            base_ws = ws;
+            base_power = r.avgPowerMw;
+            base_energy = r.totalEnergyNj;
+            base_edp = r.edp;
+        }
+        t.addRow({schemeName(scheme), Table::fmt(ws, 3),
+                  Table::fmt(ws / base_ws, 3), Table::fmt(r.avgPowerMw, 0),
+                  Table::fmt(r.avgPowerMw / base_power, 3),
+                  Table::fmt(r.totalEnergyNj / base_energy, 3),
+                  Table::fmt(r.edp / base_edp, 3),
+                  std::to_string(r.dramStats.readFalseHits) + "/" +
+                      std::to_string(r.dramStats.writeFalseHits)});
+    }
+    t.print(std::cout);
+    return 0;
+}

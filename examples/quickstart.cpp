@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Quickstart: simulate one workload under the conventional DRAM baseline
+ * and under PRA, and print the headline comparison — DRAM power
+ * breakdown, activation granularities, and performance.
+ *
+ * Usage: quickstart [benchmark]   (default: GUPS)
+ */
+#include <iostream>
+#include <string>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+
+using namespace pra;
+
+namespace {
+
+void
+report(const std::string &label, const sim::RunResult &r)
+{
+    std::cout << label << ":\n"
+              << "  DRAM cycles          " << r.dramCycles << "\n"
+              << "  IPC (core 0)         " << Table::fmt(r.ipc.at(0), 3)
+              << "\n"
+              << "  avg DRAM power       " << Table::fmt(r.avgPowerMw, 1)
+              << " mW\n"
+              << "  ACT-PRE energy       "
+              << Table::fmt(r.breakdown.actPre, 0) << " nJ\n"
+              << "  write I/O energy     "
+              << Table::fmt(r.breakdown.writeIo, 0) << " nJ\n"
+              << "  total energy         "
+              << Table::fmt(r.totalEnergyNj, 0) << " nJ\n"
+              << "  row hit rate (r/w)   "
+              << Table::pct(r.dramStats.readHitRate()) << " / "
+              << Table::pct(r.dramStats.writeHitRate()) << "\n"
+              << "  false hits (r/w)     " << r.dramStats.readFalseHits
+              << " / " << r.dramStats.writeFalseHits << "\n";
+
+    std::cout << "  ACT granularity      ";
+    const auto &g = r.dramStats.actGranularity;
+    for (unsigned k = 1; k <= 8; ++k)
+        std::cout << k << "/8:" << Table::pct(g.fraction(k), 0) << " ";
+    std::cout << "\n\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "GUPS";
+    const workloads::Mix rate{bench, {bench, bench, bench, bench}};
+
+    std::cout << "PRA quickstart — benchmark: " << bench
+              << " (4 identical instances)\n\n";
+
+    sim::ConfigPoint base{Scheme::Baseline,
+                          dram::PagePolicy::RelaxedClose, false};
+    sim::ConfigPoint pra{Scheme::Pra, dram::PagePolicy::RelaxedClose,
+                         false};
+
+    const sim::RunResult rb = sim::runWorkload(rate, sim::makeConfig(base));
+    report("Baseline (conventional DDR3-1600)", rb);
+
+    const sim::RunResult rp = sim::runWorkload(rate, sim::makeConfig(pra));
+    report("PRA (partial row activation)", rp);
+
+    const double power_saving = 1.0 - rp.avgPowerMw / rb.avgPowerMw;
+    const double perf_delta = rp.ipc.at(0) / rb.ipc.at(0) - 1.0;
+    std::cout << "PRA vs baseline: total DRAM power "
+              << Table::pct(power_saving) << " lower, performance "
+              << Table::pct(perf_delta) << " delta\n";
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Example: PRA on server-class traffic. The paper's introduction
+ * motivates PRA with datacenter DRAM power; this example runs the two
+ * extremes of that space — a STREAM-style bandwidth kernel (fully dirty
+ * sequential lines: PRA has nothing to trim) and a YCSB-style key-value
+ * store (sparse small updates: PRA's best case) — plus a 50/50
+ * consolidation mix, under Baseline, Half-DRAM, and PRA.
+ */
+#include <iostream>
+
+#include "common/table.h"
+#include "sim/experiment.h"
+
+using namespace pra;
+
+namespace {
+
+void
+study(const workloads::Mix &mix)
+{
+    Table t("Workload: " + mix.name);
+    t.header({"Scheme", "power mW", "norm power", "norm energy", "IPC0",
+              "mean ACT gran", "wr words/line"});
+    double base_power = 0, base_energy = 0;
+    for (Scheme scheme :
+         {Scheme::Baseline, Scheme::HalfDram, Scheme::Pra}) {
+        sim::SystemConfig cfg = sim::makeConfig(
+            {scheme, dram::PagePolicy::RelaxedClose, false});
+        cfg.targetInstructions = 600'000;
+        const sim::RunResult r = sim::runWorkload(mix, cfg);
+        if (scheme == Scheme::Baseline) {
+            base_power = r.avgPowerMw;
+            base_energy = r.totalEnergyNj;
+        }
+        const double words_per_line =
+            r.energy.writeLines
+                ? static_cast<double>(r.energy.writeWordsDriven) /
+                      static_cast<double>(r.energy.writeLines)
+                : 0.0;
+        t.addRow({schemeName(scheme), Table::fmt(r.avgPowerMw, 0),
+                  Table::fmt(r.avgPowerMw / base_power, 3),
+                  Table::fmt(r.totalEnergyNj / base_energy, 3),
+                  Table::fmt(r.ipc[0], 3),
+                  Table::fmt(r.energy.meanActGranularity(), 2),
+                  Table::fmt(words_per_line, 2)});
+    }
+    t.print(std::cout);
+}
+
+} // namespace
+
+int
+main()
+{
+    std::cout << "PRA on server-class traffic\n\n";
+    study({"stream x4", {"stream", "stream", "stream", "stream"}});
+    study({"kvstore x4", {"kvstore", "kvstore", "kvstore", "kvstore"}});
+    study({"consolidated", {"stream", "kvstore", "stream", "kvstore"}});
+    std::cout
+        << "STREAM writes whole lines, so PRA degenerates to the "
+           "baseline there (Half-DRAM still halves activations); the "
+           "key-value store is PRA's sweet spot — sparse updates with "
+           "no locality. Consolidation lands in between: PRA adapts "
+           "per writeback, which is exactly the paper's argument for "
+           "mask-granular activation over fixed halving.\n";
+    return 0;
+}

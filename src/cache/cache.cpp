@@ -1,0 +1,150 @@
+#include "cache/cache.h"
+
+#include <cassert>
+
+namespace pra::cache {
+
+Cache::Cache(const CacheParams &params)
+    : params_(params), sets_(params.numSets())
+{
+    assert(sets_ > 0 && (sets_ & (sets_ - 1)) == 0 &&
+           "set count must be a power of two");
+    ways_.resize(sets_ * params_.ways);
+}
+
+std::size_t
+Cache::setIndex(Addr addr) const
+{
+    return static_cast<std::size_t>((addr / params_.lineBytes) &
+                                    (sets_ - 1));
+}
+
+std::uint64_t
+Cache::tagOf(Addr addr) const
+{
+    return addr / params_.lineBytes / sets_;
+}
+
+Cache::Way *
+Cache::find(Addr addr)
+{
+    const std::size_t base = setIndex(addr) * params_.ways;
+    const std::uint64_t tag = tagOf(addr);
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Way &way = ways_[base + w];
+        if (way.valid && way.tag == tag)
+            return &way;
+    }
+    return nullptr;
+}
+
+const Cache::Way *
+Cache::find(Addr addr) const
+{
+    return const_cast<Cache *>(this)->find(addr);
+}
+
+AccessResult
+Cache::access(Addr addr, bool is_write, ByteMask store_bytes)
+{
+    addr = lineBase(addr);
+    ++useClock_;
+
+    if (Way *way = find(addr)) {
+        ++hits_;
+        way->lastUse = useClock_;
+        if (is_write)
+            way->dirty |= store_bytes;
+        return {true, std::nullopt};
+    }
+
+    ++misses_;
+    const std::size_t base = setIndex(addr) * params_.ways;
+    Way *victim = &ways_[base];
+    for (unsigned w = 0; w < params_.ways; ++w) {
+        Way &way = ways_[base + w];
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lastUse < victim->lastUse)
+            victim = &way;
+    }
+
+    AccessResult result;
+    if (victim->valid) {
+        ++evictions_;
+        if (!victim->dirty.empty())
+            ++dirtyEvictions_;
+        // Reconstruct the victim's address from tag and set.
+        const std::size_t set = setIndex(addr);
+        const Addr victim_addr =
+            (victim->tag * sets_ + set) * params_.lineBytes;
+        result.evicted = EvictedLine{victim_addr, victim->dirty};
+    }
+
+    victim->valid = true;
+    victim->tag = tagOf(addr);
+    victim->dirty = is_write ? store_bytes : ByteMask::none();
+    victim->lastUse = useClock_;
+    return result;
+}
+
+bool
+Cache::contains(Addr addr) const
+{
+    return find(lineBase(addr)) != nullptr;
+}
+
+ByteMask
+Cache::dirtyMask(Addr addr) const
+{
+    const Way *way = find(lineBase(addr));
+    return way ? way->dirty : ByteMask::none();
+}
+
+void
+Cache::cleanLine(Addr addr)
+{
+    if (Way *way = find(lineBase(addr)))
+        way->dirty = ByteMask::none();
+}
+
+std::optional<EvictedLine>
+Cache::invalidate(Addr addr)
+{
+    addr = lineBase(addr);
+    if (Way *way = find(addr)) {
+        EvictedLine line{addr, way->dirty};
+        way->valid = false;
+        way->dirty = ByteMask::none();
+        return line;
+    }
+    return std::nullopt;
+}
+
+void
+Cache::mergeDirty(Addr addr, ByteMask dirty)
+{
+    if (Way *way = find(lineBase(addr)))
+        way->dirty |= dirty;
+}
+
+std::vector<EvictedLine>
+Cache::collectDirtyLines() const
+{
+    std::vector<EvictedLine> lines;
+    for (std::size_t set = 0; set < sets_; ++set) {
+        for (unsigned w = 0; w < params_.ways; ++w) {
+            const Way &way = ways_[set * params_.ways + w];
+            if (way.valid && !way.dirty.empty()) {
+                const Addr addr =
+                    (way.tag * sets_ + set) * params_.lineBytes;
+                lines.push_back({addr, way.dirty});
+            }
+        }
+    }
+    return lines;
+}
+
+} // namespace pra::cache

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tag-only set-associative write-back cache with fine-grained dirty bits
+ * (FGD, paper Section 4.1.4).
+ *
+ * Each line tracks dirtiness at byte granularity (a ByteMask). Stores OR
+ * their written bytes into the line's mask; the word-level PRA mask is
+ * derived with ByteMask::toWordMask() when the line finally leaves the
+ * hierarchy. The cache stores no data — the simulator only needs address
+ * and dirtiness behaviour.
+ */
+#ifndef PRA_CACHE_CACHE_H
+#define PRA_CACHE_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/bitmask.h"
+#include "common/types.h"
+
+namespace pra::cache {
+
+/** Geometry and identification of one cache. */
+struct CacheParams
+{
+    std::size_t sizeBytes = 32 * 1024;
+    unsigned ways = 4;
+    unsigned lineBytes = kLineBytes;
+
+    std::size_t numSets() const { return sizeBytes / lineBytes / ways; }
+};
+
+/** A line evicted from a cache, with its accumulated dirty bytes. */
+struct EvictedLine
+{
+    Addr addr = 0;
+    ByteMask dirty;   //!< Empty for clean evictions.
+
+    bool isDirty() const { return !dirty.empty(); }
+};
+
+/** Result of one cache access. */
+struct AccessResult
+{
+    bool hit = false;
+    /** Victim displaced by the fill (misses only, when a line existed). */
+    std::optional<EvictedLine> evicted;
+};
+
+/** LRU set-associative write-back write-allocate cache (tags only). */
+class Cache
+{
+  public:
+    explicit Cache(const CacheParams &params);
+
+    const CacheParams &params() const { return params_; }
+
+    /**
+     * Access line @p addr. On a miss the line is allocated (fill) and the
+     * LRU victim, if any, is returned. @p store_bytes is ORed into the
+     * line's dirty mask for writes.
+     */
+    AccessResult access(Addr addr, bool is_write, ByteMask store_bytes);
+
+    /** True when the line is present. */
+    bool contains(Addr addr) const;
+
+    /** Dirty mask of a resident line (empty if absent or clean). */
+    ByteMask dirtyMask(Addr addr) const;
+
+    /** Mark a resident line clean (DBI proactive writeback). */
+    void cleanLine(Addr addr);
+
+    /**
+     * Remove the line, returning its state (back-invalidation from an
+     * inclusive outer level).
+     */
+    std::optional<EvictedLine> invalidate(Addr addr);
+
+    /** OR extra dirty bytes into a resident line (L1 -> L2 writeback). */
+    void mergeDirty(Addr addr, ByteMask dirty);
+
+    /** All resident dirty lines (diagnostics / flush). */
+    std::vector<EvictedLine> collectDirtyLines() const;
+
+    // Statistics.
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t evictions() const { return evictions_; }
+    std::uint64_t dirtyEvictions() const { return dirtyEvictions_; }
+
+  private:
+    struct Way
+    {
+        bool valid = false;
+        std::uint64_t tag = 0;
+        ByteMask dirty;
+        std::uint64_t lastUse = 0;
+    };
+
+    std::size_t setIndex(Addr addr) const;
+    std::uint64_t tagOf(Addr addr) const;
+    Way *find(Addr addr);
+    const Way *find(Addr addr) const;
+
+    CacheParams params_;
+    std::size_t sets_;
+    std::vector<Way> ways_;   //!< sets_ x params_.ways, row-major.
+    std::uint64_t useClock_ = 0;
+
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+    std::uint64_t dirtyEvictions_ = 0;
+};
+
+} // namespace pra::cache
+
+#endif // PRA_CACHE_CACHE_H

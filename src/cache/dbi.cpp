@@ -1,0 +1,53 @@
+#include "cache/dbi.h"
+
+#include <algorithm>
+
+namespace pra::cache {
+
+void
+DirtyBlockIndex::markDirty(Addr addr)
+{
+    addr = lineBase(addr);
+    auto &lines = dirtyByRow_[rowKey_(addr)];
+    if (std::find(lines.begin(), lines.end(), addr) == lines.end()) {
+        lines.push_back(addr);
+        ++tracked_;
+    }
+}
+
+void
+DirtyBlockIndex::markClean(Addr addr)
+{
+    addr = lineBase(addr);
+    auto it = dirtyByRow_.find(rowKey_(addr));
+    if (it == dirtyByRow_.end())
+        return;
+    auto &lines = it->second;
+    auto pos = std::find(lines.begin(), lines.end(), addr);
+    if (pos != lines.end()) {
+        lines.erase(pos);
+        --tracked_;
+        if (lines.empty())
+            dirtyByRow_.erase(it);
+    }
+}
+
+std::vector<Addr>
+DirtyBlockIndex::siblingsForEviction(Addr addr)
+{
+    addr = lineBase(addr);
+    std::vector<Addr> siblings;
+    auto it = dirtyByRow_.find(rowKey_(addr));
+    if (it == dirtyByRow_.end())
+        return siblings;
+    for (Addr line : it->second) {
+        if (line != addr)
+            siblings.push_back(line);
+    }
+    tracked_ -= it->second.size();
+    proactive_ += siblings.size();
+    dirtyByRow_.erase(it);
+    return siblings;
+}
+
+} // namespace pra::cache

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Dirty-Block Index (DBI) — DRAM-aware writeback (paper Section 5.2.3,
+ * after Seshadri et al., ISCA 2014).
+ *
+ * The DBI decouples dirty bits from the tag store and organizes them by
+ * DRAM row. When a dirty line is evicted from the LLC, every other dirty
+ * line belonging to the same DRAM row is proactively written back too, so
+ * a single write row activation is amortized over many writebacks.
+ */
+#ifndef PRA_CACHE_DBI_H
+#define PRA_CACHE_DBI_H
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pra::cache {
+
+/** Tracks which LLC lines are dirty, grouped by DRAM row. */
+class DirtyBlockIndex
+{
+  public:
+    /** @p row_key maps a line address to its DRAM row identity. */
+    explicit DirtyBlockIndex(std::function<std::uint64_t(Addr)> row_key)
+        : rowKey_(std::move(row_key))
+    {}
+
+    /** Record that the LLC line at @p addr is dirty. */
+    void markDirty(Addr addr);
+
+    /** Record that the line was cleaned or evicted. */
+    void markClean(Addr addr);
+
+    /**
+     * The evicted dirty line at @p addr triggers proactive writeback:
+     * returns the addresses of all *other* dirty lines in the same DRAM
+     * row (and forgets them — the caller must clean and write them back).
+     */
+    std::vector<Addr> siblingsForEviction(Addr addr);
+
+    std::uint64_t trackedLines() const { return tracked_; }
+    std::uint64_t proactiveWritebacks() const { return proactive_; }
+
+  private:
+    std::function<std::uint64_t(Addr)> rowKey_;
+    std::unordered_map<std::uint64_t, std::vector<Addr>> dirtyByRow_;
+    std::uint64_t tracked_ = 0;
+    std::uint64_t proactive_ = 0;
+};
+
+} // namespace pra::cache
+
+#endif // PRA_CACHE_DBI_H

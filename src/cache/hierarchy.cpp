@@ -1,0 +1,125 @@
+#include "cache/hierarchy.h"
+
+#include <cassert>
+
+namespace pra::cache {
+
+Hierarchy::Hierarchy(const HierarchyConfig &cfg)
+    : cfg_(cfg), l2_(cfg.l2)
+{
+    for (unsigned c = 0; c < cfg_.numCores; ++c)
+        l1s_.push_back(std::make_unique<Cache>(cfg_.l1));
+    if (cfg_.enableDbi) {
+        assert(cfg_.dbiRowKey && "DBI requires a row-key function");
+        dbi_ = std::make_unique<DirtyBlockIndex>(cfg_.dbiRowKey);
+    }
+}
+
+void
+Hierarchy::emitWriteback(Addr addr, ByteMask dirty,
+                         std::vector<Writeback> &out)
+{
+    ++memWrites_;
+    dirtyWords_.record(dirty.toWordMask().count());
+    out.push_back({addr, dirty});
+}
+
+void
+Hierarchy::evictFromL2(const EvictedLine &victim,
+                       std::vector<Writeback> &out)
+{
+    // Inclusive hierarchy: back-invalidate L1 copies and fold their
+    // dirty bytes into the departing line.
+    ByteMask dirty = victim.dirty;
+    for (auto &l1 : l1s_) {
+        if (auto line = l1->invalidate(victim.addr))
+            dirty |= line->dirty;
+    }
+
+    if (dirty.empty()) {
+        if (dbi_)
+            dbi_->markClean(victim.addr);
+        return;
+    }
+
+    if (dbi_) {
+        // DRAM-aware writeback: flush every dirty line of this DRAM row.
+        const std::vector<Addr> siblings =
+            dbi_->siblingsForEviction(victim.addr);
+        emitWriteback(victim.addr, dirty, out);
+        for (Addr sib : siblings) {
+            ByteMask sib_dirty = l2_.dirtyMask(sib);
+            // Include dirty bytes still sitting in the L1s.
+            for (auto &l1 : l1s_) {
+                sib_dirty |= l1->dirtyMask(sib);
+                l1->cleanLine(sib);
+            }
+            if (!sib_dirty.empty()) {
+                l2_.cleanLine(sib);
+                emitWriteback(sib, sib_dirty, out);
+            }
+        }
+    } else {
+        emitWriteback(victim.addr, dirty, out);
+    }
+}
+
+HierarchyOutcome
+Hierarchy::access(unsigned core, Addr addr, bool is_write,
+                  ByteMask store_bytes)
+{
+    assert(core < l1s_.size());
+    addr = lineBase(addr);
+    HierarchyOutcome outcome;
+
+    Cache &l1 = *l1s_[core];
+    const AccessResult l1_result = l1.access(addr, is_write, store_bytes);
+    if (l1_result.hit) {
+        outcome.l1Hit = true;
+        return outcome;
+    }
+
+    // L1 victim writes back into the (inclusive) L2.
+    if (l1_result.evicted && l1_result.evicted->isDirty()) {
+        l2_.mergeDirty(l1_result.evicted->addr, l1_result.evicted->dirty);
+        if (dbi_)
+            dbi_->markDirty(l1_result.evicted->addr);
+    }
+
+    // The L2 sees the access as a read (the store's bytes stay dirty in
+    // the L1 until that line is evicted).
+    const AccessResult l2_result =
+        l2_.access(addr, false, ByteMask::none());
+    if (l2_result.hit) {
+        outcome.l2Hit = true;
+        return outcome;
+    }
+
+    outcome.needsMemRead = true;
+    ++memReads_;
+    if (l2_result.evicted)
+        evictFromL2(*l2_result.evicted, outcome.writebacks);
+    return outcome;
+}
+
+std::vector<Writeback>
+Hierarchy::flush()
+{
+    std::vector<Writeback> out;
+    // Pull L1 dirtiness down into the L2 first.
+    for (auto &l1 : l1s_) {
+        for (const EvictedLine &line : l1->collectDirtyLines()) {
+            l2_.mergeDirty(line.addr, line.dirty);
+            l1->cleanLine(line.addr);
+        }
+    }
+    for (const EvictedLine &line : l2_.collectDirtyLines()) {
+        l2_.cleanLine(line.addr);
+        if (dbi_)
+            dbi_->markClean(line.addr);
+        emitWriteback(line.addr, line.dirty, out);
+    }
+    return out;
+}
+
+} // namespace pra::cache

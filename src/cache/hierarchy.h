@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Two-level inclusive cache hierarchy with FGD plumbing (paper Fig. 8):
+ * private L1 data caches over a shared L2. Stores set byte-granularity
+ * dirty bits in the L1; on L1 eviction the bits are ORed into the L2
+ * copy; on L2 eviction the accumulated dirty bits leave as a writeback
+ * whose word mask becomes the DRAM PRA mask. Optionally a Dirty-Block
+ * Index turns each dirty L2 eviction into a row-batched writeback group.
+ */
+#ifndef PRA_CACHE_HIERARCHY_H
+#define PRA_CACHE_HIERARCHY_H
+
+#include <memory>
+#include <vector>
+
+#include "cache/cache.h"
+#include "cache/dbi.h"
+#include "common/stats.h"
+
+namespace pra::cache {
+
+/** Hierarchy geometry (paper Table 3 baseline). */
+struct HierarchyConfig
+{
+    unsigned numCores = 4;
+    CacheParams l1{32 * 1024, 4, kLineBytes};
+    CacheParams l2{4 * 1024 * 1024, 8, kLineBytes};
+    bool enableDbi = false;
+    /** Row-key function for the DBI (DRAM row identity of a line). */
+    std::function<std::uint64_t(Addr)> dbiRowKey;
+};
+
+/** A line leaving the hierarchy toward DRAM. */
+struct Writeback
+{
+    Addr addr = 0;
+    ByteMask dirty;
+
+    /** PRA mask delivered to the memory controller with the writeback. */
+    WordMask praMask() const { return dirty.toWordMask(); }
+};
+
+/** What one core access did to the hierarchy. */
+struct HierarchyOutcome
+{
+    bool l1Hit = false;
+    bool l2Hit = false;
+    bool needsMemRead = false;   //!< LLC miss: line must be fetched.
+    std::vector<Writeback> writebacks;
+};
+
+/** Private-L1 / shared-L2 hierarchy. */
+class Hierarchy
+{
+  public:
+    explicit Hierarchy(const HierarchyConfig &cfg);
+
+    /**
+     * Core @p core accesses @p addr; for stores @p store_bytes are the
+     * bytes written (FGD granularity).
+     */
+    HierarchyOutcome access(unsigned core, Addr addr, bool is_write,
+                            ByteMask store_bytes);
+
+    /** Write back every dirty line (end-of-run flush). */
+    std::vector<Writeback> flush();
+
+    const Cache &l1(unsigned core) const { return *l1s_[core]; }
+    const Cache &l2() const { return l2_; }
+    const DirtyBlockIndex *dbi() const { return dbi_.get(); }
+
+    /** Dirty-word count distribution of LLC writebacks (Figure 3). */
+    const Histogram &dirtyWordsHistogram() const { return dirtyWords_; }
+
+    std::uint64_t memReads() const { return memReads_; }
+    std::uint64_t memWrites() const { return memWrites_; }
+
+  private:
+    void evictFromL2(const EvictedLine &victim,
+                     std::vector<Writeback> &out);
+    void emitWriteback(Addr addr, ByteMask dirty,
+                       std::vector<Writeback> &out);
+
+    HierarchyConfig cfg_;
+    std::vector<std::unique_ptr<Cache>> l1s_;
+    Cache l2_;
+    std::unique_ptr<DirtyBlockIndex> dbi_;
+
+    Histogram dirtyWords_{kWordsPerLine + 1};
+    std::uint64_t memReads_ = 0;
+    std::uint64_t memWrites_ = 0;
+};
+
+} // namespace pra::cache
+
+#endif // PRA_CACHE_HIERARCHY_H

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Word- and byte-granularity dirty masks.
+ *
+ * A WordMask is the 8-bit structure the paper calls the "PRA mask": bit i
+ * set means word i of a 64 B cache line is dirty (and, on the DRAM side,
+ * that MAT group i must be activated). A ByteMask tracks dirtiness at byte
+ * granularity inside a line; it is what the L1 actually records on stores,
+ * and it is also what the SDS comparator needs (chip-level coverage).
+ */
+#ifndef PRA_COMMON_BITMASK_H
+#define PRA_COMMON_BITMASK_H
+
+#include <bit>
+#include <cstdint>
+
+#include "common/types.h"
+
+namespace pra {
+
+/** 8-bit word-granularity dirty/activation mask (one bit per 8 B word). */
+class WordMask
+{
+  public:
+    constexpr WordMask() = default;
+    constexpr explicit WordMask(std::uint8_t bits) : bits_(bits) {}
+
+    /** Mask with every word set (full-row activation). */
+    static constexpr WordMask full() { return WordMask(0xff); }
+    /** Mask with no word set. */
+    static constexpr WordMask none() { return WordMask(0x00); }
+    /** Mask with only word @p word set. */
+    static constexpr WordMask
+    single(unsigned word)
+    {
+        return WordMask(static_cast<std::uint8_t>(1u << word));
+    }
+    /** Mask covering the first @p n words. */
+    static constexpr WordMask
+    firstWords(unsigned n)
+    {
+        return n >= kWordsPerLine
+            ? full()
+            : WordMask(static_cast<std::uint8_t>((1u << n) - 1));
+    }
+
+    constexpr std::uint8_t bits() const { return bits_; }
+    constexpr bool test(unsigned word) const { return bits_ & (1u << word); }
+    constexpr void set(unsigned word) { bits_ |= (1u << word); }
+    constexpr void clear(unsigned word) { bits_ &= ~(1u << word); }
+
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr bool isFull() const { return bits_ == 0xff; }
+
+    /** Number of set words; equals the row-activation granularity (g/8). */
+    constexpr unsigned count() const { return std::popcount(bits_); }
+
+    /** True when every bit of @p other is also set here. */
+    constexpr bool covers(WordMask other) const
+    {
+        return (bits_ & other.bits_) == other.bits_;
+    }
+
+    constexpr WordMask operator|(WordMask o) const
+    {
+        return WordMask(bits_ | o.bits_);
+    }
+    constexpr WordMask operator&(WordMask o) const
+    {
+        return WordMask(bits_ & o.bits_);
+    }
+    constexpr WordMask &operator|=(WordMask o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+    constexpr bool operator==(const WordMask &) const = default;
+
+  private:
+    std::uint8_t bits_ = 0;
+};
+
+/** 64-bit byte-granularity dirty mask over one 64 B cache line. */
+class ByteMask
+{
+  public:
+    constexpr ByteMask() = default;
+    constexpr explicit ByteMask(std::uint64_t bits) : bits_(bits) {}
+
+    static constexpr ByteMask full() { return ByteMask(~0ull); }
+    static constexpr ByteMask none() { return ByteMask(0ull); }
+
+    /** Mask covering @p len bytes starting at line offset @p offset. */
+    static constexpr ByteMask
+    range(unsigned offset, unsigned len)
+    {
+        if (len == 0)
+            return none();
+        if (len >= kLineBytes)
+            return full();
+        std::uint64_t m = (len >= 64) ? ~0ull : ((1ull << len) - 1);
+        return ByteMask(m << offset);
+    }
+
+    /** Mask covering whole word @p word. */
+    static constexpr ByteMask
+    word(unsigned word)
+    {
+        return ByteMask(0xffull << (word * kBytesPerWord));
+    }
+
+    constexpr std::uint64_t bits() const { return bits_; }
+    constexpr bool test(unsigned byte) const
+    {
+        return bits_ & (1ull << byte);
+    }
+    constexpr bool empty() const { return bits_ == 0; }
+    constexpr unsigned count() const { return std::popcount(bits_); }
+
+    /**
+     * Collapse to word granularity: word i is dirty iff any of its 8 bytes
+     * is dirty. This is exactly the FGD → PRA-mask reduction of the paper.
+     */
+    constexpr WordMask
+    toWordMask() const
+    {
+        std::uint8_t words = 0;
+        for (unsigned w = 0; w < kWordsPerLine; ++w) {
+            if ((bits_ >> (w * kBytesPerWord)) & 0xff)
+                words |= static_cast<std::uint8_t>(1u << w);
+        }
+        return WordMask(words);
+    }
+
+    /**
+     * SDS chip-access mask: chip c (byte position c of every word) must be
+     * written iff any word's byte at position c is dirty. Returns an 8-bit
+     * mask with bit c set when chip c must be accessed.
+     */
+    constexpr std::uint8_t
+    toChipMask() const
+    {
+        std::uint8_t chips = 0;
+        for (unsigned c = 0; c < kBytesPerWord; ++c) {
+            for (unsigned w = 0; w < kWordsPerLine; ++w) {
+                if (bits_ & (1ull << (w * kBytesPerWord + c))) {
+                    chips |= static_cast<std::uint8_t>(1u << c);
+                    break;
+                }
+            }
+        }
+        return chips;
+    }
+
+    constexpr ByteMask operator|(ByteMask o) const
+    {
+        return ByteMask(bits_ | o.bits_);
+    }
+    constexpr ByteMask &operator|=(ByteMask o)
+    {
+        bits_ |= o.bits_;
+        return *this;
+    }
+    constexpr bool operator==(const ByteMask &) const = default;
+
+  private:
+    std::uint64_t bits_ = 0;
+};
+
+} // namespace pra
+
+#endif // PRA_COMMON_BITMASK_H

@@ -1,0 +1,50 @@
+#include "common/stats.h"
+
+#include <algorithm>
+
+namespace pra {
+
+double
+Histogram::mean() const
+{
+    const std::uint64_t t = total();
+    if (!t)
+        return 0.0;
+    double acc = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i)
+        acc += static_cast<double>(i) * static_cast<double>(counts_[i]);
+    return acc / static_cast<double>(t);
+}
+
+void
+Summary::merge(const Summary &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    sum_ += other.sum_;
+    n_ += other.n_;
+}
+
+void
+Summary::record(double v)
+{
+    if (n_ == 0) {
+        min_ = v;
+        max_ = v;
+    } else {
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+    }
+    sum_ += v;
+    ++n_;
+}
+
+} // namespace pra

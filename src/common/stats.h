@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Lightweight statistics primitives: counters, ratios, and histograms.
+ *
+ * Every simulator component exposes its activity through these so the
+ * experiment harnesses can regenerate the paper's tables without touching
+ * component internals.
+ */
+#ifndef PRA_COMMON_STATS_H
+#define PRA_COMMON_STATS_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pra {
+
+/** Simple monotonically increasing event counter. */
+class Counter
+{
+  public:
+    void inc(std::uint64_t n = 1) { value_ += n; }
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/** hits / (hits + misses) convenience pair. */
+class HitRate
+{
+  public:
+    void hit(std::uint64_t n = 1) { hits_ += n; }
+    void miss(std::uint64_t n = 1) { misses_ += n; }
+
+    std::uint64_t hits() const { return hits_; }
+    std::uint64_t misses() const { return misses_; }
+    std::uint64_t total() const { return hits_ + misses_; }
+
+    /** Hit fraction in [0,1]; 0 when no events were recorded. */
+    double
+    rate() const
+    {
+        const std::uint64_t t = total();
+        return t ? static_cast<double>(hits_) / static_cast<double>(t) : 0.0;
+    }
+
+    void
+    reset()
+    {
+        hits_ = 0;
+        misses_ = 0;
+    }
+
+  private:
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+/** Fixed-bucket histogram (e.g. activation granularities 1..8). */
+class Histogram
+{
+  public:
+    explicit Histogram(std::size_t buckets) : counts_(buckets, 0) {}
+
+    void
+    record(std::size_t bucket, std::uint64_t n = 1)
+    {
+        if (bucket < counts_.size())
+            counts_[bucket] += n;
+    }
+
+    std::uint64_t count(std::size_t bucket) const { return counts_[bucket]; }
+    std::size_t buckets() const { return counts_.size(); }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (auto c : counts_)
+            t += c;
+        return t;
+    }
+
+    /** Fraction of all samples that landed in @p bucket. */
+    double
+    fraction(std::size_t bucket) const
+    {
+        const std::uint64_t t = total();
+        return t ? static_cast<double>(counts_[bucket]) /
+                       static_cast<double>(t)
+                 : 0.0;
+    }
+
+    /** Sample mean using bucket indices as values. */
+    double mean() const;
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c = 0;
+    }
+
+  private:
+    std::vector<std::uint64_t> counts_;
+};
+
+/** Running mean/min/max over a stream of doubles. */
+class Summary
+{
+  public:
+    void record(double v);
+
+    /** Fold another summary into this one. */
+    void merge(const Summary &other);
+
+    double mean() const { return n_ ? sum_ / static_cast<double>(n_) : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    std::uint64_t samples() const { return n_; }
+
+  private:
+    std::uint64_t n_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+} // namespace pra
+
+#endif // PRA_COMMON_STATS_H

@@ -1,0 +1,65 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace pra {
+
+void
+Table::addRow(std::vector<std::string> cells)
+{
+    cells.resize(std::max(cells.size(), header_.size()));
+    rows_.push_back(std::move(cells));
+}
+
+std::string
+Table::fmt(double v, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", digits, v);
+    return buf;
+}
+
+std::string
+Table::pct(double fraction, int digits)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", digits, fraction * 100.0);
+    return buf;
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(header_.size(), 0);
+    for (std::size_t c = 0; c < header_.size(); ++c)
+        widths[c] = header_[c].size();
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c >= widths.size())
+                widths.resize(c + 1, 0);
+            widths[c] = std::max(widths[c], row[c].size());
+        }
+    }
+
+    os << "== " << title_ << " ==\n";
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < widths.size(); ++c) {
+            const std::string &cell = c < cells.size() ? cells[c] : "";
+            os << cell;
+            if (c + 1 < widths.size())
+                os << std::string(widths[c] - cell.size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emit(header_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(rule, '-') << '\n';
+    for (const auto &row : rows_)
+        emit(row);
+    os << '\n';
+}
+
+} // namespace pra

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit the
+ * paper's tables and figure series in a uniform, diffable format.
+ */
+#ifndef PRA_COMMON_TABLE_H
+#define PRA_COMMON_TABLE_H
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace pra {
+
+/** Column-aligned text table with a title and header row. */
+class Table
+{
+  public:
+    explicit Table(std::string title) : title_(std::move(title)) {}
+
+    /** Set the header row (defines the column count). */
+    void header(std::vector<std::string> cols) { header_ = std::move(cols); }
+
+    /** Append a data row; short rows are padded with empty cells. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: format a double with @p digits decimals. */
+    static std::string fmt(double v, int digits = 2);
+    /** Convenience: format a fraction as a percentage string. */
+    static std::string pct(double fraction, int digits = 1);
+
+    /** Render the table to @p os. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace pra
+
+#endif // PRA_COMMON_TABLE_H

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Fundamental typedefs and constants shared by every PRA module.
+ *
+ * All simulation time is expressed in DRAM bus cycles (tCK). For the
+ * baseline DDR3-1600 device tCK is 1.25 ns; the CPU model converts using
+ * the fixed 4:1 CPU:DRAM clock ratio from the paper's configuration.
+ */
+#ifndef PRA_COMMON_TYPES_H
+#define PRA_COMMON_TYPES_H
+
+#include <cstdint>
+#include <cstddef>
+
+namespace pra {
+
+/** Simulation time in DRAM bus cycles. */
+using Cycle = std::uint64_t;
+
+/** Physical byte address. */
+using Addr = std::uint64_t;
+
+/** A cache line holds eight 8-byte words. */
+inline constexpr unsigned kLineBytes = 64;
+/** Words per cache line (the PRA mask has one bit per word). */
+inline constexpr unsigned kWordsPerLine = 8;
+/** Bytes per word. */
+inline constexpr unsigned kBytesPerWord = 8;
+
+/** DDR3 burst length: beats per column access. */
+inline constexpr unsigned kBurstLength = 8;
+
+/** MATs per sub-array in the baseline 2Gb x8 chip. */
+inline constexpr unsigned kMatsPerSubarray = 16;
+/** MAT groups controllable by one PRA mask bit (two MATs per group). */
+inline constexpr unsigned kMatGroups = 8;
+
+/** CPU core cycles per DRAM bus cycle (3.2 GHz / 800 MHz). */
+inline constexpr unsigned kCpuCyclesPerDramCycle = 4;
+
+/** Sentinel for "no row open" and similar. */
+inline constexpr std::uint32_t kInvalidRow = 0xffffffffu;
+
+/** Align an address down to its cache-line base. */
+constexpr Addr
+lineBase(Addr addr)
+{
+    return addr & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Index of the word within its cache line that @p addr falls in. */
+constexpr unsigned
+wordInLine(Addr addr)
+{
+    return static_cast<unsigned>((addr >> 3) & (kWordsPerLine - 1));
+}
+
+/** Index of the byte within its cache line that @p addr falls in. */
+constexpr unsigned
+byteInLine(Addr addr)
+{
+    return static_cast<unsigned>(addr & (kLineBytes - 1));
+}
+
+} // namespace pra
+
+#endif // PRA_COMMON_TYPES_H

@@ -1,0 +1,42 @@
+#include "core/overhead.h"
+
+#include "common/types.h"
+
+namespace pra {
+
+double
+ChipOverheadModel::latchAreaFraction() const
+{
+    const double total_um2 = latchAreaUm2 * latchesPerChip;
+    return total_um2 / (dieAreaMm2 * 1e6);
+}
+
+double
+ChipOverheadModel::latchPowerFraction() const
+{
+    return (latchPowerUw * 1e-3) / actPowerMw;
+}
+
+double
+ChipOverheadModel::totalAreaFraction() const
+{
+    return latchAreaFraction() + wordlineGateAreaFrac;
+}
+
+unsigned
+CacheOverheadModel::baselineBitsPerLine() const
+{
+    return lineBytes * 8 + tagBits + stateBits;
+}
+
+double
+CacheOverheadModel::storageOverhead() const
+{
+    const unsigned lines = sizeBytes / lineBytes;
+    const double baseline =
+        static_cast<double>(lines) * baselineBitsPerLine();
+    const double extra = static_cast<double>(lines) * extraDirtyBits;
+    return extra / baseline;
+}
+
+} // namespace pra

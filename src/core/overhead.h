@@ -1,0 +1,64 @@
+/**
+ * @file
+ * PRA hardware-overhead model (paper Section 4.2).
+ *
+ * Quantifies the cost of adopting PRA: the per-bank PRA latches, the
+ * wordline AND gates, and the fine-grained dirty bits (FGD) added to the
+ * cache hierarchy. The numbers mirror the paper's analysis (latch design
+ * of Kong et al. scaled to 20 nm; CACTI-3DD for the caches at 22 nm) and
+ * back the "small hardware overhead" claim with concrete arithmetic.
+ */
+#ifndef PRA_CORE_OVERHEAD_H
+#define PRA_CORE_OVERHEAD_H
+
+namespace pra {
+
+/** PRA additions inside the DRAM chip. */
+struct ChipOverheadModel
+{
+    double latchAreaUm2 = 1.97;      //!< One 8-bit PRA latch at 20 nm.
+    unsigned latchesPerChip = 8;     //!< One per bank.
+    double latchPowerUw = 3.8;       //!< Per latch, per activation.
+    double dieAreaMm2 = 11.884;      //!< Baseline 2Gb die (Table 2).
+    double actPowerMw = 22.2;        //!< Full-row activation power.
+    double wordlineGateAreaFrac = 0.03; //!< AND gates (per [25]).
+
+    /** Total PRA latch area as a fraction of the die. */
+    double latchAreaFraction() const;
+    /** PRA latch power as a fraction of activation power. */
+    double latchPowerFraction() const;
+    /** Total added die area fraction (latches + wordline gates). */
+    double totalAreaFraction() const;
+};
+
+/** FGD storage added to one cache (7 extra dirty bits per 64 B line). */
+struct CacheOverheadModel
+{
+    unsigned sizeBytes;       //!< Cache capacity.
+    unsigned lineBytes;       //!< Line size (64).
+    unsigned tagBits;         //!< Tag bits per line (approximate).
+    unsigned stateBits;       //!< Valid + coherence + one dirty bit.
+    unsigned extraDirtyBits = 7; //!< FGD addition: 8 word dirty bits - 1.
+
+    /** Bits per line before FGD. */
+    unsigned baselineBitsPerLine() const;
+    /** FGD storage overhead as a fraction of total cache storage. */
+    double storageOverhead() const;
+};
+
+/** The paper's published CACTI-3DD overhead estimates for reference. */
+struct PublishedFgdOverheads
+{
+    // 32 KB L1 at 22 nm.
+    static constexpr double l1Area = 0.0031;
+    static constexpr double l1DynamicEnergy = 0.0012;
+    static constexpr double l1Leakage = 0.0126;
+    // 4 MB L2 at 22 nm.
+    static constexpr double l2Area = 0.0109;
+    static constexpr double l2DynamicEnergy = 0.0041;
+    static constexpr double l2Leakage = 0.0139;
+};
+
+} // namespace pra
+
+#endif // PRA_CORE_OVERHEAD_H

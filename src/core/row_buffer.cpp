@@ -1,0 +1,4 @@
+// RowBufferState is header-only; this translation unit exists so the
+// library always has at least one object for the linker and to anchor
+// any future out-of-line definitions.
+#include "core/row_buffer.h"

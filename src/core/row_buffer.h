@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Row-buffer state with partial-row (PRA) semantics.
+ *
+ * A conventional row buffer is either closed or holds one full row. Under
+ * PRA a row can be *partially* open: only the MAT groups named by the PRA
+ * mask were activated. A request that targets the open row but needs a
+ * group that is closed experiences a *false row buffer hit* (paper
+ * Section 5.2.1): it would have been a hit in a conventional DRAM but
+ * requires a precharge + re-activation here.
+ */
+#ifndef PRA_CORE_ROW_BUFFER_H
+#define PRA_CORE_ROW_BUFFER_H
+
+#include <cstdint>
+
+#include "common/bitmask.h"
+#include "common/types.h"
+
+namespace pra {
+
+/** Outcome of probing a row buffer for a request. */
+enum class RowProbe
+{
+    Closed,    //!< No row open: plain miss, activate.
+    Conflict,  //!< Different row open: precharge then activate.
+    Hit,       //!< Open row covers the request: column access only.
+    FalseHit,  //!< Same row open, needed MAT groups closed: PRE + ACT.
+};
+
+/** Logical state of one bank's row buffer, including the PRA latch. */
+class RowBufferState
+{
+  public:
+    bool isOpen() const { return open_; }
+    std::uint32_t openRow() const { return row_; }
+    /** MAT groups currently sensed (the PRA latch contents). */
+    WordMask openMask() const { return mask_; }
+    bool isPartial() const { return open_ && !mask_.isFull(); }
+
+    /** Record an activation of @p row covering @p mask. */
+    void
+    activate(std::uint32_t row, WordMask mask)
+    {
+        open_ = true;
+        row_ = row;
+        mask_ = mask;
+    }
+
+    /** Record a precharge. */
+    void
+    close()
+    {
+        open_ = false;
+        row_ = kInvalidRow;
+        mask_ = WordMask::none();
+    }
+
+    /**
+     * Probe for a request needing @p row with word footprint @p need
+     * (reads need the full row: pass WordMask::full()).
+     */
+    RowProbe
+    probe(std::uint32_t row, WordMask need) const
+    {
+        if (!open_)
+            return RowProbe::Closed;
+        if (row_ != row)
+            return RowProbe::Conflict;
+        if (mask_.covers(need))
+            return RowProbe::Hit;
+        return RowProbe::FalseHit;
+    }
+
+    /**
+     * True when a conventional (full-row) DRAM would have hit: used to
+     * classify FalseHit outcomes against the baseline.
+     */
+    bool
+    conventionalHit(std::uint32_t row) const
+    {
+        return open_ && row_ == row;
+    }
+
+  private:
+    bool open_ = false;
+    std::uint32_t row_ = kInvalidRow;
+    WordMask mask_ = WordMask::none();
+};
+
+} // namespace pra
+
+#endif // PRA_CORE_ROW_BUFFER_H

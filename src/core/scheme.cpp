@@ -1,0 +1,56 @@
+#include "core/scheme.h"
+
+namespace pra {
+
+std::string
+schemeName(Scheme s)
+{
+    switch (s) {
+      case Scheme::Baseline:
+        return "Baseline";
+      case Scheme::Fga:
+        return "FGA";
+      case Scheme::HalfDram:
+        return "Half-DRAM";
+      case Scheme::Pra:
+        return "PRA";
+      case Scheme::HalfDramPra:
+        return "Half-DRAM+PRA";
+      case Scheme::Sds:
+        return "SDS";
+    }
+    return "?";
+}
+
+SchemeTraits
+SchemeTraits::of(Scheme s)
+{
+    SchemeTraits t;
+    switch (s) {
+      case Scheme::Baseline:
+        break;
+      case Scheme::Fga:
+        // Half-row FGA (the variant evaluated in Section 5.2.2): half the
+        // MAT groups activate and the line is folded into them, doubling
+        // the burst count.
+        t.halfGroups = true;
+        t.foldedMapping = true;
+        break;
+      case Scheme::HalfDram:
+        t.halfHeight = true;
+        break;
+      case Scheme::Pra:
+        t.partialWrites = true;
+        break;
+      case Scheme::HalfDramPra:
+        t.halfHeight = true;
+        t.partialWrites = true;
+        break;
+      case Scheme::Sds:
+        t.chipSelect = true;
+        break;
+    }
+    return t;
+}
+
+} // namespace pra

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * DRAM organization schemes evaluated in the paper and their behavioural
+ * traits. This is the central description of what PRA (and each
+ * comparator) changes relative to the conventional DDR3 baseline; the
+ * DRAM timing model and the power model are both driven by these traits.
+ *
+ * Schemes:
+ *  - Baseline   : conventional DDR3, full-row ACT, 8-burst transfers.
+ *  - Fga        : fine-grained activation at half-row granularity; data
+ *                 mapping folds the line into the active MATs, so every
+ *                 transfer takes twice the bursts (bandwidth halved).
+ *  - HalfDram   : half-row ACT for all requests with full bandwidth
+ *                 (half-height MATs, HFFs shared across halves).
+ *  - Pra        : the paper's scheme; full-row ACT for reads, dirty-word
+ *                 granularity ACT for writes, write I/O reduced to the
+ *                 dirty words, +1 tCK mask delivery on partial ACTs.
+ *  - HalfDramPra: case-study composition (Section 5.2.3).
+ *  - Sds        : Skinflint DRAM System (Lee et al., HPCA 2013) — the
+ *                 closest prior work: inter-chip selection. Writes skip
+ *                 chips whose byte positions are clean in every word;
+ *                 each selected chip still activates its full row, so
+ *                 activation energy scales linearly with selected chips
+ *                 (no shared-structure floor *within* a chip is saved).
+ */
+#ifndef PRA_CORE_SCHEME_H
+#define PRA_CORE_SCHEME_H
+
+#include <string>
+
+#include "common/bitmask.h"
+#include "common/types.h"
+#include "power/power_params.h"
+
+namespace pra {
+
+/** DRAM organization scheme. */
+enum class Scheme
+{
+    Baseline,
+    Fga,
+    HalfDram,
+    Pra,
+    HalfDramPra,
+    Sds,
+};
+
+/** Human-readable scheme name. */
+std::string schemeName(Scheme s);
+
+/** Static behavioural traits of a scheme. */
+struct SchemeTraits
+{
+    /** Writes may activate a partial row from a dirty-word mask. */
+    bool partialWrites = false;
+    /** MATs are split vertically; activations are half-height. */
+    bool halfHeight = false;
+    /** Line folded into active MATs: transfers take 2x bursts. */
+    bool foldedMapping = false;
+    /** All activations (reads too) cover only half the MAT groups. */
+    bool halfGroups = false;
+    /** Writes select chips (SDS); masks carry chip-level semantics. */
+    bool chipSelect = false;
+
+    /** Traits for scheme @p s. */
+    static SchemeTraits of(Scheme s);
+
+    /** Data-bus cycles a 64 B line transfer occupies. */
+    unsigned
+    burstCycles(unsigned nominal_burst_cycles) const
+    {
+        return foldedMapping ? 2 * nominal_burst_cycles
+                             : nominal_burst_cycles;
+    }
+
+    /**
+     * MAT-group granularity of an activation (1..8).
+     *
+     * @param is_write  Activation triggered by a write request.
+     * @param mask      Dirty-word mask of the (merged) write(s); ignored
+     *                  for reads and non-partial schemes.
+     */
+    unsigned
+    actGranularity(bool is_write, WordMask mask) const
+    {
+        unsigned g = kMatGroups;
+        if (halfGroups)
+            g = kMatGroups / 2;
+        if ((partialWrites || chipSelect) && is_write && !mask.empty())
+            g = mask.count();
+        return g;
+    }
+
+    /**
+     * The MAT groups an activation opens. Reads (and non-partial schemes)
+     * open the full row; PRA writes open exactly the masked groups.
+     */
+    WordMask
+    actMask(bool is_write, WordMask mask) const
+    {
+        if ((partialWrites || chipSelect) && is_write && !mask.empty())
+            return mask;
+        return WordMask::full();
+    }
+
+    /** True when this activation needs the extra PRA-mask cycle. */
+    bool
+    needsMaskCycle(bool is_write, WordMask mask) const
+    {
+        return (partialWrites || chipSelect) && is_write &&
+               !mask.isFull() && !mask.empty();
+    }
+
+    /**
+     * Activation weight against the tFAW/tRRD power budget: the ratio of
+     * this activation's power to a conventional full-row activation.
+     * The paper's relaxed tRRD/tFAW constraints follow from charging the
+     * four-activation window by power instead of by count.
+     */
+    double
+    actWeight(unsigned granularity, const power::PowerParams &pp) const
+    {
+        // Chip selection scales the activation current linearly: each
+        // skipped chip draws nothing, each selected chip draws the full
+        // per-chip activation current.
+        if (chipSelect)
+            return static_cast<double>(granularity) / kMatGroups;
+        double w = pp.actPowerAt(granularity) / pp.actPowerAt(kMatGroups);
+        if (halfHeight)
+            w *= 0.55;   // Half-height CACTI scale at full width (~0.53).
+        return w;
+    }
+
+    /**
+     * Words whose data is actually driven on the DQ pins for a write.
+     * PRA transmits only dirty words; every other scheme drives the full
+     * line.
+     */
+    unsigned
+    wordsDriven(WordMask mask) const
+    {
+        if ((partialWrites || chipSelect) && !mask.empty())
+            return mask.count();
+        return kWordsPerLine;
+    }
+};
+
+} // namespace pra
+
+#endif // PRA_CORE_SCHEME_H

@@ -1,0 +1,100 @@
+#include "cpu/core.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace pra::cpu {
+
+Core::Core(unsigned id, const CoreParams &params, Generator &gen,
+           CoreMemoryPort &port)
+    : id_(id), params_(params), gen_(&gen), port_(&port),
+      nextTag_(static_cast<std::uint64_t>(id) << 48)
+{
+    demandLoads_.reserve(params_.ldqSize);
+}
+
+std::uint64_t
+Core::robLimit() const
+{
+    if (demandLoads_.empty())
+        return std::numeric_limits<std::uint64_t>::max();
+    std::uint64_t oldest = demandLoads_.front().instNum;
+    for (const auto &l : demandLoads_)
+        oldest = std::min(oldest, l.instNum);
+    return oldest + params_.robSize;
+}
+
+void
+Core::tick()
+{
+    std::uint64_t budget =
+        static_cast<std::uint64_t>(params_.issueWidth) *
+        kCpuCyclesPerDramCycle;
+
+    while (budget > 0) {
+        if (!hasOp_) {
+            op_ = gen_->next();
+            opInst_ = instCount_ + op_.gap + 1;
+            hasOp_ = true;
+        }
+
+        // Run ahead through non-memory instructions, bounded by the ROB.
+        const std::uint64_t limit = std::min(opInst_ - 1, robLimit());
+        if (instCount_ < limit) {
+            const std::uint64_t adv =
+                std::min<std::uint64_t>(budget, limit - instCount_);
+            instCount_ += adv;
+            budget -= adv;
+            if (budget == 0)
+                break;
+        }
+        if (instCount_ < opInst_ - 1)
+            break;   // ROB-head blocked on an outstanding load.
+
+        // The memory op is next; check structural constraints.
+        if (instCount_ + 1 > robLimit())
+            break;
+        if (op_.isWrite) {
+            if (storeFetches_ >= params_.stqSize)
+                break;
+        } else {
+            if (demandLoads_.size() >= params_.ldqSize)
+                break;
+            if (op_.serializing && !demandLoads_.empty())
+                break;   // Pointer chase: wait for in-flight loads.
+        }
+        if (!port_->canIssue(id_, op_.addr))
+            break;   // DRAM queue or writeback backpressure.
+
+        const std::uint64_t tag = nextTag_++;
+        const bool fetching = port_->access(id_, op_, tag);
+        ++instCount_;
+        --budget;
+        if (op_.isWrite) {
+            ++stores_;
+            if (fetching)
+                ++storeFetches_;
+        } else {
+            ++loads_;
+            if (fetching)
+                demandLoads_.push_back({tag, instCount_});
+        }
+        hasOp_ = false;
+    }
+}
+
+void
+Core::complete(std::uint64_t tag)
+{
+    for (std::size_t i = 0; i < demandLoads_.size(); ++i) {
+        if (demandLoads_[i].tag == tag) {
+            demandLoads_[i] = demandLoads_.back();
+            demandLoads_.pop_back();
+            return;
+        }
+    }
+    if (storeFetches_ > 0)
+        --storeFetches_;
+}
+
+} // namespace pra::cpu

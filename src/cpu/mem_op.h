@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The instruction-stream abstraction the core model executes: a sequence
+ * of memory operations separated by non-memory instruction gaps. Workload
+ * generators (synthetic SPEC models and the algorithmic microbenchmark
+ * kernels) produce this stream.
+ */
+#ifndef PRA_CPU_MEM_OP_H
+#define PRA_CPU_MEM_OP_H
+
+#include "common/bitmask.h"
+#include "common/types.h"
+
+namespace pra::cpu {
+
+/** One memory instruction plus its preceding non-memory gap. */
+struct MemOp
+{
+    unsigned gap = 0;       //!< Non-memory instructions before this op.
+    bool isWrite = false;
+    Addr addr = 0;
+    /** Bytes a store writes (drives the FGD dirty bits). */
+    ByteMask bytes;
+    /**
+     * Load depends on the previous load's value (pointer chase): the
+     * core may not issue it while any demand load is outstanding.
+     */
+    bool serializing = false;
+};
+
+/** Infinite instruction-stream source. */
+class Generator
+{
+  public:
+    virtual ~Generator() = default;
+
+    /** Produce the next memory operation. */
+    virtual MemOp next() = 0;
+
+    /** Short workload name for reports. */
+    virtual const char *name() const = 0;
+};
+
+} // namespace pra::cpu
+
+#endif // PRA_CPU_MEM_OP_H

@@ -1,0 +1,48 @@
+#include "dram/bank.h"
+
+#include <algorithm>
+
+namespace pra::dram {
+
+void
+Bank::activate(Cycle now, std::uint32_t row, WordMask mask, bool partial)
+{
+    const Cycle sense_start =
+        now + (partial ? timing_->praMaskCycles : 0u);
+    rowBuf_.activate(row, mask);
+    earliestColumn_ = sense_start + timing_->tRcd;
+    earliestPre_ = sense_start + timing_->tRas;
+    // tRC lower-bounds the next activation of this bank even if the row
+    // is precharged early.
+    earliestAct_ = std::max(earliestAct_, sense_start + timing_->tRc);
+    hitCount_ = 0;
+    autoPre_ = false;
+}
+
+void
+Bank::read(Cycle now, unsigned burst_cycles)
+{
+    (void)burst_cycles;
+    earliestColumn_ = std::max(earliestColumn_, now + timing_->tCcd);
+    earliestPre_ = std::max(earliestPre_, now + timing_->tRtp);
+}
+
+void
+Bank::write(Cycle now, unsigned burst_cycles)
+{
+    earliestColumn_ = std::max(earliestColumn_, now + timing_->tCcd);
+    // Write recovery counts from the end of the data burst.
+    earliestPre_ = std::max(earliestPre_,
+                            now + timing_->wl + burst_cycles + timing_->tWr);
+}
+
+void
+Bank::precharge(Cycle now)
+{
+    rowBuf_.close();
+    earliestAct_ = std::max(earliestAct_, now + timing_->tRp);
+    hitCount_ = 0;
+    autoPre_ = false;
+}
+
+} // namespace pra::dram

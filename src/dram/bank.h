@@ -1,0 +1,103 @@
+/**
+ * @file
+ * One DRAM bank: row-buffer state (including the PRA latch) plus the
+ * earliest-issue-cycle registers that enforce intra-bank timing
+ * constraints (tRCD, tRAS, tRP, tRTP, tWR, tRC).
+ */
+#ifndef PRA_DRAM_BANK_H
+#define PRA_DRAM_BANK_H
+
+#include "common/types.h"
+#include "core/row_buffer.h"
+#include "dram/timing.h"
+
+namespace pra::dram {
+
+/** Bank FSM with earliest-allowed-cycle timing registers. */
+class Bank
+{
+  public:
+    explicit Bank(const Timing &t) : timing_(&t) {}
+
+    const RowBufferState &rowBuffer() const { return rowBuf_; }
+    bool isOpen() const { return rowBuf_.isOpen(); }
+
+    /** Probe the row buffer for a request footprint. */
+    RowProbe
+    probe(std::uint32_t row, WordMask need) const
+    {
+        return rowBuf_.probe(row, need);
+    }
+
+    bool conventionalHit(std::uint32_t row) const
+    {
+        return rowBuf_.conventionalHit(row);
+    }
+
+    // --- Timing queries -------------------------------------------------
+
+    bool canActivate(Cycle now) const
+    {
+        return !rowBuf_.isOpen() && now >= earliestAct_;
+    }
+    bool canRead(Cycle now) const
+    {
+        return rowBuf_.isOpen() && now >= earliestColumn_;
+    }
+    bool canWrite(Cycle now) const { return canRead(now); }
+    bool canPrecharge(Cycle now) const
+    {
+        return rowBuf_.isOpen() && now >= earliestPre_;
+    }
+    Cycle earliestPrecharge() const { return earliestPre_; }
+    Cycle earliestActivate() const { return earliestAct_; }
+
+    // --- Command effects --------------------------------------------------
+
+    /**
+     * Activate @p row covering @p mask at cycle @p now.
+     * @param partial  True when a PRA mask must be delivered first, which
+     *                 delays sensing by praMaskCycles (paper Fig. 7a).
+     */
+    void activate(Cycle now, std::uint32_t row, WordMask mask, bool partial);
+
+    /** Column read at @p now; burst occupies @p burst_cycles. */
+    void read(Cycle now, unsigned burst_cycles);
+
+    /** Column write at @p now; data arrives after WL. */
+    void write(Cycle now, unsigned burst_cycles);
+
+    /** Precharge at @p now. */
+    void precharge(Cycle now);
+
+    /** Block activations until @p until (refresh / power-down exit). */
+    void
+    blockUntil(Cycle until)
+    {
+        if (until > earliestAct_)
+            earliestAct_ = until;
+    }
+
+    // --- Row-hit cap bookkeeping -----------------------------------------
+
+    unsigned hitCount() const { return hitCount_; }
+    void recordHit() { ++hitCount_; }
+
+    /** Restricted close-page: auto-precharge pending after column op. */
+    bool autoPrechargePending() const { return autoPre_; }
+    void setAutoPrecharge() { autoPre_ = true; }
+
+  private:
+    const Timing *timing_;
+    RowBufferState rowBuf_;
+
+    Cycle earliestAct_ = 0;     //!< tRP / tRC / tRFC gated.
+    Cycle earliestColumn_ = 0;  //!< tRCD gated.
+    Cycle earliestPre_ = 0;     //!< tRAS / tRTP / tWR gated.
+    unsigned hitCount_ = 0;     //!< Column accesses since activation.
+    bool autoPre_ = false;
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_BANK_H

@@ -1,0 +1,140 @@
+#include "dram/checker.h"
+
+#include <cmath>
+#include <sstream>
+
+namespace pra::dram {
+
+TimingChecker::TimingChecker(const DramConfig &cfg) : cfg_(cfg)
+{
+    ranks_.resize(cfg_.ranksPerChannel);
+    for (auto &r : ranks_)
+        r.banks.resize(cfg_.banksPerRank);
+}
+
+void
+TimingChecker::fail(const CheckedCommand &cmd, const std::string &why)
+{
+    if (violations_.size() >= 64)
+        return;   // Keep the report bounded.
+    std::ostringstream os;
+    os << "cycle " << cmd.cycle << " rank " << cmd.rank << " bank "
+       << cmd.bank << ": " << why;
+    violations_.push_back(os.str());
+}
+
+TimingChecker::BankShadow &
+TimingChecker::bank(const CheckedCommand &cmd)
+{
+    return ranks_[cmd.rank].banks[cmd.bank];
+}
+
+TimingChecker::RankShadow &
+TimingChecker::rank(const CheckedCommand &cmd)
+{
+    return ranks_[cmd.rank];
+}
+
+void
+TimingChecker::observe(const CheckedCommand &cmd)
+{
+    ++checked_;
+    const Timing &t = cfg_.timing;
+    RankShadow &rk = rank(cmd);
+    BankShadow &bk = bank(cmd);
+
+    if (cmd.cycle < rk.refreshUntil &&
+        cmd.kind != CheckedCommand::Kind::Refresh) {
+        fail(cmd, "command during tRFC of an ongoing refresh");
+    }
+
+    switch (cmd.kind) {
+      case CheckedCommand::Kind::Activate: {
+        if (bk.open)
+            fail(cmd, "ACT to an open bank");
+        if (cmd.cycle < bk.actAllowed)
+            fail(cmd, "ACT violates tRP/tRFC");
+        if (bk.everActivated && cmd.cycle < bk.lastAct + t.tRc)
+            fail(cmd, "ACT violates tRC");
+        if (rk.everActivated) {
+            const auto gap = static_cast<Cycle>(
+                std::max(2.0, std::round(t.tRrd * rk.lastActWeight)));
+            if (cmd.cycle < rk.lastAct + gap)
+                fail(cmd, "ACT violates (weighted) tRRD");
+        }
+        // Weighted tFAW: drop old entries, sum the rest.
+        double in_window = 0.0;
+        for (const auto &[cycle, w] : rk.actWindow) {
+            if (cycle + t.tFaw > cmd.cycle)
+                in_window += w;
+        }
+        if (in_window + cmd.weight > 4.0 + 1e-9)
+            fail(cmd, "ACT violates (weighted) tFAW");
+        rk.actWindow.emplace_back(cmd.cycle, cmd.weight);
+        if (rk.actWindow.size() > 64)
+            rk.actWindow.erase(rk.actWindow.begin());
+
+        const Cycle sense = cmd.cycle +
+                            (cmd.partial ? t.praMaskCycles : 0u);
+        bk.open = true;
+        bk.lastAct = sense;
+        bk.everActivated = true;
+        bk.columnAllowed = sense + t.tRcd;
+        bk.prechargeAllowed = sense + t.tRas;
+        rk.lastAct = cmd.cycle;
+        rk.lastActWeight = cmd.weight;
+        rk.everActivated = true;
+        break;
+      }
+
+      case CheckedCommand::Kind::Read:
+      case CheckedCommand::Kind::Write: {
+        const bool is_write = cmd.kind == CheckedCommand::Kind::Write;
+        if (!bk.open)
+            fail(cmd, "column command to a closed bank");
+        if (cmd.cycle < bk.columnAllowed)
+            fail(cmd, "column command violates tRCD/tCCD");
+        const Cycle data_start =
+            cmd.cycle + (is_write ? t.wl : t.rl());
+        if (data_start < dataBusBusyUntil_)
+            fail(cmd, "data-bus overlap");
+        dataBusBusyUntil_ = data_start + cmd.burstCycles;
+        bk.columnAllowed =
+            std::max(bk.columnAllowed, cmd.cycle + t.tCcd);
+        if (is_write) {
+            bk.prechargeAllowed =
+                std::max(bk.prechargeAllowed,
+                         cmd.cycle + t.wl + cmd.burstCycles + t.tWr);
+        } else {
+            bk.prechargeAllowed =
+                std::max(bk.prechargeAllowed, cmd.cycle + t.tRtp);
+        }
+        break;
+      }
+
+      case CheckedCommand::Kind::Precharge:
+        if (!bk.open)
+            fail(cmd, "PRE to a closed bank");
+        if (cmd.cycle < bk.prechargeAllowed)
+            fail(cmd, "PRE violates tRAS/tRTP/tWR");
+        bk.open = false;
+        bk.actAllowed = cmd.cycle + t.tRp;
+        break;
+
+      case CheckedCommand::Kind::Refresh: {
+        for (unsigned b = 0; b < rk.banks.size(); ++b) {
+            if (rk.banks[b].open)
+                fail(cmd, "REF with bank " + std::to_string(b) +
+                              " open");
+            if (cmd.cycle < rk.banks[b].actAllowed)
+                fail(cmd, "REF before tRP of bank " + std::to_string(b));
+        }
+        rk.refreshUntil = cmd.cycle + t.tRfc;
+        for (auto &b : rk.banks)
+            b.actAllowed = std::max(b.actAllowed, rk.refreshUntil);
+        break;
+      }
+    }
+}
+
+} // namespace pra::dram

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Independent DDR3 protocol checker.
+ *
+ * Observes the controller's command stream and verifies every inter-
+ * command timing constraint from its own shadow state — a second,
+ * independently written implementation of the DDR3 rules, so a bug in
+ * the controller or bank FSM cannot hide itself. Used by the test suite
+ * (and attachable in any simulation via DramConfig::enableChecker) the
+ * way DRAMSim2's sanity checking is.
+ *
+ * Checked rules:
+ *  - ACT only to a closed bank, respecting tRP (after PRE), tRC (after
+ *    previous ACT of the same bank), tRRD (after any ACT of the rank)
+ *    and the four-activation window tFAW (weighted when the scheme uses
+ *    partial activations);
+ *  - column commands only to an open bank after tRCD (+ the PRA mask
+ *    cycle for partial activations) and tCCD after a previous column
+ *    command to the same rank;
+ *  - PRE only after tRAS (from ACT), tRTP (from READ) and
+ *    WL + burst + tWR (from WRITE);
+ *  - REF only with all banks of the rank precharged, and no command to
+ *    a refreshing rank before tRFC elapses;
+ *  - data-bus occupancy never overlaps between transfers on a channel.
+ */
+#ifndef PRA_DRAM_CHECKER_H
+#define PRA_DRAM_CHECKER_H
+
+#include <string>
+#include <vector>
+
+#include "dram/config.h"
+#include "dram/request.h"
+
+namespace pra::dram {
+
+/** One observed command for the checker. */
+struct CheckedCommand
+{
+    enum class Kind
+    {
+        Activate,
+        Read,
+        Write,
+        Precharge,
+        Refresh,
+    };
+
+    Kind kind;
+    Cycle cycle;
+    unsigned rank;
+    unsigned bank;
+    std::uint32_t row = 0;
+    bool partial = false;      //!< PRA activation (extra mask cycle).
+    double weight = 1.0;       //!< tFAW charge of an activation.
+    unsigned burstCycles = 0;  //!< Data-bus occupancy of column cmds.
+};
+
+/** Shadow-state DDR3 rule verifier for one channel. */
+class TimingChecker
+{
+  public:
+    explicit TimingChecker(const DramConfig &cfg);
+
+    /** Observe a command; records a violation string if illegal. */
+    void observe(const CheckedCommand &cmd);
+
+    const std::vector<std::string> &violations() const
+    {
+        return violations_;
+    }
+    bool clean() const { return violations_.empty(); }
+    std::uint64_t commandsChecked() const { return checked_; }
+
+  private:
+    struct BankShadow
+    {
+        bool open = false;
+        Cycle lastAct = 0;
+        bool everActivated = false;
+        Cycle columnAllowed = 0;   //!< tRCD(+mask) gate.
+        Cycle prechargeAllowed = 0;
+        Cycle actAllowed = 0;      //!< tRP / tRFC gate.
+    };
+
+    struct RankShadow
+    {
+        std::vector<BankShadow> banks;
+        std::vector<std::pair<Cycle, double>> actWindow;
+        Cycle lastAct = 0;
+        double lastActWeight = 1.0;
+        bool everActivated = false;
+        Cycle refreshUntil = 0;
+    };
+
+    void fail(const CheckedCommand &cmd, const std::string &why);
+    BankShadow &bank(const CheckedCommand &cmd);
+    RankShadow &rank(const CheckedCommand &cmd);
+
+    DramConfig cfg_;
+    std::vector<RankShadow> ranks_;
+    Cycle dataBusBusyUntil_ = 0;
+    std::vector<std::string> violations_;
+    std::uint64_t checked_ = 0;
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_CHECKER_H

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * DRAM system configuration: organization, controller policy, scheme,
+ * timing, and power parameters. Defaults reproduce the paper's Table 3
+ * baseline: 8 GB, 2 channels x 2 ranks x 8 chips (x8), 2Gb DDR3-1600
+ * devices with 8 banks, 32k rows, 1k columns.
+ */
+#ifndef PRA_DRAM_CONFIG_H
+#define PRA_DRAM_CONFIG_H
+
+#include "core/scheme.h"
+#include "dram/timing.h"
+#include "power/power_params.h"
+
+namespace pra::dram {
+
+/** Row-buffer management policy. */
+enum class PagePolicy
+{
+    /**
+     * Relaxed close-page: a row stays open while queued requests can hit
+     * it (up to the row-hit cap), then the bank precharges; idle ranks
+     * enter precharge power-down.
+     */
+    RelaxedClose,
+    /**
+     * Restricted close-page: every request is an atomic ACT + column
+     * access + (auto-)precharge.
+     */
+    RestrictedClose,
+    /**
+     * Open page: rows stay open until a conflicting request or refresh
+     * forces them shut (no hit cap, no idle close). Maximizes row-buffer
+     * reuse at the cost of conflict latency and background power.
+     */
+    OpenPage,
+};
+
+/** Physical address interleaving. */
+enum class AddrMapping
+{
+    /** row:rank:bank:channel:col — open-page friendly (paper default). */
+    RowInterleaved,
+    /** row:col:rank:bank:channel — spreads consecutive lines, used with
+     *  the restricted close-page policy. */
+    LineInterleaved,
+};
+
+/** Complete DRAM system configuration. */
+struct DramConfig
+{
+    // Organization (Table 3).
+    unsigned channels = 2;
+    unsigned ranksPerChannel = 2;
+    unsigned banksPerRank = 8;
+    unsigned rowsPerBank = 32768;
+    unsigned linesPerRow = 128;   //!< 8 KB rank-level row / 64 B lines.
+    unsigned chipsPerRank = 8;
+    /** Extra ECC devices per rank (x72 DIMM); their PRA pin is tied
+     *  high, so they always activate full rows (Section 4.2). */
+    unsigned eccChipsPerRank = 0;
+
+    // Controller.
+    PagePolicy policy = PagePolicy::RelaxedClose;
+    AddrMapping mapping = AddrMapping::RowInterleaved;
+    unsigned readQueueDepth = 64;
+    unsigned writeQueueDepth = 64;
+    unsigned writeHighWatermark = 48;
+    unsigned writeLowWatermark = 16;
+    unsigned rowHitCap = 4;       //!< Max consecutive hits per activation.
+    bool powerDownEnabled = true;
+    unsigned powerDownThreshold = 8; //!< Idle cycles before PRE PDN.
+    /** Attach the independent DDR3 protocol checker (debug/test aid). */
+    bool enableChecker = false;
+
+    // PRA design-space ablation knobs (DESIGN.md "ablations").
+    /** OR the masks of queued same-row writes into one activation. */
+    bool mergeWriteMasks = true;
+    /** Charge tRRD/tFAW by activation power instead of by count. */
+    bool weightedActWindow = true;
+    /**
+     * Minimum partial-activation granularity in MAT groups: 1 = the
+     * paper's one-eighth row, 2 = quarter row, 4 = half row. Coarser
+     * masks need fewer PRA latch bits (and fewer wordline gates).
+     */
+    unsigned minActGranularity = 1;
+
+    // Scheme under evaluation.
+    Scheme scheme = Scheme::Baseline;
+
+    Timing timing{};
+    power::PowerParams power{};
+
+    /** Traits derived from the configured scheme. */
+    SchemeTraits traits() const { return SchemeTraits::of(scheme); }
+
+    /** Apply the paper's restricted close-page study configuration. */
+    void
+    useRestrictedClosePage()
+    {
+        policy = PagePolicy::RestrictedClose;
+        mapping = AddrMapping::LineInterleaved;
+    }
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_CONFIG_H

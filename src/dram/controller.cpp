@@ -1,0 +1,588 @@
+#include "dram/controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+namespace pra::dram {
+
+namespace {
+
+/** Command tracing to stderr, enabled with PRA_TRACE=1 (debug aid). */
+bool
+traceEnabled()
+{
+    static const bool enabled = [] {
+        const char *env = std::getenv("PRA_TRACE");
+        return env && env[0] == '1';
+    }();
+    return enabled;
+}
+
+void
+trace(Cycle now, unsigned ch, const char *cmd, unsigned rank, unsigned bank,
+      std::uint32_t row, unsigned extra)
+{
+    if (traceEnabled()) {
+        std::fprintf(stderr, "%8llu ch%u %-4s r%u b%u row%u x%u\n",
+                     static_cast<unsigned long long>(now), ch, cmd, rank,
+                     bank, row, extra);
+    }
+}
+
+} // namespace
+
+MemoryController::MemoryController(const DramConfig &cfg,
+                                   unsigned channel_id)
+    : cfg_(&cfg), traits_(cfg.traits()), channelId_(channel_id)
+{
+    ranks_.reserve(cfg.ranksPerChannel);
+    for (unsigned r = 0; r < cfg.ranksPerChannel; ++r)
+        ranks_.emplace_back(cfg, r);
+    bankInfo_.resize(cfg.ranksPerChannel * cfg.banksPerRank);
+    if (cfg.enableChecker)
+        checker_ = std::make_unique<TimingChecker>(cfg);
+}
+
+bool
+MemoryController::canAccept(bool is_write) const
+{
+    return is_write ? writeQ_.size() < cfg_->writeQueueDepth
+                    : readQ_.size() < cfg_->readQueueDepth;
+}
+
+WordMask
+MemoryController::needOf(const Request &req) const
+{
+    // Reads always need the full row (full bandwidth on reads is the
+    // asymmetric design point of PRA); writes need their dirty words.
+    // Under SDS the same algebra runs at chip granularity.
+    if (!req.isWrite)
+        return WordMask::full();
+    if (traits_.chipSelect) {
+        const WordMask chips{req.chipMask};
+        return chips.empty() ? WordMask::full() : chips;
+    }
+    if (!traits_.partialWrites)
+        return WordMask::full();
+    return req.mask.empty() ? WordMask::full() : req.mask;
+}
+
+void
+MemoryController::enqueue(Request req, Cycle now)
+{
+    req.arrival = now;
+    assert(req.loc.channel == channelId_);
+
+    if (req.isWrite) {
+        ++stats_.writeReqs;
+        // Write combining: coalesce with a queued write to the same line.
+        for (auto &w : writeQ_) {
+            if (w.addr == req.addr) {
+                w.mask |= req.mask;
+                w.chipMask |= req.chipMask;
+                return;
+            }
+        }
+        writeQ_.push_back(req);
+    } else {
+        ++stats_.readReqs;
+        // Forwarding: a read that matches a queued write is served from
+        // the write queue without a DRAM access.
+        for (const auto &w : writeQ_) {
+            if (w.addr == req.addr) {
+                ++stats_.forwardedReads;
+                finished_.push_back({req.tag, req.coreId, req.addr,
+                                     now + 1, 1});
+                return;
+            }
+        }
+        readQ_.push_back(req);
+    }
+
+    auto &bi = info(req.loc.rank, req.loc.bank);
+    ++bi.queued;
+    const Bank &bank = ranks_[req.loc.rank].bank(req.loc.bank);
+    // Mask-aware: only requests the (possibly partial) open row can
+    // actually serve count as pending hits.
+    if (bank.probe(req.loc.row, needOf(req)) == RowProbe::Hit)
+        ++bi.openRowMatches;
+}
+
+void
+MemoryController::classify(Request &req, RowProbe probe)
+{
+    if (req.classified)
+        return;
+    req.classified = true;
+    switch (probe) {
+      case RowProbe::Hit:
+        if (req.isWrite)
+            ++stats_.writeRowHits;
+        else
+            ++stats_.readRowHits;
+        break;
+      case RowProbe::FalseHit:
+        // A conventional DRAM would have hit; PRA must PRE + re-ACT.
+        if (req.isWrite) {
+            ++stats_.writeFalseHits;
+            ++stats_.writeRowMisses;
+        } else {
+            ++stats_.readFalseHits;
+            ++stats_.readRowMisses;
+        }
+        break;
+      case RowProbe::Closed:
+      case RowProbe::Conflict:
+        if (req.isWrite)
+            ++stats_.writeRowMisses;
+        else
+            ++stats_.readRowMisses;
+        break;
+    }
+}
+
+bool
+MemoryController::dataBusFree(Cycle start, unsigned burst,
+                              unsigned rank_id) const
+{
+    (void)burst;
+    Cycle earliest = dataBusFree_;
+    if (rank_id != lastBusRank_)
+        earliest += cfg_->timing.tRtrs;
+    return start >= earliest;
+}
+
+void
+MemoryController::reserveDataBus(Cycle start, unsigned burst,
+                                 unsigned rank_id)
+{
+    dataBusFree_ = start + burst;
+    lastBusRank_ = rank_id;
+}
+
+WordMask
+MemoryController::mergedWriteMask(const DecodedAddr &loc) const
+{
+    // "PRA masks are ORed to activate partial rows as many as possible to
+    //  accommodate all requests targeting the same row" (Section 5.2.1).
+    WordMask merged = WordMask::none();
+    for (const auto &w : writeQ_) {
+        if (!w.loc.sameRow(loc))
+            continue;
+        merged |= traits_.chipSelect ? WordMask{w.chipMask} : w.mask;
+        if (!cfg_->mergeWriteMasks)
+            break;   // Ablation: only the oldest same-row write's mask.
+    }
+    return merged.empty() ? WordMask::full() : merged;
+}
+
+void
+MemoryController::recountOpenRowMatches(unsigned rank_id, unsigned bank_id)
+{
+    auto &bi = info(rank_id, bank_id);
+    bi.openRowMatches = 0;
+    const Bank &bank = ranks_[rank_id].bank(bank_id);
+    if (!bank.isOpen())
+        return;
+    auto count = [&](const std::deque<Request> &q) {
+        for (const auto &r : q) {
+            if (r.loc.rank == rank_id && r.loc.bank == bank_id &&
+                bank.probe(r.loc.row, needOf(r)) == RowProbe::Hit) {
+                ++bi.openRowMatches;
+            }
+        }
+    };
+    count(readQ_);
+    count(writeQ_);
+}
+
+void
+MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
+{
+    Rank &rank = ranks_[req.loc.rank];
+    Bank &bank = rank.bank(req.loc.bank);
+
+    WordMask dirty = is_write ? mergedWriteMask(req.loc) : WordMask::full();
+    unsigned gran = traits_.actGranularity(is_write, dirty);
+    const WordMask open_mask = traits_.actMask(is_write, dirty);
+    const bool partial = traits_.needsMaskCycle(is_write, dirty);
+    if (partial && gran < cfg_->minActGranularity)
+        gran = std::min(cfg_->minActGranularity, kMatGroups);
+    const double weight = cfg_->weightedActWindow
+                              ? traits_.actWeight(gran, cfg_->power)
+                              : 1.0;
+
+    if (checker_) {
+        checker_->observe({CheckedCommand::Kind::Activate, now,
+                           req.loc.rank, req.loc.bank, req.loc.row,
+                           partial, weight, 0});
+    }
+    bank.activate(now, req.loc.row, open_mask, partial);
+    rank.recordActivation(now, weight);
+
+    // A partial activation occupies the command/address bus one extra
+    // cycle to transfer the PRA mask (paper Fig. 7a).
+    cmdBusFree_ = now + 1 + (partial ? cfg_->timing.praMaskCycles : 0u);
+
+    trace(now, channelId_, "ACT", req.loc.rank, req.loc.bank, req.loc.row,
+          gran);
+    if (traits_.chipSelect && is_write) {
+        // SDS: per-chip full-row activations; energy is linear in the
+        // number of selected chips.
+        ++energy_.sdsActs;
+        energy_.sdsChipsActivated += gran;
+    } else if (traits_.halfHeight) {
+        ++energy_.actsHalfHeight[gran - 1];
+    } else {
+        ++energy_.acts[gran - 1];
+    }
+    stats_.actGranularity.record(gran);
+    if (is_write)
+        ++stats_.actsForWrites;
+    else
+        ++stats_.actsForReads;
+
+    recountOpenRowMatches(req.loc.rank, req.loc.bank);
+}
+
+void
+MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
+                              bool is_write, Cycle now)
+{
+    Request req = queue[idx];
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
+
+    Rank &rank = ranks_[req.loc.rank];
+    Bank &bank = rank.bank(req.loc.bank);
+    const unsigned burst = traits_.burstCycles(cfg_->timing.burstCycles);
+
+    if (cfg_->timing.bankGroups > 1) {
+        lastColumnCycle_ = now;
+        lastColumnGroup_ =
+            req.loc.bank / (cfg_->banksPerRank / cfg_->timing.bankGroups);
+        anyColumnIssued_ = true;
+    }
+    trace(now, channelId_, is_write ? "WR" : "RD", req.loc.rank,
+          req.loc.bank, req.loc.row, req.loc.col);
+    if (checker_) {
+        checker_->observe({is_write ? CheckedCommand::Kind::Write
+                                    : CheckedCommand::Kind::Read,
+                           now, req.loc.rank, req.loc.bank, req.loc.row,
+                           false, 0.0, burst});
+    }
+    cmdBusFree_ = now + 1;
+    bank.recordHit();
+    if (cfg_->policy == PagePolicy::RestrictedClose)
+        bank.setAutoPrecharge();
+
+    if (is_write) {
+        bank.write(now, burst);
+        reserveDataBus(now + cfg_->timing.wl, burst, req.loc.rank);
+        readCmdBlockedUntil_ =
+            now + cfg_->timing.wl + burst + cfg_->timing.tWtr;
+        ++energy_.writeLines;
+        energy_.writeWordsDriven += traits_.wordsDriven(
+            traits_.chipSelect ? WordMask{req.chipMask} : req.mask);
+    } else {
+        bank.read(now, burst);
+        const Cycle finish = now + cfg_->timing.rl() + burst;
+        reserveDataBus(now + cfg_->timing.rl(), burst, req.loc.rank);
+        ++energy_.readLines;
+        inflight_.push_back({req.tag, req.coreId, req.addr, finish,
+                             finish - req.arrival});
+        stats_.readLatency.record(
+            static_cast<double>(finish - req.arrival));
+    }
+
+    auto &bi = info(req.loc.rank, req.loc.bank);
+    assert(bi.queued > 0);
+    --bi.queued;
+    if (bi.openRowMatches > 0)
+        --bi.openRowMatches;
+}
+
+void
+MemoryController::issuePrecharge(unsigned rank_id, unsigned bank_id,
+                                 Cycle now)
+{
+    trace(now, channelId_, "PRE", rank_id, bank_id, 0, 0);
+    if (checker_) {
+        checker_->observe({CheckedCommand::Kind::Precharge, now, rank_id,
+                           bank_id, 0, false, 0.0, 0});
+    }
+    ranks_[rank_id].bank(bank_id).precharge(now);
+    cmdBusFree_ = now + 1;
+    ++stats_.precharges;
+    info(rank_id, bank_id).openRowMatches = 0;
+}
+
+bool
+MemoryController::tryColumnAccess(std::deque<Request> &queue, bool is_write,
+                                  Cycle now)
+{
+    if (!is_write && now < readCmdBlockedUntil_)
+        return false;
+    const unsigned burst = traits_.burstCycles(cfg_->timing.burstCycles);
+    for (std::size_t i = 0; i < queue.size(); ++i) {
+        Request &req = queue[i];
+        Bank &bank = ranks_[req.loc.rank].bank(req.loc.bank);
+        if (bank.probe(req.loc.row, needOf(req)) != RowProbe::Hit)
+            continue;
+        // Restricted close-page: the auto-precharge is encoded in the
+        // previous column command (RDA/WRA), so the row is already
+        // committed to close — no further hits may ride on it. The
+        // classified check keeps ACT + column + PRE atomic: only the
+        // request whose activation opened the row (classified at ACT
+        // time) may use it.
+        if (bank.autoPrechargePending())
+            continue;
+        if (cfg_->policy == PagePolicy::RestrictedClose && !req.classified)
+            continue;
+        const bool column_ok =
+            is_write ? bank.canWrite(now) : bank.canRead(now);
+        if (!column_ok)
+            continue;
+        // DDR4 bank groups: back-to-back column commands to the same
+        // group must honor the long tCCD_L; across groups tCCD(_S)
+        // applies at the channel level.
+        if (cfg_->timing.bankGroups > 1 && anyColumnIssued_) {
+            const unsigned group =
+                req.loc.bank /
+                (cfg_->banksPerRank / cfg_->timing.bankGroups);
+            const unsigned gap = group == lastColumnGroup_
+                                     ? cfg_->timing.tCcdL
+                                     : cfg_->timing.tCcd;
+            if (now < lastColumnCycle_ + gap)
+                continue;
+        }
+        const Cycle data_start =
+            now + (is_write ? cfg_->timing.wl : cfg_->timing.rl());
+        if (!dataBusFree(data_start, burst, req.loc.rank))
+            continue;
+        if (cfg_->policy == PagePolicy::RelaxedClose &&
+            bank.hitCount() >= cfg_->rowHitCap) {
+            continue;   // Must re-activate; handled by close + prepare.
+        }
+        classify(req, RowProbe::Hit);
+        issueColumn(queue, i, is_write, now);
+        return true;
+    }
+    return false;
+}
+
+bool
+MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
+                             Cycle now)
+{
+    // FR-FCFS prepares banks for the oldest requests first; scanning a
+    // small window bounds the per-cycle work without changing behaviour
+    // in practice.
+    const std::size_t window = std::min<std::size_t>(queue.size(), 16);
+    for (std::size_t i = 0; i < window; ++i) {
+        Request &req = queue[i];
+        Rank &rank = ranks_[req.loc.rank];
+        Bank &bank = rank.bank(req.loc.bank);
+        const RowProbe probe = bank.probe(req.loc.row, needOf(req));
+
+        switch (probe) {
+          case RowProbe::Closed: {
+            if (rank.refreshDue(now) || rank.refreshing(now))
+                break;   // Let the rank drain for refresh.
+            WordMask dirty =
+                is_write ? mergedWriteMask(req.loc) : WordMask::full();
+            unsigned gran = traits_.actGranularity(is_write, dirty);
+            if (traits_.needsMaskCycle(is_write, dirty) &&
+                gran < cfg_->minActGranularity) {
+                gran = std::min(cfg_->minActGranularity, kMatGroups);
+            }
+            const double weight =
+                cfg_->weightedActWindow
+                    ? traits_.actWeight(gran, cfg_->power)
+                    : 1.0;
+            if (bank.canActivate(now) && rank.canActivate(now, weight)) {
+                classify(req, probe);
+                issueActivate(req, is_write, now);
+                return true;
+            }
+            break;
+          }
+          case RowProbe::Conflict:
+          case RowProbe::FalseHit: {
+            // Close the current row — but under the relaxed policy only
+            // once it has no pending hits left (or its budget is spent),
+            // so younger row hits are not squandered. A false hit always
+            // precharges: the partially opened row cannot serve this
+            // request and the re-activation's (full or merged) footprint
+            // covers every same-row request (paper Section 5.2.1).
+            const auto &bi = info(req.loc.rank, req.loc.bank);
+            const bool still_useful =
+                probe == RowProbe::Conflict &&
+                cfg_->policy == PagePolicy::RelaxedClose &&
+                bi.openRowMatches > 0 &&
+                bank.hitCount() < cfg_->rowHitCap;
+            if (!still_useful && bank.canPrecharge(now)) {
+                classify(req, probe);
+                issuePrecharge(req.loc.rank, req.loc.bank, now);
+                return true;
+            }
+            break;
+          }
+          case RowProbe::Hit:
+            if (cfg_->policy == PagePolicy::RelaxedClose &&
+                bank.hitCount() >= cfg_->rowHitCap &&
+                bank.canPrecharge(now)) {
+                // Hit-budget exhausted: close so it can re-activate.
+                issuePrecharge(req.loc.rank, req.loc.bank, now);
+                return true;
+            }
+            break;   // Column path (or pending auto-PRE) handles it.
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::tryMaintenanceClose(Cycle now)
+{
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        Rank &rank = ranks_[r];
+        const bool want_refresh = rank.refreshDue(now);
+        for (unsigned b = 0; b < rank.numBanks(); ++b) {
+            Bank &bank = rank.bank(b);
+            if (!bank.isOpen() || !bank.canPrecharge(now))
+                continue;
+            const auto &bi = info(r, b);
+            const bool useless = bi.openRowMatches == 0 ||
+                                 bank.hitCount() >= cfg_->rowHitCap;
+            // Open-page keeps rows open unless refresh needs them shut.
+            if ((cfg_->policy == PagePolicy::RelaxedClose && useless) ||
+                want_refresh) {
+                issuePrecharge(r, b, now);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+bool
+MemoryController::tryRefresh(Cycle now)
+{
+    for (auto &rank : ranks_) {
+        if (rank.refreshDue(now) && rank.canRefresh(now) &&
+            !rank.refreshing(now)) {
+            if (checker_) {
+                const auto rank_id = static_cast<unsigned>(&rank -
+                                                           ranks_.data());
+                checker_->observe({CheckedCommand::Kind::Refresh, now,
+                                   rank_id, 0, 0, false, 0.0, 0});
+            }
+            rank.refresh(now);
+            cmdBusFree_ = now + 1;
+            ++stats_.refreshes;
+            ++energy_.refreshOps;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+MemoryController::accountBackground(Cycle now)
+{
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        Rank &rank = ranks_[r];
+        bool queued = false;
+        for (unsigned b = 0; b < rank.numBanks() && !queued; ++b)
+            queued = info(r, b).queued > 0;
+        rank.updatePowerState(now, queued);
+        switch (rank.powerState(now)) {
+          case RankState::ActiveStandby:
+          case RankState::Refreshing:
+            ++energy_.actStandbyCycles;
+            break;
+          case RankState::PrechargeStandby:
+            ++energy_.preStandbyCycles;
+            break;
+          case RankState::PowerDown:
+            ++energy_.powerDownCycles;
+            break;
+        }
+    }
+}
+
+void
+MemoryController::tick(Cycle now)
+{
+    accountBackground(now);
+
+    // Auto-precharge (restricted close-page): encoded in the column
+    // command (RDA/WRA), so it consumes no command-bus slot.
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        for (unsigned b = 0; b < ranks_[r].numBanks(); ++b) {
+            Bank &bank = ranks_[r].bank(b);
+            if (bank.autoPrechargePending() && bank.canPrecharge(now)) {
+                if (checker_) {
+                    checker_->observe({CheckedCommand::Kind::Precharge,
+                                       now, r, b, 0, false, 0.0, 0});
+                }
+                bank.precharge(now);
+                ++stats_.precharges;
+                info(r, b).openRowMatches = 0;
+            }
+        }
+    }
+
+    // Deliver finished reads.
+    for (std::size_t i = 0; i < inflight_.size();) {
+        if (inflight_[i].finish <= now) {
+            finished_.push_back(inflight_[i]);
+            inflight_[i] = inflight_.back();
+            inflight_.pop_back();
+        } else {
+            ++i;
+        }
+    }
+
+    // Write-drain hysteresis.
+    if (writeQ_.size() >= cfg_->writeHighWatermark)
+        drainMode_ = true;
+    else if (writeQ_.size() <= cfg_->writeLowWatermark)
+        drainMode_ = false;
+
+    if (now < cmdBusFree_)
+        return;
+
+    if (tryRefresh(now))
+        return;
+
+    const bool writes_first = drainMode_ || readQ_.empty();
+    std::deque<Request> &primary = writes_first ? writeQ_ : readQ_;
+    std::deque<Request> &secondary = writes_first ? readQ_ : writeQ_;
+    const bool primary_is_write = writes_first;
+
+    if (tryColumnAccess(primary, primary_is_write, now))
+        return;
+    // Opportunistic hits from the other queue keep the bus busy without
+    // reordering ahead of the primary class's prepare commands.
+    if (tryColumnAccess(secondary, !primary_is_write, now))
+        return;
+    if (tryPrepare(primary, primary_is_write, now))
+        return;
+    if (secondary.size() > 0 && primary.empty() &&
+        tryPrepare(secondary, !primary_is_write, now)) {
+        return;
+    }
+    tryMaintenanceClose(now);
+}
+
+bool
+MemoryController::busy() const
+{
+    return !readQ_.empty() || !writeQ_.empty() || !inflight_.empty() ||
+           !finished_.empty();
+}
+
+} // namespace pra::dram

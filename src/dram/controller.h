@@ -1,0 +1,190 @@
+/**
+ * @file
+ * Per-channel DDR3 memory controller.
+ *
+ * Implements the paper's baseline controller: FR-FCFS scheduling with
+ * reads prioritized over writes, separate 64-entry read/write queues with
+ * 48/16 write-drain watermarks, row-interleaved mapping with the relaxed
+ * close-page policy (rows close when no queued request can use them; at
+ * most four consecutive row hits per activation), or line-interleaved
+ * mapping with the restricted close-page policy (auto-precharge on every
+ * column access). Refresh, data-bus and command-bus contention, write-to-
+ * read turnaround and rank-to-rank switch penalties are modeled.
+ *
+ * PRA behaviour (when the configured scheme enables partial writes):
+ *  - a write activation ORs the PRA masks of every queued write to the
+ *    same row and opens only those MAT groups;
+ *  - partial activations spend one extra cycle delivering the mask over
+ *    the address bus (and occupy the command/address bus for it);
+ *  - requests that target a partially opened row whose needed groups are
+ *    closed take a *false row buffer hit*: the row is precharged and
+ *    re-activated before the access;
+ *  - activations are charged against tRRD/tFAW by power weight, relaxing
+ *    both constraints for partial activations.
+ */
+#ifndef PRA_DRAM_CONTROLLER_H
+#define PRA_DRAM_CONTROLLER_H
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include <memory>
+
+#include "common/stats.h"
+#include "dram/checker.h"
+#include "dram/config.h"
+#include "dram/rank.h"
+#include "dram/request.h"
+#include "power/power_model.h"
+
+namespace pra::dram {
+
+/** Controller statistics backing Table 1 and Figures 10/11. */
+struct ControllerStats
+{
+    std::uint64_t readReqs = 0;
+    std::uint64_t writeReqs = 0;
+
+    // PRA-aware accounting: false hits count as misses.
+    std::uint64_t readRowHits = 0;
+    std::uint64_t writeRowHits = 0;
+    std::uint64_t readRowMisses = 0;
+    std::uint64_t writeRowMisses = 0;
+    std::uint64_t readFalseHits = 0;   //!< Subset of readRowMisses.
+    std::uint64_t writeFalseHits = 0;  //!< Subset of writeRowMisses.
+
+    std::uint64_t actsForReads = 0;
+    std::uint64_t actsForWrites = 0;
+    std::uint64_t precharges = 0;
+    std::uint64_t refreshes = 0;
+    std::uint64_t forwardedReads = 0;  //!< Served from the write queue.
+
+    /** Activation counts by granularity (bucket g = 1..8). */
+    Histogram actGranularity{9};
+
+    Summary readLatency;
+
+    double
+    readHitRate() const
+    {
+        const auto t = readRowHits + readRowMisses;
+        return t ? static_cast<double>(readRowHits) / t : 0.0;
+    }
+    double
+    writeHitRate() const
+    {
+        const auto t = writeRowHits + writeRowMisses;
+        return t ? static_cast<double>(writeRowHits) / t : 0.0;
+    }
+    double
+    totalHitRate() const
+    {
+        const auto h = readRowHits + writeRowHits;
+        const auto t = h + readRowMisses + writeRowMisses;
+        return t ? static_cast<double>(h) / t : 0.0;
+    }
+};
+
+/** One channel: ranks, queues, scheduler, and power event counting. */
+class MemoryController
+{
+  public:
+    MemoryController(const DramConfig &cfg, unsigned channel_id);
+
+    /** Backpressure check; true when the queue has room. */
+    bool canAccept(bool is_write) const;
+
+    /** Enqueue @p req (its loc must already be decoded). */
+    void enqueue(Request req, Cycle now);
+
+    /** Advance one DRAM cycle. */
+    void tick(Cycle now);
+
+    /** Finished reads since the last drain (caller clears). */
+    std::vector<Completion> &completions() { return finished_; }
+
+    /** Any queued or in-flight work. */
+    bool busy() const;
+
+    const ControllerStats &stats() const { return stats_; }
+    const power::EnergyCounts &energyCounts() const { return energy_; }
+
+    unsigned numRanks() const
+    {
+        return static_cast<unsigned>(ranks_.size());
+    }
+    const Rank &rank(unsigned r) const { return ranks_[r]; }
+
+    std::size_t readQueueSize() const { return readQ_.size(); }
+    std::size_t writeQueueSize() const { return writeQ_.size(); }
+
+    /** Protocol checker, when DramConfig::enableChecker is set. */
+    const TimingChecker *checker() const { return checker_.get(); }
+
+  private:
+    // Per-bank bookkeeping for fast "does anything still want this row?"
+    struct BankInfo
+    {
+        unsigned queued = 0;        //!< Requests targeting this bank.
+        unsigned openRowMatches = 0; //!< Of those, same row as open.
+    };
+
+    BankInfo &info(unsigned rank, unsigned bank)
+    {
+        return bankInfo_[rank * cfg_->banksPerRank + bank];
+    }
+
+    WordMask needOf(const Request &req) const;
+    void classify(Request &req, RowProbe probe);
+
+    bool tryColumnAccess(std::deque<Request> &queue, bool is_write,
+                         Cycle now);
+    bool tryPrepare(std::deque<Request> &queue, bool is_write, Cycle now);
+    bool tryMaintenanceClose(Cycle now);
+    bool tryRefresh(Cycle now);
+
+    bool dataBusFree(Cycle start, unsigned burst, unsigned rank_id) const;
+    void reserveDataBus(Cycle start, unsigned burst, unsigned rank_id);
+
+    void issueActivate(Request &req, bool is_write, Cycle now);
+    void issueColumn(std::deque<Request> &queue, std::size_t idx,
+                     bool is_write, Cycle now);
+    void issuePrecharge(unsigned rank_id, unsigned bank_id, Cycle now);
+
+    /** OR of PRA masks of every queued write to @p loc's row. */
+    WordMask mergedWriteMask(const DecodedAddr &loc) const;
+
+    void recountOpenRowMatches(unsigned rank_id, unsigned bank_id);
+    void accountBackground(Cycle now);
+
+    const DramConfig *cfg_;
+    SchemeTraits traits_;
+    unsigned channelId_;
+
+    std::vector<Rank> ranks_;
+    std::vector<BankInfo> bankInfo_;
+
+    std::deque<Request> readQ_;
+    std::deque<Request> writeQ_;
+    bool drainMode_ = false;
+
+    Cycle cmdBusFree_ = 0;
+    Cycle dataBusFree_ = 0;
+    unsigned lastBusRank_ = 0;
+    Cycle readCmdBlockedUntil_ = 0;  //!< tWTR gate after write data.
+    Cycle lastColumnCycle_ = 0;      //!< DDR4 tCCD_S/tCCD_L gating.
+    unsigned lastColumnGroup_ = ~0u;
+    bool anyColumnIssued_ = false;
+
+    std::vector<Completion> inflight_;  //!< Reads waiting for data.
+    std::vector<Completion> finished_;
+
+    ControllerStats stats_;
+    power::EnergyCounts energy_;
+    std::unique_ptr<TimingChecker> checker_;
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_CONTROLLER_H

@@ -1,0 +1,118 @@
+#include "dram/dram_system.h"
+
+namespace pra::dram {
+
+DramSystem::DramSystem(const DramConfig &cfg) : cfg_(cfg), mapper_(cfg_)
+{
+    channels_.reserve(cfg_.channels);
+    for (unsigned c = 0; c < cfg_.channels; ++c)
+        channels_.emplace_back(cfg_, c);
+}
+
+bool
+DramSystem::canAccept(Addr addr, bool is_write) const
+{
+    const DecodedAddr loc = mapper_.decode(addr);
+    return channels_[loc.channel].canAccept(is_write);
+}
+
+bool
+DramSystem::enqueue(Addr addr, bool is_write, WordMask mask,
+                    unsigned core_id, std::uint64_t tag,
+                    std::uint8_t chip_mask)
+{
+    Request req;
+    req.addr = lineBase(addr);
+    req.isWrite = is_write;
+    req.mask = is_write ? mask : WordMask::full();
+    req.chipMask = is_write ? chip_mask : std::uint8_t{0xff};
+    req.coreId = core_id;
+    req.tag = tag;
+    req.loc = mapper_.decode(addr);
+    if (!channels_[req.loc.channel].canAccept(is_write))
+        return false;
+    channels_[req.loc.channel].enqueue(req, now_);
+    return true;
+}
+
+void
+DramSystem::tick()
+{
+    for (auto &ch : channels_)
+        ch.tick(now_);
+    ++now_;
+}
+
+void
+DramSystem::drain(Cycle max_cycles)
+{
+    // Standalone-driver convenience: runs until all queues and in-flight
+    // transfers finish. Completions produced along the way are discarded;
+    // callers that need them should tick() and drainCompletions()
+    // themselves.
+    const Cycle limit = now_ + max_cycles;
+    while (busy() && now_ < limit) {
+        tick();
+        drainCompletions();
+    }
+}
+
+std::vector<Completion>
+DramSystem::drainCompletions()
+{
+    std::vector<Completion> all;
+    for (auto &ch : channels_) {
+        auto &done = ch.completions();
+        all.insert(all.end(), done.begin(), done.end());
+        done.clear();
+    }
+    return all;
+}
+
+bool
+DramSystem::busy() const
+{
+    for (const auto &ch : channels_) {
+        if (ch.busy())
+            return true;
+    }
+    return false;
+}
+
+ControllerStats
+DramSystem::aggregateStats() const
+{
+    ControllerStats agg;
+    for (const auto &ch : channels_) {
+        const ControllerStats &s = ch.stats();
+        agg.readReqs += s.readReqs;
+        agg.writeReqs += s.writeReqs;
+        agg.readRowHits += s.readRowHits;
+        agg.writeRowHits += s.writeRowHits;
+        agg.readRowMisses += s.readRowMisses;
+        agg.writeRowMisses += s.writeRowMisses;
+        agg.readFalseHits += s.readFalseHits;
+        agg.writeFalseHits += s.writeFalseHits;
+        agg.actsForReads += s.actsForReads;
+        agg.actsForWrites += s.actsForWrites;
+        agg.precharges += s.precharges;
+        agg.refreshes += s.refreshes;
+        agg.forwardedReads += s.forwardedReads;
+        for (std::size_t g = 0; g < s.actGranularity.buckets(); ++g)
+            agg.actGranularity.record(g, s.actGranularity.count(g));
+        agg.readLatency.merge(s.readLatency);
+    }
+    return agg;
+}
+
+power::EnergyCounts
+DramSystem::energyCounts() const
+{
+    power::EnergyCounts counts;
+    for (const auto &ch : channels_)
+        counts += ch.energyCounts();
+    counts.elapsedCycles = now_;   // Wall clock, not summed.
+    return counts;
+}
+
+} // namespace pra::dram

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Device presets: the paper's baseline DDR3-1600 configuration and a
+ * DDR4-2400 projection.
+ *
+ * The paper's Section 4.2 discusses how PRA maps onto DDR4 (spare pins
+ * such as WE/A14 for the PRA command, unused address-bus cycles for the
+ * mask); the DDR4 preset lets the experiments test that projection on a
+ * DDR4-shaped device: 16 banks in 4 bank groups (tCCD_S/tCCD_L), longer
+ * rows relative to the request size, lower VDD, and faster clock. Power
+ * parameters are the Table 3 values scaled by the DDR4 supply ratio
+ * (1.2 V vs 1.5 V, quadratic for dynamic terms) — a documented
+ * projection, not datasheet numbers.
+ */
+#ifndef PRA_DRAM_PRESETS_H
+#define PRA_DRAM_PRESETS_H
+
+#include "dram/config.h"
+
+namespace pra::dram {
+
+/** The paper's baseline: 2Gb x8 DDR3-1600 (Table 3). */
+inline DramConfig
+ddr3_1600()
+{
+    return DramConfig{};
+}
+
+/** DDR4-2400 projection: 4Gb x8, 16 banks in 4 groups. */
+inline DramConfig
+ddr4_2400()
+{
+    DramConfig cfg;
+    cfg.banksPerRank = 16;
+    cfg.rowsPerBank = 32768;   // 4Gb x8: 16 banks x 32k rows x 8Kb.
+
+    Timing &t = cfg.timing;
+    t.tRcd = 16;
+    t.tRp = 16;
+    t.tCas = 16;
+    t.tRas = 39;
+    t.tRc = 55;
+    t.tWr = 18;
+    t.tCcd = 4;    // tCCD_S.
+    t.tCcdL = 6;
+    t.bankGroups = 4;
+    t.tRrd = 4;    // tRRD_S.
+    t.tFaw = 26;
+    t.wl = 12;
+    t.tRtp = 9;
+    t.tWtr = 9;
+    t.tRfc = 312;  // 260 ns at 0.833 ns/cycle (4Gb).
+    t.tRefi = 9363;
+    t.tXp = 8;
+
+    power::PowerParams &p = cfg.power;
+    p.tCkNs = 0.8333;
+    p.tRc = t.tRc;
+    p.tRfc = t.tRfc;
+    p.tRefi = t.tRefi;
+    // Supply scaling 1.5 V -> 1.2 V: dynamic terms ~(1.2/1.5)^2 = 0.64.
+    constexpr double kVddScale = 0.64;
+    p.preStandby *= kVddScale;
+    p.prePowerDown *= kVddScale;
+    p.refresh *= kVddScale;
+    p.actStandby *= kVddScale;
+    p.read *= kVddScale;
+    p.write *= kVddScale;
+    p.readIo *= kVddScale;
+    p.writeOdt *= kVddScale;
+    p.readTerm *= kVddScale;
+    p.writeTerm *= kVddScale;
+    for (double &a : p.actPower)
+        a *= kVddScale;
+    return cfg;
+}
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_PRESETS_H

@@ -1,0 +1,115 @@
+#include "dram/rank.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace pra::dram {
+
+Rank::Rank(const DramConfig &cfg, unsigned index) : cfg_(&cfg)
+{
+    banks_.reserve(cfg.banksPerRank);
+    for (unsigned b = 0; b < cfg.banksPerRank; ++b)
+        banks_.emplace_back(cfg.timing);
+    // Stagger refresh deadlines across ranks so they do not refresh in
+    // lockstep (matches real controller practice).
+    nextRefresh_ = cfg.timing.tRefi +
+                   index * (cfg.timing.tRefi / (cfg.ranksPerChannel + 1));
+}
+
+bool
+Rank::allBanksClosed() const
+{
+    return std::none_of(banks_.begin(), banks_.end(),
+                        [](const Bank &b) { return b.isOpen(); });
+}
+
+bool
+Rank::canActivate(Cycle now, double weight) const
+{
+    if (now < nextActAllowed_)
+        return false;
+    // Drop activations that have left the tFAW window.
+    while (!actWindow_.empty() &&
+           actWindow_.front().first + cfg_->timing.tFaw <= now) {
+        actWindow_.pop_front();
+    }
+    double in_window = 0.0;
+    for (const auto &[cycle, w] : actWindow_)
+        in_window += w;
+    // Conventional DRAM allows four full-row activations per window; the
+    // weighted budget reduces to exactly that when all weights are 1.
+    return in_window + weight <= 4.0 + 1e-9;
+}
+
+void
+Rank::recordActivation(Cycle now, double weight)
+{
+    actWindow_.emplace_back(now, weight);
+    const auto gap = static_cast<Cycle>(
+        std::max(2.0, std::round(cfg_->timing.tRrd * weight)));
+    nextActAllowed_ = now + gap;
+}
+
+bool
+Rank::canRefresh(Cycle now) const
+{
+    if (!allBanksClosed())
+        return false;
+    return std::all_of(banks_.begin(), banks_.end(), [now](const Bank &b) {
+        return b.earliestActivate() <= now;
+    });
+}
+
+void
+Rank::refresh(Cycle now)
+{
+    refreshDone_ = now + cfg_->timing.tRfc;
+    for (auto &b : banks_)
+        b.blockUntil(refreshDone_);
+    // Catch-up semantics: a late refresh does not shift the schedule.
+    nextRefresh_ += cfg_->timing.tRefi;
+    if (nextRefresh_ <= now)
+        nextRefresh_ = now + cfg_->timing.tRefi;
+}
+
+void
+Rank::updatePowerState(Cycle now, bool has_queued_work)
+{
+    const bool idle = allBanksClosed() && !has_queued_work &&
+                      !refreshing(now);
+    if (idle && !wasIdle_)
+        idleSince_ = now;
+    wasIdle_ = idle;
+
+    if (!cfg_->powerDownEnabled)
+        return;
+
+    if (idle && !poweredDown_ &&
+        now - idleSince_ >= cfg_->powerDownThreshold) {
+        poweredDown_ = true;
+    }
+    if (!idle && poweredDown_)
+        wake(now);
+}
+
+RankState
+Rank::powerState(Cycle now) const
+{
+    if (refreshing(now))
+        return RankState::Refreshing;
+    if (!allBanksClosed())
+        return RankState::ActiveStandby;
+    if (poweredDown_)
+        return RankState::PowerDown;
+    return RankState::PrechargeStandby;
+}
+
+void
+Rank::wake(Cycle now)
+{
+    poweredDown_ = false;
+    for (auto &b : banks_)
+        b.blockUntil(now + cfg_->timing.tXp);
+}
+
+} // namespace pra::dram

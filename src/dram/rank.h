@@ -1,0 +1,106 @@
+/**
+ * @file
+ * One DRAM rank: the set of banks operating in lockstep across the
+ * chips of a DIMM, plus the rank-level constraints — tRRD and the
+ * (activation-weighted) tFAW window, refresh scheduling, and the
+ * precharge power-down state used by the power model.
+ *
+ * PRA's relaxed tRRD/tFAW (paper Section 4.1.3): partial activations
+ * draw proportionally less current, so they are charged against the
+ * four-activation power window by their power weight instead of by
+ * count, and the post-ACT tRRD gap shrinks proportionally.
+ */
+#ifndef PRA_DRAM_RANK_H
+#define PRA_DRAM_RANK_H
+
+#include <deque>
+#include <vector>
+
+#include "common/types.h"
+#include "dram/bank.h"
+#include "dram/config.h"
+
+namespace pra::dram {
+
+/** Power-relevant rank state. */
+enum class RankState
+{
+    ActiveStandby,   //!< At least one bank has an open row.
+    PrechargeStandby, //!< All banks idle, clocks on.
+    PowerDown,       //!< Precharge power-down.
+    Refreshing,      //!< Inside tRFC of an all-bank refresh.
+};
+
+/** Rank model: banks + rank-level activation and refresh constraints. */
+class Rank
+{
+  public:
+    Rank(const DramConfig &cfg, unsigned index);
+
+    Bank &bank(unsigned b) { return banks_[b]; }
+    const Bank &bank(unsigned b) const { return banks_[b]; }
+    unsigned numBanks() const { return static_cast<unsigned>(banks_.size()); }
+
+    /** True when no bank has an open row. */
+    bool allBanksClosed() const;
+
+    // --- Activation budget ------------------------------------------------
+
+    /**
+     * Rank-level check: may an activation of weight @p weight issue at
+     * @p now? Enforces weighted tFAW and the post-ACT tRRD gap.
+     */
+    bool canActivate(Cycle now, double weight) const;
+
+    /** Record an activation of weight @p weight at @p now. */
+    void recordActivation(Cycle now, double weight);
+
+    // --- Refresh ------------------------------------------------------------
+
+    /** True when the refresh deadline has passed. */
+    bool refreshDue(Cycle now) const { return now >= nextRefresh_; }
+
+    /** All banks closed and past their tRP so REF may issue. */
+    bool canRefresh(Cycle now) const;
+
+    /** Issue an all-bank refresh at @p now. */
+    void refresh(Cycle now);
+
+    bool refreshing(Cycle now) const { return now < refreshDone_; }
+
+    // --- Power-down ----------------------------------------------------------
+
+    /**
+     * Update the power-down state machine. @p has_queued_work is true
+     * when the controller holds any request for this rank.
+     */
+    void updatePowerState(Cycle now, bool has_queued_work);
+
+    /** Power-relevant state at @p now (after updatePowerState). */
+    RankState powerState(Cycle now) const;
+
+    /** True when in power-down; activations must first wake the rank. */
+    bool poweredDown() const { return poweredDown_; }
+
+    /** Leave power-down; banks stall tXP before the next ACT. */
+    void wake(Cycle now);
+
+  private:
+    const DramConfig *cfg_;
+    std::vector<Bank> banks_;
+
+    // Weighted tFAW window: (cycle, weight) of recent activations.
+    mutable std::deque<std::pair<Cycle, double>> actWindow_;
+    Cycle nextActAllowed_ = 0;   //!< tRRD gate.
+
+    Cycle nextRefresh_;
+    Cycle refreshDone_ = 0;
+
+    bool poweredDown_ = false;
+    Cycle idleSince_ = 0;
+    bool wasIdle_ = false;
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_RANK_H

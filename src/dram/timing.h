@@ -1,0 +1,46 @@
+/**
+ * @file
+ * DDR3-1600 timing parameters in DRAM bus cycles (tCK = 1.25 ns).
+ * Values follow the paper's Table 3 baseline configuration; parameters
+ * the table omits (tRTP, tWTR, tRFC, tREFI, tXP) use the Samsung 2Gb
+ * K4B2G0846E datasheet values at DDR3-1600.
+ */
+#ifndef PRA_DRAM_TIMING_H
+#define PRA_DRAM_TIMING_H
+
+namespace pra::dram {
+
+/** DRAM device timing set (all values in bus cycles). */
+struct Timing
+{
+    unsigned tRcd = 11;   //!< ACT to column command.
+    unsigned tRp = 11;    //!< PRE to ACT.
+    unsigned tCas = 11;   //!< Column read to data (RL).
+    unsigned tRas = 28;   //!< ACT to PRE.
+    unsigned tWr = 12;    //!< End of write data to PRE.
+    unsigned tCcd = 4;    //!< Column command to column command.
+    unsigned tRrd = 5;    //!< ACT to ACT, different banks.
+    unsigned tFaw = 24;   //!< Four-activation window.
+    unsigned tRc = 39;    //!< ACT to ACT, same bank (tRAS + tRP).
+    unsigned wl = 8;      //!< Write latency (CWL).
+    unsigned tRtp = 6;    //!< Read to PRE.
+    unsigned tWtr = 6;    //!< End of write data to read command.
+    unsigned tRfc = 128;  //!< Refresh cycle (160 ns for 2Gb).
+    unsigned tRefi = 6240; //!< Refresh interval (7.8 us).
+    unsigned tXp = 5;     //!< Power-down exit latency.
+    unsigned tRtrs = 2;   //!< Rank-to-rank data-bus switch bubble.
+    unsigned burstCycles = 4; //!< BL8 on a DDR bus: 8 beats = 4 cycles.
+
+    // DDR4 bank grouping (1 group = DDR3 semantics).
+    unsigned bankGroups = 1;  //!< Bank groups per rank.
+    unsigned tCcdL = 4;       //!< Column-to-column, same bank group.
+
+    /** Extra cycles a partial (PRA) activation adds for mask delivery. */
+    unsigned praMaskCycles = 1;
+
+    unsigned rl() const { return tCas; }
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_TIMING_H

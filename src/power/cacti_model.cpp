@@ -1,0 +1,32 @@
+#include "power/cacti_model.h"
+
+#include <cassert>
+
+namespace pra::power {
+
+double
+CactiModel::actEnergy(unsigned num_mats, bool half_height) const
+{
+    assert(num_mats >= 1 && num_mats <= kMatsPerSubarray);
+    const double cell_part = energy_.localBitline + energy_.localSenseAmp;
+    const double drive_part = energy_.localWordline + energy_.rowDecoder;
+    const double per_mat =
+        (half_height ? cell_part * 0.5 : cell_part) + drive_part;
+    return num_mats * per_mat + energy_.shared();
+}
+
+double
+CactiModel::scaleFactor(unsigned granularity, bool half_height) const
+{
+    assert(granularity >= 1 && granularity <= kMatGroups);
+    return actEnergy(2 * granularity, half_height) / fullRowEnergy();
+}
+
+double
+CactiModel::actPower(unsigned granularity, double full_row_act_mw,
+                     bool half_height) const
+{
+    return full_row_act_mw * scaleFactor(granularity, half_height);
+}
+
+} // namespace pra::power

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Analytic die-area and row-activation-energy model of the baseline
+ * 2Gb x8 DDR3-1600 chip, reproducing the component structure the paper
+ * obtained from CACTI-3DD at the 20 nm node (Table 2 and Figure 9).
+ *
+ * Activation energy decomposes into a per-MAT part (local bitlines, local
+ * sense amplifiers, local wordline, local row decoder) that scales with
+ * the number of MATs activated, and a per-bank shared part (row activation
+ * bus, row predecoder) that is paid on every activation regardless of
+ * granularity. This shared part is why the energy saving of half-row
+ * activation is less than 50 % (Figure 9) and is folded into the
+ * P_ACT(granularity) scaling used by the power model.
+ */
+#ifndef PRA_POWER_CACTI_MODEL_H
+#define PRA_POWER_CACTI_MODEL_H
+
+#include "common/types.h"
+
+namespace pra::power {
+
+/** Die area breakdown in mm^2 (Table 2, 2Gb x8 DDR3-1600 at 20 nm). */
+struct DieArea
+{
+    double dramCell = 4.677;
+    double senseAmplifier = 1.909;
+    double rowPredecoder = 0.067;
+    double localWordlineDriver = 1.617;
+    double totalDie = 11.884;   //!< Including all other structures.
+
+    /** Sum of the explicitly modeled components. */
+    double modeledTotal() const
+    {
+        return dramCell + senseAmplifier + rowPredecoder +
+               localWordlineDriver;
+    }
+};
+
+/** Per-MAT and per-bank activation energy components in pJ (Table 2). */
+struct ActEnergyComponents
+{
+    // Per activated MAT.
+    double localBitline = 15.583;
+    double localSenseAmp = 1.257;
+    double localWordline = 0.046;
+    double rowDecoder = 0.035;
+
+    // Shared per bank (paid once per activation).
+    double rowActivationBus = 17.944;
+    double rowPredecoder = 0.072;
+
+    double perMat() const
+    {
+        return localBitline + localSenseAmp + localWordline + rowDecoder;
+    }
+    double shared() const { return rowActivationBus + rowPredecoder; }
+};
+
+/**
+ * CACTI-style activation energy and PRA power-scaling model.
+ *
+ * All energies are per chip. A full-row activation drives all 16 MATs of
+ * a sub-array; a PRA activation at granularity g (1..8 MAT groups) drives
+ * 2g MATs. Half-DRAM-style half-height MATs halve the bitline and sense
+ * amplifier energy of each driven MAT.
+ */
+class CactiModel
+{
+  public:
+    CactiModel() = default;
+    CactiModel(DieArea area, ActEnergyComponents energy)
+        : area_(area), energy_(energy)
+    {}
+
+    const DieArea &area() const { return area_; }
+    const ActEnergyComponents &components() const { return energy_; }
+
+    /** Energy (pJ) of one activation driving @p num_mats MATs. */
+    double actEnergy(unsigned num_mats, bool half_height = false) const;
+
+    /** Full-row activation energy per bank (Table 2 bottom line). */
+    double fullRowEnergy() const { return actEnergy(kMatsPerSubarray); }
+
+    /**
+     * Energy scale factor of a granularity-g activation relative to a
+     * full-row activation (g in 1..8 MAT groups; 2 MATs per group).
+     */
+    double scaleFactor(unsigned granularity, bool half_height = false) const;
+
+    /**
+     * P_ACT (mW) at granularity g, scaling the industrial full-row
+     * activation power @p full_row_act_mw by the CACTI energy ratio.
+     * This is how the paper's Table 3 row of ACT powers is produced.
+     */
+    double actPower(unsigned granularity, double full_row_act_mw = 22.2,
+                    bool half_height = false) const;
+
+  private:
+    DieArea area_{};
+    ActEnergyComponents energy_{};
+};
+
+} // namespace pra::power
+
+#endif // PRA_POWER_CACTI_MODEL_H

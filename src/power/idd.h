@@ -1,0 +1,67 @@
+/**
+ * @file
+ * IDD-based activation power derivation (paper Eq. 1 and Eq. 2).
+ *
+ * Following the Micron power-calculator methodology, the pure row
+ * activation power is the IDD0 activate current with the background
+ * (active-standby during tRAS, precharge-standby during tRC - tRAS)
+ * contribution removed:
+ *
+ *   I_ACT = IDD0 - (IDD3N * tRAS + IDD2N * (tRC - tRAS)) / tRC   (Eq. 1)
+ *   P_ACT = VDD * I_ACT                                          (Eq. 2)
+ *
+ * The default values are solved back from the paper's Table 3 so that the
+ * derivation reproduces the published P_ACT = 22.2 mW, ACT_STBY = 42 mW
+ * and PRE_STBY = 27 mW for the 2Gb x8 DDR3-1600 device at 20 nm.
+ */
+#ifndef PRA_POWER_IDD_H
+#define PRA_POWER_IDD_H
+
+namespace pra::power {
+
+/** Datasheet currents (mA) and supply voltage for one DRAM device. */
+struct IddParams
+{
+    double vdd = 1.5;      //!< Supply voltage (V).
+    double idd0 = 39.98;   //!< Activate-precharge current (mA).
+    double idd2n = 18.0;   //!< Precharge standby current (mA).
+    double idd3n = 28.0;   //!< Active standby current (mA).
+
+    unsigned tRas = 28;    //!< Row active time (cycles).
+    unsigned tRc = 39;     //!< Row cycle time (cycles).
+};
+
+/** Eq. 1: pure activation current in mA. */
+constexpr double
+actCurrent(const IddParams &p)
+{
+    const double background =
+        (p.idd3n * p.tRas + p.idd2n * (p.tRc - p.tRas)) /
+        static_cast<double>(p.tRc);
+    return p.idd0 - background;
+}
+
+/** Eq. 2: pure activation power in mW. */
+constexpr double
+actPowerFromIdd(const IddParams &p)
+{
+    return p.vdd * actCurrent(p);
+}
+
+/** Active-standby background power in mW (VDD * IDD3N). */
+constexpr double
+actStandbyPower(const IddParams &p)
+{
+    return p.vdd * p.idd3n;
+}
+
+/** Precharge-standby background power in mW (VDD * IDD2N). */
+constexpr double
+preStandbyPower(const IddParams &p)
+{
+    return p.vdd * p.idd2n;
+}
+
+} // namespace pra::power
+
+#endif // PRA_POWER_IDD_H

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * DDR3 device power parameters (paper Table 3, "Power (mW)" block) and
+ * the timing values the power model needs to convert between power and
+ * energy. All values are per DRAM device (chip); the power model scales
+ * by the number of chips in a rank.
+ */
+#ifndef PRA_POWER_POWER_PARAMS_H
+#define PRA_POWER_POWER_PARAMS_H
+
+#include <array>
+
+#include "power/cacti_model.h"
+#include "power/idd.h"
+
+namespace pra::power {
+
+/** Per-chip DDR3-1600 power parameters in mW (Table 3). */
+struct PowerParams
+{
+    double preStandby = 27.0;   //!< PRE STBY: all banks precharged, idle.
+    double prePowerDown = 18.0; //!< PRE PDN: precharge power-down.
+    double refresh = 210.0;     //!< REF: power during the tRFC burst.
+    double actStandby = 42.0;   //!< ACT STBY: at least one bank open.
+    double read = 78.0;         //!< RD: core read (IDD4R - IDD3N).
+    double write = 93.0;        //!< WR: core write (IDD4W - IDD3N).
+    // I/O powers are per data pin, as in the Micron TN-41-01 power
+    // calculator the paper uses (PdqRD / PdqWR / PdqRDoth / PdqWRoth for
+    // a dual-rank terminated DDR3 system). The effective pin factor is
+    // calibrated so the baseline power breakdown reproduces the paper's
+    // Figure 2 shares (ACT-PRE ~25%, I/O ~14% of total): the full
+    // 10/11-pin dual-rank termination roughly doubles the I/O share the
+    // paper reports, while a per-chip reading makes it 4x too small.
+    double readIo = 4.6;        //!< RD I/O per pin, target rank drivers.
+    double writeOdt = 21.2;     //!< WR ODT per pin, target rank.
+    double readTerm = 15.5;     //!< RD TERM per pin, other rank.
+    double writeTerm = 15.4;    //!< WR TERM per pin, other rank.
+    unsigned readIoPins = 4;    //!< Effective pin factor (see above).
+    unsigned writeIoPins = 4;   //!< Effective pin factor (see above).
+
+    /**
+     * ACT power (mW) per activation granularity, index g-1 for g in 1..8
+     * MAT groups. Table 3: full, 7/8 ... 1/8 row = 22.2, 19.6, 16.9, 14.3,
+     * 11.6, 9.1, 6.4, 3.7 mW.
+     */
+    std::array<double, 8> actPower{3.7, 6.4, 9.1, 11.6,
+                                   14.3, 16.9, 19.6, 22.2};
+
+    double tCkNs = 1.25;        //!< DDR3-1600 clock period (ns).
+    unsigned tRc = 39;          //!< Row cycle (cycles), ACT-PRE energy window.
+    unsigned burstCycles = 4;   //!< Cycles a BL8 transfer occupies the bus.
+    unsigned tRfc = 128;        //!< Refresh cycle time (160 ns).
+    unsigned tRefi = 6240;      //!< Refresh interval (7.8 us).
+
+    /** P_ACT (mW) for a granularity-g activation, g in 1..8. */
+    double
+    actPowerAt(unsigned granularity) const
+    {
+        return actPower[granularity - 1];
+    }
+
+    /** Energy (nJ) of one ACT-PRE pair at granularity g. */
+    double
+    actEnergyNj(unsigned granularity) const
+    {
+        return actPowerAt(granularity) * tRc * tCkNs * 1e-3;
+    }
+
+    /**
+     * Populate the per-granularity ACT powers from the CACTI component
+     * model instead of the hard-coded Table 3 values (bench_table3 shows
+     * the two agree within a few percent).
+     */
+    void
+    deriveActPowerFromCacti(const CactiModel &cacti, double full_row_mw)
+    {
+        for (unsigned g = 1; g <= 8; ++g)
+            actPower[g - 1] = cacti.actPower(g, full_row_mw);
+    }
+};
+
+} // namespace pra::power
+
+#endif // PRA_POWER_POWER_PARAMS_H

@@ -1,0 +1,183 @@
+#include "sim/config_io.h"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pra::sim {
+
+namespace {
+
+std::string
+trim(const std::string &s)
+{
+    const auto begin = s.find_first_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    const auto end = s.find_last_not_of(" \t");
+    return s.substr(begin, end - begin + 1);
+}
+
+std::string
+lower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return s;
+}
+
+bool
+parseBool(const std::string &v)
+{
+    const std::string s = lower(v);
+    if (s == "true" || s == "1" || s == "yes" || s == "on")
+        return true;
+    if (s == "false" || s == "0" || s == "no" || s == "off")
+        return false;
+    throw std::runtime_error("bad boolean '" + v + "'");
+}
+
+Scheme
+parseScheme(const std::string &v)
+{
+    const std::string s = lower(v);
+    if (s == "baseline")
+        return Scheme::Baseline;
+    if (s == "fga")
+        return Scheme::Fga;
+    if (s == "halfdram" || s == "half-dram")
+        return Scheme::HalfDram;
+    if (s == "pra")
+        return Scheme::Pra;
+    if (s == "halfdram+pra" || s == "half-dram+pra" || s == "combined")
+        return Scheme::HalfDramPra;
+    throw std::runtime_error("unknown scheme '" + v + "'");
+}
+
+} // namespace
+
+bool
+applyConfigLine(const std::string &raw, SystemConfig &cfg)
+{
+    const std::size_t hash = raw.find('#');
+    const std::string line =
+        trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (line.empty())
+        return false;
+
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos)
+        throw std::runtime_error("expected key=value: " + line);
+    const std::string key = lower(trim(line.substr(0, eq)));
+    const std::string value = trim(line.substr(eq + 1));
+    if (value.empty())
+        throw std::runtime_error("empty value for " + key);
+
+    auto as_unsigned = [&] {
+        return static_cast<unsigned>(std::stoul(value));
+    };
+
+    if (key == "scheme") {
+        cfg.dram.scheme = parseScheme(value);
+    } else if (key == "policy") {
+        const std::string v = lower(value);
+        if (v == "relaxed") {
+            cfg.dram.policy = dram::PagePolicy::RelaxedClose;
+            cfg.dram.mapping = dram::AddrMapping::RowInterleaved;
+        } else if (v == "restricted") {
+            cfg.dram.useRestrictedClosePage();
+        } else if (v == "open" || v == "openpage") {
+            cfg.dram.policy = dram::PagePolicy::OpenPage;
+            cfg.dram.mapping = dram::AddrMapping::RowInterleaved;
+        } else {
+            throw std::runtime_error("unknown policy '" + value + "'");
+        }
+    } else if (key == "dbi") {
+        cfg.enableDbi = parseBool(value);
+    } else if (key == "channels") {
+        cfg.dram.channels = as_unsigned();
+    } else if (key == "ranks") {
+        cfg.dram.ranksPerChannel = as_unsigned();
+    } else if (key == "read_queue") {
+        cfg.dram.readQueueDepth = as_unsigned();
+    } else if (key == "write_queue") {
+        cfg.dram.writeQueueDepth = as_unsigned();
+    } else if (key == "write_high_watermark") {
+        cfg.dram.writeHighWatermark = as_unsigned();
+    } else if (key == "write_low_watermark") {
+        cfg.dram.writeLowWatermark = as_unsigned();
+    } else if (key == "row_hit_cap") {
+        cfg.dram.rowHitCap = as_unsigned();
+    } else if (key == "power_down") {
+        cfg.dram.powerDownEnabled = parseBool(value);
+    } else if (key == "checker") {
+        cfg.dram.enableChecker = parseBool(value);
+    } else if (key == "target_instructions") {
+        cfg.targetInstructions = std::stoull(value);
+    } else if (key == "warmup_ops") {
+        cfg.warmupOpsPerCore = std::stoull(value);
+    } else if (key == "max_cycles") {
+        cfg.maxDramCycles = std::stoull(value);
+    } else if (key == "l2_kb") {
+        cfg.caches.l2.sizeBytes = std::stoull(value) * 1024;
+    } else if (key == "l1_kb") {
+        cfg.caches.l1.sizeBytes = std::stoull(value) * 1024;
+    } else if (key == "trcd") {
+        cfg.dram.timing.tRcd = as_unsigned();
+    } else if (key == "trp") {
+        cfg.dram.timing.tRp = as_unsigned();
+    } else if (key == "tras") {
+        cfg.dram.timing.tRas = as_unsigned();
+    } else if (key == "trrd") {
+        cfg.dram.timing.tRrd = as_unsigned();
+    } else if (key == "tfaw") {
+        cfg.dram.timing.tFaw = as_unsigned();
+    } else if (key == "pra_mask_cycles") {
+        cfg.dram.timing.praMaskCycles = as_unsigned();
+    } else {
+        throw std::runtime_error("unknown config key '" + key + "'");
+    }
+    return true;
+}
+
+void
+loadConfig(std::istream &in, SystemConfig &cfg)
+{
+    std::string line;
+    while (std::getline(in, line))
+        applyConfigLine(line, cfg);
+}
+
+void
+loadConfigFile(const std::string &path, SystemConfig &cfg)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open config file " + path);
+    loadConfig(in, cfg);
+}
+
+std::string
+dumpConfig(const SystemConfig &cfg)
+{
+    std::ostringstream os;
+    os << "scheme = " << schemeName(cfg.dram.scheme) << '\n'
+       << "policy = "
+       << (cfg.dram.policy == dram::PagePolicy::RelaxedClose
+               ? "relaxed"
+               : cfg.dram.policy == dram::PagePolicy::OpenPage
+                     ? "openpage"
+                     : "restricted")
+       << '\n'
+       << "dbi = " << (cfg.enableDbi ? "true" : "false") << '\n'
+       << "channels = " << cfg.dram.channels << '\n'
+       << "ranks = " << cfg.dram.ranksPerChannel << '\n'
+       << "read_queue = " << cfg.dram.readQueueDepth << '\n'
+       << "write_queue = " << cfg.dram.writeQueueDepth << '\n'
+       << "row_hit_cap = " << cfg.dram.rowHitCap << '\n'
+       << "target_instructions = " << cfg.targetInstructions << '\n';
+    return os.str();
+}
+
+} // namespace pra::sim

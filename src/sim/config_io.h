@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Key=value configuration parsing for SystemConfig, so benches,
+ * examples, and downstream tools can reconfigure the platform without
+ * recompiling:
+ *
+ *     # comments with '#'
+ *     scheme = pra          # baseline|fga|halfdram|pra|halfdram+pra
+ *     policy = relaxed      # relaxed|restricted
+ *     dbi = true
+ *     channels = 2
+ *     ranks = 2
+ *     read_queue = 64
+ *     write_queue = 64
+ *     write_high_watermark = 48
+ *     write_low_watermark = 16
+ *     row_hit_cap = 4
+ *     power_down = true
+ *     checker = false
+ *     target_instructions = 1200000
+ *     warmup_ops = 120000
+ *     l2_kb = 4096
+ *     trcd = 11             # any lowercase timing field
+ */
+#ifndef PRA_SIM_CONFIG_IO_H
+#define PRA_SIM_CONFIG_IO_H
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/system.h"
+
+namespace pra::sim {
+
+/**
+ * Apply one "key = value" assignment to @p cfg.
+ * @throws std::runtime_error on unknown keys or unparsable values.
+ * @return false when the line is blank or a comment.
+ */
+bool applyConfigLine(const std::string &line, SystemConfig &cfg);
+
+/** Apply a whole stream of assignments. */
+void loadConfig(std::istream &in, SystemConfig &cfg);
+
+/** Load a config file into @p cfg. */
+void loadConfigFile(const std::string &path, SystemConfig &cfg);
+
+/** Render the interesting fields of @p cfg as key=value text. */
+std::string dumpConfig(const SystemConfig &cfg);
+
+} // namespace pra::sim
+
+#endif // PRA_SIM_CONFIG_IO_H

@@ -1,0 +1,57 @@
+#include "sim/experiment.h"
+
+namespace pra::sim {
+
+SystemConfig
+makeConfig(const ConfigPoint &point)
+{
+    SystemConfig cfg;
+    cfg.dram.scheme = point.scheme;
+    if (point.policy == dram::PagePolicy::RestrictedClose)
+        cfg.dram.useRestrictedClosePage();
+    cfg.enableDbi = point.dbi;
+    return cfg;
+}
+
+RunResult
+runWorkload(const workloads::Mix &mix, const SystemConfig &cfg)
+{
+    std::vector<std::unique_ptr<cpu::Generator>> gens;
+    for (unsigned i = 0; i < mix.apps.size(); ++i)
+        gens.push_back(workloads::makeGenerator(mix.apps[i], i + 1));
+    System system(cfg, std::move(gens));
+    return system.run();
+}
+
+double
+AloneIpcCache::get(const std::string &app, const ConfigPoint &point)
+{
+    const std::string key = point.key() + "#" + app;
+    auto it = cache_.find(key);
+    if (it != cache_.end())
+        return it->second;
+
+    SystemConfig cfg = makeConfig(point);
+    std::vector<std::unique_ptr<cpu::Generator>> gens;
+    gens.push_back(workloads::makeGenerator(app, 1));
+    System system(cfg, std::move(gens));
+    const RunResult res = system.run();
+    const double ipc = res.ipc.at(0);
+    cache_.emplace(key, ipc);
+    return ipc;
+}
+
+double
+weightedSpeedup(const workloads::Mix &mix, const RunResult &shared,
+                const ConfigPoint &point, AloneIpcCache &alone)
+{
+    double ws = 0.0;
+    for (unsigned c = 0; c < mix.apps.size(); ++c) {
+        const double alone_ipc = alone.get(mix.apps[c], point);
+        if (alone_ipc > 0.0)
+            ws += shared.ipc.at(c) / alone_ipc;
+    }
+    return ws;
+}
+
+} // namespace pra::sim

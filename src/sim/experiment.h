@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Experiment harness shared by the benchmark binaries: builds systems
+ * for a (scheme, page-policy, DBI) point, runs the 14 paper workloads,
+ * and computes the weighted-speedup metric (paper Eq. 3) against cached
+ * "alone" runs.
+ */
+#ifndef PRA_SIM_EXPERIMENT_H
+#define PRA_SIM_EXPERIMENT_H
+
+#include <map>
+#include <string>
+
+#include "sim/system.h"
+#include "workloads/factory.h"
+
+namespace pra::sim {
+
+/** One evaluated configuration point. */
+struct ConfigPoint
+{
+    Scheme scheme = Scheme::Baseline;
+    dram::PagePolicy policy = dram::PagePolicy::RelaxedClose;
+    bool dbi = false;
+
+    std::string
+    key() const
+    {
+        return schemeName(scheme) +
+               (policy == dram::PagePolicy::RelaxedClose ? "/relaxed"
+                                                         : "/restricted") +
+               (dbi ? "/dbi" : "");
+    }
+};
+
+/** Build the paper's baseline SystemConfig for a configuration point. */
+SystemConfig makeConfig(const ConfigPoint &point);
+
+/** Run a 4-core workload (rate quadruple or Table 4 mix). */
+RunResult runWorkload(const workloads::Mix &mix, const SystemConfig &cfg);
+
+/** Caches IPC_alone per (config key, app). */
+class AloneIpcCache
+{
+  public:
+    /** IPC of @p app running alone under @p point (cached). */
+    double get(const std::string &app, const ConfigPoint &point);
+
+  private:
+    std::map<std::string, double> cache_;
+};
+
+/**
+ * Weighted speedup (Eq. 3): sum over cores of IPC_shared / IPC_alone,
+ * with alone IPCs measured under the same configuration point.
+ */
+double weightedSpeedup(const workloads::Mix &mix, const RunResult &shared,
+                       const ConfigPoint &point, AloneIpcCache &alone);
+
+} // namespace pra::sim
+
+#endif // PRA_SIM_EXPERIMENT_H

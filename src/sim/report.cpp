@@ -1,0 +1,104 @@
+#include "sim/report.h"
+
+#include <sstream>
+
+namespace pra::sim {
+
+namespace {
+
+void
+appendField(std::ostringstream &os, const char *key, double value,
+            bool comma = true)
+{
+    os << "\"" << key << "\":" << value;
+    if (comma)
+        os << ",";
+}
+
+} // namespace
+
+std::string
+toJson(const std::string &workload, const std::string &config,
+       const RunResult &r)
+{
+    std::ostringstream os;
+    os.precision(10);
+    os << "{\"workload\":\"" << workload << "\",\"config\":\"" << config
+       << "\",";
+    os << "\"ipc\":[";
+    for (std::size_t i = 0; i < r.ipc.size(); ++i)
+        os << (i ? "," : "") << r.ipc[i];
+    os << "],";
+    appendField(os, "dram_cycles", static_cast<double>(r.dramCycles));
+    appendField(os, "avg_power_mw", r.avgPowerMw);
+    appendField(os, "energy_nj", r.totalEnergyNj);
+    appendField(os, "edp", r.edp);
+    os << "\"breakdown\":{";
+    appendField(os, "act_pre", r.breakdown.actPre);
+    appendField(os, "read", r.breakdown.read);
+    appendField(os, "write", r.breakdown.write);
+    appendField(os, "read_io", r.breakdown.readIo);
+    appendField(os, "write_io", r.breakdown.writeIo);
+    appendField(os, "background", r.breakdown.background);
+    appendField(os, "refresh", r.breakdown.refresh, false);
+    os << "},";
+    const auto &d = r.dramStats;
+    os << "\"dram\":{";
+    appendField(os, "read_reqs", static_cast<double>(d.readReqs));
+    appendField(os, "write_reqs", static_cast<double>(d.writeReqs));
+    appendField(os, "read_hit_rate", d.readHitRate());
+    appendField(os, "write_hit_rate", d.writeHitRate());
+    appendField(os, "read_false_hits",
+                static_cast<double>(d.readFalseHits));
+    appendField(os, "write_false_hits",
+                static_cast<double>(d.writeFalseHits));
+    appendField(os, "acts_for_reads",
+                static_cast<double>(d.actsForReads));
+    appendField(os, "acts_for_writes",
+                static_cast<double>(d.actsForWrites), false);
+    os << "},";
+    os << "\"act_granularity\":[";
+    for (unsigned g = 1; g <= 8; ++g) {
+        os << (g > 1 ? "," : "")
+           << d.actGranularity.fraction(g);
+    }
+    os << "],";
+    os << "\"dirty_words\":[";
+    for (unsigned k = 1; k <= 8; ++k)
+        os << (k > 1 ? "," : "") << r.dirtyWords.fraction(k);
+    os << "]}";
+    return os.str();
+}
+
+std::string
+csvHeader()
+{
+    return "workload,config,dram_cycles,avg_power_mw,energy_nj,edp,"
+           "read_reqs,write_reqs,read_hit_rate,write_hit_rate,"
+           "read_false_hits,write_false_hits,acts_reads,acts_writes,"
+           "act_pre_nj,read_nj,write_nj,read_io_nj,write_io_nj,"
+           "background_nj,refresh_nj,mean_act_granularity,ipc0";
+}
+
+std::string
+toCsvRow(const std::string &workload, const std::string &config,
+         const RunResult &r)
+{
+    std::ostringstream os;
+    os.precision(10);
+    const auto &d = r.dramStats;
+    os << workload << ',' << config << ',' << r.dramCycles << ','
+       << r.avgPowerMw << ',' << r.totalEnergyNj << ',' << r.edp << ','
+       << d.readReqs << ',' << d.writeReqs << ',' << d.readHitRate()
+       << ',' << d.writeHitRate() << ',' << d.readFalseHits << ','
+       << d.writeFalseHits << ',' << d.actsForReads << ','
+       << d.actsForWrites << ',' << r.breakdown.actPre << ','
+       << r.breakdown.read << ',' << r.breakdown.write << ','
+       << r.breakdown.readIo << ',' << r.breakdown.writeIo << ','
+       << r.breakdown.background << ',' << r.breakdown.refresh << ','
+       << r.energy.meanActGranularity() << ','
+       << (r.ipc.empty() ? 0.0 : r.ipc[0]);
+    return os.str();
+}
+
+} // namespace pra::sim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Machine-readable result export: JSON documents and CSV rows for
+ * RunResult, so experiment sweeps can be post-processed (plotted,
+ * diffed, regression-checked) outside the simulator.
+ */
+#ifndef PRA_SIM_REPORT_H
+#define PRA_SIM_REPORT_H
+
+#include <ostream>
+#include <string>
+
+#include "sim/system.h"
+
+namespace pra::sim {
+
+/** Serialize a run result (with its label) as a JSON object. */
+std::string toJson(const std::string &workload, const std::string &config,
+                   const RunResult &result);
+
+/** CSV column header matching writeCsvRow. */
+std::string csvHeader();
+
+/** One CSV row for a run. */
+std::string toCsvRow(const std::string &workload,
+                     const std::string &config, const RunResult &result);
+
+/** Convenience: stream a whole sweep. */
+class CsvWriter
+{
+  public:
+    explicit CsvWriter(std::ostream &os) : os_(&os)
+    {
+        *os_ << csvHeader() << '\n';
+    }
+
+    void
+    add(const std::string &workload, const std::string &config,
+        const RunResult &result)
+    {
+        *os_ << toCsvRow(workload, config, result) << '\n';
+    }
+
+  private:
+    std::ostream *os_;
+};
+
+} // namespace pra::sim
+
+#endif // PRA_SIM_REPORT_H

@@ -1,0 +1,170 @@
+#include "sim/system.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pra::sim {
+
+System::System(const SystemConfig &cfg,
+               std::vector<std::unique_ptr<cpu::Generator>> generators)
+    : cfg_(cfg), dram_(cfg.dram), gens_(std::move(generators))
+{
+    assert(!gens_.empty() && gens_.size() <= cfg_.caches.numCores);
+
+    cache::HierarchyConfig hc = cfg_.caches;
+    hc.enableDbi = cfg_.enableDbi;
+    if (hc.enableDbi && !hc.dbiRowKey) {
+        // DRAM-row identity of a line under the configured mapping.
+        const dram::AddressMapper *mapper = &dram_.mapper();
+        const unsigned banks = cfg_.dram.banksPerRank;
+        const unsigned ranks = cfg_.dram.ranksPerChannel;
+        const unsigned channels = cfg_.dram.channels;
+        hc.dbiRowKey = [mapper, banks, ranks, channels](Addr addr) {
+            const dram::DecodedAddr loc = mapper->decode(addr);
+            return ((static_cast<std::uint64_t>(loc.row) * ranks +
+                     loc.rank) *
+                        banks +
+                    loc.bank) *
+                       channels +
+                   loc.channel;
+        };
+    }
+    hier_ = std::make_unique<cache::Hierarchy>(hc);
+
+    // Private physical slice per core.
+    coreSlice_ = dram_.mapper().capacityBytes() / cfg_.caches.numCores;
+
+    cores_.reserve(gens_.size());
+    for (unsigned c = 0; c < gens_.size(); ++c)
+        cores_.emplace_back(c, cfg_.core, *gens_[c], *this);
+    finishCycle_.assign(gens_.size(), 0);
+    finished_.assign(gens_.size(), false);
+}
+
+System::~System() = default;
+
+Addr
+System::translate(unsigned core, Addr addr) const
+{
+    return (addr % coreSlice_) + static_cast<Addr>(core) * coreSlice_;
+}
+
+bool
+System::canIssue(unsigned core, Addr addr)
+{
+    if (pendingWb_.size() > cfg_.writebackBacklogLimit)
+        return false;
+    return dram_.canAccept(translate(core, addr), false);
+}
+
+bool
+System::access(unsigned core, const cpu::MemOp &op, std::uint64_t tag)
+{
+    const Addr addr = translate(core, op.addr);
+    cache::HierarchyOutcome out =
+        hier_->access(core, addr, op.isWrite, op.bytes);
+    pushWritebacks(std::move(out.writebacks));
+    if (out.needsMemRead) {
+        const bool ok = dram_.enqueue(addr, false, WordMask::full(), core,
+                                      tag);
+        assert(ok && "canIssue must be checked before access");
+        (void)ok;
+        return true;
+    }
+    return false;
+}
+
+void
+System::pushWritebacks(std::vector<cache::Writeback> &&wbs)
+{
+    for (auto &wb : wbs)
+        pendingWb_.push_back(wb);
+}
+
+void
+System::drainWritebacks()
+{
+    while (!pendingWb_.empty()) {
+        const cache::Writeback &wb = pendingWb_.front();
+        if (!dram_.enqueue(wb.addr, true, wb.praMask(), 0, 0,
+                           wb.dirty.toChipMask())) {
+            break;   // Target write queue full; retry next cycle.
+        }
+        pendingWb_.pop_front();
+    }
+}
+
+void
+System::functionalWarmup()
+{
+    // Fill the tag arrays so the measured region starts from a steady
+    // state instead of an all-cold LLC; DRAM timing is not exercised and
+    // warmup writebacks are discarded.
+    for (std::uint64_t i = 0; i < cfg_.warmupOpsPerCore; ++i) {
+        for (unsigned c = 0; c < gens_.size(); ++c) {
+            const cpu::MemOp op = gens_[c]->next();
+            hier_->access(c, translate(c, op.addr), op.isWrite, op.bytes);
+        }
+    }
+}
+
+RunResult
+System::run()
+{
+    functionalWarmup();
+
+    std::size_t done = 0;
+    while (done < cores_.size() && dram_.now() < cfg_.maxDramCycles) {
+        for (auto &core : cores_)
+            core.tick();
+        drainWritebacks();
+        dram_.tick();
+        for (const auto &comp : dram_.drainCompletions()) {
+            if (comp.coreId < cores_.size())
+                cores_[comp.coreId].complete(comp.tag);
+        }
+        for (unsigned c = 0; c < cores_.size(); ++c) {
+            if (!finished_[c] && cores_[c].retiredInstructions() >=
+                                     cfg_.targetInstructions) {
+                finished_[c] = true;
+                finishCycle_[c] = dram_.now();
+                ++done;
+            }
+        }
+    }
+
+    RunResult res;
+    res.dramCycles = dram_.now();
+    for (unsigned c = 0; c < cores_.size(); ++c) {
+        const Cycle cyc = finished_[c] ? finishCycle_[c] : dram_.now();
+        const std::uint64_t insts =
+            finished_[c] ? cfg_.targetInstructions
+                         : cores_[c].retiredInstructions();
+        const double cpu_cycles =
+            static_cast<double>(cyc) * kCpuCyclesPerDramCycle;
+        res.retired.push_back(insts);
+        res.ipc.push_back(cpu_cycles > 0
+                              ? static_cast<double>(insts) / cpu_cycles
+                              : 0.0);
+    }
+
+    res.dramStats = dram_.aggregateStats();
+    res.energy = dram_.energyCounts();
+    for (std::size_t b = 0; b < res.dirtyWords.buckets(); ++b)
+        res.dirtyWords.record(b, hier_->dirtyWordsHistogram().count(b));
+    res.memReads = hier_->memReads();
+    res.memWrites = hier_->memWrites();
+    if (hier_->dbi())
+        res.dbiProactive = hier_->dbi()->proactiveWritebacks();
+
+    const power::PowerModel model(cfg_.dram.power, cfg_.dram.chipsPerRank,
+                                  cfg_.dram.ranksPerChannel,
+                                  cfg_.dram.eccChipsPerRank);
+    res.breakdown = model.energy(res.energy);
+    res.avgPowerMw = model.averagePower(res.energy);
+    res.totalEnergyNj = model.totalEnergy(res.energy);
+    res.edp = model.energyDelayProduct(res.energy);
+    return res;
+}
+
+} // namespace pra::sim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * The integrated CPU–cache–DRAM simulation platform (the role gem5 +
+ * DRAMSim2 play in the paper): four simplified OoO cores over private
+ * L1s, a shared L2 with FGD (optionally fronted by a DBI), and the
+ * cycle-accurate multi-channel DDR3 system with the configured scheme.
+ *
+ * Each core's address stream is relocated into a private slice of the
+ * physical address space, as a multiprogrammed run on a real machine
+ * would be.
+ */
+#ifndef PRA_SIM_SYSTEM_H
+#define PRA_SIM_SYSTEM_H
+
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "cache/hierarchy.h"
+#include "common/stats.h"
+#include "cpu/core.h"
+#include "dram/dram_system.h"
+#include "power/power_model.h"
+
+namespace pra::sim {
+
+/** Full-system configuration (defaults: paper Table 3). */
+struct SystemConfig
+{
+    dram::DramConfig dram{};
+    cpu::CoreParams core{};
+    cache::HierarchyConfig caches{};
+    bool enableDbi = false;
+
+    /** Functional (timing-free) cache-warming ops per active core. */
+    std::uint64_t warmupOpsPerCore = 120'000;
+    /** Instructions per core in the measured region. */
+    std::uint64_t targetInstructions = 1'200'000;
+    /** Hard wall-clock bound in DRAM cycles. */
+    Cycle maxDramCycles = 40'000'000;
+    /** Writeback buffer backpressure threshold. */
+    std::size_t writebackBacklogLimit = 64;
+};
+
+/** Everything one simulation run produces. */
+struct RunResult
+{
+    std::vector<double> ipc;          //!< Per active core.
+    std::vector<std::uint64_t> retired;
+    Cycle dramCycles = 0;
+
+    dram::ControllerStats dramStats;
+    power::EnergyCounts energy;
+    Histogram dirtyWords{kWordsPerLine + 1};  //!< Figure 3.
+
+    std::uint64_t memReads = 0;
+    std::uint64_t memWrites = 0;
+    std::uint64_t dbiProactive = 0;
+
+    // Power-model evaluation of `energy`.
+    power::EnergyBreakdown breakdown;
+    double avgPowerMw = 0.0;
+    double totalEnergyNj = 0.0;
+    double edp = 0.0;
+};
+
+/** The simulation platform. */
+class System : public cpu::CoreMemoryPort
+{
+  public:
+    /**
+     * @param cfg        System configuration.
+     * @param generators One instruction stream per *active* core (1 for
+     *                   "alone" runs, 4 for rate/mix runs).
+     */
+    System(const SystemConfig &cfg,
+           std::vector<std::unique_ptr<cpu::Generator>> generators);
+    ~System() override;
+
+    /** Warm the caches, run to completion, and evaluate power. */
+    RunResult run();
+
+    // CoreMemoryPort interface.
+    bool canIssue(unsigned core, Addr addr) override;
+    bool access(unsigned core, const cpu::MemOp &op,
+                std::uint64_t tag) override;
+
+    const dram::DramSystem &dram() const { return dram_; }
+    const cache::Hierarchy &caches() const { return *hier_; }
+
+  private:
+    Addr translate(unsigned core, Addr addr) const;
+    void functionalWarmup();
+    void pushWritebacks(std::vector<cache::Writeback> &&wbs);
+    void drainWritebacks();
+
+    SystemConfig cfg_;
+    dram::DramSystem dram_;
+    std::unique_ptr<cache::Hierarchy> hier_;
+    std::vector<std::unique_ptr<cpu::Generator>> gens_;
+    std::vector<cpu::Core> cores_;
+
+    std::deque<cache::Writeback> pendingWb_;
+    std::vector<Cycle> finishCycle_;
+    std::vector<bool> finished_;
+
+    Addr coreSlice_ = 0;
+};
+
+} // namespace pra::sim
+
+#endif // PRA_SIM_SYSTEM_H

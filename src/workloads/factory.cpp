@@ -1,0 +1,135 @@
+#include "workloads/factory.h"
+
+#include <stdexcept>
+
+#include "workloads/kernels.h"
+#include "workloads/server.h"
+
+namespace pra::workloads {
+
+const std::vector<std::string> &
+benchmarkNames()
+{
+    static const std::vector<std::string> names = {
+        "bzip2", "lbm", "libquantum", "mcf",
+        "omnetpp", "em3d", "GUPS", "LinkedList",
+    };
+    return names;
+}
+
+const std::vector<std::string> &
+extendedWorkloadNames()
+{
+    static const std::vector<std::string> names = {"stream", "kvstore"};
+    return names;
+}
+
+SyntheticParams
+presetFor(const std::string &name, std::uint64_t seed)
+{
+    SyntheticParams p;
+    p.name = name;
+    p.seed = seed;
+    if (name == "bzip2") {
+        // Compute-bound: modest traffic, moderate read locality, RMW
+        // stores, mostly 1-2 dirty words (Table 1: 32/1 hit, 69/31 mix).
+        p.gapMean = 60.0;
+        p.pWrite = 0.36;
+        p.runMeanLines = 2.6;
+        p.pRmw = 1.0;
+        p.pSerializing = 0.1;
+        p.dirtyWords = {0.80, 0.10, 0.04, 0.02, 0.01, 0.0, 0.0, 0.03};
+    } else if (name == "lbm") {
+        // Streaming stencil: heavy traffic, multi-word dirty lines,
+        // independent store stream (Table 1: 29/18 hit, 57/43 mix).
+        p.gapMean = 18.0;
+        p.pWrite = 0.52;
+        p.runMeanLines = 1.2;
+        p.pRmw = 0.35;
+        p.storeRunMeanLines = 14.0;
+        p.pSerializing = 0.0;
+        p.dirtyWords = {0.50, 0.18, 0.09, 0.05, 0.03, 0.02, 0.03, 0.10};
+    } else if (name == "libquantum") {
+        // Long vector streams: highest row locality of the suite
+        // (Table 1: 73/48 hit, 66/34 mix).
+        p.gapMean = 16.0;
+        p.pWrite = 0.45;
+        p.runMeanLines = 24.0;
+        p.pRmw = 1.0;
+        p.pSerializing = 0.0;
+        p.dirtyWords = {0.90, 0.08, 0.0, 0.0, 0.0, 0.0, 0.0, 0.02};
+    } else if (name == "mcf") {
+        // Pointer-heavy random reads, few writes
+        // (Table 1: 18/1 hit, 79/21 mix).
+        p.gapMean = 25.0;
+        p.pWrite = 0.25;
+        p.runMeanLines = 1.7;
+        p.pRmw = 1.0;
+        p.pSerializing = 0.5;
+        p.dirtyWords = {0.88, 0.08, 0.0, 0.0, 0.0, 0.0, 0.0, 0.04};
+    } else if (name == "omnetpp") {
+        // Discrete-event simulator: scattered heap traffic
+        // (Table 1: 47/2 hit, 71/29 mix).
+        p.gapMean = 30.0;
+        p.pWrite = 0.33;
+        p.runMeanLines = 3.4;
+        p.pRmw = 1.0;
+        p.pSerializing = 0.3;
+        p.dirtyWords = {0.78, 0.12, 0.05, 0.02, 0.0, 0.0, 0.0, 0.03};
+    } else {
+        throw std::invalid_argument("no synthetic preset for " + name);
+    }
+    return p;
+}
+
+std::unique_ptr<cpu::Generator>
+makeGenerator(const std::string &name, std::uint64_t seed)
+{
+    if (name == "GUPS")
+        return std::make_unique<Gups>(1ull << 28, 12, seed * 2654435761u + 7);
+    if (name == "LinkedList") {
+        return std::make_unique<LinkedList>(1u << 21, 20, 0.55,
+                                            seed * 2654435761u + 11);
+    }
+    if (name == "em3d") {
+        return std::make_unique<Em3d>(1u << 21, 14,
+                                      seed * 2654435761u + 23);
+    }
+    if (name == "stream") {
+        return std::make_unique<Stream>(256ull << 20, 6,
+                                        seed * 2654435761u + 41);
+    }
+    if (name == "kvstore") {
+        // Session-store style: 75/25 read/update mix.
+        return std::make_unique<KvStore>(1ull << 30, 0.25, 30,
+                                         seed * 2654435761u + 43);
+    }
+    return std::make_unique<Synthetic>(presetFor(name, seed));
+}
+
+const std::vector<Mix> &
+mixes()
+{
+    static const std::vector<Mix> table4 = {
+        {"MIX1", {"bzip2", "lbm", "libquantum", "omnetpp"}},
+        {"MIX2", {"mcf", "em3d", "GUPS", "LinkedList"}},
+        {"MIX3", {"bzip2", "mcf", "lbm", "em3d"}},
+        {"MIX4", {"libquantum", "GUPS", "omnetpp", "LinkedList"}},
+        {"MIX5", {"bzip2", "LinkedList", "lbm", "GUPS"}},
+        {"MIX6", {"libquantum", "em3d", "omnetpp", "mcf"}},
+    };
+    return table4;
+}
+
+std::vector<Mix>
+allWorkloads()
+{
+    std::vector<Mix> all;
+    for (const auto &name : benchmarkNames())
+        all.push_back({name, {name, name, name, name}});
+    for (const auto &mix : mixes())
+        all.push_back(mix);
+    return all;
+}
+
+} // namespace pra::workloads

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Workload factory: the paper's eight benchmarks by name, the calibrated
+ * SPEC CPU2006 / Olden synthetic presets, and the six multiprogrammed
+ * mixes of Table 4.
+ */
+#ifndef PRA_WORKLOADS_FACTORY_H
+#define PRA_WORKLOADS_FACTORY_H
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cpu/mem_op.h"
+#include "workloads/synthetic.h"
+
+namespace pra::workloads {
+
+/** The eight single benchmarks, in the paper's order. */
+const std::vector<std::string> &benchmarkNames();
+
+/** Extra server-class workloads beyond the paper's suite. */
+const std::vector<std::string> &extendedWorkloadNames();
+
+/** The calibrated synthetic preset for a SPEC/Olden name. */
+SyntheticParams presetFor(const std::string &name, std::uint64_t seed);
+
+/**
+ * Create a generator for @p name (one of benchmarkNames()). @p seed
+ * decorrelates multiple instances of the same benchmark in rate mode.
+ */
+std::unique_ptr<cpu::Generator> makeGenerator(const std::string &name,
+                                              std::uint64_t seed = 1);
+
+/** One multiprogrammed workload (Table 4). */
+struct Mix
+{
+    std::string name;
+    std::array<std::string, 4> apps;
+};
+
+/** MIX1..MIX6 from Table 4. */
+const std::vector<Mix> &mixes();
+
+/**
+ * All 14 evaluated workloads: the eight benchmarks as four identical
+ * instances ("rate mode") followed by MIX1..MIX6.
+ */
+std::vector<Mix> allWorkloads();
+
+} // namespace pra::workloads
+
+#endif // PRA_WORKLOADS_FACTORY_H

@@ -1,0 +1,122 @@
+#include "workloads/kernels.h"
+
+#include <numeric>
+
+namespace pra::workloads {
+
+// --------------------------------------------------------------------- GUPS
+
+Gups::Gups(Addr table_bytes, unsigned gap, std::uint64_t seed)
+    : tableBytes_(table_bytes), gap_(gap), rng_(seed)
+{
+}
+
+cpu::MemOp
+Gups::next()
+{
+    cpu::MemOp op;
+    if (pendingStore_) {
+        // t[i] ^= v: one-word store to the line just loaded.
+        pendingStore_ = false;
+        op.gap = 1;
+        op.isWrite = true;
+        op.addr = current_;
+        op.bytes = ByteMask::word(wordInLine(current_));
+        return op;
+    }
+    const Addr words = tableBytes_ / kBytesPerWord;
+    current_ = rng_.below(words) * kBytesPerWord;
+    op.gap = gap_;
+    op.isWrite = false;
+    op.addr = current_;
+    pendingStore_ = true;
+    return op;
+}
+
+// --------------------------------------------------------------- LinkedList
+
+LinkedList::LinkedList(std::size_t nodes, unsigned gap,
+                       double store_fraction, std::uint64_t seed)
+    : gap_(gap), storeFraction_(store_fraction), rng_(seed)
+{
+    // Sattolo's algorithm: a single random cycle through all nodes.
+    nextIndex_.resize(nodes);
+    std::iota(nextIndex_.begin(), nextIndex_.end(), 0u);
+    for (std::size_t i = nodes - 1; i > 0; --i) {
+        const std::size_t j = rng_.below(i);
+        std::swap(nextIndex_[i], nextIndex_[j]);
+    }
+}
+
+cpu::MemOp
+LinkedList::next()
+{
+    cpu::MemOp op;
+    const Addr node_addr = static_cast<Addr>(current_) * kLineBytes;
+    if (pendingStore_) {
+        // Payload update: a 32-bit counter in the node — the word is
+        // dirty for PRA, but only its low bytes change (SDS-visible).
+        pendingStore_ = false;
+        op.gap = 2;
+        op.isWrite = true;
+        op.addr = node_addr + kBytesPerWord;
+        op.bytes = ByteMask::range(kBytesPerWord, 4);
+        return op;
+    }
+    // p = p->next: dependent load of the node's first word.
+    op.gap = gap_;
+    op.isWrite = false;
+    op.addr = node_addr;
+    op.serializing = true;
+    pendingStore_ = rng_.chance(storeFraction_);
+    current_ = nextIndex_[current_];
+    return op;
+}
+
+// --------------------------------------------------------------------- em3d
+
+Em3d::Em3d(std::size_t nodes, unsigned gap, std::uint64_t seed)
+    : nodes_(nodes), gap_(gap), rng_(seed)
+{
+    // Nodes are visited in shuffled order, as the Olden allocator
+    // interleaves E and H nodes across the heap.
+    visitOrder_.resize(nodes_);
+    std::iota(visitOrder_.begin(), visitOrder_.end(), 0u);
+    for (std::size_t i = nodes_ - 1; i > 0; --i) {
+        const std::size_t j = rng_.below(i + 1);
+        std::swap(visitOrder_[i], visitOrder_[j]);
+    }
+}
+
+cpu::MemOp
+Em3d::next()
+{
+    // The opposite-partition neighbor values live in a compact region
+    // that largely fits in the LLC, so DRAM traffic is dominated by the
+    // node sweep: fetch-on-store plus the eventual dirty writeback.
+    constexpr Addr kNeighborRegion = 512ull << 10;
+
+    cpu::MemOp op;
+    const std::uint32_t node = visitOrder_[pos_];
+    const Addr node_addr =
+        (1ull << 30) + static_cast<Addr>(node) * kLineBytes;
+
+    if (phase_ == 0) {
+        // value += coeff * from_node->value
+        op.gap = gap_;
+        op.isWrite = false;
+        op.addr = rng_.below(kNeighborRegion / kLineBytes) * kLineBytes;
+        phase_ = 1;
+        return op;
+    }
+
+    op.gap = 3;
+    op.isWrite = true;
+    op.addr = node_addr;
+    op.bytes = ByteMask::word(0);
+    phase_ = 0;
+    pos_ = (pos_ + 1) % nodes_;
+    return op;
+}
+
+} // namespace pra::workloads

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Algorithmic microbenchmark kernels used by the paper: GUPS (random
+ * table update), LinkedList (pointer-chase), and em3d (Olden;
+ * bipartite-graph relaxation). Unlike the synthetic SPEC models, these
+ * produce their address streams mechanically from the actual algorithm
+ * over synthetic data structures, so their memory characteristics (poor
+ * locality, ~50/50 read-write traffic, single dirty word per line) are
+ * emergent rather than calibrated.
+ */
+#ifndef PRA_WORKLOADS_KERNELS_H
+#define PRA_WORKLOADS_KERNELS_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "cpu/mem_op.h"
+
+namespace pra::workloads {
+
+/**
+ * GUPS: read-modify-write of a random 8-byte element of a giant table.
+ * Each update loads the element's line, then stores one word back —
+ * a dirty mask of exactly one word, with no spatial locality.
+ */
+class Gups : public cpu::Generator
+{
+  public:
+    explicit Gups(Addr table_bytes = 1ull << 28, unsigned gap = 12,
+                  std::uint64_t seed = 7);
+
+    cpu::MemOp next() override;
+    const char *name() const override { return "GUPS"; }
+
+  private:
+    Addr tableBytes_;
+    unsigned gap_;
+    Rng rng_;
+    bool pendingStore_ = false;
+    Addr current_ = 0;
+};
+
+/**
+ * LinkedList: Zilles-style list traversal. Nodes are one cache line and
+ * are linked in a random permutation, so every hop is a dependent
+ * (serializing) load to an unpredictable line; a fraction of visits
+ * stores one payload word into the node.
+ */
+class LinkedList : public cpu::Generator
+{
+  public:
+    explicit LinkedList(std::size_t nodes = 1u << 21, unsigned gap = 20,
+                        double store_fraction = 0.55,
+                        std::uint64_t seed = 11);
+
+    cpu::MemOp next() override;
+    const char *name() const override { return "LinkedList"; }
+
+  private:
+    std::vector<std::uint32_t> nextIndex_;  //!< Random cycle permutation.
+    unsigned gap_;
+    double storeFraction_;
+    Rng rng_;
+    std::uint32_t current_ = 0;
+    bool pendingStore_ = false;
+};
+
+/**
+ * em3d (Olden): electromagnetic wave propagation on a bipartite graph.
+ * Each step visits a node (64 B apart, in shuffled order), loads one
+ * in-edge neighbor value from the opposite partition, and stores the
+ * recomputed value (one word) into the node.
+ */
+class Em3d : public cpu::Generator
+{
+  public:
+    explicit Em3d(std::size_t nodes = 1u << 21, unsigned gap = 14,
+                  std::uint64_t seed = 23);
+
+    cpu::MemOp next() override;
+    const char *name() const override { return "em3d"; }
+
+  private:
+    std::size_t nodes_;
+    unsigned gap_;
+    Rng rng_;
+    std::vector<std::uint32_t> visitOrder_;
+    std::size_t pos_ = 0;
+    unsigned phase_ = 0;     //!< 0: load neighbor, 1: store node.
+    std::uint32_t node_ = 0;
+};
+
+} // namespace pra::workloads
+
+#endif // PRA_WORKLOADS_KERNELS_H

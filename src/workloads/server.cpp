@@ -1,0 +1,86 @@
+#include "workloads/server.h"
+
+#include <cmath>
+
+namespace pra::workloads {
+
+Stream::Stream(Addr array_bytes, unsigned gap, std::uint64_t seed)
+    : arrayBytes_(array_bytes), gap_(gap), rng_(seed)
+{
+    // Stagger instances so rate-mode copies do not walk the shared LLC
+    // in lockstep (which would alias every core's lines onto the same
+    // sets).
+    pos_ = (seed * 7919) % (arrayBytes_ / kBytesPerWord);
+}
+
+cpu::MemOp
+Stream::next()
+{
+    // Arrays a, b, c are laid out back to back; the kernel walks them
+    // word by word: every line is read (b, c) or written (a) in full.
+    const Addr word_off = (pos_ * kBytesPerWord) % arrayBytes_;
+    cpu::MemOp op;
+    op.gap = gap_;
+    switch (phase_) {
+      case 0:   // load b[i]
+        op.addr = arrayBytes_ + word_off;
+        phase_ = 1;
+        break;
+      case 1:   // load c[i]
+        op.addr = 2 * arrayBytes_ + word_off;
+        phase_ = 2;
+        break;
+      default:  // store a[i]
+        op.isWrite = true;
+        op.addr = word_off;
+        op.bytes = ByteMask::word(wordInLine(word_off));
+        phase_ = 0;
+        ++pos_;
+        break;
+    }
+    return op;
+}
+
+KvStore::KvStore(Addr heap_bytes, double update_fraction, unsigned gap,
+                 std::uint64_t seed)
+    : heapBytes_(heap_bytes), updateFraction_(update_fraction),
+      gap_(gap), rng_(seed)
+{
+}
+
+Addr
+KvStore::recordAddr()
+{
+    // Zipf-ish skew: cubing a uniform sample concentrates accesses on a
+    // hot prefix of the record heap (the classic YCSB hot-set shape).
+    const double u = rng_.uniform();
+    const double skewed = u * u * u;
+    const Addr lines = heapBytes_ / kLineBytes;
+    const Addr line = static_cast<Addr>(skewed * static_cast<double>(lines));
+    return (line % lines) * kLineBytes;
+}
+
+cpu::MemOp
+KvStore::next()
+{
+    cpu::MemOp op;
+    if (hasPending_) {
+        // Update one field (timestamp/counter) of the record just read.
+        hasPending_ = false;
+        op.gap = 4;
+        op.isWrite = true;
+        op.addr = pendingUpdate_;
+        op.bytes = ByteMask::range(byteInLine(pendingUpdate_), 4);
+        return op;
+    }
+    const Addr rec = recordAddr();
+    op.gap = gap_;
+    op.addr = rec;
+    if (rng_.chance(updateFraction_)) {
+        pendingUpdate_ = rec + 2 * kBytesPerWord;   // Value field.
+        hasPending_ = true;
+    }
+    return op;
+}
+
+} // namespace pra::workloads

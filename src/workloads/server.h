@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Server/datacenter workload models beyond the paper's suite — the
+ * traffic classes its introduction motivates (servers and datacenters
+ * where DRAM is 25–57 % of system power). Two extremes for PRA:
+ *
+ *  - Stream: STREAM-triad style copy/scale kernels. Sequential, fully
+ *    dirty lines — maximal row locality, nothing for PRA to trim.
+ *  - KvStore: YCSB-like key-value serving. Skewed random reads with a
+ *    small fraction of small-value updates — minimal locality, one
+ *    dirty word per update: PRA's best case.
+ */
+#ifndef PRA_WORKLOADS_SERVER_H
+#define PRA_WORKLOADS_SERVER_H
+
+#include "common/rng.h"
+#include "cpu/mem_op.h"
+
+namespace pra::workloads {
+
+/** STREAM-triad style kernel: a[i] = b[i] + s * c[i], sequential. */
+class Stream : public cpu::Generator
+{
+  public:
+    explicit Stream(Addr array_bytes = 256ull << 20, unsigned gap = 6,
+                    std::uint64_t seed = 41);
+
+    cpu::MemOp next() override;
+    const char *name() const override { return "stream"; }
+
+  private:
+    Addr arrayBytes_;
+    unsigned gap_;
+    Rng rng_;
+    Addr pos_ = 0;     //!< Word index into the arrays.
+    unsigned phase_ = 0; //!< 0: load b, 1: load c, 2: store a.
+};
+
+/**
+ * YCSB-style key-value store: zipf-skewed point reads over a large
+ * record heap; a configurable fraction of operations update one small
+ * field of the record.
+ */
+class KvStore : public cpu::Generator
+{
+  public:
+    KvStore(Addr heap_bytes = 1ull << 30, double update_fraction = 0.05,
+            unsigned gap = 40, std::uint64_t seed = 43);
+
+    cpu::MemOp next() override;
+    const char *name() const override { return "kvstore"; }
+
+  private:
+    Addr recordAddr();
+
+    Addr heapBytes_;
+    double updateFraction_;
+    unsigned gap_;
+    Rng rng_;
+    Addr pendingUpdate_ = 0;
+    bool hasPending_ = false;
+};
+
+} // namespace pra::workloads
+
+#endif // PRA_WORKLOADS_SERVER_H

@@ -1,0 +1,131 @@
+#include "workloads/synthetic.h"
+
+#include <cmath>
+
+namespace pra::workloads {
+
+Synthetic::Synthetic(const SyntheticParams &params)
+    : params_(params), rng_(params.seed)
+{
+    for (double w : params_.dirtyWords)
+        dirtyTotal_ += w;
+    cursor_ = randomLine();
+    storeCursor_ = randomLine();
+}
+
+Addr
+Synthetic::randomLine()
+{
+    const Addr lines = params_.regionBytes / kLineBytes;
+    return rng_.below(lines) * kLineBytes;
+}
+
+unsigned
+Synthetic::sampleGap()
+{
+    // Geometric-ish gap with the configured mean.
+    if (params_.gapMean <= 0.0)
+        return 0;
+    const double u = rng_.uniform();
+    const double g = -params_.gapMean * std::log(1.0 - u);
+    return static_cast<unsigned>(std::min(g, 100000.0));
+}
+
+unsigned
+Synthetic::sampleByteWidth()
+{
+    static constexpr unsigned kWidths[4] = {1, 2, 4, 8};
+    double total = 0.0;
+    for (double w : params_.narrowBytes)
+        total += w;
+    double pick = rng_.uniform() * total;
+    for (unsigned i = 0; i < 4; ++i) {
+        pick -= params_.narrowBytes[i];
+        if (pick <= 0.0)
+            return kWidths[i];
+    }
+    return 8;
+}
+
+unsigned
+Synthetic::sampleDirtyWords()
+{
+    double pick = rng_.uniform() * dirtyTotal_;
+    for (unsigned k = 0; k < 8; ++k) {
+        pick -= params_.dirtyWords[k];
+        if (pick <= 0.0)
+            return k + 1;
+    }
+    return 8;
+}
+
+cpu::MemOp
+Synthetic::next()
+{
+    cpu::MemOp op;
+    op.gap = sampleGap();
+    op.isWrite = rng_.chance(params_.pWrite);
+
+    if (op.isWrite) {
+        Addr line;
+        if (rng_.chance(params_.pRmw) && lastLoaded_ != 0) {
+            line = lastLoaded_;
+        } else {
+            // Independent store stream with the same run structure.
+            if (storeRunLeft_ > 0) {
+                storeCursor_ += kLineBytes;
+                if (storeCursor_ >= params_.regionBytes)
+                    storeCursor_ = 0;
+                --storeRunLeft_;
+            } else {
+                storeCursor_ = randomLine();
+                const double mean = params_.storeRunMeanLines > 0.0
+                                        ? params_.storeRunMeanLines
+                                        : params_.runMeanLines;
+                if (mean > 1.0) {
+                    storeRunLeft_ = static_cast<unsigned>(
+                        -(mean - 1.0) * std::log(1.0 - rng_.uniform()));
+                }
+            }
+            line = storeCursor_;
+        }
+        const unsigned k = sampleDirtyWords();
+        // The dirty footprint position is a deterministic hash of the
+        // line, so repeated stores to one line overwrite the same field
+        // (as real code does) instead of spreading dirtiness.
+        const unsigned start =
+            k >= kWordsPerLine
+                ? 0
+                : static_cast<unsigned>((line >> 6) * 0x9e3779b97f4a7c15ull
+                                        >> 61) %
+                      (kWordsPerLine - k + 1);
+        const unsigned width = sampleByteWidth();
+        ByteMask bytes;
+        for (unsigned w = 0; w < k; ++w)
+            bytes |= ByteMask::range((start + w) * kBytesPerWord, width);
+        op.addr = line;
+        op.bytes = bytes;
+        return op;
+    }
+
+    // Load: continue the sequential run or jump.
+    if (runLeft_ > 0) {
+        cursor_ += kLineBytes;
+        if (cursor_ >= params_.regionBytes)
+            cursor_ = 0;
+        --runLeft_;
+    } else {
+        cursor_ = randomLine();
+        if (params_.runMeanLines > 1.0) {
+            runLeft_ = static_cast<unsigned>(
+                -(params_.runMeanLines - 1.0) *
+                std::log(1.0 - rng_.uniform()));
+        }
+    }
+    op.addr = cursor_;
+    op.serializing = rng_.chance(params_.pSerializing);
+    lastLoaded_ = cursor_;
+    return op;
+}
+
+} // namespace pra::workloads

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Parameterized synthetic memory-traffic generator.
+ *
+ * SPEC CPU2006 SimPoint traces are proprietary, so the five SPEC
+ * workloads of the paper (bzip2, lbm, libquantum, mcf, omnetpp) are
+ * modeled by this generator, calibrated per benchmark to the published
+ * statistics that drive every PRA result:
+ *
+ *  - memory intensity        (gap between memory instructions),
+ *  - read/write traffic mix  (Table 1 "Memory traffic"),
+ *  - row-buffer locality     (Table 1 hit rates; sequential run lengths),
+ *  - dirty words per line    (Figure 3 distribution),
+ *  - pointer-chase fraction  (load serialization; latency sensitivity).
+ *
+ * The generator walks a large region (far beyond the 4 MB LLC) with
+ * sequential runs of geometrically distributed length, mixes in random
+ * jumps, and issues stores either read-modify-write style to the most
+ * recently loaded line or to an independent store stream.
+ */
+#ifndef PRA_WORKLOADS_SYNTHETIC_H
+#define PRA_WORKLOADS_SYNTHETIC_H
+
+#include <array>
+#include <string>
+
+#include "common/rng.h"
+#include "cpu/mem_op.h"
+
+namespace pra::workloads {
+
+/** Calibration knobs for one synthetic benchmark model. */
+struct SyntheticParams
+{
+    std::string name = "synthetic";
+    double gapMean = 30.0;    //!< Mean non-memory instructions per op.
+    double pWrite = 0.3;      //!< Store probability.
+    Addr regionBytes = 512ull << 20;   //!< Working set (>> LLC).
+    /**
+     * Mean sequential run length in lines. Runs stay inside one DRAM
+     * row, so longer runs raise the row-buffer hit rate.
+     */
+    double runMeanLines = 1.0;
+    /** Store targets the most recently loaded line (RMW style). */
+    double pRmw = 1.0;
+    /**
+     * Mean run length of the independent store stream; 0 means "same as
+     * runMeanLines". Long store runs give the writeback stream DRAM row
+     * locality (lbm-style streaming stores).
+     */
+    double storeRunMeanLines = 0.0;
+    /** Load depends on prior load (pointer chase; serializes). */
+    double pSerializing = 0.0;
+    /**
+     * Distribution of dirty word count per stored line: weight of k+1
+     * dirty words at index k (need not be normalized).
+     */
+    std::array<double, 8> dirtyWords{1, 0, 0, 0, 0, 0, 0, 0};
+    /**
+     * Distribution of changed-byte width within each dirty word
+     * (weights for 1, 2, 4, and 8 bytes). Small integer updates leave
+     * the word's high bytes untouched, which is exactly what the
+     * Skinflint (SDS) comparator exploits; PRA is insensitive to it.
+     */
+    std::array<double, 4> narrowBytes{0.30, 0.30, 0.20, 0.20};
+    std::uint64_t seed = 1;
+};
+
+/** The synthetic generator. */
+class Synthetic : public cpu::Generator
+{
+  public:
+    explicit Synthetic(const SyntheticParams &params);
+
+    cpu::MemOp next() override;
+    const char *name() const override { return params_.name.c_str(); }
+
+    const SyntheticParams &params() const { return params_; }
+
+  private:
+    Addr randomLine();
+    unsigned sampleGap();
+    unsigned sampleDirtyWords();
+    unsigned sampleByteWidth();
+
+    SyntheticParams params_;
+    Rng rng_;
+    double dirtyTotal_ = 0.0;
+
+    Addr cursor_ = 0;        //!< Current sequential read position.
+    unsigned runLeft_ = 0;   //!< Lines remaining in the current run.
+    Addr lastLoaded_ = 0;    //!< For RMW stores.
+    Addr storeCursor_ = 0;   //!< Independent store stream position.
+    unsigned storeRunLeft_ = 0;
+};
+
+} // namespace pra::workloads
+
+#endif // PRA_WORKLOADS_SYNTHETIC_H

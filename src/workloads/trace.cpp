@@ -1,0 +1,120 @@
+#include "workloads/trace.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace pra::workloads {
+
+bool
+parseTraceLine(const std::string &line, cpu::MemOp &op)
+{
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = line.find('#');
+    const std::string body =
+        hash == std::string::npos ? line : line.substr(0, hash);
+    std::istringstream is(body);
+
+    unsigned gap = 0;
+    std::string kind;
+    if (!(is >> gap >> kind))
+        return false;   // Blank or comment line.
+
+    op = cpu::MemOp{};
+    op.gap = gap;
+    std::string addr_hex;
+    if (!(is >> addr_hex))
+        throw std::runtime_error("trace line missing address: " + line);
+    op.addr = std::stoull(addr_hex, nullptr, 16);
+
+    if (kind == "R") {
+        // Plain load.
+    } else if (kind == "S") {
+        op.serializing = true;
+    } else if (kind == "W") {
+        op.isWrite = true;
+        std::string mask_hex;
+        if (!(is >> mask_hex))
+            throw std::runtime_error("store missing byte mask: " + line);
+        op.bytes = ByteMask(std::stoull(mask_hex, nullptr, 16));
+        if (op.bytes.empty())
+            throw std::runtime_error("store with empty byte mask: " +
+                                     line);
+    } else {
+        throw std::runtime_error("unknown trace op '" + kind + "'");
+    }
+    return true;
+}
+
+std::string
+formatTraceLine(const cpu::MemOp &op)
+{
+    std::ostringstream os;
+    os << op.gap << ' ';
+    if (op.isWrite)
+        os << "W ";
+    else
+        os << (op.serializing ? "S " : "R ");
+    os << std::hex << op.addr;
+    if (op.isWrite)
+        os << ' ' << op.bytes.bits();
+    return os.str();
+}
+
+std::vector<cpu::MemOp>
+readTrace(std::istream &in)
+{
+    std::vector<cpu::MemOp> ops;
+    std::string line;
+    while (std::getline(in, line)) {
+        cpu::MemOp op;
+        if (parseTraceLine(line, op))
+            ops.push_back(op);
+    }
+    return ops;
+}
+
+void
+writeTrace(std::ostream &out, const std::vector<cpu::MemOp> &ops)
+{
+    out << "# pra-dram memory trace: <gap> R|S|W <addr> [bytemask]\n";
+    for (const auto &op : ops)
+        out << formatTraceLine(op) << '\n';
+}
+
+std::vector<cpu::MemOp>
+recordTrace(cpu::Generator &gen, std::size_t count)
+{
+    std::vector<cpu::MemOp> ops;
+    ops.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        ops.push_back(gen.next());
+    return ops;
+}
+
+TraceGenerator::TraceGenerator(std::vector<cpu::MemOp> ops,
+                               std::string name)
+    : ops_(std::move(ops)), name_(std::move(name))
+{
+    if (ops_.empty())
+        throw std::invalid_argument("empty trace");
+}
+
+TraceGenerator
+TraceGenerator::fromFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        throw std::runtime_error("cannot open trace file " + path);
+    return TraceGenerator(readTrace(in), path);
+}
+
+cpu::MemOp
+TraceGenerator::next()
+{
+    const cpu::MemOp op = ops_[pos_];
+    pos_ = (pos_ + 1) % ops_.size();
+    return op;
+}
+
+} // namespace pra::workloads

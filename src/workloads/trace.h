@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Memory-trace recording and replay.
+ *
+ * The paper drove its platform with SPEC CPU2006 SimPoint traces; those
+ * are proprietary, but the trace layer makes them pluggable: any
+ * instruction-level memory trace in the simple text format below can be
+ * replayed through the full platform in place of a synthetic generator,
+ * and any generator can be recorded to a file for inspection or reuse.
+ *
+ * Format — one operation per line, '#' comments allowed:
+ *
+ *     <gap> R <hex addr>              # load
+ *     <gap> S <hex addr>              # serializing (dependent) load
+ *     <gap> W <hex addr> <hex bytemask>  # store with 64-bit dirty mask
+ *
+ * where <gap> is the number of non-memory instructions preceding the
+ * operation.
+ */
+#ifndef PRA_WORKLOADS_TRACE_H
+#define PRA_WORKLOADS_TRACE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "cpu/mem_op.h"
+
+namespace pra::workloads {
+
+/** Parse one trace line; returns false for blank/comment lines. */
+bool parseTraceLine(const std::string &line, cpu::MemOp &op);
+
+/** Format @p op as one trace line. */
+std::string formatTraceLine(const cpu::MemOp &op);
+
+/** Read a whole trace from a stream (throws on malformed lines). */
+std::vector<cpu::MemOp> readTrace(std::istream &in);
+
+/** Write @p ops to a stream in trace format. */
+void writeTrace(std::ostream &out, const std::vector<cpu::MemOp> &ops);
+
+/** Record @p count operations from @p gen. */
+std::vector<cpu::MemOp> recordTrace(cpu::Generator &gen,
+                                    std::size_t count);
+
+/**
+ * Generator that replays a recorded trace, looping when it reaches the
+ * end (simulations run for a fixed instruction count, so the trace must
+ * be effectively infinite).
+ */
+class TraceGenerator : public cpu::Generator
+{
+  public:
+    TraceGenerator(std::vector<cpu::MemOp> ops, std::string name);
+
+    /** Load from a trace file on disk. */
+    static TraceGenerator fromFile(const std::string &path);
+
+    cpu::MemOp next() override;
+    const char *name() const override { return name_.c_str(); }
+
+    std::size_t size() const { return ops_.size(); }
+
+  private:
+    std::vector<cpu::MemOp> ops_;
+    std::string name_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace pra::workloads
+
+#endif // PRA_WORKLOADS_TRACE_H

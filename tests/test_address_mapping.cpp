@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Tests for the address mapper: decode/encode inversion, field bounds,
+ * and the locality/parallelism properties that distinguish the two
+ * interleaving policies.
+ */
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "common/rng.h"
+#include "dram/address_mapping.h"
+
+namespace pra::dram {
+namespace {
+
+DramConfig
+configFor(AddrMapping mapping)
+{
+    DramConfig cfg;
+    cfg.mapping = mapping;
+    return cfg;
+}
+
+TEST(AddressMapper, CapacityMatchesTable3)
+{
+    const DramConfig cfg;
+    const AddressMapper m(cfg);
+    // 2 channels x 2 ranks x 8 banks x 32k rows x 8 KB rows = 8 GB.
+    EXPECT_EQ(m.capacityBytes(), 8ull << 30);
+}
+
+TEST(AddressMapper, DecodeZero)
+{
+    const AddressMapper m(configFor(AddrMapping::RowInterleaved));
+    const DecodedAddr d = m.decode(0);
+    EXPECT_EQ(d.channel, 0u);
+    EXPECT_EQ(d.rank, 0u);
+    EXPECT_EQ(d.bank, 0u);
+    EXPECT_EQ(d.row, 0u);
+    EXPECT_EQ(d.col, 0u);
+}
+
+TEST(AddressMapper, RowInterleavedKeepsRunsInRow)
+{
+    // Consecutive lines share a row until the 128-line row boundary.
+    const AddressMapper m(configFor(AddrMapping::RowInterleaved));
+    const DecodedAddr first = m.decode(0);
+    for (unsigned i = 1; i < 128; ++i) {
+        const DecodedAddr d = m.decode(i * kLineBytes);
+        EXPECT_TRUE(d.sameRow(first)) << "line " << i;
+        EXPECT_EQ(d.col, i);
+    }
+    EXPECT_FALSE(m.decode(128 * kLineBytes).sameRow(first));
+}
+
+TEST(AddressMapper, LineInterleavedSpreadsAcrossChannelsAndBanks)
+{
+    const AddressMapper m(configFor(AddrMapping::LineInterleaved));
+    // Consecutive lines alternate channels.
+    EXPECT_NE(m.decode(0).channel, m.decode(kLineBytes).channel);
+    // Lines 0 and 2 share a channel but differ in bank.
+    const DecodedAddr a = m.decode(0);
+    const DecodedAddr b = m.decode(2 * kLineBytes);
+    EXPECT_EQ(a.channel, b.channel);
+    EXPECT_NE(a.bank, b.bank);
+    // The 32 consecutive lines cover all channel x bank x rank combos.
+    std::set<std::tuple<unsigned, unsigned, unsigned>> combos;
+    for (unsigned i = 0; i < 32; ++i) {
+        const DecodedAddr d = m.decode(i * kLineBytes);
+        combos.insert({d.channel, d.rank, d.bank});
+    }
+    EXPECT_EQ(combos.size(), 32u);
+}
+
+TEST(AddressMapper, FieldsWithinBounds)
+{
+    for (auto mapping :
+         {AddrMapping::RowInterleaved, AddrMapping::LineInterleaved}) {
+        const DramConfig cfg = configFor(mapping);
+        const AddressMapper m(cfg);
+        Rng rng(5);
+        for (int i = 0; i < 10000; ++i) {
+            const Addr a = rng.below(m.capacityBytes());
+            const DecodedAddr d = m.decode(a);
+            ASSERT_LT(d.channel, cfg.channels);
+            ASSERT_LT(d.rank, cfg.ranksPerChannel);
+            ASSERT_LT(d.bank, cfg.banksPerRank);
+            ASSERT_LT(d.row, cfg.rowsPerBank);
+            ASSERT_LT(d.col, cfg.linesPerRow);
+        }
+    }
+}
+
+/** Property: encode(decode(a)) == lineBase(a), both mappings. */
+class MappingRoundTrip : public ::testing::TestWithParam<AddrMapping>
+{
+};
+
+TEST_P(MappingRoundTrip, EncodeInvertsDecode)
+{
+    const DramConfig cfg = configFor(GetParam());
+    const AddressMapper m(cfg);
+    Rng rng(17);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = rng.below(m.capacityBytes());
+        EXPECT_EQ(m.encode(m.decode(a)), lineBase(a));
+    }
+}
+
+TEST_P(MappingRoundTrip, DistinctLinesDecodeDistinct)
+{
+    const DramConfig cfg = configFor(GetParam());
+    const AddressMapper m(cfg);
+    Rng rng(23);
+    for (int i = 0; i < 5000; ++i) {
+        const Addr a = lineBase(rng.below(m.capacityBytes()));
+        const Addr b = lineBase(rng.below(m.capacityBytes()));
+        if (a != b) {
+            EXPECT_NE(m.encode(m.decode(a)), m.encode(m.decode(b)));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMappings, MappingRoundTrip,
+                         ::testing::Values(AddrMapping::RowInterleaved,
+                                           AddrMapping::LineInterleaved));
+
+TEST(AddressMapper, SmallOrganizationsWork)
+{
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 1;
+    cfg.banksPerRank = 4;
+    cfg.rowsPerBank = 64;
+    cfg.linesPerRow = 16;
+    const AddressMapper m(cfg);
+    EXPECT_EQ(m.capacityBytes(), 1ull * 1 * 4 * 64 * 16 * 64);
+    for (Addr a = 0; a < m.capacityBytes(); a += kLineBytes)
+        ASSERT_EQ(m.encode(m.decode(a)), a);
+}
+
+} // namespace
+} // namespace pra::dram

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Unit and property tests for WordMask / ByteMask — the FGD dirty masks
+ * and the PRA activation mask semantics everything else builds on.
+ */
+#include <gtest/gtest.h>
+
+#include "common/bitmask.h"
+
+namespace pra {
+namespace {
+
+TEST(WordMask, DefaultIsEmpty)
+{
+    WordMask m;
+    EXPECT_TRUE(m.empty());
+    EXPECT_EQ(m.count(), 0u);
+    EXPECT_FALSE(m.isFull());
+}
+
+TEST(WordMask, FullHasAllWords)
+{
+    const WordMask m = WordMask::full();
+    EXPECT_TRUE(m.isFull());
+    EXPECT_EQ(m.count(), kWordsPerLine);
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        EXPECT_TRUE(m.test(w));
+}
+
+TEST(WordMask, SingleSetsExactlyOneBit)
+{
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        const WordMask m = WordMask::single(w);
+        EXPECT_EQ(m.count(), 1u);
+        EXPECT_TRUE(m.test(w));
+        for (unsigned o = 0; o < kWordsPerLine; ++o) {
+            if (o != w) {
+                EXPECT_FALSE(m.test(o));
+            }
+        }
+    }
+}
+
+TEST(WordMask, FirstWordsPrefix)
+{
+    EXPECT_EQ(WordMask::firstWords(0).bits(), 0x00u);
+    EXPECT_EQ(WordMask::firstWords(1).bits(), 0x01u);
+    EXPECT_EQ(WordMask::firstWords(3).bits(), 0x07u);
+    EXPECT_EQ(WordMask::firstWords(8).bits(), 0xffu);
+    EXPECT_EQ(WordMask::firstWords(12).bits(), 0xffu);
+}
+
+TEST(WordMask, SetClearRoundTrip)
+{
+    WordMask m;
+    m.set(3);
+    m.set(5);
+    EXPECT_EQ(m.count(), 2u);
+    m.clear(3);
+    EXPECT_FALSE(m.test(3));
+    EXPECT_TRUE(m.test(5));
+}
+
+TEST(WordMask, CoversIsSupersetRelation)
+{
+    const WordMask big(0b11011000);
+    const WordMask small(0b10010000);
+    EXPECT_TRUE(big.covers(small));
+    EXPECT_FALSE(small.covers(big));
+    EXPECT_TRUE(big.covers(big));
+    EXPECT_TRUE(big.covers(WordMask::none()));
+    EXPECT_TRUE(WordMask::full().covers(big));
+}
+
+TEST(WordMask, OrMergeMatchesPaperMaskMerging)
+{
+    // "if a PRA mask is 10000001b ... PRA masks are ORed"
+    const WordMask a(0b10000001);
+    const WordMask b(0b01000000);
+    const WordMask merged = a | b;
+    EXPECT_EQ(merged.bits(), 0b11000001u);
+    EXPECT_TRUE(merged.covers(a));
+    EXPECT_TRUE(merged.covers(b));
+}
+
+/** Property sweep over all 256 mask values. */
+class WordMaskExhaustive : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(WordMaskExhaustive, CountMatchesBitLoop)
+{
+    const WordMask m(static_cast<std::uint8_t>(GetParam()));
+    unsigned expected = 0;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        expected += m.test(w) ? 1 : 0;
+    EXPECT_EQ(m.count(), expected);
+}
+
+TEST_P(WordMaskExhaustive, OrWithFullIsFull)
+{
+    const WordMask m(static_cast<std::uint8_t>(GetParam()));
+    EXPECT_TRUE((m | WordMask::full()).isFull());
+    EXPECT_EQ((m | WordMask::none()), m);
+    EXPECT_EQ((m & WordMask::full()), m);
+}
+
+TEST_P(WordMaskExhaustive, CoversSelfAndSubsets)
+{
+    const WordMask m(static_cast<std::uint8_t>(GetParam()));
+    EXPECT_TRUE(m.covers(m));
+    // Any single-bit subset is covered.
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        if (m.test(w)) {
+            EXPECT_TRUE(m.covers(WordMask::single(w)));
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllMasks, WordMaskExhaustive,
+                         ::testing::Range(0, 256));
+
+TEST(ByteMask, RangeAndWordConstruction)
+{
+    EXPECT_TRUE(ByteMask::range(0, 0).empty());
+    EXPECT_TRUE(ByteMask::range(0, 64) == ByteMask::full());
+    const ByteMask one_byte = ByteMask::range(13, 1);
+    EXPECT_EQ(one_byte.count(), 1u);
+    EXPECT_TRUE(one_byte.test(13));
+
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        const ByteMask m = ByteMask::word(w);
+        EXPECT_EQ(m.count(), kBytesPerWord);
+        EXPECT_EQ(m.toWordMask(), WordMask::single(w));
+    }
+}
+
+TEST(ByteMask, ToWordMaskAnyDirtyByteDirtiesWord)
+{
+    // A single dirty byte anywhere in word w dirties exactly word w.
+    for (unsigned byte = 0; byte < kLineBytes; ++byte) {
+        const ByteMask m = ByteMask::range(byte, 1);
+        const WordMask words = m.toWordMask();
+        EXPECT_EQ(words.count(), 1u);
+        EXPECT_TRUE(words.test(byte / kBytesPerWord));
+    }
+}
+
+TEST(ByteMask, ToWordMaskSpanningRange)
+{
+    // Bytes 6..10 span words 0 and 1.
+    const ByteMask m = ByteMask::range(6, 5);
+    EXPECT_EQ(m.toWordMask().bits(), 0b00000011u);
+}
+
+TEST(ByteMask, ChipMaskIsByPositionWithinWord)
+{
+    // Dirty byte at position c of any word requires chip c (SDS).
+    for (unsigned w = 0; w < kWordsPerLine; ++w) {
+        for (unsigned c = 0; c < kBytesPerWord; ++c) {
+            const ByteMask m = ByteMask::range(w * kBytesPerWord + c, 1);
+            EXPECT_EQ(m.toChipMask(), 1u << c);
+        }
+    }
+}
+
+TEST(ByteMask, ChipMaskVsWordMaskCoverage)
+{
+    // One fully dirty word needs ALL chips (every byte position), but
+    // only one MAT group — the asymmetry behind PRA's better coverage
+    // than SDS (paper Section 3).
+    const ByteMask one_word = ByteMask::word(3);
+    EXPECT_EQ(one_word.toChipMask(), 0xffu);
+    EXPECT_EQ(one_word.toWordMask().count(), 1u);
+
+    // Dirty byte 0 of every word needs 1 chip but all 8 MAT groups.
+    ByteMask stripe;
+    for (unsigned w = 0; w < kWordsPerLine; ++w)
+        stripe |= ByteMask::range(w * kBytesPerWord, 1);
+    EXPECT_EQ(stripe.toChipMask(), 0x01u);
+    EXPECT_TRUE(stripe.toWordMask().isFull());
+}
+
+TEST(ByteMask, OrAccumulatesStores)
+{
+    ByteMask dirty;
+    dirty |= ByteMask::range(0, 4);
+    dirty |= ByteMask::range(60, 4);
+    EXPECT_EQ(dirty.count(), 8u);
+    EXPECT_EQ(dirty.toWordMask().bits(), 0b10000001u);
+}
+
+} // namespace
+} // namespace pra

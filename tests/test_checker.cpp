@@ -1,0 +1,237 @@
+/**
+ * @file
+ * Tests for the independent DDR3 protocol checker — first against
+ * hand-built legal and illegal command sequences, then end-to-end: the
+ * checker rides along full-system simulations of every scheme and must
+ * find no violations in the controller's command stream.
+ */
+#include <gtest/gtest.h>
+
+#include "dram/checker.h"
+#include "sim/experiment.h"
+
+namespace pra::dram {
+namespace {
+
+const Timing kT{};
+
+DramConfig
+oneChannel()
+{
+    DramConfig cfg;
+    cfg.channels = 1;
+    return cfg;
+}
+
+CheckedCommand
+act(Cycle cycle, unsigned rank, unsigned bank, std::uint32_t row,
+    double weight = 1.0, bool partial = false)
+{
+    return {CheckedCommand::Kind::Activate, cycle, rank, bank, row,
+            partial, weight, 0};
+}
+
+CheckedCommand
+rd(Cycle cycle, unsigned rank, unsigned bank)
+{
+    return {CheckedCommand::Kind::Read, cycle, rank, bank, 0, false, 0.0,
+            4};
+}
+
+CheckedCommand
+wr(Cycle cycle, unsigned rank, unsigned bank)
+{
+    return {CheckedCommand::Kind::Write, cycle, rank, bank, 0, false, 0.0,
+            4};
+}
+
+CheckedCommand
+pre(Cycle cycle, unsigned rank, unsigned bank)
+{
+    return {CheckedCommand::Kind::Precharge, cycle, rank, bank, 0, false,
+            0.0, 0};
+}
+
+TEST(Checker, LegalReadSequenceIsClean)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5));
+    c.observe(rd(kT.tRcd, 0, 0));
+    c.observe(pre(kT.tRas, 0, 0));
+    c.observe(act(kT.tRc, 0, 0, 6));
+    EXPECT_TRUE(c.clean()) << c.violations()[0];
+    EXPECT_EQ(c.commandsChecked(), 4u);
+}
+
+TEST(Checker, EarlyColumnViolatesTrcd)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5));
+    c.observe(rd(kT.tRcd - 1, 0, 0));
+    ASSERT_FALSE(c.clean());
+    EXPECT_NE(c.violations()[0].find("tRCD"), std::string::npos);
+}
+
+TEST(Checker, PartialActivationShiftsColumnWindow)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5, 3.7 / 22.2, true));
+    c.observe(wr(kT.tRcd, 0, 0));   // One cycle too early under PRA.
+    EXPECT_FALSE(c.clean());
+
+    TimingChecker ok(oneChannel());
+    ok.observe(act(0, 0, 0, 5, 3.7 / 22.2, true));
+    ok.observe(wr(kT.tRcd + kT.praMaskCycles, 0, 0));
+    EXPECT_TRUE(ok.clean());
+}
+
+TEST(Checker, EarlyPrechargeViolatesTras)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5));
+    c.observe(pre(kT.tRas - 1, 0, 0));
+    ASSERT_FALSE(c.clean());
+    EXPECT_NE(c.violations()[0].find("tRAS"), std::string::npos);
+}
+
+TEST(Checker, WriteRecoveryExtendsPrecharge)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5));
+    const Cycle w = kT.tRcd;
+    c.observe(wr(w, 0, 0));
+    c.observe(pre(w + kT.wl + 4 + kT.tWr - 1, 0, 0));
+    EXPECT_FALSE(c.clean());
+}
+
+TEST(Checker, ActToOpenBankFlagged)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5));
+    c.observe(act(100, 0, 0, 6));
+    ASSERT_FALSE(c.clean());
+    EXPECT_NE(c.violations()[0].find("open bank"), std::string::npos);
+}
+
+TEST(Checker, TrrdBetweenRankActivations)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5));
+    c.observe(act(kT.tRrd - 1, 0, 1, 5));
+    EXPECT_FALSE(c.clean());
+}
+
+TEST(Checker, WeightedTrrdAllowsFasterPartialFollowup)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5, 3.7 / 22.2, true));
+    c.observe(act(2, 0, 1, 5, 3.7 / 22.2, true));   // Floor gap.
+    EXPECT_TRUE(c.clean());
+}
+
+TEST(Checker, TfawFifthActivationFlagged)
+{
+    TimingChecker c(oneChannel());
+    Cycle t = 0;
+    for (unsigned b = 0; b < 4; ++b) {
+        c.observe(act(t, 0, b, 1));
+        t += kT.tRrd;
+    }
+    c.observe(act(t, 0, 4, 1));
+    ASSERT_FALSE(c.clean());
+    EXPECT_NE(c.violations()[0].find("tFAW"), std::string::npos);
+}
+
+TEST(Checker, WeightedTfawAdmitsPartials)
+{
+    TimingChecker c(oneChannel());
+    Cycle t = 0;
+    for (unsigned b = 0; b < 8; ++b) {
+        c.observe(act(t, 0, b, 1, 3.7 / 22.2, true));
+        t += 2;
+    }
+    EXPECT_TRUE(c.clean());
+}
+
+TEST(Checker, DataBusOverlapFlagged)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 1));
+    c.observe(act(kT.tRrd, 0, 1, 1));
+    c.observe(rd(kT.tRrd + kT.tRcd, 0, 0));
+    c.observe(rd(kT.tRrd + kT.tRcd + 2, 0, 1));   // Bursts overlap.
+    ASSERT_FALSE(c.clean());
+    EXPECT_NE(c.violations()[0].find("data-bus"), std::string::npos);
+}
+
+TEST(Checker, RefreshRequiresClosedBanks)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 1));
+    c.observe({CheckedCommand::Kind::Refresh, 10, 0, 0, 0, false, 0.0, 0});
+    EXPECT_FALSE(c.clean());
+}
+
+TEST(Checker, CommandDuringRefreshFlagged)
+{
+    TimingChecker c(oneChannel());
+    c.observe({CheckedCommand::Kind::Refresh, 0, 0, 0, 0, false, 0.0, 0});
+    c.observe(act(kT.tRfc - 1, 0, 0, 1));
+    EXPECT_FALSE(c.clean());
+
+    TimingChecker ok(oneChannel());
+    ok.observe(
+        {CheckedCommand::Kind::Refresh, 0, 0, 0, 0, false, 0.0, 0});
+    ok.observe(act(kT.tRfc, 0, 0, 1));
+    EXPECT_TRUE(ok.clean());
+}
+
+/**
+ * End-to-end: run the full platform with the checker attached for every
+ * scheme and policy; the controller's command stream must be violation
+ * free.
+ */
+class CheckerEndToEnd
+    : public ::testing::TestWithParam<std::tuple<Scheme, PagePolicy>>
+{
+};
+
+TEST_P(CheckerEndToEnd, FullSimulationIsProtocolClean)
+{
+    const auto [scheme, policy] = GetParam();
+    sim::SystemConfig cfg =
+        sim::makeConfig({scheme, policy, false});
+    cfg.dram.enableChecker = true;
+    cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};
+    cfg.warmupOpsPerCore = 5000;
+    cfg.targetInstructions = 80'000;
+
+    const workloads::Mix mix{"mix", {"GUPS", "lbm", "em3d", "mcf"}};
+    std::vector<std::unique_ptr<cpu::Generator>> gens;
+    for (unsigned i = 0; i < mix.apps.size(); ++i)
+        gens.push_back(workloads::makeGenerator(mix.apps[i], i + 1));
+    sim::System system(cfg, std::move(gens));
+    system.run();
+
+    std::uint64_t checked = 0;
+    for (unsigned ch = 0; ch < system.dram().numChannels(); ++ch) {
+        const TimingChecker *checker =
+            system.dram().channel(ch).checker();
+        ASSERT_NE(checker, nullptr);
+        checked += checker->commandsChecked();
+        EXPECT_TRUE(checker->clean())
+            << "channel " << ch << ": " << checker->violations()[0];
+    }
+    EXPECT_GT(checked, 10'000u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, CheckerEndToEnd,
+    ::testing::Combine(
+        ::testing::Values(Scheme::Baseline, Scheme::Fga, Scheme::HalfDram,
+                          Scheme::Pra, Scheme::HalfDramPra),
+        ::testing::Values(PagePolicy::RelaxedClose,
+                          PagePolicy::RestrictedClose)));
+
+} // namespace
+} // namespace pra::dram

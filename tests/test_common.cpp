@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the common utilities: address helpers, RNG determinism and
+ * statistical sanity, counters/histograms, and the table printer.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/rng.h"
+#include "common/stats.h"
+#include "common/table.h"
+#include "common/types.h"
+
+namespace pra {
+namespace {
+
+TEST(Types, LineBaseAlignsDown)
+{
+    EXPECT_EQ(lineBase(0), 0u);
+    EXPECT_EQ(lineBase(63), 0u);
+    EXPECT_EQ(lineBase(64), 64u);
+    EXPECT_EQ(lineBase(0x12345), 0x12340u);
+}
+
+TEST(Types, WordInLine)
+{
+    EXPECT_EQ(wordInLine(0), 0u);
+    EXPECT_EQ(wordInLine(7), 0u);
+    EXPECT_EQ(wordInLine(8), 1u);
+    EXPECT_EQ(wordInLine(63), 7u);
+    EXPECT_EQ(wordInLine(64), 0u);   // Wraps per line.
+}
+
+TEST(Types, ByteInLine)
+{
+    EXPECT_EQ(byteInLine(0), 0u);
+    EXPECT_EQ(byteInLine(63), 63u);
+    EXPECT_EQ(byteInLine(64), 0u);
+}
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng rng(7);
+    double sum = 0.0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double u = rng.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInBound)
+{
+    Rng rng(9);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            ASSERT_LT(rng.below(bound), bound);
+    }
+}
+
+TEST(Rng, ChanceMatchesProbability)
+{
+    Rng rng(11);
+    int hits = 0;
+    constexpr int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(Counter, IncrementAndReset)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+    c.inc();
+    c.inc(10);
+    EXPECT_EQ(c.value(), 11u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(HitRate, RateComputation)
+{
+    HitRate h;
+    EXPECT_DOUBLE_EQ(h.rate(), 0.0);
+    h.hit(3);
+    h.miss(1);
+    EXPECT_DOUBLE_EQ(h.rate(), 0.75);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(Histogram, FractionsAndMean)
+{
+    Histogram h(9);
+    h.record(1, 30);
+    h.record(8, 70);
+    EXPECT_EQ(h.total(), 100u);
+    EXPECT_DOUBLE_EQ(h.fraction(1), 0.3);
+    EXPECT_DOUBLE_EQ(h.fraction(8), 0.7);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.3 * 1 + 0.7 * 8);
+}
+
+TEST(Histogram, OutOfRangeIgnored)
+{
+    Histogram h(4);
+    h.record(10);
+    EXPECT_EQ(h.total(), 0u);
+}
+
+TEST(Summary, TracksMinMeanMax)
+{
+    Summary s;
+    s.record(2.0);
+    s.record(4.0);
+    s.record(9.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_EQ(s.samples(), 3u);
+}
+
+TEST(Table, FormatHelpers)
+{
+    EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(Table::fmt(2.0, 0), "2");
+    EXPECT_EQ(Table::pct(0.256, 1), "25.6%");
+}
+
+TEST(Table, PrintsAlignedColumns)
+{
+    Table t("demo");
+    t.header({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("== demo =="), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("22"), std::string::npos);
+}
+
+} // namespace
+} // namespace pra

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Tests for the Dirty-Block Index: row-grouped dirty tracking and the
+ * DRAM-aware proactive writeback it drives through the hierarchy.
+ */
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.h"
+
+namespace pra::cache {
+namespace {
+
+/** Row key: 8 consecutive lines per "DRAM row". */
+std::uint64_t
+rowOf(Addr addr)
+{
+    return addr / (8 * kLineBytes);
+}
+
+TEST(Dbi, TracksDirtyLines)
+{
+    DirtyBlockIndex dbi(rowOf);
+    dbi.markDirty(0 * kLineBytes);
+    dbi.markDirty(1 * kLineBytes);
+    dbi.markDirty(1 * kLineBytes);   // Idempotent.
+    EXPECT_EQ(dbi.trackedLines(), 2u);
+    dbi.markClean(0 * kLineBytes);
+    EXPECT_EQ(dbi.trackedLines(), 1u);
+    dbi.markClean(0 * kLineBytes);   // Idempotent.
+    EXPECT_EQ(dbi.trackedLines(), 1u);
+}
+
+TEST(Dbi, SiblingsAreSameRowOnly)
+{
+    DirtyBlockIndex dbi(rowOf);
+    dbi.markDirty(0 * kLineBytes);   // Row 0.
+    dbi.markDirty(3 * kLineBytes);   // Row 0.
+    dbi.markDirty(9 * kLineBytes);   // Row 1.
+    const auto siblings = dbi.siblingsForEviction(0 * kLineBytes);
+    ASSERT_EQ(siblings.size(), 1u);
+    EXPECT_EQ(siblings[0], 3 * kLineBytes);
+    // Row 0 group is consumed; row 1 still tracked.
+    EXPECT_EQ(dbi.trackedLines(), 1u);
+    EXPECT_EQ(dbi.proactiveWritebacks(), 1u);
+}
+
+TEST(Dbi, EvictionOfUntrackedLineIsEmpty)
+{
+    DirtyBlockIndex dbi(rowOf);
+    EXPECT_TRUE(dbi.siblingsForEviction(0).empty());
+}
+
+HierarchyConfig
+dbiConfig()
+{
+    HierarchyConfig cfg;
+    cfg.numCores = 1;
+    cfg.l1 = CacheParams{512, 2, kLineBytes};
+    cfg.l2 = CacheParams{2048, 2, kLineBytes};
+    cfg.enableDbi = true;
+    cfg.dbiRowKey = rowOf;
+    return cfg;
+}
+
+TEST(DbiHierarchy, EvictionFlushesWholeRowGroup)
+{
+    Hierarchy h(dbiConfig());
+    // Dirty two lines of the same "row" (lines 0 and 1), push them to
+    // the L2 by thrashing the L1 set each maps to.
+    h.access(0, 0 * kLineBytes, true, ByteMask::word(0));
+    h.access(0, 1 * kLineBytes, true, ByteMask::word(1));
+    // Force both out of L1 (L1 has 4 sets of 2; lines 0,8,16 share set 0
+    // and lines 1,9,17 share set 1).
+    for (Addr l : {8, 16, 9, 17})
+        h.access(0, l * kLineBytes, false, ByteMask::none());
+
+    // Now evict line 0 from the 16-set, 2-way L2: lines 0, 32, 64 share
+    // L2 set 0.
+    std::vector<Writeback> all;
+    for (Addr l : {32, 64}) {
+        const auto out = h.access(0, l * kLineBytes, false,
+                                  ByteMask::none());
+        all.insert(all.end(), out.writebacks.begin(),
+                   out.writebacks.end());
+    }
+    // DBI turned the eviction of line 0 into writebacks of BOTH dirty
+    // lines of row 0, each with its own mask.
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[0].addr, 0u);
+    EXPECT_EQ(all[1].addr, 1 * kLineBytes);
+    EXPECT_EQ(all[0].praMask(), WordMask::single(0));
+    EXPECT_EQ(all[1].praMask(), WordMask::single(1));
+    // The sibling stays resident but clean.
+    EXPECT_TRUE(h.l2().contains(1 * kLineBytes));
+    EXPECT_TRUE(h.l2().dirtyMask(1 * kLineBytes).empty());
+    EXPECT_EQ(h.dbi()->proactiveWritebacks(), 1u);
+}
+
+TEST(DbiHierarchy, SiblingDirtyBytesPulledFromL1)
+{
+    Hierarchy h(dbiConfig());
+    // Line 1 reaches the L2 dirty (word 1), then is re-dirtied in the L1
+    // (word 7). The row flush triggered by line 0's eviction must union
+    // both dirtiness levels into the sibling writeback.
+    h.access(0, 0 * kLineBytes, true, ByteMask::word(0));
+    h.access(0, 1 * kLineBytes, true, ByteMask::word(1));
+    for (Addr l : {8, 16, 9, 17})   // Evict lines 0 and 1 from the L1.
+        h.access(0, l * kLineBytes, false, ByteMask::none());
+    h.access(0, 1 * kLineBytes, true, ByteMask::word(7));   // Back in L1.
+
+    std::vector<Writeback> all;
+    for (Addr l : {32, 64}) {
+        const auto out = h.access(0, l * kLineBytes, false,
+                                  ByteMask::none());
+        all.insert(all.end(), out.writebacks.begin(),
+                   out.writebacks.end());
+    }
+    ASSERT_EQ(all.size(), 2u);
+    EXPECT_EQ(all[1].addr, 1 * kLineBytes);
+    EXPECT_EQ(all[1].praMask().bits(), 0b10000010u);
+    // Both copies of the sibling are clean afterwards.
+    EXPECT_TRUE(h.l1(0).dirtyMask(1 * kLineBytes).empty());
+    EXPECT_TRUE(h.l2().dirtyMask(1 * kLineBytes).empty());
+}
+
+TEST(DbiHierarchy, CleanEvictionTriggersNothing)
+{
+    Hierarchy h(dbiConfig());
+    h.access(0, 0 * kLineBytes, false, ByteMask::none());
+    std::vector<Writeback> all;
+    for (Addr l : {32, 64}) {
+        const auto out = h.access(0, l * kLineBytes, false,
+                                  ByteMask::none());
+        all.insert(all.end(), out.writebacks.begin(),
+                   out.writebacks.end());
+    }
+    EXPECT_TRUE(all.empty());
+}
+
+TEST(DbiHierarchy, WritebackCountMatchesHistogram)
+{
+    Hierarchy h(dbiConfig());
+    std::uint64_t state = 17;
+    for (int i = 0; i < 3000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const Addr a = ((state >> 25) % 256) * kLineBytes;
+        const bool wr = (state >> 11) % 2 == 0;
+        h.access(0, a, wr, ByteMask::word(state % 8));
+    }
+    h.flush();
+    EXPECT_EQ(h.memWrites(), h.dirtyWordsHistogram().total());
+}
+
+} // namespace
+} // namespace pra::cache

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Tests for the experiment harness: configuration points, the alone-IPC
+ * cache, and the weighted-speedup metric (paper Eq. 3).
+ */
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+
+namespace pra::sim {
+namespace {
+
+TEST(ConfigPoint, KeysDistinguishConfigurations)
+{
+    const ConfigPoint a{Scheme::Pra, dram::PagePolicy::RelaxedClose,
+                        false};
+    const ConfigPoint b{Scheme::Pra, dram::PagePolicy::RestrictedClose,
+                        false};
+    const ConfigPoint c{Scheme::Pra, dram::PagePolicy::RelaxedClose,
+                        true};
+    EXPECT_NE(a.key(), b.key());
+    EXPECT_NE(a.key(), c.key());
+    EXPECT_NE(b.key(), c.key());
+}
+
+TEST(MakeConfig, AppliesSchemeAndPolicy)
+{
+    const SystemConfig cfg = makeConfig(
+        ConfigPoint{Scheme::HalfDram, dram::PagePolicy::RestrictedClose,
+                    true});
+    EXPECT_EQ(cfg.dram.scheme, Scheme::HalfDram);
+    EXPECT_EQ(cfg.dram.policy, dram::PagePolicy::RestrictedClose);
+    EXPECT_EQ(cfg.dram.mapping, dram::AddrMapping::LineInterleaved);
+    EXPECT_TRUE(cfg.enableDbi);
+
+    const SystemConfig relaxed =
+        makeConfig(ConfigPoint{Scheme::Baseline,
+                               dram::PagePolicy::RelaxedClose, false});
+    EXPECT_EQ(relaxed.dram.mapping, dram::AddrMapping::RowInterleaved);
+    EXPECT_FALSE(relaxed.enableDbi);
+}
+
+TEST(AloneIpc, CachedAndPositive)
+{
+    // Shrink the run so the test stays fast; the cache key must make the
+    // second lookup free.
+    AloneIpcCache cache;
+    const ConfigPoint point{Scheme::Baseline,
+                            dram::PagePolicy::RelaxedClose, false};
+    const double first = cache.get("GUPS", point);
+    EXPECT_GT(first, 0.0);
+    const double second = cache.get("GUPS", point);
+    EXPECT_DOUBLE_EQ(first, second);
+}
+
+TEST(WeightedSpeedup, SumsIpcRatios)
+{
+    // Synthetic check of Eq. 3 with a hand-built result.
+    AloneIpcCache cache;
+    const ConfigPoint point{Scheme::Baseline,
+                            dram::PagePolicy::RelaxedClose, false};
+    const workloads::Mix mix{"GUPS4", {"GUPS", "GUPS", "GUPS", "GUPS"}};
+    const double alone = cache.get("GUPS", point);
+
+    RunResult shared;
+    shared.ipc = {alone, alone / 2, alone / 4, alone};
+    const double ws = weightedSpeedup(mix, shared, point, cache);
+    EXPECT_NEAR(ws, 1.0 + 0.5 + 0.25 + 1.0, 1e-9);
+}
+
+TEST(WeightedSpeedup, IdenticalSharedEqualsCoreCountWhenNoContention)
+{
+    // If every core achieved its alone IPC, WS == 4 by construction.
+    AloneIpcCache cache;
+    const ConfigPoint point{Scheme::Baseline,
+                            dram::PagePolicy::RelaxedClose, false};
+    const workloads::Mix mix{"GUPS4", {"GUPS", "GUPS", "GUPS", "GUPS"}};
+    const double alone = cache.get("GUPS", point);
+    RunResult shared;
+    shared.ipc = {alone, alone, alone, alone};
+    EXPECT_NEAR(weightedSpeedup(mix, shared, point, cache), 4.0, 1e-9);
+}
+
+} // namespace
+} // namespace pra::sim

@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Tests for the two-level FGD hierarchy: inclusion, dirty-bit OR-merge
+ * on L1 eviction (paper Fig. 8), writeback mask derivation, the Figure 3
+ * histogram, and flush.
+ */
+#include <gtest/gtest.h>
+
+#include "cache/hierarchy.h"
+
+namespace pra::cache {
+namespace {
+
+HierarchyConfig
+tinyConfig()
+{
+    HierarchyConfig cfg;
+    cfg.numCores = 2;
+    cfg.l1 = CacheParams{512, 2, kLineBytes};    // 8 lines.
+    cfg.l2 = CacheParams{2048, 2, kLineBytes};   // 32 lines.
+    return cfg;
+}
+
+TEST(Hierarchy, L1HitAfterFill)
+{
+    Hierarchy h(tinyConfig());
+    const HierarchyOutcome first =
+        h.access(0, 0x1000, false, ByteMask::none());
+    EXPECT_FALSE(first.l1Hit);
+    EXPECT_TRUE(first.needsMemRead);
+    const HierarchyOutcome second =
+        h.access(0, 0x1000, false, ByteMask::none());
+    EXPECT_TRUE(second.l1Hit);
+    EXPECT_EQ(h.memReads(), 1u);
+}
+
+TEST(Hierarchy, L2HitServesOtherCore)
+{
+    Hierarchy h(tinyConfig());
+    h.access(0, 0x1000, false, ByteMask::none());
+    const HierarchyOutcome out =
+        h.access(1, 0x1000, false, ByteMask::none());
+    EXPECT_FALSE(out.l1Hit);
+    EXPECT_TRUE(out.l2Hit);
+    EXPECT_FALSE(out.needsMemRead);
+}
+
+TEST(Hierarchy, DirtyBitsMergeIntoL2OnL1Eviction)
+{
+    Hierarchy h(tinyConfig());
+    // Store into line A, then thrash core 0's L1 set so A is evicted.
+    const Addr a = 0;
+    h.access(0, a, true, ByteMask::word(2));
+    h.access(0, a + 512, false, ByteMask::none());   // Same L1 set.
+    h.access(0, a + 1024, false, ByteMask::none());  // Evicts A from L1.
+    EXPECT_EQ(h.l2().dirtyMask(a).toWordMask(), WordMask::single(2));
+}
+
+TEST(Hierarchy, WritebackMaskIsUnionOfStores)
+{
+    HierarchyConfig cfg = tinyConfig();
+    cfg.numCores = 1;
+    Hierarchy h(cfg);
+    h.access(0, 0, true, ByteMask::word(0));
+    h.access(0, 0, true, ByteMask::word(3));
+    const auto wbs = h.flush();
+    ASSERT_EQ(wbs.size(), 1u);
+    EXPECT_EQ(wbs[0].addr, 0u);
+    EXPECT_EQ(wbs[0].praMask().bits(), 0b00001001u);
+}
+
+TEST(Hierarchy, L2EvictionBackInvalidatesL1)
+{
+    HierarchyConfig cfg = tinyConfig();
+    cfg.numCores = 1;
+    cfg.l2 = CacheParams{512, 1, kLineBytes};   // 8 lines, direct-mapped.
+    Hierarchy h(cfg);
+    const Addr a = 0;
+    h.access(0, a, true, ByteMask::word(1));
+    // A line aliasing a's L2 set evicts it from L2 — and must pull the
+    // dirty bits out of the L1 into a writeback.
+    const HierarchyOutcome out =
+        h.access(0, a + 512, false, ByteMask::none());
+    ASSERT_EQ(out.writebacks.size(), 1u);
+    EXPECT_EQ(out.writebacks[0].addr, a);
+    EXPECT_EQ(out.writebacks[0].praMask(), WordMask::single(1));
+    // The L1 copy is gone (inclusion).
+    const HierarchyOutcome refetch =
+        h.access(0, a, false, ByteMask::none());
+    EXPECT_FALSE(refetch.l1Hit);
+    EXPECT_TRUE(refetch.needsMemRead);
+}
+
+TEST(Hierarchy, CleanLinesLeaveSilently)
+{
+    HierarchyConfig cfg = tinyConfig();
+    cfg.numCores = 1;
+    cfg.l2 = CacheParams{512, 1, kLineBytes};
+    Hierarchy h(cfg);
+    h.access(0, 0, false, ByteMask::none());
+    const HierarchyOutcome out =
+        h.access(0, 512, false, ByteMask::none());
+    EXPECT_TRUE(out.writebacks.empty());
+    EXPECT_EQ(h.memWrites(), 0u);
+}
+
+TEST(Hierarchy, Figure3HistogramCountsDirtyWords)
+{
+    HierarchyConfig cfg = tinyConfig();
+    cfg.numCores = 1;
+    Hierarchy h(cfg);
+    // Three lines with 1, 3, and 8 dirty words.
+    h.access(0, 0x0000, true, ByteMask::word(0));
+    ByteMask three = ByteMask::word(0);
+    three |= ByteMask::word(1);
+    three |= ByteMask::word(2);
+    h.access(0, 0x2000, true, three);
+    h.access(0, 0x4000, true, ByteMask::full());
+    h.flush();
+    const Histogram &hist = h.dirtyWordsHistogram();
+    EXPECT_EQ(hist.count(1), 1u);
+    EXPECT_EQ(hist.count(3), 1u);
+    EXPECT_EQ(hist.count(8), 1u);
+    EXPECT_EQ(hist.total(), 3u);
+}
+
+TEST(Hierarchy, FlushDrainsEverythingOnce)
+{
+    HierarchyConfig cfg = tinyConfig();
+    cfg.numCores = 2;
+    Hierarchy h(cfg);
+    h.access(0, 0x100, true, ByteMask::word(0));
+    h.access(1, 0x900, true, ByteMask::word(5));
+    const auto first = h.flush();
+    EXPECT_EQ(first.size(), 2u);
+    const auto second = h.flush();
+    EXPECT_TRUE(second.empty());
+}
+
+TEST(Hierarchy, MemTrafficCountersConsistent)
+{
+    HierarchyConfig cfg = tinyConfig();
+    cfg.numCores = 1;
+    Hierarchy h(cfg);
+    std::uint64_t state = 3;
+    std::uint64_t expected_reads = 0;
+    for (int i = 0; i < 2000; ++i) {
+        state = state * 6364136223846793005ull + 1442695040888963407ull;
+        const Addr a = ((state >> 22) % 512) * kLineBytes;
+        const bool wr = (state >> 9) % 3 == 0;
+        const auto out = h.access(0, a, wr, ByteMask::word(state % 8));
+        expected_reads += out.needsMemRead ? 1 : 0;
+    }
+    EXPECT_EQ(h.memReads(), expected_reads);
+    // Every writeback was dirty.
+    EXPECT_EQ(h.memWrites(), h.dirtyWordsHistogram().total());
+    EXPECT_EQ(h.dirtyWordsHistogram().count(0), 0u);
+}
+
+} // namespace
+} // namespace pra::cache

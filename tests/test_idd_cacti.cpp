@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Tests for the IDD-based activation power derivation (paper Eq. 1/2)
+ * and the CACTI-style area/energy model (paper Table 2 and Figure 9).
+ */
+#include <gtest/gtest.h>
+
+#include "power/cacti_model.h"
+#include "power/idd.h"
+#include "power/power_params.h"
+
+namespace pra::power {
+namespace {
+
+TEST(Idd, Equation1MatchesHandComputation)
+{
+    IddParams p;
+    p.idd0 = 100.0;
+    p.idd2n = 40.0;
+    p.idd3n = 60.0;
+    p.tRas = 28;
+    p.tRc = 39;
+    const double background = (60.0 * 28 + 40.0 * 11) / 39.0;
+    EXPECT_NEAR(actCurrent(p), 100.0 - background, 1e-9);
+}
+
+TEST(Idd, DefaultsReproducePaperTable3Powers)
+{
+    const IddParams p;
+    // P_ACT = 22.2 mW for the full row (Table 3).
+    EXPECT_NEAR(actPowerFromIdd(p), 22.2, 0.1);
+    // ACT STBY = 42 mW, PRE STBY = 27 mW.
+    EXPECT_NEAR(actStandbyPower(p), 42.0, 1e-9);
+    EXPECT_NEAR(preStandbyPower(p), 27.0, 1e-9);
+}
+
+TEST(Idd, ActPowerIncreasesWithIdd0)
+{
+    IddParams lo, hi;
+    hi.idd0 = lo.idd0 + 10.0;
+    EXPECT_GT(actPowerFromIdd(hi), actPowerFromIdd(lo));
+}
+
+TEST(Cacti, Table2PerMatEnergy)
+{
+    const ActEnergyComponents e;
+    // Table 2: total row activation energy per MAT = 16.921 pJ.
+    EXPECT_NEAR(e.perMat(), 16.921, 0.001);
+    EXPECT_NEAR(e.shared(), 18.016, 0.001);
+}
+
+TEST(Cacti, Table2FullRowEnergyPerBank)
+{
+    const CactiModel m;
+    // Table 2: total row activation energy per bank = 288.752 pJ.
+    EXPECT_NEAR(m.fullRowEnergy(), 288.752, 0.01);
+}
+
+TEST(Cacti, Table2AreaBreakdown)
+{
+    const DieArea a;
+    EXPECT_NEAR(a.totalDie, 11.884, 1e-6);
+    // Modeled components are a subset of the die.
+    EXPECT_LT(a.modeledTotal(), a.totalDie);
+    EXPECT_GT(a.modeledTotal(), 8.0);
+}
+
+TEST(Cacti, Figure9EnergyMonotonicInMats)
+{
+    const CactiModel m;
+    for (unsigned n = 2; n <= kMatsPerSubarray; ++n)
+        EXPECT_GT(m.actEnergy(n), m.actEnergy(n - 1));
+}
+
+TEST(Cacti, Figure9SharedFloorLimitsSaving)
+{
+    const CactiModel m;
+    // "the energy reduction cannot reach 50% even though reducing MATs
+    //  by half because of shared structures" (paper, Figure 9).
+    const double half_ratio = m.actEnergy(8) / m.actEnergy(16);
+    EXPECT_GT(half_ratio, 0.5);
+    EXPECT_LT(half_ratio, 0.6);
+}
+
+TEST(Cacti, ScaleFactorBoundsAndIdentity)
+{
+    const CactiModel m;
+    EXPECT_DOUBLE_EQ(m.scaleFactor(8), 1.0);
+    for (unsigned g = 1; g <= 8; ++g) {
+        EXPECT_GT(m.scaleFactor(g), 0.0);
+        EXPECT_LE(m.scaleFactor(g), 1.0);
+    }
+}
+
+TEST(Cacti, HalfHeightReducesEnergy)
+{
+    const CactiModel m;
+    for (unsigned g = 1; g <= 8; ++g)
+        EXPECT_LT(m.scaleFactor(g, true), m.scaleFactor(g, false));
+    // Half-DRAM (full width, half height) lands near the paper's
+    // P_ACT(4/8) = 11.6 mW operating point.
+    EXPECT_NEAR(m.actPower(8, 22.2, true), 11.6, 0.6);
+}
+
+/** Parameterized check: CACTI-scaled P_ACT tracks the paper's Table 3. */
+class CactiTable3 : public ::testing::TestWithParam<unsigned>
+{
+};
+
+TEST_P(CactiTable3, ActPowerWithinEightPercentOfPaper)
+{
+    const unsigned g = GetParam();
+    const PowerParams table3;
+    const CactiModel m;
+    const double derived = m.actPower(g, 22.2);
+    const double published = table3.actPowerAt(g);
+    EXPECT_NEAR(derived, published, published * 0.08 + 0.01)
+        << "granularity " << g;
+}
+
+INSTANTIATE_TEST_SUITE_P(Granularities, CactiTable3,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u, 6u, 7u, 8u));
+
+TEST(PowerParams, DeriveFromCactiOverwritesCurve)
+{
+    PowerParams p;
+    const CactiModel m;
+    p.deriveActPowerFromCacti(m, 22.2);
+    EXPECT_DOUBLE_EQ(p.actPowerAt(8), 22.2);
+    for (unsigned g = 1; g < 8; ++g)
+        EXPECT_LT(p.actPowerAt(g), p.actPowerAt(g + 1));
+}
+
+TEST(PowerParams, ActEnergyUsesRowCycleWindow)
+{
+    const PowerParams p;
+    // 22.2 mW over 39 cycles of 1.25 ns = 1082.25 pJ = 1.08225 nJ.
+    EXPECT_NEAR(p.actEnergyNj(8), 22.2 * 39 * 1.25 * 1e-3, 1e-9);
+}
+
+} // namespace
+} // namespace pra::power

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Tests for result export (JSON/CSV) and key=value configuration
+ * parsing.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/config_io.h"
+#include "sim/report.h"
+
+namespace pra::sim {
+namespace {
+
+RunResult
+sampleResult()
+{
+    RunResult r;
+    r.ipc = {0.5, 0.25};
+    r.dramCycles = 1000;
+    r.avgPowerMw = 1234.5;
+    r.totalEnergyNj = 42.0;
+    r.edp = 99.0;
+    r.breakdown.actPre = 10.0;
+    r.breakdown.readIo = 2.0;
+    r.dramStats.readReqs = 100;
+    r.dramStats.writeReqs = 50;
+    r.dramStats.readRowHits = 30;
+    r.dramStats.readRowMisses = 70;
+    r.dramStats.actGranularity.record(1, 40);
+    r.dramStats.actGranularity.record(8, 60);
+    r.dirtyWords.record(1, 9);
+    r.energy.acts[0] = 40;
+    r.energy.acts[7] = 60;
+    return r;
+}
+
+TEST(Report, JsonContainsKeyFields)
+{
+    const std::string json = toJson("GUPS", "PRA/relaxed", sampleResult());
+    EXPECT_NE(json.find("\"workload\":\"GUPS\""), std::string::npos);
+    EXPECT_NE(json.find("\"config\":\"PRA/relaxed\""), std::string::npos);
+    EXPECT_NE(json.find("\"avg_power_mw\":1234.5"), std::string::npos);
+    EXPECT_NE(json.find("\"ipc\":[0.5,0.25]"), std::string::npos);
+    EXPECT_NE(json.find("\"read_hit_rate\":0.3"), std::string::npos);
+    EXPECT_NE(json.find("\"act_granularity\":[0.4,"), std::string::npos);
+    // Balanced braces/brackets (cheap well-formedness check).
+    EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+              std::count(json.begin(), json.end(), '}'));
+    EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+              std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(Report, CsvRowMatchesHeaderArity)
+{
+    const std::string header = csvHeader();
+    const std::string row = toCsvRow("lbm", "Baseline", sampleResult());
+    EXPECT_EQ(std::count(header.begin(), header.end(), ','),
+              std::count(row.begin(), row.end(), ','));
+    EXPECT_NE(row.find("lbm,Baseline,1000,"), std::string::npos);
+}
+
+TEST(Report, CsvWriterEmitsHeaderOnce)
+{
+    std::ostringstream os;
+    CsvWriter writer(os);
+    writer.add("a", "b", sampleResult());
+    writer.add("c", "d", sampleResult());
+    const std::string out = os.str();
+    EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 3);
+    EXPECT_EQ(out.find("workload,"), 0u);
+}
+
+TEST(ConfigIo, AppliesSchemeAndPolicy)
+{
+    SystemConfig cfg;
+    applyConfigLine("scheme = pra", cfg);
+    EXPECT_EQ(cfg.dram.scheme, Scheme::Pra);
+    applyConfigLine("scheme = halfdram+pra", cfg);
+    EXPECT_EQ(cfg.dram.scheme, Scheme::HalfDramPra);
+    applyConfigLine("policy = restricted", cfg);
+    EXPECT_EQ(cfg.dram.policy, dram::PagePolicy::RestrictedClose);
+    EXPECT_EQ(cfg.dram.mapping, dram::AddrMapping::LineInterleaved);
+    applyConfigLine("policy = relaxed", cfg);
+    EXPECT_EQ(cfg.dram.mapping, dram::AddrMapping::RowInterleaved);
+}
+
+TEST(ConfigIo, NumericAndBooleanKeys)
+{
+    SystemConfig cfg;
+    applyConfigLine("row_hit_cap = 6", cfg);
+    applyConfigLine("read_queue = 32", cfg);
+    applyConfigLine("dbi = true", cfg);
+    applyConfigLine("power_down = off", cfg);
+    applyConfigLine("checker = 1", cfg);
+    applyConfigLine("target_instructions = 500000", cfg);
+    applyConfigLine("l2_kb = 2048", cfg);
+    applyConfigLine("trcd = 13", cfg);
+    EXPECT_EQ(cfg.dram.rowHitCap, 6u);
+    EXPECT_EQ(cfg.dram.readQueueDepth, 32u);
+    EXPECT_TRUE(cfg.enableDbi);
+    EXPECT_FALSE(cfg.dram.powerDownEnabled);
+    EXPECT_TRUE(cfg.dram.enableChecker);
+    EXPECT_EQ(cfg.targetInstructions, 500'000u);
+    EXPECT_EQ(cfg.caches.l2.sizeBytes, 2048u * 1024);
+    EXPECT_EQ(cfg.dram.timing.tRcd, 13u);
+}
+
+TEST(ConfigIo, CommentsAndBlanksIgnored)
+{
+    SystemConfig cfg;
+    EXPECT_FALSE(applyConfigLine("", cfg));
+    EXPECT_FALSE(applyConfigLine("   # just a comment", cfg));
+    EXPECT_TRUE(applyConfigLine("row_hit_cap = 2 # inline", cfg));
+    EXPECT_EQ(cfg.dram.rowHitCap, 2u);
+}
+
+TEST(ConfigIo, ErrorsAreLoud)
+{
+    SystemConfig cfg;
+    EXPECT_THROW(applyConfigLine("no_such_key = 1", cfg),
+                 std::runtime_error);
+    EXPECT_THROW(applyConfigLine("scheme = quantum", cfg),
+                 std::runtime_error);
+    EXPECT_THROW(applyConfigLine("dbi = perhaps", cfg),
+                 std::runtime_error);
+    EXPECT_THROW(applyConfigLine("justakey", cfg), std::runtime_error);
+}
+
+TEST(ConfigIo, StreamLoadAndDumpRoundTrip)
+{
+    SystemConfig cfg;
+    std::istringstream in(
+        "scheme = halfdram\n"
+        "policy = restricted\n"
+        "# tuned queues\n"
+        "write_queue = 48\n");
+    loadConfig(in, cfg);
+    EXPECT_EQ(cfg.dram.scheme, Scheme::HalfDram);
+    EXPECT_EQ(cfg.dram.writeQueueDepth, 48u);
+
+    const std::string dump = dumpConfig(cfg);
+    EXPECT_NE(dump.find("scheme = Half-DRAM"), std::string::npos);
+    EXPECT_NE(dump.find("policy = restricted"), std::string::npos);
+}
+
+} // namespace
+} // namespace pra::sim

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for RowBufferState: the partial-row probe semantics including
+ * the paper's false-row-buffer-hit definition (Section 5.2.1).
+ */
+#include <gtest/gtest.h>
+
+#include "core/row_buffer.h"
+
+namespace pra {
+namespace {
+
+TEST(RowBuffer, StartsClosed)
+{
+    RowBufferState rb;
+    EXPECT_FALSE(rb.isOpen());
+    EXPECT_EQ(rb.probe(5, WordMask::full()), RowProbe::Closed);
+    EXPECT_FALSE(rb.conventionalHit(5));
+}
+
+TEST(RowBuffer, FullActivationHitsEverything)
+{
+    RowBufferState rb;
+    rb.activate(7, WordMask::full());
+    EXPECT_TRUE(rb.isOpen());
+    EXPECT_FALSE(rb.isPartial());
+    EXPECT_EQ(rb.probe(7, WordMask::full()), RowProbe::Hit);
+    EXPECT_EQ(rb.probe(7, WordMask::single(3)), RowProbe::Hit);
+    EXPECT_EQ(rb.probe(8, WordMask::single(3)), RowProbe::Conflict);
+}
+
+TEST(RowBuffer, PaperFalseHitExample)
+{
+    // "if the PRA mask is 11000000b and thus local rows of the first and
+    //  second groups of MATs are currently open, a posterior read request
+    //  that targets the partially opened row will result in a false row
+    //  buffer hit"
+    RowBufferState rb;
+    rb.activate(42, WordMask(0b00000011));   // Words 0 and 1 open.
+    EXPECT_TRUE(rb.isPartial());
+    EXPECT_EQ(rb.probe(42, WordMask::full()), RowProbe::FalseHit);
+    EXPECT_TRUE(rb.conventionalHit(42));
+}
+
+TEST(RowBuffer, PaperWriteFalseHitExample)
+{
+    // "If currently opened row is maintained by 10000001b PRA mask, an
+    //  incoming write request that needs a local row of the second group
+    //  of MATs will result in a false hit."
+    RowBufferState rb;
+    rb.activate(10, WordMask(0b10000001));
+    EXPECT_EQ(rb.probe(10, WordMask::single(1)), RowProbe::FalseHit);
+    // A write inside the open footprint hits.
+    EXPECT_EQ(rb.probe(10, WordMask::single(0)), RowProbe::Hit);
+    EXPECT_EQ(rb.probe(10, WordMask::single(7)), RowProbe::Hit);
+    EXPECT_EQ(rb.probe(10, WordMask(0b10000001)), RowProbe::Hit);
+}
+
+TEST(RowBuffer, CloseResetsState)
+{
+    RowBufferState rb;
+    rb.activate(3, WordMask::full());
+    rb.close();
+    EXPECT_FALSE(rb.isOpen());
+    EXPECT_EQ(rb.probe(3, WordMask::full()), RowProbe::Closed);
+    EXPECT_FALSE(rb.conventionalHit(3));
+}
+
+TEST(RowBuffer, ReactivationReplacesMask)
+{
+    RowBufferState rb;
+    rb.activate(3, WordMask::single(0));
+    rb.close();
+    rb.activate(3, WordMask::single(7));
+    EXPECT_EQ(rb.probe(3, WordMask::single(7)), RowProbe::Hit);
+    EXPECT_EQ(rb.probe(3, WordMask::single(0)), RowProbe::FalseHit);
+}
+
+/** Property sweep over open-mask x need-mask combinations. */
+class RowBufferProbe
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(RowBufferProbe, ProbeMatchesSetAlgebra)
+{
+    const auto [open_bits, need_bits] = GetParam();
+    if (open_bits == 0)
+        return;   // An activation always opens at least one group.
+    RowBufferState rb;
+    const WordMask open(static_cast<std::uint8_t>(open_bits));
+    const WordMask need(static_cast<std::uint8_t>(need_bits));
+    rb.activate(100, open);
+
+    const RowProbe same_row = rb.probe(100, need);
+    if ((open.bits() & need.bits()) == need.bits())
+        EXPECT_EQ(same_row, RowProbe::Hit);
+    else
+        EXPECT_EQ(same_row, RowProbe::FalseHit);
+
+    EXPECT_EQ(rb.probe(101, need), RowProbe::Conflict);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MaskAlgebra, RowBufferProbe,
+    ::testing::Combine(::testing::Values(0x01, 0x03, 0x81, 0x0f, 0xff,
+                                         0x55, 0x80),
+                       ::testing::Values(0x00, 0x01, 0x02, 0x80, 0x81,
+                                         0xff, 0x55, 0x20)));
+
+} // namespace
+} // namespace pra

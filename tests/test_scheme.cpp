@@ -1,0 +1,154 @@
+/**
+ * @file
+ * Tests for SchemeTraits: the behavioural contract of each evaluated
+ * DRAM organization (baseline, FGA, Half-DRAM, PRA, combined).
+ */
+#include <gtest/gtest.h>
+
+#include "core/scheme.h"
+
+namespace pra {
+namespace {
+
+const power::PowerParams kPower{};
+
+TEST(Scheme, Names)
+{
+    EXPECT_EQ(schemeName(Scheme::Baseline), "Baseline");
+    EXPECT_EQ(schemeName(Scheme::Fga), "FGA");
+    EXPECT_EQ(schemeName(Scheme::HalfDram), "Half-DRAM");
+    EXPECT_EQ(schemeName(Scheme::Pra), "PRA");
+    EXPECT_EQ(schemeName(Scheme::HalfDramPra), "Half-DRAM+PRA");
+}
+
+TEST(Scheme, BaselineAlwaysFullRow)
+{
+    const SchemeTraits t = SchemeTraits::of(Scheme::Baseline);
+    EXPECT_EQ(t.actGranularity(false, WordMask::full()), 8u);
+    EXPECT_EQ(t.actGranularity(true, WordMask::single(0)), 8u);
+    EXPECT_TRUE(t.actMask(true, WordMask::single(0)).isFull());
+    EXPECT_FALSE(t.needsMaskCycle(true, WordMask::single(0)));
+    EXPECT_EQ(t.burstCycles(4), 4u);
+    EXPECT_EQ(t.wordsDriven(WordMask::single(0)), kWordsPerLine);
+    EXPECT_DOUBLE_EQ(t.actWeight(8, kPower), 1.0);
+}
+
+TEST(Scheme, FgaHalfRowDoubleBursts)
+{
+    const SchemeTraits t = SchemeTraits::of(Scheme::Fga);
+    // Half-row activation for reads AND writes.
+    EXPECT_EQ(t.actGranularity(false, WordMask::full()), 4u);
+    EXPECT_EQ(t.actGranularity(true, WordMask::single(2)), 4u);
+    // n-bit prefetch broken: a 64 B line takes twice the bus time.
+    EXPECT_EQ(t.burstCycles(4), 8u);
+    // The whole line is still transferred.
+    EXPECT_EQ(t.wordsDriven(WordMask::single(2)), kWordsPerLine);
+    EXPECT_FALSE(t.needsMaskCycle(true, WordMask::single(2)));
+}
+
+TEST(Scheme, HalfDramHalfHeightFullBandwidth)
+{
+    const SchemeTraits t = SchemeTraits::of(Scheme::HalfDram);
+    EXPECT_TRUE(t.halfHeight);
+    EXPECT_EQ(t.actGranularity(false, WordMask::full()), 8u);
+    EXPECT_EQ(t.actGranularity(true, WordMask::single(1)), 8u);
+    EXPECT_EQ(t.burstCycles(4), 4u);   // Full bandwidth maintained.
+    EXPECT_EQ(t.wordsDriven(WordMask::single(1)), kWordsPerLine);
+    // Half-height activations get roughly the 2x tFAW relaxation the
+    // Half-DRAM paper claims.
+    const double w = t.actWeight(8, kPower);
+    EXPECT_GT(w, 0.4);
+    EXPECT_LT(w, 0.65);
+}
+
+TEST(Scheme, PraAsymmetricReadWrite)
+{
+    const SchemeTraits t = SchemeTraits::of(Scheme::Pra);
+    // Reads: full row, full bandwidth, no mask cycle.
+    EXPECT_EQ(t.actGranularity(false, WordMask::full()), 8u);
+    EXPECT_FALSE(t.needsMaskCycle(false, WordMask::full()));
+    EXPECT_EQ(t.burstCycles(4), 4u);
+    // Writes: granularity tracks the dirty mask.
+    for (unsigned k = 1; k <= 8; ++k) {
+        const WordMask m = WordMask::firstWords(k);
+        EXPECT_EQ(t.actGranularity(true, m), k);
+        EXPECT_EQ(t.actMask(true, m), m);
+        EXPECT_EQ(t.wordsDriven(m), k);
+    }
+    // Mask cycle only for genuinely partial activations.
+    EXPECT_TRUE(t.needsMaskCycle(true, WordMask::single(3)));
+    EXPECT_FALSE(t.needsMaskCycle(true, WordMask::full()));
+}
+
+TEST(Scheme, PraEmptyMaskFallsBackToFullRow)
+{
+    const SchemeTraits t = SchemeTraits::of(Scheme::Pra);
+    EXPECT_EQ(t.actGranularity(true, WordMask::none()), 8u);
+    EXPECT_TRUE(t.actMask(true, WordMask::none()).isFull());
+    EXPECT_FALSE(t.needsMaskCycle(true, WordMask::none()));
+}
+
+TEST(Scheme, PraActWeightTracksPowerRatio)
+{
+    const SchemeTraits t = SchemeTraits::of(Scheme::Pra);
+    // Table 3: 1/8-row activation draws 3.7 / 22.2 of full power, so it
+    // charges the tFAW window proportionally.
+    EXPECT_NEAR(t.actWeight(1, kPower), 3.7 / 22.2, 1e-9);
+    EXPECT_NEAR(t.actWeight(4, kPower), 11.6 / 22.2, 1e-9);
+    for (unsigned g = 1; g < 8; ++g)
+        EXPECT_LT(t.actWeight(g, kPower), t.actWeight(g + 1, kPower));
+}
+
+TEST(Scheme, CombinedSchemeComposesBothMechanisms)
+{
+    const SchemeTraits t = SchemeTraits::of(Scheme::HalfDramPra);
+    EXPECT_TRUE(t.halfHeight);
+    EXPECT_TRUE(t.partialWrites);
+    EXPECT_EQ(t.actGranularity(true, WordMask::single(0)), 1u);
+    EXPECT_EQ(t.actGranularity(false, WordMask::full()), 8u);
+    EXPECT_EQ(t.burstCycles(4), 4u);
+    // Composition is strictly cheaper than either alone.
+    const double combined_w = t.actWeight(1, kPower);
+    EXPECT_LT(combined_w,
+              SchemeTraits::of(Scheme::Pra).actWeight(1, kPower));
+    EXPECT_LT(combined_w,
+              SchemeTraits::of(Scheme::HalfDram).actWeight(8, kPower));
+}
+
+/** Property sweep: every scheme, every mask, invariants hold. */
+class SchemeMaskSweep
+    : public ::testing::TestWithParam<std::tuple<Scheme, int>>
+{
+};
+
+TEST_P(SchemeMaskSweep, GranularityMatchesMaskAndScheme)
+{
+    const auto [scheme, bits] = GetParam();
+    const SchemeTraits t = SchemeTraits::of(scheme);
+    const WordMask m(static_cast<std::uint8_t>(bits));
+    for (bool is_write : {false, true}) {
+        const unsigned g = t.actGranularity(is_write, m);
+        EXPECT_GE(g, 1u);
+        EXPECT_LE(g, 8u);
+        // The opened footprint always covers the request's need.
+        const WordMask opened = t.actMask(is_write, m);
+        if (is_write && !m.empty())
+            EXPECT_TRUE(opened.covers(m));
+        else
+            EXPECT_TRUE(opened.isFull());
+        // Weight never exceeds a full-row activation's.
+        EXPECT_LE(t.actWeight(g, kPower), 1.0 + 1e-9);
+        EXPECT_GT(t.actWeight(g, kPower), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeMaskSweep,
+    ::testing::Combine(::testing::Values(Scheme::Baseline, Scheme::Fga,
+                                         Scheme::HalfDram, Scheme::Pra,
+                                         Scheme::HalfDramPra),
+                       ::testing::Values(0x00, 0x01, 0x80, 0x81, 0x0f,
+                                         0xff, 0x55, 0x10)));
+
+} // namespace
+} // namespace pra

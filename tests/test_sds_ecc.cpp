@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Tests for the SDS (Skinflint) runtime scheme — chip-select writes with
+ * linear activation-energy scaling — and the x72 ECC DIMM power model
+ * (paper Section 4.2: the ECC chip's PRA pin is tied high).
+ */
+#include <gtest/gtest.h>
+
+#include "dram/address_mapping.h"
+#include "dram/controller.h"
+#include "sim/experiment.h"
+
+namespace pra {
+namespace {
+
+TEST(SdsTraits, ChipSelectSemantics)
+{
+    const SchemeTraits t = SchemeTraits::of(Scheme::Sds);
+    EXPECT_TRUE(t.chipSelect);
+    EXPECT_FALSE(t.partialWrites);
+    // Chip mask with 2 chips selected → granularity 2, linear weight.
+    const WordMask chips(0b00000011);
+    EXPECT_EQ(t.actGranularity(true, chips), 2u);
+    EXPECT_DOUBLE_EQ(t.actWeight(2, power::PowerParams{}), 2.0 / 8.0);
+    // Reads unaffected.
+    EXPECT_EQ(t.actGranularity(false, WordMask::full()), 8u);
+    EXPECT_EQ(t.burstCycles(4), 4u);
+}
+
+TEST(SdsPower, LinearChipScalingWithoutSharedFloor)
+{
+    const power::PowerModel model(power::PowerParams{}, 8, 2);
+    power::EnergyCounts full, sds;
+    full.acts[7] = 8;          // 8 full-row activations, all chips.
+    sds.sdsActs = 8;
+    sds.sdsChipsActivated = 8; // 8 activations, one chip each.
+    // One chip per act = exactly 1/8 the energy (linear, unlike PRA's
+    // intra-chip curve which keeps the shared-structure floor).
+    EXPECT_NEAR(model.energy(sds).actPre / model.energy(full).actPre,
+                1.0 / 8.0, 1e-9);
+    // PRA at granularity 1 saves LESS per activation than SDS at one
+    // chip (3.7/22.2 > 1/8) — but SDS rarely achieves one chip.
+    power::EnergyCounts pra;
+    pra.acts[0] = 8;
+    EXPECT_GT(model.energy(pra).actPre, model.energy(sds).actPre);
+}
+
+TEST(SdsController, WriteUsesChipMask)
+{
+    dram::DramConfig cfg;
+    cfg.channels = 1;
+    cfg.scheme = Scheme::Sds;
+    cfg.powerDownEnabled = false;
+    dram::AddressMapper mapper(cfg);
+    dram::MemoryController mc(cfg, 0);
+
+    dram::DecodedAddr loc;
+    loc.row = 3;
+    dram::Request req;
+    req.addr = mapper.encode(loc);
+    req.isWrite = true;
+    req.mask = WordMask::full();   // All words dirty...
+    req.chipMask = 0b00000101;     // ...but only 2 byte positions changed.
+    req.loc = loc;
+    mc.enqueue(req, 0);
+    Cycle now = 0;
+    while (now < 3000 && mc.writeQueueSize() > 0)
+        mc.tick(now++);
+
+    const auto &e = mc.energyCounts();
+    EXPECT_EQ(e.sdsActs, 1u);
+    EXPECT_EQ(e.sdsChipsActivated, 2u);
+    EXPECT_EQ(e.writeWordsDriven, 2u);   // I/O scaled by chips.
+    EXPECT_EQ(mc.stats().actGranularity.count(2), 1u);
+}
+
+TEST(SdsSystem, EndToEndBeatsBaselineLosesToPra)
+{
+    sim::SystemConfig base_cfg = sim::makeConfig(
+        {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false});
+    auto shrink = [](sim::SystemConfig &cfg) {
+        cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};
+        cfg.warmupOpsPerCore = 8000;
+        cfg.targetInstructions = 120'000;
+    };
+    shrink(base_cfg);
+    sim::SystemConfig sds_cfg = base_cfg;
+    sds_cfg.dram.scheme = Scheme::Sds;
+    sim::SystemConfig pra_cfg = base_cfg;
+    pra_cfg.dram.scheme = Scheme::Pra;
+
+    // mcf's synthetic model has narrow stores, which SDS can exploit.
+    const workloads::Mix mix{"mcf", {"mcf", "mcf", "mcf", "mcf"}};
+    const sim::RunResult base = sim::runWorkload(mix, base_cfg);
+    const sim::RunResult sds = sim::runWorkload(mix, sds_cfg);
+    const sim::RunResult pra = sim::runWorkload(mix, pra_cfg);
+
+    // SDS saves some activation energy over baseline...
+    EXPECT_LT(sds.breakdown.actPre, base.breakdown.actPre);
+    // ...but PRA's word-granularity coverage beats SDS's chip coverage
+    // (paper Section 3: 42% vs 16% granularity reduction).
+    EXPECT_LT(pra.breakdown.actPre, sds.breakdown.actPre);
+    EXPECT_LT(pra.totalEnergyNj, sds.totalEnergyNj);
+}
+
+TEST(EccPower, EccChipAddsFullRowOverhead)
+{
+    const power::PowerModel no_ecc(power::PowerParams{}, 8, 2, 0);
+    const power::PowerModel ecc(power::PowerParams{}, 8, 2, 1);
+
+    power::EnergyCounts c;
+    c.acts[0] = 100;   // PRA 1/8-row activations.
+    c.writeLines = 100;
+    c.writeWordsDriven = 100;
+    c.elapsedCycles = 10'000;
+    c.preStandbyCycles = 10'000;
+
+    // The ECC chip activates the FULL row on each of the 100 partial
+    // activations: its act energy is P(8)/P(1)/8 of the data chips'.
+    const double data_act = no_ecc.energy(c).actPre;
+    const double with_ecc = ecc.energy(c).actPre;
+    const double ecc_share = (with_ecc - data_act) / data_act;
+    EXPECT_NEAR(ecc_share, (22.2 / 3.7) / 8.0, 1e-6);
+
+    // Background and refresh scale by 9/8.
+    EXPECT_NEAR(ecc.energy(c).background / no_ecc.energy(c).background,
+                9.0 / 8.0, 1e-9);
+
+    // Write I/O: data chips drive 1/8 of words, the ECC chip all of
+    // them → ECC adds 8x its pro-rata share.
+    const double data_io = no_ecc.energy(c).writeIo;
+    const double ecc_io = ecc.energy(c).writeIo - data_io;
+    EXPECT_NEAR(ecc_io / data_io, 1.0, 1e-9);
+}
+
+TEST(EccSystem, PraSavingShrinksButSurvivesWithEcc)
+{
+    auto make = [](unsigned ecc, Scheme scheme) {
+        sim::SystemConfig cfg = sim::makeConfig(
+            {scheme, dram::PagePolicy::RelaxedClose, false});
+        cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};
+        cfg.warmupOpsPerCore = 8000;
+        cfg.targetInstructions = 100'000;
+        cfg.dram.eccChipsPerRank = ecc;
+        return cfg;
+    };
+    const workloads::Mix mix{"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}};
+
+    const sim::RunResult base_ecc =
+        sim::runWorkload(mix, make(1, Scheme::Baseline));
+    const sim::RunResult pra_ecc =
+        sim::runWorkload(mix, make(1, Scheme::Pra));
+    const sim::RunResult base = sim::runWorkload(mix, make(0, Scheme::Baseline));
+    const sim::RunResult pra = sim::runWorkload(mix, make(0, Scheme::Pra));
+
+    const double saving_no_ecc = 1.0 - pra.totalEnergyNj / base.totalEnergyNj;
+    const double saving_ecc =
+        1.0 - pra_ecc.totalEnergyNj / base_ecc.totalEnergyNj;
+    EXPECT_GT(saving_ecc, 0.5 * saving_no_ecc);
+    EXPECT_LT(saving_ecc, saving_no_ecc);
+}
+
+} // namespace
+} // namespace pra

@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Tests for the trace layer: parse/format round trip, error handling,
+ * recording a generator, and replaying a trace through the full system.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sim/experiment.h"
+#include "workloads/kernels.h"
+#include "workloads/trace.h"
+
+namespace pra::workloads {
+namespace {
+
+TEST(Trace, ParseRead)
+{
+    cpu::MemOp op;
+    ASSERT_TRUE(parseTraceLine("12 R 1f40", op));
+    EXPECT_EQ(op.gap, 12u);
+    EXPECT_FALSE(op.isWrite);
+    EXPECT_FALSE(op.serializing);
+    EXPECT_EQ(op.addr, 0x1f40u);
+}
+
+TEST(Trace, ParseSerializingLoad)
+{
+    cpu::MemOp op;
+    ASSERT_TRUE(parseTraceLine("3 S ff80", op));
+    EXPECT_TRUE(op.serializing);
+}
+
+TEST(Trace, ParseWriteWithMask)
+{
+    cpu::MemOp op;
+    ASSERT_TRUE(parseTraceLine("0 W 40 ff00000000000003", op));
+    EXPECT_TRUE(op.isWrite);
+    EXPECT_EQ(op.bytes.bits(), 0xff00000000000003ull);
+}
+
+TEST(Trace, SkipsBlankAndComments)
+{
+    cpu::MemOp op;
+    EXPECT_FALSE(parseTraceLine("", op));
+    EXPECT_FALSE(parseTraceLine("   ", op));
+    EXPECT_FALSE(parseTraceLine("# a comment", op));
+    ASSERT_TRUE(parseTraceLine("1 R 40 # trailing comment", op));
+    EXPECT_EQ(op.addr, 0x40u);
+}
+
+TEST(Trace, MalformedLinesThrow)
+{
+    cpu::MemOp op;
+    EXPECT_THROW(parseTraceLine("1 X 40", op), std::runtime_error);
+    EXPECT_THROW(parseTraceLine("1 W 40", op), std::runtime_error);
+    EXPECT_THROW(parseTraceLine("1 W 40 0", op), std::runtime_error);
+    EXPECT_THROW(parseTraceLine("1 R", op), std::runtime_error);
+}
+
+TEST(Trace, FormatParseRoundTrip)
+{
+    std::vector<cpu::MemOp> ops;
+    cpu::MemOp load;
+    load.gap = 7;
+    load.addr = 0xdeadbec0;
+    ops.push_back(load);
+    cpu::MemOp chase = load;
+    chase.serializing = true;
+    ops.push_back(chase);
+    cpu::MemOp store;
+    store.gap = 0;
+    store.isWrite = true;
+    store.addr = 0x1000;
+    store.bytes = ByteMask::word(3);
+    ops.push_back(store);
+
+    std::stringstream ss;
+    writeTrace(ss, ops);
+    const std::vector<cpu::MemOp> back = readTrace(ss);
+    ASSERT_EQ(back.size(), ops.size());
+    for (std::size_t i = 0; i < ops.size(); ++i) {
+        EXPECT_EQ(back[i].gap, ops[i].gap);
+        EXPECT_EQ(back[i].isWrite, ops[i].isWrite);
+        EXPECT_EQ(back[i].serializing, ops[i].serializing);
+        EXPECT_EQ(back[i].addr, ops[i].addr);
+        EXPECT_EQ(back[i].bytes, ops[i].bytes);
+    }
+}
+
+TEST(Trace, RecordCapturesGeneratorStream)
+{
+    Gups a(1ull << 20, 12, 3), b(1ull << 20, 12, 3);
+    const auto recorded = recordTrace(a, 500);
+    ASSERT_EQ(recorded.size(), 500u);
+    for (const auto &op : recorded) {
+        const cpu::MemOp live = b.next();
+        EXPECT_EQ(op.addr, live.addr);
+        EXPECT_EQ(op.isWrite, live.isWrite);
+    }
+}
+
+TEST(Trace, GeneratorLoopsAtEnd)
+{
+    std::vector<cpu::MemOp> ops(3);
+    ops[0].addr = 0x40;
+    ops[1].addr = 0x80;
+    ops[2].addr = 0xc0;
+    TraceGenerator gen(ops, "loop");
+    for (int round = 0; round < 3; ++round) {
+        EXPECT_EQ(gen.next().addr, 0x40u);
+        EXPECT_EQ(gen.next().addr, 0x80u);
+        EXPECT_EQ(gen.next().addr, 0xc0u);
+    }
+}
+
+TEST(Trace, EmptyTraceRejected)
+{
+    EXPECT_THROW(TraceGenerator({}, "empty"), std::invalid_argument);
+}
+
+TEST(Trace, ReplayMatchesLiveGeneratorInFullSystem)
+{
+    // Record GUPS, replay the recording: the simulation must be
+    // cycle-identical to running the live generator.
+    sim::SystemConfig cfg = sim::makeConfig(
+        {Scheme::Pra, dram::PagePolicy::RelaxedClose, false});
+    cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};
+    cfg.warmupOpsPerCore = 2000;
+    cfg.targetInstructions = 50'000;
+
+    auto run_with = [&](auto make_gen) {
+        std::vector<std::unique_ptr<cpu::Generator>> gens;
+        for (unsigned i = 0; i < 4; ++i)
+            gens.push_back(make_gen(i));
+        sim::System system(cfg, std::move(gens));
+        return system.run();
+    };
+
+    const sim::RunResult live = run_with([](unsigned i) {
+        return makeGenerator("GUPS", i + 1);
+    });
+    const sim::RunResult replay = run_with([](unsigned i) {
+        auto gen = makeGenerator("GUPS", i + 1);
+        // Big enough that the trace never wraps within the run.
+        return std::make_unique<TraceGenerator>(recordTrace(*gen, 60'000),
+                                                "GUPS.trace");
+    });
+
+    EXPECT_EQ(live.dramCycles, replay.dramCycles);
+    EXPECT_EQ(live.totalEnergyNj, replay.totalEnergyNj);
+    EXPECT_EQ(live.ipc, replay.ipc);
+}
+
+} // namespace
+} // namespace pra::workloads
