@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_pra.dir/bench_ablation_pra.cpp.o"
+  "CMakeFiles/bench_ablation_pra.dir/bench_ablation_pra.cpp.o.d"
+  "bench_ablation_pra"
+  "bench_ablation_pra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_pra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_export_sweep.dir/bench_export_sweep.cpp.o"
+  "CMakeFiles/bench_export_sweep.dir/bench_export_sweep.cpp.o.d"
+  "bench_export_sweep"
+  "bench_export_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_export_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_rowbuffer.dir/bench_fig10_rowbuffer.cpp.o"
+  "CMakeFiles/bench_fig10_rowbuffer.dir/bench_fig10_rowbuffer.cpp.o.d"
+  "bench_fig10_rowbuffer"
+  "bench_fig10_rowbuffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_rowbuffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

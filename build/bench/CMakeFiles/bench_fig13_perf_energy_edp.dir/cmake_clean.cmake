@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_perf_energy_edp.dir/bench_fig13_perf_energy_edp.cpp.o"
+  "CMakeFiles/bench_fig13_perf_energy_edp.dir/bench_fig13_perf_energy_edp.cpp.o.d"
+  "bench_fig13_perf_energy_edp"
+  "bench_fig13_perf_energy_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_perf_energy_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig14_halfdram_pra.cpp" "bench/CMakeFiles/bench_fig14_halfdram_pra.dir/bench_fig14_halfdram_pra.cpp.o" "gcc" "bench/CMakeFiles/bench_fig14_halfdram_pra.dir/bench_fig14_halfdram_pra.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pra_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pra_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pra_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pra_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_halfdram_pra.dir/bench_fig14_halfdram_pra.cpp.o"
+  "CMakeFiles/bench_fig14_halfdram_pra.dir/bench_fig14_halfdram_pra.cpp.o.d"
+  "bench_fig14_halfdram_pra"
+  "bench_fig14_halfdram_pra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_halfdram_pra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_dbi_pra.dir/bench_fig15_dbi_pra.cpp.o"
+  "CMakeFiles/bench_fig15_dbi_pra.dir/bench_fig15_dbi_pra.cpp.o.d"
+  "bench_fig15_dbi_pra"
+  "bench_fig15_dbi_pra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_dbi_pra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_dirty_words.dir/bench_fig3_dirty_words.cpp.o"
+  "CMakeFiles/bench_fig3_dirty_words.dir/bench_fig3_dirty_words.cpp.o.d"
+  "bench_fig3_dirty_words"
+  "bench_fig3_dirty_words.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_dirty_words.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

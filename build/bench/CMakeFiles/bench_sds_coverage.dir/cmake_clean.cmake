@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sds_coverage.dir/bench_sds_coverage.cpp.o"
+  "CMakeFiles/bench_sds_coverage.dir/bench_sds_coverage.cpp.o.d"
+  "bench_sds_coverage"
+  "bench_sds_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sds_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

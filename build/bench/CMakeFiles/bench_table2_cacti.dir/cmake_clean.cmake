@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_cacti.dir/bench_table2_cacti.cpp.o"
+  "CMakeFiles/bench_table2_cacti.dir/bench_table2_cacti.cpp.o.d"
+  "bench_table2_cacti"
+  "bench_table2_cacti.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_cacti.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mix_study.dir/mix_study.cpp.o"
+  "CMakeFiles/mix_study.dir/mix_study.cpp.o.d"
+  "mix_study"
+  "mix_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mix_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

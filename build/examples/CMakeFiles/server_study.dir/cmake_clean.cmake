@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/server_study.dir/server_study.cpp.o"
+  "CMakeFiles/server_study.dir/server_study.cpp.o.d"
+  "server_study"
+  "server_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/server_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

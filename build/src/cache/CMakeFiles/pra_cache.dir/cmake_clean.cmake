@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pra_cache.dir/cache.cpp.o"
+  "CMakeFiles/pra_cache.dir/cache.cpp.o.d"
+  "CMakeFiles/pra_cache.dir/dbi.cpp.o"
+  "CMakeFiles/pra_cache.dir/dbi.cpp.o.d"
+  "CMakeFiles/pra_cache.dir/hierarchy.cpp.o"
+  "CMakeFiles/pra_cache.dir/hierarchy.cpp.o.d"
+  "libpra_cache.a"
+  "libpra_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pra_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

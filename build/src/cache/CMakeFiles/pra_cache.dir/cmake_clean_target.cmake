@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpra_cache.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pra_common.dir/stats.cpp.o"
+  "CMakeFiles/pra_common.dir/stats.cpp.o.d"
+  "CMakeFiles/pra_common.dir/table.cpp.o"
+  "CMakeFiles/pra_common.dir/table.cpp.o.d"
+  "libpra_common.a"
+  "libpra_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pra_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/overhead.cpp" "src/core/CMakeFiles/pra_core.dir/overhead.cpp.o" "gcc" "src/core/CMakeFiles/pra_core.dir/overhead.cpp.o.d"
+  "/root/repo/src/core/row_buffer.cpp" "src/core/CMakeFiles/pra_core.dir/row_buffer.cpp.o" "gcc" "src/core/CMakeFiles/pra_core.dir/row_buffer.cpp.o.d"
+  "/root/repo/src/core/scheme.cpp" "src/core/CMakeFiles/pra_core.dir/scheme.cpp.o" "gcc" "src/core/CMakeFiles/pra_core.dir/scheme.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/pra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pra_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

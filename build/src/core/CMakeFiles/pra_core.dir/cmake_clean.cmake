@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pra_core.dir/overhead.cpp.o"
+  "CMakeFiles/pra_core.dir/overhead.cpp.o.d"
+  "CMakeFiles/pra_core.dir/row_buffer.cpp.o"
+  "CMakeFiles/pra_core.dir/row_buffer.cpp.o.d"
+  "CMakeFiles/pra_core.dir/scheme.cpp.o"
+  "CMakeFiles/pra_core.dir/scheme.cpp.o.d"
+  "libpra_core.a"
+  "libpra_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pra_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pra_cpu.dir/core.cpp.o"
+  "CMakeFiles/pra_cpu.dir/core.cpp.o.d"
+  "libpra_cpu.a"
+  "libpra_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pra_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dram/address_mapping.cpp" "src/dram/CMakeFiles/pra_dram.dir/address_mapping.cpp.o" "gcc" "src/dram/CMakeFiles/pra_dram.dir/address_mapping.cpp.o.d"
+  "/root/repo/src/dram/bank.cpp" "src/dram/CMakeFiles/pra_dram.dir/bank.cpp.o" "gcc" "src/dram/CMakeFiles/pra_dram.dir/bank.cpp.o.d"
+  "/root/repo/src/dram/checker.cpp" "src/dram/CMakeFiles/pra_dram.dir/checker.cpp.o" "gcc" "src/dram/CMakeFiles/pra_dram.dir/checker.cpp.o.d"
+  "/root/repo/src/dram/controller.cpp" "src/dram/CMakeFiles/pra_dram.dir/controller.cpp.o" "gcc" "src/dram/CMakeFiles/pra_dram.dir/controller.cpp.o.d"
+  "/root/repo/src/dram/dram_system.cpp" "src/dram/CMakeFiles/pra_dram.dir/dram_system.cpp.o" "gcc" "src/dram/CMakeFiles/pra_dram.dir/dram_system.cpp.o.d"
+  "/root/repo/src/dram/rank.cpp" "src/dram/CMakeFiles/pra_dram.dir/rank.cpp.o" "gcc" "src/dram/CMakeFiles/pra_dram.dir/rank.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/pra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pra_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pra_dram.dir/address_mapping.cpp.o"
+  "CMakeFiles/pra_dram.dir/address_mapping.cpp.o.d"
+  "CMakeFiles/pra_dram.dir/bank.cpp.o"
+  "CMakeFiles/pra_dram.dir/bank.cpp.o.d"
+  "CMakeFiles/pra_dram.dir/checker.cpp.o"
+  "CMakeFiles/pra_dram.dir/checker.cpp.o.d"
+  "CMakeFiles/pra_dram.dir/controller.cpp.o"
+  "CMakeFiles/pra_dram.dir/controller.cpp.o.d"
+  "CMakeFiles/pra_dram.dir/dram_system.cpp.o"
+  "CMakeFiles/pra_dram.dir/dram_system.cpp.o.d"
+  "CMakeFiles/pra_dram.dir/rank.cpp.o"
+  "CMakeFiles/pra_dram.dir/rank.cpp.o.d"
+  "libpra_dram.a"
+  "libpra_dram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pra_dram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pra_power.dir/cacti_model.cpp.o"
+  "CMakeFiles/pra_power.dir/cacti_model.cpp.o.d"
+  "CMakeFiles/pra_power.dir/power_model.cpp.o"
+  "CMakeFiles/pra_power.dir/power_model.cpp.o.d"
+  "libpra_power.a"
+  "libpra_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pra_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

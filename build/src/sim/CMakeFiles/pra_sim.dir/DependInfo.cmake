@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/config_io.cpp" "src/sim/CMakeFiles/pra_sim.dir/config_io.cpp.o" "gcc" "src/sim/CMakeFiles/pra_sim.dir/config_io.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/pra_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/pra_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/report.cpp" "src/sim/CMakeFiles/pra_sim.dir/report.cpp.o" "gcc" "src/sim/CMakeFiles/pra_sim.dir/report.cpp.o.d"
+  "/root/repo/src/sim/system.cpp" "src/sim/CMakeFiles/pra_sim.dir/system.cpp.o" "gcc" "src/sim/CMakeFiles/pra_sim.dir/system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dram/CMakeFiles/pra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pra_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pra_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pra_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pra_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pra_sim.dir/config_io.cpp.o"
+  "CMakeFiles/pra_sim.dir/config_io.cpp.o.d"
+  "CMakeFiles/pra_sim.dir/experiment.cpp.o"
+  "CMakeFiles/pra_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/pra_sim.dir/report.cpp.o"
+  "CMakeFiles/pra_sim.dir/report.cpp.o.d"
+  "CMakeFiles/pra_sim.dir/system.cpp.o"
+  "CMakeFiles/pra_sim.dir/system.cpp.o.d"
+  "libpra_sim.a"
+  "libpra_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pra_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/factory.cpp" "src/workloads/CMakeFiles/pra_workloads.dir/factory.cpp.o" "gcc" "src/workloads/CMakeFiles/pra_workloads.dir/factory.cpp.o.d"
+  "/root/repo/src/workloads/kernels.cpp" "src/workloads/CMakeFiles/pra_workloads.dir/kernels.cpp.o" "gcc" "src/workloads/CMakeFiles/pra_workloads.dir/kernels.cpp.o.d"
+  "/root/repo/src/workloads/server.cpp" "src/workloads/CMakeFiles/pra_workloads.dir/server.cpp.o" "gcc" "src/workloads/CMakeFiles/pra_workloads.dir/server.cpp.o.d"
+  "/root/repo/src/workloads/synthetic.cpp" "src/workloads/CMakeFiles/pra_workloads.dir/synthetic.cpp.o" "gcc" "src/workloads/CMakeFiles/pra_workloads.dir/synthetic.cpp.o.d"
+  "/root/repo/src/workloads/trace.cpp" "src/workloads/CMakeFiles/pra_workloads.dir/trace.cpp.o" "gcc" "src/workloads/CMakeFiles/pra_workloads.dir/trace.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cpu/CMakeFiles/pra_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pra_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pra_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pra_power.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pra_workloads.dir/factory.cpp.o"
+  "CMakeFiles/pra_workloads.dir/factory.cpp.o.d"
+  "CMakeFiles/pra_workloads.dir/kernels.cpp.o"
+  "CMakeFiles/pra_workloads.dir/kernels.cpp.o.d"
+  "CMakeFiles/pra_workloads.dir/server.cpp.o"
+  "CMakeFiles/pra_workloads.dir/server.cpp.o.d"
+  "CMakeFiles/pra_workloads.dir/synthetic.cpp.o"
+  "CMakeFiles/pra_workloads.dir/synthetic.cpp.o.d"
+  "CMakeFiles/pra_workloads.dir/trace.cpp.o"
+  "CMakeFiles/pra_workloads.dir/trace.cpp.o.d"
+  "libpra_workloads.a"
+  "libpra_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pra_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_address_mapping.cpp" "tests/CMakeFiles/pra_tests.dir/test_address_mapping.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_address_mapping.cpp.o.d"
+  "/root/repo/tests/test_bank_rank.cpp" "tests/CMakeFiles/pra_tests.dir/test_bank_rank.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_bank_rank.cpp.o.d"
+  "/root/repo/tests/test_bitmask.cpp" "tests/CMakeFiles/pra_tests.dir/test_bitmask.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_bitmask.cpp.o.d"
+  "/root/repo/tests/test_cache.cpp" "tests/CMakeFiles/pra_tests.dir/test_cache.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_cache.cpp.o.d"
+  "/root/repo/tests/test_checker.cpp" "tests/CMakeFiles/pra_tests.dir/test_checker.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_checker.cpp.o.d"
+  "/root/repo/tests/test_common.cpp" "tests/CMakeFiles/pra_tests.dir/test_common.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_common.cpp.o.d"
+  "/root/repo/tests/test_controller.cpp" "tests/CMakeFiles/pra_tests.dir/test_controller.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_controller.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/pra_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_dbi.cpp" "tests/CMakeFiles/pra_tests.dir/test_dbi.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_dbi.cpp.o.d"
+  "/root/repo/tests/test_dram_system.cpp" "tests/CMakeFiles/pra_tests.dir/test_dram_system.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_dram_system.cpp.o.d"
+  "/root/repo/tests/test_experiment.cpp" "tests/CMakeFiles/pra_tests.dir/test_experiment.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_experiment.cpp.o.d"
+  "/root/repo/tests/test_hierarchy.cpp" "tests/CMakeFiles/pra_tests.dir/test_hierarchy.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_hierarchy.cpp.o.d"
+  "/root/repo/tests/test_idd_cacti.cpp" "tests/CMakeFiles/pra_tests.dir/test_idd_cacti.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_idd_cacti.cpp.o.d"
+  "/root/repo/tests/test_misc_coverage.cpp" "tests/CMakeFiles/pra_tests.dir/test_misc_coverage.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_misc_coverage.cpp.o.d"
+  "/root/repo/tests/test_overhead.cpp" "tests/CMakeFiles/pra_tests.dir/test_overhead.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_overhead.cpp.o.d"
+  "/root/repo/tests/test_power_model.cpp" "tests/CMakeFiles/pra_tests.dir/test_power_model.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_power_model.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/pra_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_report_config.cpp" "tests/CMakeFiles/pra_tests.dir/test_report_config.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_report_config.cpp.o.d"
+  "/root/repo/tests/test_row_buffer.cpp" "tests/CMakeFiles/pra_tests.dir/test_row_buffer.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_row_buffer.cpp.o.d"
+  "/root/repo/tests/test_scheme.cpp" "tests/CMakeFiles/pra_tests.dir/test_scheme.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_scheme.cpp.o.d"
+  "/root/repo/tests/test_sds_ecc.cpp" "tests/CMakeFiles/pra_tests.dir/test_sds_ecc.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_sds_ecc.cpp.o.d"
+  "/root/repo/tests/test_server_presets.cpp" "tests/CMakeFiles/pra_tests.dir/test_server_presets.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_server_presets.cpp.o.d"
+  "/root/repo/tests/test_system_integration.cpp" "tests/CMakeFiles/pra_tests.dir/test_system_integration.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_system_integration.cpp.o.d"
+  "/root/repo/tests/test_trace.cpp" "tests/CMakeFiles/pra_tests.dir/test_trace.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_trace.cpp.o.d"
+  "/root/repo/tests/test_workloads.cpp" "tests/CMakeFiles/pra_tests.dir/test_workloads.cpp.o" "gcc" "tests/CMakeFiles/pra_tests.dir/test_workloads.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/pra_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/dram/CMakeFiles/pra_dram.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/pra_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/pra_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/pra_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/pra_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/pra_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/pra_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
