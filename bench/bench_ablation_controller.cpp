@@ -8,24 +8,69 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
+
+namespace {
+
+sim::SystemConfig
+baselineCfg()
+{
+    return benchConfig(
+        {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
+        500'000);
+}
+
+} // namespace
 
 int
 main()
 {
     const workloads::Mix mix{"MIX1",
                              {"bzip2", "lbm", "libquantum", "omnetpp"}};
+    const workloads::Mix gups{"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}};
+    const workloads::Mix bzip{"bzip2",
+                              {"bzip2", "bzip2", "bzip2", "bzip2"}};
+
+    const std::vector<unsigned> caps{1u, 2u, 4u, 8u, 16u};
+    struct Wm
+    {
+        unsigned hi, lo;
+    };
+    const std::vector<Wm> wms{{16, 4}, {32, 8}, {48, 16}, {60, 32}};
+    const std::vector<bool> pds{false, true};
+
+    // All three sweeps share one job list: caps, then watermarks, then
+    // power-down, each as a full-config override.
+    sim::Runner runner;
+    SweepTimer timer("ablation_controller");
+    std::vector<sim::SweepJob> jobs;
+    for (unsigned c : caps) {
+        sim::SystemConfig cfg = baselineCfg();
+        cfg.dram.rowHitCap = c;
+        jobs.push_back({mix, {}, 0, cfg});
+    }
+    for (const Wm &w : wms) {
+        sim::SystemConfig cfg = baselineCfg();
+        cfg.dram.writeHighWatermark = w.hi;
+        cfg.dram.writeLowWatermark = w.lo;
+        jobs.push_back({gups, {}, 0, cfg});
+    }
+    for (bool enabled : pds) {
+        sim::SystemConfig cfg = baselineCfg();
+        cfg.dram.powerDownEnabled = enabled;
+        jobs.push_back({bzip, {}, 0, cfg});
+    }
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+    std::size_t job = 0;
 
     Table cap("Row-hit cap sweep (relaxed close-page, MIX1)");
     cap.header({"cap", "rd hit", "wr hit", "IPC0", "power mW"});
-    for (unsigned c : {1u, 2u, 4u, 8u, 16u}) {
-        sim::SystemConfig cfg = benchConfig(
-            {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
-            500'000);
-        cfg.dram.rowHitCap = c;
-        const sim::RunResult r = sim::runWorkload(mix, cfg);
+    for (unsigned c : caps) {
+        const sim::RunResult &r = results[job++];
         cap.addRow({std::to_string(c),
                     Table::pct(r.dramStats.readHitRate()),
                     Table::pct(r.dramStats.writeHitRate()),
@@ -36,18 +81,8 @@ main()
 
     Table wm("Write-drain watermark sweep (GUPS)");
     wm.header({"high/low", "IPC0", "rd latency-sensitive power mW"});
-    const workloads::Mix gups{"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}};
-    struct Wm
-    {
-        unsigned hi, lo;
-    };
-    for (Wm w : {Wm{16, 4}, Wm{32, 8}, Wm{48, 16}, Wm{60, 32}}) {
-        sim::SystemConfig cfg = benchConfig(
-            {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
-            500'000);
-        cfg.dram.writeHighWatermark = w.hi;
-        cfg.dram.writeLowWatermark = w.lo;
-        const sim::RunResult r = sim::runWorkload(gups, cfg);
+    for (const Wm &w : wms) {
+        const sim::RunResult &r = results[job++];
         wm.addRow({std::to_string(w.hi) + "/" + std::to_string(w.lo),
                    Table::fmt(r.ipc[0], 3), Table::fmt(r.avgPowerMw, 0)});
     }
@@ -55,14 +90,8 @@ main()
 
     Table pd("Precharge power-down (bzip2, low intensity)");
     pd.header({"power-down", "BG energy nJ", "total power mW", "IPC0"});
-    const workloads::Mix bzip{"bzip2",
-                              {"bzip2", "bzip2", "bzip2", "bzip2"}};
-    for (bool enabled : {false, true}) {
-        sim::SystemConfig cfg = benchConfig(
-            {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
-            500'000);
-        cfg.dram.powerDownEnabled = enabled;
-        const sim::RunResult r = sim::runWorkload(bzip, cfg);
+    for (bool enabled : pds) {
+        const sim::RunResult &r = results[job++];
         pd.addRow({enabled ? "on" : "off",
                    Table::fmt(r.breakdown.background, 0),
                    Table::fmt(r.avgPowerMw, 0), Table::fmt(r.ipc[0], 3)});

@@ -19,6 +19,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
@@ -31,46 +32,62 @@ struct Variant
     void (*tweak)(sim::SystemConfig &);
 };
 
+constexpr Variant kVariants[] = {
+    {"PRA (paper config)", [](sim::SystemConfig &) {}},
+    {"mask cycle = 0 (DM-pin-style)",
+     [](sim::SystemConfig &c) { c.dram.timing.praMaskCycles = 0; }},
+    {"mask cycle = 2",
+     [](sim::SystemConfig &c) { c.dram.timing.praMaskCycles = 2; }},
+    {"no mask merging",
+     [](sim::SystemConfig &c) { c.dram.mergeWriteMasks = false; }},
+    {"no tRRD/tFAW relaxation",
+     [](sim::SystemConfig &c) { c.dram.weightedActWindow = false; }},
+    {"min granularity 1/4 row",
+     [](sim::SystemConfig &c) { c.dram.minActGranularity = 2; }},
+    {"min granularity 1/2 row",
+     [](sim::SystemConfig &c) { c.dram.minActGranularity = 4; }},
+    {"x72 ECC DIMM",
+     [](sim::SystemConfig &c) { c.dram.eccChipsPerRank = 1; }},
+};
+
+/**
+ * Per mix, jobs are enqueued as: baseline, ECC baseline, then one job
+ * per variant — all as full-config overrides on the sweep engine.
+ */
 void
-addRows(Table &t, const workloads::Mix &mix)
+buildJobs(const workloads::Mix &mix, std::vector<sim::SweepJob> &jobs)
 {
-    sim::SystemConfig base_cfg =
+    const sim::SystemConfig base_cfg =
         benchConfig({Scheme::Baseline, dram::PagePolicy::RelaxedClose,
                      false},
                     500'000);
-    const sim::RunResult base = sim::runWorkload(mix, base_cfg);
+    jobs.push_back({mix, {}, 0, base_cfg});
 
-    const Variant variants[] = {
-        {"PRA (paper config)", [](sim::SystemConfig &) {}},
-        {"mask cycle = 0 (DM-pin-style)",
-         [](sim::SystemConfig &c) { c.dram.timing.praMaskCycles = 0; }},
-        {"mask cycle = 2",
-         [](sim::SystemConfig &c) { c.dram.timing.praMaskCycles = 2; }},
-        {"no mask merging",
-         [](sim::SystemConfig &c) { c.dram.mergeWriteMasks = false; }},
-        {"no tRRD/tFAW relaxation",
-         [](sim::SystemConfig &c) { c.dram.weightedActWindow = false; }},
-        {"min granularity 1/4 row",
-         [](sim::SystemConfig &c) { c.dram.minActGranularity = 2; }},
-        {"min granularity 1/2 row",
-         [](sim::SystemConfig &c) { c.dram.minActGranularity = 4; }},
-        {"x72 ECC DIMM",
-         [](sim::SystemConfig &c) { c.dram.eccChipsPerRank = 1; }},
-    };
+    sim::SystemConfig ecc_base = base_cfg;
+    ecc_base.dram.eccChipsPerRank = 1;
+    jobs.push_back({mix, {}, 0, ecc_base});
 
-    for (const Variant &v : variants) {
+    for (const Variant &v : kVariants) {
         sim::SystemConfig cfg = benchConfig(
             {Scheme::Pra, dram::PagePolicy::RelaxedClose, false},
             500'000);
         v.tweak(cfg);
+        jobs.push_back({mix, {}, 0, cfg});
+    }
+}
+
+void
+addRows(Table &t, const workloads::Mix &mix,
+        const std::vector<sim::RunResult> &results, std::size_t &job)
+{
+    const sim::RunResult &base = results[job++];
+    const sim::RunResult &ecc_base = results[job++];
+    for (const Variant &v : kVariants) {
+        const sim::RunResult &r = results[job++];
         // The ECC variant must compare against an ECC baseline.
-        sim::RunResult ref = base;
-        if (cfg.dram.eccChipsPerRank > 0) {
-            sim::SystemConfig ecc_base = base_cfg;
-            ecc_base.dram.eccChipsPerRank = cfg.dram.eccChipsPerRank;
-            ref = sim::runWorkload(mix, ecc_base);
-        }
-        const sim::RunResult r = sim::runWorkload(mix, cfg);
+        const bool is_ecc =
+            std::string(v.name).find("ECC") != std::string::npos;
+        const sim::RunResult &ref = is_ecc ? ecc_base : base;
         t.addRow({mix.name, v.name,
                   Table::pct(1.0 - r.totalEnergyNj / ref.totalEnergyNj),
                   Table::pct(r.ipc[0] / ref.ipc[0] - 1.0),
@@ -87,8 +104,22 @@ main()
     Table t("PRA ablations (vs conventional baseline)");
     t.header({"Workload", "Variant", "Energy saving", "IPC delta",
               "mean gran", "wr false hits"});
-    addRows(t, {"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}});
-    addRows(t, {"lbm", {"lbm", "lbm", "lbm", "lbm"}});
+
+    const std::vector<workloads::Mix> mixes = {
+        {"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}},
+        {"lbm", {"lbm", "lbm", "lbm", "lbm"}},
+    };
+    sim::Runner runner;
+    SweepTimer timer("ablation_pra");
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &mix : mixes)
+        buildJobs(mix, jobs);
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
+    std::size_t job = 0;
+    for (const auto &mix : mixes)
+        addRows(t, mix, results, job);
     t.print(std::cout);
 
     std::cout

@@ -11,29 +11,42 @@
 
 #include "bench_util.h"
 #include "dram/presets.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
 
 namespace {
 
-void
-compare(const char *device, const dram::DramConfig &preset)
-{
-    Table t(std::string("PRA on ") + device);
-    t.header({"Workload", "base power mW", "PRA power", "saving",
-              "IPC delta", "rd latency (cyc)"});
+constexpr const char *kApps[] = {"GUPS", "lbm", "libquantum"};
 
-    for (const char *name : {"GUPS", "lbm", "libquantum"}) {
+void
+buildJobs(const dram::DramConfig &preset,
+          std::vector<sim::SweepJob> &jobs)
+{
+    for (const char *name : kApps) {
         const workloads::Mix rate{name, {name, name, name, name}};
         sim::SystemConfig base_cfg;
         base_cfg.dram = preset;
         base_cfg.targetInstructions = 500'000;
         sim::SystemConfig pra_cfg = base_cfg;
         pra_cfg.dram.scheme = Scheme::Pra;
+        jobs.push_back({rate, {}, 0, base_cfg});
+        jobs.push_back({rate, {}, 0, pra_cfg});
+    }
+}
 
-        const sim::RunResult base = sim::runWorkload(rate, base_cfg);
-        const sim::RunResult pra = sim::runWorkload(rate, pra_cfg);
+void
+compare(const char *device, const std::vector<sim::RunResult> &results,
+        std::size_t &job)
+{
+    Table t(std::string("PRA on ") + device);
+    t.header({"Workload", "base power mW", "PRA power", "saving",
+              "IPC delta", "rd latency (cyc)"});
+
+    for (const char *name : kApps) {
+        const sim::RunResult &base = results[job++];
+        const sim::RunResult &pra = results[job++];
         t.addRow({name, Table::fmt(base.avgPowerMw, 0),
                   Table::fmt(pra.avgPowerMw, 0),
                   Table::pct(1.0 - pra.avgPowerMw / base.avgPowerMw),
@@ -48,9 +61,18 @@ compare(const char *device, const dram::DramConfig &preset)
 int
 main()
 {
-    compare("DDR3-1600 (paper baseline, 2Gb x8)", dram::ddr3_1600());
-    compare("DDR4-2400 projection (4Gb x8, 4 bank groups)",
-            dram::ddr4_2400());
+    sim::Runner runner;
+    SweepTimer timer("ddr4_projection");
+    std::vector<sim::SweepJob> jobs;
+    buildJobs(dram::ddr3_1600(), jobs);
+    buildJobs(dram::ddr4_2400(), jobs);
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
+    std::size_t job = 0;
+    compare("DDR3-1600 (paper baseline, 2Gb x8)", results, job);
+    compare("DDR4-2400 projection (4Gb x8, 4 bank groups)", results,
+            job);
     std::cout << "PRA's relative saving carries to the DDR4-shaped "
                  "device; the faster clock shortens the mask-delivery "
                  "cycle in wall-clock terms while the larger bank count "

@@ -11,6 +11,7 @@
 
 #include "bench_util.h"
 #include "sim/report.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
@@ -26,22 +27,34 @@ main()
     const std::vector<Scheme> schemes = {Scheme::Baseline, Scheme::Fga,
                                          Scheme::HalfDram, Scheme::Sds,
                                          Scheme::Pra, Scheme::HalfDramPra};
-    bool first = true;
-    unsigned runs = 0;
     // The eight rate-mode workloads; mixes are covered by the figure
     // benches and make this export twice as slow.
-    for (const auto &name : workloads::benchmarkNames()) {
+    const auto names = workloads::benchmarkNames();
+    sim::Runner runner;
+    SweepTimer timer("export_sweep");
+    std::vector<sim::SweepJob> jobs;
+    std::vector<std::pair<std::string, sim::ConfigPoint>> labels;
+    for (const auto &name : names) {
         const workloads::Mix rate{name, {name, name, name, name}};
         for (Scheme scheme : schemes) {
             const sim::ConfigPoint point{
                 scheme, dram::PagePolicy::RelaxedClose, false};
-            const sim::RunResult r = runPoint(rate, point, 400'000);
-            writer.add(name, point.key(), r);
-            json << (first ? "" : ",\n")
-                 << sim::toJson(name, point.key(), r);
-            first = false;
-            ++runs;
+            jobs.push_back({rate, point, 400'000, {}});
+            labels.emplace_back(name, point);
         }
+    }
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
+    bool first = true;
+    unsigned runs = 0;
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const auto &[name, point] = labels[i];
+        const sim::RunResult &r = results[i];
+        writer.add(name, point.key(), r);
+        json << (first ? "" : ",\n") << sim::toJson(name, point.key(), r);
+        first = false;
+        ++runs;
     }
     json << "\n]\n";
 

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
@@ -23,11 +24,23 @@ main()
     t.header({"Benchmark", "Rd base", "Rd PRA", "Wr base", "Wr PRA",
               "Tot base", "Tot PRA", "FalseHit rd%", "FalseHit wr%"});
 
-    double base_tot = 0, pra_tot = 0, rd_false = 0, n = 0;
-    for (const auto &name : workloads::benchmarkNames()) {
+    const auto names = workloads::benchmarkNames();
+    sim::Runner runner;
+    SweepTimer timer("fig10");
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &name : names) {
         const workloads::Mix rate{name, {name, name, name, name}};
-        const sim::RunResult rb = runPoint(rate, base);
-        const sim::RunResult rp = runPoint(rate, pra);
+        jobs.push_back({rate, base, kBenchTargetInstructions, {}});
+        jobs.push_back({rate, pra, kBenchTargetInstructions, {}});
+    }
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
+    double base_tot = 0, pra_tot = 0, rd_false = 0, n = 0;
+    std::size_t job = 0;
+    for (const auto &name : names) {
+        const sim::RunResult &rb = results[job++];
+        const sim::RunResult &rp = results[job++];
         const auto &db = rb.dramStats;
         const auto &dp = rp.dramStats;
         const double false_rd =

@@ -6,6 +6,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
@@ -13,7 +14,7 @@ using namespace pra::bench;
 namespace {
 
 void
-report(dram::PagePolicy policy, const char *title,
+report(sim::Runner &runner, dram::PagePolicy policy, const char *title,
        const double paper_avg[8])
 {
     const sim::ConfigPoint pra{Scheme::Pra, policy, false};
@@ -24,9 +25,20 @@ report(dram::PagePolicy policy, const char *title,
         header.push_back(std::to_string(g) + "/8");
     t.header(header);
 
+    const auto mixes = workloads::allWorkloads();
+    SweepTimer timer(policy == dram::PagePolicy::RestrictedClose
+                         ? "fig11a"
+                         : "fig11b");
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &mix : mixes)
+        jobs.push_back({mix, pra, kBenchTargetInstructions, {}});
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
     Histogram total(9);
-    for (const auto &mix : workloads::allWorkloads()) {
-        const sim::RunResult r = runPoint(mix, pra);
+    for (std::size_t i = 0; i < mixes.size(); ++i) {
+        const auto &mix = mixes[i];
+        const sim::RunResult &r = results[i];
         std::vector<std::string> row{mix.name};
         for (unsigned g = 1; g <= 8; ++g) {
             row.push_back(Table::pct(r.dramStats.actGranularity
@@ -58,10 +70,11 @@ main()
     const double restricted_paper[8] = {36, 2.3, 0.4, 1.2,
                                         0.04, 0.04, 0.02, 60};
 
-    report(dram::PagePolicy::RestrictedClose,
+    sim::Runner runner;
+    report(runner, dram::PagePolicy::RestrictedClose,
            "Figure 11a: activation granularities, restricted close-page",
            restricted_paper);
-    report(dram::PagePolicy::RelaxedClose,
+    report(runner, dram::PagePolicy::RelaxedClose,
            "Figure 11b: activation granularities, relaxed close-page",
            relaxed_paper);
     return 0;

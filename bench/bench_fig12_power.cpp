@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
@@ -42,17 +43,32 @@ main()
     for (Table *t : {&ta, &ti, &tt})
         t->header({"Workload", "FGA", "Half-DRAM", "PRA"});
 
+    // One job per (workload, scheme) cell, baseline first so the
+    // consumption loop below can walk the results in enqueue order.
+    const auto mixes = workloads::allWorkloads();
+    sim::Runner runner;
+    SweepTimer timer("fig12");
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &mix : mixes) {
+        jobs.push_back({mix, {Scheme::Baseline, policy, false},
+                        kBenchTargetInstructions, {}});
+        for (const Scheme s : schemes)
+            jobs.push_back({mix, {s, policy, false},
+                            kBenchTargetInstructions, {}});
+    }
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
     double sum[3][3] = {};
     double n = 0;
-    for (const auto &mix : workloads::allWorkloads()) {
-        const sim::RunResult base =
-            runPoint(mix, {Scheme::Baseline, policy, false});
+    std::size_t job = 0;
+    for (const auto &mix : mixes) {
+        const sim::RunResult &base = results[job++];
         const PowerTriple pb = powersOf(base);
         std::vector<std::string> ra{mix.name}, ri{mix.name},
             rt{mix.name};
         for (std::size_t s = 0; s < schemes.size(); ++s) {
-            const sim::RunResult r =
-                runPoint(mix, {schemes[s], policy, false});
+            const sim::RunResult &r = results[job++];
             const PowerTriple p = powersOf(r);
             ra.push_back(Table::fmt(p.act / pb.act, 3));
             ri.push_back(Table::fmt(p.io / pb.io, 3));

@@ -5,9 +5,11 @@
  * average DRAM power, normalized performance, DRAM energy, and EDP of
  * Half-DRAM, PRA, and the combined scheme over all 14 workloads.
  */
+#include <algorithm>
 #include <iostream>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
@@ -19,22 +21,43 @@ main()
     const std::vector<Scheme> schemes = {Scheme::HalfDram, Scheme::Pra,
                                          Scheme::HalfDramPra};
 
-    sim::AloneIpcCache alone;
+    const auto mixes = workloads::allWorkloads();
+    const sim::ConfigPoint base_pt{Scheme::Baseline, policy, false};
+    std::vector<sim::ConfigPoint> points{base_pt};
+    for (const Scheme s : schemes)
+        points.push_back({s, policy, false});
+
+    sim::Runner runner;
+    SweepTimer timer("fig14");
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &mix : mixes)
+        for (const auto &pt : points)
+            jobs.push_back({mix, pt, kBenchTargetInstructions, {}});
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
+    std::vector<std::string> apps;
+    for (const auto &mix : mixes)
+        for (const auto &app : mix.apps)
+            if (std::find(apps.begin(), apps.end(), app) == apps.end())
+                apps.push_back(app);
+    runner.parallelFor(apps.size() * points.size(), [&](std::size_t i) {
+        runner.aloneIpc().get(apps[i % apps.size()],
+                              points[i / apps.size()]);
+    });
+
     double power_sum[3] = {}, perf_sum[3] = {}, energy_sum[3] = {},
            edp_sum[3] = {};
     double n = 0;
-
-    for (const auto &mix : workloads::allWorkloads()) {
-        const sim::ConfigPoint base_pt{Scheme::Baseline, policy, false};
-        const sim::RunResult base = runPoint(mix, base_pt);
-        const double base_ws =
-            sim::weightedSpeedup(mix, base, base_pt, alone);
+    std::size_t job = 0;
+    for (const auto &mix : mixes) {
+        const sim::RunResult &base = results[job++];
+        const double base_ws = runner.weightedSpeedup(mix, base, base_pt);
         for (std::size_t s = 0; s < schemes.size(); ++s) {
-            const sim::ConfigPoint pt{schemes[s], policy, false};
-            const sim::RunResult r = runPoint(mix, pt);
+            const sim::ConfigPoint &pt = points[s + 1];
+            const sim::RunResult &r = results[job++];
             power_sum[s] += r.avgPowerMw / base.avgPowerMw;
-            perf_sum[s] +=
-                sim::weightedSpeedup(mix, r, pt, alone) / base_ws;
+            perf_sum[s] += runner.weightedSpeedup(mix, r, pt) / base_ws;
             energy_sum[s] += r.totalEnergyNj / base.totalEnergyNj;
             edp_sum[s] += r.edp / base.edp;
         }

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
@@ -36,28 +37,50 @@ main()
                                {"PRA", Scheme::Pra, false},
                                {"DBI+PRA", Scheme::Pra, true}};
 
-    sim::AloneIpcCache alone;
     const std::vector<std::string> featured = {"bzip2", "GUPS", "em3d"};
 
     Table t("Figure 15: DBI vs PRA vs DBI+PRA "
             "(normalized power | perf | energy | EDP)");
     t.header({"Workload", "DBI", "PRA", "DBI+PRA"});
 
+    const auto mixes = workloads::allWorkloads();
+    const sim::ConfigPoint base_pt{Scheme::Baseline, policy, false};
+    std::vector<sim::ConfigPoint> points{base_pt};
+    for (const Config &c : configs)
+        points.push_back({c.scheme, policy, c.dbi});
+
+    sim::Runner runner;
+    SweepTimer timer("fig15");
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &mix : mixes)
+        for (const auto &pt : points)
+            jobs.push_back({mix, pt, kBenchTargetInstructions, {}});
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
+    std::vector<std::string> apps;
+    for (const auto &mix : mixes)
+        for (const auto &app : mix.apps)
+            if (std::find(apps.begin(), apps.end(), app) == apps.end())
+                apps.push_back(app);
+    runner.parallelFor(apps.size() * points.size(), [&](std::size_t i) {
+        runner.aloneIpc().get(apps[i % apps.size()],
+                              points[i / apps.size()]);
+    });
+
     double sums[3][4] = {};
     double n = 0;
-    for (const auto &mix : workloads::allWorkloads()) {
-        const sim::ConfigPoint base_pt{Scheme::Baseline, policy, false};
-        const sim::RunResult base = runPoint(mix, base_pt);
-        const double base_ws =
-            sim::weightedSpeedup(mix, base, base_pt, alone);
+    std::size_t job = 0;
+    for (const auto &mix : mixes) {
+        const sim::RunResult &base = results[job++];
+        const double base_ws = runner.weightedSpeedup(mix, base, base_pt);
 
         Normalized vals[3];
         for (int c = 0; c < 3; ++c) {
-            const sim::ConfigPoint pt{configs[c].scheme, policy,
-                                      configs[c].dbi};
-            const sim::RunResult r = runPoint(mix, pt);
+            const sim::ConfigPoint &pt = points[c + 1];
+            const sim::RunResult &r = results[job++];
             vals[c] = {r.avgPowerMw / base.avgPowerMw,
-                       sim::weightedSpeedup(mix, r, pt, alone) / base_ws,
+                       runner.weightedSpeedup(mix, r, pt) / base_ws,
                        r.totalEnergyNj / base.totalEnergyNj,
                        r.edp / base.edp};
             sums[c][0] += vals[c].power;

@@ -9,6 +9,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
@@ -23,14 +24,23 @@ main()
     t.header({"Benchmark", "ACT-PRE", "RD", "WR", "RD I/O", "WR I/O",
               "BG", "REF", "Total mW"});
 
+    // One single-core job per benchmark (a one-app mix builds exactly
+    // the generator the motivational study used).
+    const auto names = workloads::benchmarkNames();
+    sim::Runner runner;
+    SweepTimer timer("fig2");
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &name : names)
+        jobs.push_back({workloads::Mix{name, {name}}, base,
+                        kBenchTargetInstructions, {}});
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
     double acc[7] = {};
     double count = 0;
-    for (const auto &name : workloads::benchmarkNames()) {
-        sim::SystemConfig cfg = benchConfig(base);
-        std::vector<std::unique_ptr<cpu::Generator>> gens;
-        gens.push_back(workloads::makeGenerator(name, 1));
-        sim::System system(cfg, std::move(gens));
-        const sim::RunResult r = system.run();
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        const sim::RunResult &r = results[i];
 
         const auto &e = r.breakdown;
         const double total = e.total();

@@ -7,6 +7,7 @@
 #include <iostream>
 
 #include "bench_util.h"
+#include "sim/runner.h"
 
 using namespace pra;
 using namespace pra::bench;
@@ -24,10 +25,21 @@ main()
     header.push_back("mean");
     t.header(header);
 
-    Histogram total(kWordsPerLine + 1);
-    for (const auto &name : workloads::benchmarkNames()) {
+    const auto names = workloads::benchmarkNames();
+    sim::Runner runner;
+    SweepTimer timer("fig3");
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &name : names) {
         const workloads::Mix rate{name, {name, name, name, name}};
-        const sim::RunResult r = runPoint(rate, base);
+        jobs.push_back({rate, base, kBenchTargetInstructions, {}});
+    }
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
+    Histogram total(kWordsPerLine + 1);
+    for (std::size_t i = 0; i < names.size(); ++i) {
+        const auto &name = names[i];
+        const sim::RunResult &r = results[i];
         std::vector<std::string> row{name};
         for (unsigned k = 1; k <= 8; ++k) {
             row.push_back(Table::pct(r.dirtyWords.fraction(k), 1));

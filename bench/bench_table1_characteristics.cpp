@@ -8,7 +8,7 @@
 #include <iostream>
 
 #include "common/table.h"
-#include "sim/experiment.h"
+#include "sim/runner.h"
 
 using namespace pra;
 
@@ -46,11 +46,19 @@ main()
     double sums[6] = {0, 0, 0, 0, 0, 0};
     int paper_sums[6] = {0, 0, 0, 0, 0, 0};
 
+    // targetInstructions = 0 keeps makeConfig()'s full-length default.
+    sim::Runner runner;
+    std::vector<sim::SweepJob> jobs;
     for (const PaperRow &row : kPaper) {
         const workloads::Mix rate{row.name,
                                   {row.name, row.name, row.name, row.name}};
-        const sim::RunResult r =
-            sim::runWorkload(rate, sim::makeConfig(base));
+        jobs.push_back({rate, base, 0, {}});
+    }
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+
+    std::size_t job = 0;
+    for (const PaperRow &row : kPaper) {
+        const sim::RunResult &r = results[job++];
         const auto &d = r.dramStats;
 
         const double traffic =

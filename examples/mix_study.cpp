@@ -7,11 +7,12 @@
  *
  * Usage: mix_study [MIX1..MIX6]
  */
+#include <algorithm>
 #include <iostream>
 #include <string>
 
 #include "common/table.h"
-#include "sim/experiment.h"
+#include "sim/runner.h"
 
 using namespace pra;
 
@@ -36,21 +37,39 @@ main(int argc, char **argv)
         std::cout << app << " ";
     std::cout << "\n\n";
 
-    sim::AloneIpcCache alone;
     Table t("Scheme comparison (relaxed close-page)");
     t.header({"Scheme", "WS", "norm WS", "power mW", "norm power",
               "norm energy", "norm EDP", "falseHit r/w"});
 
+    const std::vector<Scheme> schemes = {Scheme::Baseline, Scheme::Fga,
+                                         Scheme::HalfDram, Scheme::Sds,
+                                         Scheme::Pra, Scheme::HalfDramPra};
+    std::vector<sim::ConfigPoint> points;
+    for (Scheme scheme : schemes)
+        points.push_back({scheme, dram::PagePolicy::RelaxedClose, false});
+
+    sim::Runner runner;
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &point : points)
+        jobs.push_back({mix, point, 0, {}});
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+
+    // Warm the alone-IPC cache in parallel before the serial table loop.
+    std::vector<std::string> apps;
+    for (const auto &app : mix.apps)
+        if (std::find(apps.begin(), apps.end(), app) == apps.end())
+            apps.push_back(app);
+    runner.parallelFor(apps.size() * points.size(), [&](std::size_t i) {
+        runner.aloneIpc().get(apps[i % apps.size()],
+                              points[i / apps.size()]);
+    });
+
     double base_ws = 0, base_power = 0, base_energy = 0, base_edp = 0;
-    for (Scheme scheme : {Scheme::Baseline, Scheme::Fga, Scheme::HalfDram,
-                          Scheme::Sds, Scheme::Pra,
-                          Scheme::HalfDramPra}) {
-        const sim::ConfigPoint point{scheme,
-                                     dram::PagePolicy::RelaxedClose,
-                                     false};
-        const sim::RunResult r =
-            sim::runWorkload(mix, sim::makeConfig(point));
-        const double ws = sim::weightedSpeedup(mix, r, point, alone);
+    for (std::size_t s = 0; s < schemes.size(); ++s) {
+        const Scheme scheme = schemes[s];
+        const sim::ConfigPoint &point = points[s];
+        const sim::RunResult &r = results[s];
+        const double ws = runner.weightedSpeedup(mix, r, point);
         if (scheme == Scheme::Baseline) {
             base_ws = ws;
             base_power = r.avgPowerMw;

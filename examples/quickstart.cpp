@@ -10,7 +10,7 @@
 #include <string>
 
 #include "common/table.h"
-#include "sim/experiment.h"
+#include "sim/runner.h"
 
 using namespace pra;
 
@@ -60,10 +60,14 @@ main(int argc, char **argv)
     sim::ConfigPoint pra{Scheme::Pra, dram::PagePolicy::RelaxedClose,
                          false};
 
-    const sim::RunResult rb = sim::runWorkload(rate, sim::makeConfig(base));
+    // Both points run concurrently on the sweep engine (PRA_JOBS to
+    // control the fan-out); results come back in enqueue order.
+    sim::Runner runner;
+    const std::vector<sim::RunResult> results =
+        runner.run({{rate, base, 0, {}}, {rate, pra, 0, {}}});
+    const sim::RunResult &rb = results[0];
+    const sim::RunResult &rp = results[1];
     report("Baseline (conventional DDR3-1600)", rb);
-
-    const sim::RunResult rp = sim::runWorkload(rate, sim::makeConfig(pra));
     report("PRA (partial row activation)", rp);
 
     const double power_saving = 1.0 - rp.avgPowerMw / rb.avgPowerMw;

@@ -10,25 +10,34 @@
 #include <iostream>
 
 #include "common/table.h"
-#include "sim/experiment.h"
+#include "sim/runner.h"
 
 using namespace pra;
 
 namespace {
 
+constexpr Scheme kSchemes[] = {Scheme::Baseline, Scheme::HalfDram,
+                               Scheme::Pra};
+
 void
-study(const workloads::Mix &mix)
+study(sim::Runner &runner, const workloads::Mix &mix)
 {
     Table t("Workload: " + mix.name);
     t.header({"Scheme", "power mW", "norm power", "norm energy", "IPC0",
               "mean ACT gran", "wr words/line"});
+
+    std::vector<sim::SweepJob> jobs;
+    for (Scheme scheme : kSchemes)
+        jobs.push_back({mix,
+                        {scheme, dram::PagePolicy::RelaxedClose, false},
+                        600'000,
+                        {}});
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+
     double base_power = 0, base_energy = 0;
-    for (Scheme scheme :
-         {Scheme::Baseline, Scheme::HalfDram, Scheme::Pra}) {
-        sim::SystemConfig cfg = sim::makeConfig(
-            {scheme, dram::PagePolicy::RelaxedClose, false});
-        cfg.targetInstructions = 600'000;
-        const sim::RunResult r = sim::runWorkload(mix, cfg);
+    for (std::size_t s = 0; s < std::size(kSchemes); ++s) {
+        const Scheme scheme = kSchemes[s];
+        const sim::RunResult &r = results[s];
         if (scheme == Scheme::Baseline) {
             base_power = r.avgPowerMw;
             base_energy = r.totalEnergyNj;
@@ -54,9 +63,12 @@ int
 main()
 {
     std::cout << "PRA on server-class traffic\n\n";
-    study({"stream x4", {"stream", "stream", "stream", "stream"}});
-    study({"kvstore x4", {"kvstore", "kvstore", "kvstore", "kvstore"}});
-    study({"consolidated", {"stream", "kvstore", "stream", "kvstore"}});
+    sim::Runner runner;
+    study(runner, {"stream x4", {"stream", "stream", "stream", "stream"}});
+    study(runner,
+          {"kvstore x4", {"kvstore", "kvstore", "kvstore", "kvstore"}});
+    study(runner,
+          {"consolidated", {"stream", "kvstore", "stream", "kvstore"}});
     std::cout
         << "STREAM writes whole lines, so PRA degenerates to the "
            "baseline there (Half-DRAM still halves activations); the "

@@ -83,6 +83,34 @@ Core::tick()
     }
 }
 
+bool
+Core::stalled() const
+{
+    // Mirrors the break conditions of tick(): every one of them can only
+    // clear via complete() or the memory port freeing, never by the mere
+    // passage of time, so a true result stays true until one of those
+    // happens.
+    if (!hasOp_)
+        return false;   // Next op unknown; tick() must pull it first.
+    const std::uint64_t limit = std::min(opInst_ - 1, robLimit());
+    if (instCount_ < limit)
+        return false;   // Can still run ahead of the memory op.
+    if (instCount_ < opInst_ - 1)
+        return true;    // ROB-head blocked on an outstanding load.
+    if (instCount_ + 1 > robLimit())
+        return true;    // The memory op itself would overflow the ROB.
+    if (op_.isWrite) {
+        if (storeFetches_ >= params_.stqSize)
+            return true;
+    } else {
+        if (demandLoads_.size() >= params_.ldqSize)
+            return true;
+        if (op_.serializing && !demandLoads_.empty())
+            return true;
+    }
+    return !port_->canIssue(id_, op_.addr);
+}
+
 void
 Core::complete(std::uint64_t tag)
 {

@@ -69,6 +69,14 @@ class Core
     /** A DRAM fetch with @p tag finished. */
     void complete(std::uint64_t tag);
 
+    /**
+     * True when tick() is guaranteed to make no progress until either a
+     * DRAM completion arrives or the memory port frees up — the cycle-skip
+     * fast path may then elide the tick entirely. Conservative: returns
+     * false whenever the next instruction is not yet known.
+     */
+    bool stalled() const;
+
     unsigned id() const { return id_; }
     std::uint64_t retiredInstructions() const { return instCount_; }
     std::uint64_t issuedLoads() const { return loads_; }

@@ -10,6 +10,7 @@ Bank::activate(Cycle now, std::uint32_t row, WordMask mask, bool partial)
     const Cycle sense_start =
         now + (partial ? timing_->praMaskCycles : 0u);
     rowBuf_.activate(row, mask);
+    ++stateEpoch_;
     earliestColumn_ = sense_start + timing_->tRcd;
     earliestPre_ = sense_start + timing_->tRas;
     // tRC lower-bounds the next activation of this bank even if the row
@@ -40,6 +41,7 @@ void
 Bank::precharge(Cycle now)
 {
     rowBuf_.close();
+    ++stateEpoch_;
     earliestAct_ = std::max(earliestAct_, now + timing_->tRp);
     hitCount_ = 0;
     autoPre_ = false;

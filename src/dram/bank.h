@@ -51,6 +51,15 @@ class Bank
     }
     Cycle earliestPrecharge() const { return earliestPre_; }
     Cycle earliestActivate() const { return earliestAct_; }
+    Cycle earliestColumnAccess() const { return earliestColumn_; }
+
+    /**
+     * Monotonic counter bumped whenever the row-buffer contents change
+     * (activate/precharge). A probe result cached against an epoch stays
+     * valid while the epoch is unchanged and the request footprint is
+     * unchanged.
+     */
+    std::uint32_t stateEpoch() const { return stateEpoch_; }
 
     // --- Command effects --------------------------------------------------
 
@@ -96,6 +105,7 @@ class Bank
     Cycle earliestPre_ = 0;     //!< tRAS / tRTP / tWR gated.
     unsigned hitCount_ = 0;     //!< Column accesses since activation.
     bool autoPre_ = false;
+    std::uint32_t stateEpoch_ = 0;  //!< Row-buffer change counter.
 };
 
 } // namespace pra::dram

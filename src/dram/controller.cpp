@@ -77,37 +77,67 @@ MemoryController::enqueue(Request req, Cycle now)
 
     if (req.isWrite) {
         ++stats_.writeReqs;
-        // Write combining: coalesce with a queued write to the same line.
-        for (auto &w : writeQ_) {
-            if (w.addr == req.addr) {
-                w.mask |= req.mask;
-                w.chipMask |= req.chipMask;
-                return;
-            }
+        // Write combining: coalesce with a queued write to the same line
+        // (O(1) via the address index; queued write addresses are unique).
+        if (auto it = writeIndex_.find(req.addr); it != writeIndex_.end()) {
+            Request &w = writeQ_[it->second];
+            w.mask |= req.mask;
+            w.chipMask |= req.chipMask;
+            // The merged masks can change the write's footprint, so the
+            // cached need/probe are stale.
+            w.need = needOf(w);
+            w.probeEpoch = Request::kProbeInvalid;
+            return;
         }
+        req.need = needOf(req);
         writeQ_.push_back(req);
+        writeIndex_.emplace(req.addr, writeQ_.size() - 1);
     } else {
         ++stats_.readReqs;
         // Forwarding: a read that matches a queued write is served from
         // the write queue without a DRAM access.
-        for (const auto &w : writeQ_) {
-            if (w.addr == req.addr) {
-                ++stats_.forwardedReads;
-                finished_.push_back({req.tag, req.coreId, req.addr,
-                                     now + 1, 1});
-                return;
-            }
+        if (writeIndex_.count(req.addr)) {
+            ++stats_.forwardedReads;
+            finished_.push_back({req.tag, req.coreId, req.addr, now + 1,
+                                 1});
+            return;
         }
+        req.need = needOf(req);
         readQ_.push_back(req);
     }
 
     auto &bi = info(req.loc.rank, req.loc.bank);
     ++bi.queued;
-    const Bank &bank = ranks_[req.loc.rank].bank(req.loc.bank);
     // Mask-aware: only requests the (possibly partial) open row can
-    // actually serve count as pending hits.
-    if (bank.probe(req.loc.row, needOf(req)) == RowProbe::Hit)
+    // actually serve count as pending hits. probeOf() also primes the
+    // request's probe cache for the upcoming FR-FCFS scans.
+    Request &queued_req = req.isWrite ? writeQ_.back() : readQ_.back();
+    if (probeOf(queued_req) == RowProbe::Hit)
         ++bi.openRowMatches;
+}
+
+RowProbe
+MemoryController::probeOf(Request &req) const
+{
+    const Bank &bank = ranks_[req.loc.rank].bank(req.loc.bank);
+    if (req.probeEpoch != bank.stateEpoch()) {
+        req.cachedProbe = bank.probe(req.loc.row, req.need);
+        req.probeEpoch = bank.stateEpoch();
+    }
+    return req.cachedProbe;
+}
+
+void
+MemoryController::eraseWriteIndex(Addr addr, std::size_t idx)
+{
+    writeIndex_.erase(addr);
+    // A mid-queue erase shifts every later entry down one slot. The
+    // queue is at most writeQueueDepth (64) entries, so this stays cheap.
+    for (auto &[a, i] : writeIndex_) {
+        (void)a;
+        if (i > idx)
+            --i;
+    }
 }
 
 void
@@ -186,10 +216,10 @@ MemoryController::recountOpenRowMatches(unsigned rank_id, unsigned bank_id)
     const Bank &bank = ranks_[rank_id].bank(bank_id);
     if (!bank.isOpen())
         return;
-    auto count = [&](const std::deque<Request> &q) {
-        for (const auto &r : q) {
+    auto count = [&](std::deque<Request> &q) {
+        for (auto &r : q) {
             if (r.loc.rank == rank_id && r.loc.bank == bank_id &&
-                bank.probe(r.loc.row, needOf(r)) == RowProbe::Hit) {
+                probeOf(r) == RowProbe::Hit) {
                 ++bi.openRowMatches;
             }
         }
@@ -253,6 +283,8 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
 {
     Request req = queue[idx];
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
+    if (is_write)
+        eraseWriteIndex(req.addr, idx);
 
     Rank &rank = ranks_[req.loc.rank];
     Bank &bank = rank.bank(req.loc.bank);
@@ -328,7 +360,7 @@ MemoryController::tryColumnAccess(std::deque<Request> &queue, bool is_write,
     for (std::size_t i = 0; i < queue.size(); ++i) {
         Request &req = queue[i];
         Bank &bank = ranks_[req.loc.rank].bank(req.loc.bank);
-        if (bank.probe(req.loc.row, needOf(req)) != RowProbe::Hit)
+        if (probeOf(req) != RowProbe::Hit)
             continue;
         // Restricted close-page: the auto-precharge is encoded in the
         // previous column command (RDA/WRA), so the row is already
@@ -384,7 +416,7 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
         Request &req = queue[i];
         Rank &rank = ranks_[req.loc.rank];
         Bank &bank = rank.bank(req.loc.bank);
-        const RowProbe probe = bank.probe(req.loc.row, needOf(req));
+        const RowProbe probe = probeOf(req);
 
         switch (probe) {
           case RowProbe::Closed: {
@@ -576,6 +608,100 @@ MemoryController::tick(Cycle now)
         return;
     }
     tryMaintenanceClose(now);
+}
+
+Cycle
+MemoryController::nextEventCycle(Cycle now) const
+{
+    constexpr Cycle kNever = ~Cycle{0};
+    Cycle next = kNever;
+    auto consider = [&](Cycle c) {
+        if (c > now && c < next)
+            next = c;
+    };
+
+    // Every gate that can block an otherwise-ready action is listed
+    // individually, so a window in which exactly one gate binds still
+    // wakes at the cycle that gate releases. Extra (too-early) candidates
+    // are harmless — the caller re-evaluates — but a missing one would
+    // overshoot and change behaviour.
+
+    // Completion deliveries.
+    for (const auto &c : inflight_)
+        consider(c.finish);
+
+    const bool reads_queued = !readQ_.empty();
+    const bool writes_queued = !writeQ_.empty();
+    const bool any_queued = reads_queued || writes_queued;
+
+    // The command bus gates refresh and every scheduler action.
+    consider(cmdBusFree_);
+
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        const Rank &rank = ranks_[r];
+        // Refresh becomes due at the deadline regardless of the queues.
+        consider(rank.nextRefreshAt());
+
+        bool rank_queued = false;
+        for (unsigned b = 0; b < rank.numBanks() && !rank_queued; ++b)
+            rank_queued = bankInfo_[r * cfg_->banksPerRank + b].queued > 0;
+
+        if (rank_queued) {
+            // Activation gates (tRRD, weighted tFAW expiries).
+            consider(rank.nextActAllowedAt());
+            for (Cycle e : rank.actWindowExpiries())
+                consider(e);
+        }
+
+        const bool refresh_pending = rank.refreshDue(now);
+        for (unsigned b = 0; b < rank.numBanks(); ++b) {
+            const Bank &bank = rank.bank(b);
+            if (bank.isOpen()) {
+                // Column hits, and precharges (auto, maintenance, or
+                // conflict/false-hit closes) unlock here.
+                consider(bank.earliestPrecharge());
+                consider(bank.earliestColumnAccess());
+            } else if (rank_queued || refresh_pending) {
+                // ACT for a queued request, or the tRP/tRFC expiry that
+                // lets a due refresh (or post-refresh ACT) proceed.
+                consider(bank.earliestActivate());
+            }
+        }
+    }
+
+    if (any_queued) {
+        if (reads_queued)
+            consider(readCmdBlockedUntil_);   // tWTR release.
+        if (cfg_->timing.bankGroups > 1 && anyColumnIssued_) {
+            consider(lastColumnCycle_ + cfg_->timing.tCcd);
+            consider(lastColumnCycle_ + cfg_->timing.tCcdL);
+        }
+        // Data-bus release: a column command becomes issuable once its
+        // data window (starting wl/rl cycles later, +tRtrs on a rank
+        // switch) clears dataBusFree_.
+        const Cycle lats[] = {cfg_->timing.wl, cfg_->timing.rl()};
+        for (Cycle lat : lats) {
+            for (Cycle busy_until :
+                 {dataBusFree_, dataBusFree_ + cfg_->timing.tRtrs}) {
+                if (busy_until > lat)
+                    consider(busy_until - lat);
+            }
+        }
+    }
+
+    return next;
+}
+
+void
+MemoryController::fastForward(Cycle from, Cycle to)
+{
+    for (unsigned r = 0; r < ranks_.size(); ++r) {
+        Rank &rank = ranks_[r];
+        bool queued = false;
+        for (unsigned b = 0; b < rank.numBanks() && !queued; ++b)
+            queued = info(r, b).queued > 0;
+        rank.fastForwardBackground(from, to, queued, energy_);
+    }
 }
 
 bool

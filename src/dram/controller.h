@@ -30,6 +30,7 @@
 #include <vector>
 
 #include <memory>
+#include <unordered_map>
 
 #include "common/stats.h"
 #include "dram/checker.h"
@@ -101,6 +102,24 @@ class MemoryController
     /** Advance one DRAM cycle. */
     void tick(Cycle now);
 
+    /**
+     * Cycle-skip support: a conservative lower bound (> @p now) on the
+     * next cycle at which tick() could do anything beyond background
+     * power accounting — issue a command, auto-precharge, or deliver a
+     * completion — assuming no new request is enqueued in between. The
+     * bound may be earlier than the next real action (the caller simply
+     * re-evaluates) but is never later.
+     */
+    Cycle nextEventCycle(Cycle now) const;
+
+    /**
+     * Cycle-skip support: account the background power of cycles
+     * [@p from, @p to) in one jump. Only valid when nextEventCycle(from)
+     * >= to and nothing is enqueued in the window — i.e. every skipped
+     * tick would have been action-free.
+     */
+    void fastForward(Cycle from, Cycle to);
+
     /** Finished reads since the last drain (caller clears). */
     std::vector<Completion> &completions() { return finished_; }
 
@@ -138,6 +157,16 @@ class MemoryController
     WordMask needOf(const Request &req) const;
     void classify(Request &req, RowProbe probe);
 
+    /**
+     * Row-buffer probe of @p req against its bank, cached per request
+     * and invalidated by the bank's state epoch (activate/precharge) or
+     * a mask change (write combining).
+     */
+    RowProbe probeOf(Request &req) const;
+
+    /** Drop @p addr from the write-queue index after erasing entry @p idx. */
+    void eraseWriteIndex(Addr addr, std::size_t idx);
+
     bool tryColumnAccess(std::deque<Request> &queue, bool is_write,
                          Cycle now);
     bool tryPrepare(std::deque<Request> &queue, bool is_write, Cycle now);
@@ -167,6 +196,8 @@ class MemoryController
 
     std::deque<Request> readQ_;
     std::deque<Request> writeQ_;
+    /** Line address → writeQ_ position, for O(1) combine/forward. */
+    std::unordered_map<Addr, std::size_t> writeIndex_;
     bool drainMode_ = false;
 
     Cycle cmdBusFree_ = 0;

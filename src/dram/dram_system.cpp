@@ -43,6 +43,29 @@ DramSystem::tick()
     ++now_;
 }
 
+Cycle
+DramSystem::nextEventCycle() const
+{
+    // Candidates are judged relative to the last simulated cycle: a gate
+    // releasing exactly at now_ still produces a candidate (== now_), so
+    // the caller never skips a cycle in which an action is possible.
+    const Cycle last = now_ > 0 ? now_ - 1 : 0;
+    Cycle next = ~Cycle{0};
+    for (const auto &ch : channels_)
+        next = std::min(next, ch.nextEventCycle(last));
+    return next;
+}
+
+void
+DramSystem::fastForwardTo(Cycle target)
+{
+    if (target <= now_)
+        return;
+    for (auto &ch : channels_)
+        ch.fastForward(now_, target);
+    now_ = target;
+}
+
 void
 DramSystem::drain(Cycle max_cycles)
 {

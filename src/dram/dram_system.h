@@ -42,6 +42,23 @@ class DramSystem
     /** Advance the whole DRAM system by one cycle. */
     void tick();
 
+    /**
+     * Cycle-skip support: conservative lower bound on the next cycle at
+     * which any channel could act, judged from the last simulated cycle
+     * (now()-1, so an action already unblocked for the upcoming cycle
+     * yields a bound of exactly now() and no skip). Assumes no enqueue
+     * happens in between. Only meaningful after at least one tick().
+     */
+    Cycle nextEventCycle() const;
+
+    /**
+     * Cycle-skip support: advance the clock from now() to @p target in
+     * one jump, accounting background power for the skipped cycles. The
+     * caller must have established via nextEventCycle() that every cycle
+     * in [now(), target) is action-free.
+     */
+    void fastForwardTo(Cycle target);
+
     /** Run until all queues drain (bounded by @p max_cycles). */
     void drain(Cycle max_cycles = 2'000'000);
 

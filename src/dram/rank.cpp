@@ -1,6 +1,7 @@
 #include "dram/rank.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 
 namespace pra::dram {
@@ -110,6 +111,115 @@ Rank::wake(Cycle now)
     poweredDown_ = false;
     for (auto &b : banks_)
         b.blockUntil(now + cfg_->timing.tXp);
+}
+
+std::vector<Cycle>
+Rank::actWindowExpiries() const
+{
+    std::vector<Cycle> expiries;
+    expiries.reserve(actWindow_.size());
+    for (const auto &[cycle, weight] : actWindow_) {
+        (void)weight;
+        expiries.push_back(cycle + cfg_->timing.tFaw);
+    }
+    return expiries;
+}
+
+void
+Rank::fastForwardBackground(Cycle from, Cycle to, bool has_queued_work,
+                            power::EnergyCounts &energy)
+{
+    if (to <= from)
+        return;
+
+#ifndef NDEBUG
+    // Cycle-by-cycle replay of updatePowerState() + the accountBackground
+    // state counting, used below to assert the analytic jump is exact.
+    std::uint64_t replay_act = 0, replay_pre = 0, replay_pd = 0;
+    bool replay_was_idle = wasIdle_, replay_pd_state = poweredDown_;
+    Cycle replay_idle_since = idleSince_;
+    for (Cycle c = from; c < to; ++c) {
+        const bool idle =
+            allBanksClosed() && !has_queued_work && !refreshing(c);
+        if (idle && !replay_was_idle)
+            replay_idle_since = c;
+        replay_was_idle = idle;
+        if (cfg_->powerDownEnabled) {
+            if (idle && !replay_pd_state &&
+                c - replay_idle_since >= cfg_->powerDownThreshold) {
+                replay_pd_state = true;
+            }
+            // wake() is never reachable here: !idle with poweredDown_ set
+            // implies the pre-skip tick already woke the rank.
+            assert(idle || !replay_pd_state);
+        }
+        if (refreshing(c) || !allBanksClosed())
+            ++replay_act;
+        else if (replay_pd_state)
+            ++replay_pd;
+        else
+            ++replay_pre;
+    }
+#endif
+
+    const Cycle len = to - from;
+    std::uint64_t act_cycles = 0, pre_cycles = 0, pd_cycles = 0;
+    if (!allBanksClosed()) {
+        // A bank is open: never refreshing (REF requires all banks
+        // closed and none can open mid-skip), never idle.
+        act_cycles = len;
+        wasIdle_ = false;
+    } else {
+        // Refreshing segment [from, refresh_end): counts as active
+        // standby, not idle.
+        const Cycle refresh_end =
+            std::min(std::max(refreshDone_, from), to);
+        act_cycles = refresh_end - from;
+        if (refresh_end > from)
+            wasIdle_ = false;
+        if (refresh_end < to) {
+            if (has_queued_work) {
+                // Work queued: a powered-down rank would already have
+                // been woken by the tick that saw the arrival.
+                assert(!poweredDown_);
+                pre_cycles = to - refresh_end;
+                wasIdle_ = false;
+            } else {
+                // Idle stretch: precharge standby until the power-down
+                // threshold elapses, power-down after.
+                if (!wasIdle_)
+                    idleSince_ = refresh_end;
+                wasIdle_ = true;
+                Cycle pd_start = to;
+                if (cfg_->powerDownEnabled) {
+                    pd_start = poweredDown_
+                                   ? refresh_end
+                                   : std::max(refresh_end,
+                                              idleSince_ +
+                                                  cfg_->powerDownThreshold);
+                    pd_start = std::min(pd_start, to);
+                }
+                pre_cycles = pd_start - refresh_end;
+                pd_cycles = to - pd_start;
+                if (pd_start < to)
+                    poweredDown_ = true;
+            }
+        }
+    }
+
+#ifndef NDEBUG
+    // The analytic jump and the naive per-cycle loop must agree exactly.
+    assert(replay_act == act_cycles);
+    assert(replay_pre == pre_cycles);
+    assert(replay_pd == pd_cycles);
+    assert(replay_was_idle == wasIdle_);
+    assert(replay_pd_state == poweredDown_);
+    assert(!replay_was_idle || replay_idle_since == idleSince_);
+#endif
+
+    energy.actStandbyCycles += act_cycles;
+    energy.preStandbyCycles += pre_cycles;
+    energy.powerDownCycles += pd_cycles;
 }
 
 } // namespace pra::dram

@@ -19,6 +19,7 @@
 #include "common/types.h"
 #include "dram/bank.h"
 #include "dram/config.h"
+#include "power/power_model.h"
 
 namespace pra::dram {
 
@@ -60,6 +61,19 @@ class Rank
     /** True when the refresh deadline has passed. */
     bool refreshDue(Cycle now) const { return now >= nextRefresh_; }
 
+    /** Cycle at which the next refresh becomes due. */
+    Cycle nextRefreshAt() const { return nextRefresh_; }
+
+    /** Earliest cycle the tRRD gate allows another activation. */
+    Cycle nextActAllowedAt() const { return nextActAllowed_; }
+
+    /**
+     * Expiry cycles of the activations currently charged against the
+     * weighted tFAW window (each entry leaves the window at its cycle +
+     * tFAW). Cycle-skip uses these as conservative wake-up candidates.
+     */
+    std::vector<Cycle> actWindowExpiries() const;
+
     /** All banks closed and past their tRP so REF may issue. */
     bool canRefresh(Cycle now) const;
 
@@ -84,6 +98,18 @@ class Rank
 
     /** Leave power-down; banks stall tXP before the next ACT. */
     void wake(Cycle now);
+
+    /**
+     * Cycle-skip fast path: account the background power of the cycles
+     * [@p from, @p to) in one jump, assuming no command issues and no
+     * request arrives in that window (so bank open state and
+     * @p has_queued_work are constant). Performs exactly the state
+     * transitions and energy counting that per-cycle
+     * updatePowerState()+powerState() accounting would, verified against
+     * a cycle-by-cycle replay in debug builds.
+     */
+    void fastForwardBackground(Cycle from, Cycle to, bool has_queued_work,
+                               power::EnergyCounts &energy);
 
   private:
     const DramConfig *cfg_;

@@ -10,6 +10,7 @@
 
 #include "common/bitmask.h"
 #include "common/types.h"
+#include "core/row_buffer.h"
 
 namespace pra::dram {
 
@@ -52,6 +53,19 @@ struct Request
 
     // Controller bookkeeping.
     bool classified = false; //!< Row-hit accounting done.
+
+    /**
+     * Cached needOf() footprint: recomputed only when the masks change
+     * (write combining), so the FR-FCFS scans do not re-derive it per
+     * cycle per request.
+     */
+    WordMask need = WordMask::full();
+    /** Bank state epoch the cached probe below was taken against. */
+    std::uint32_t probeEpoch = kProbeInvalid;
+    /** Row-buffer probe result cached at probeEpoch. */
+    RowProbe cachedProbe = RowProbe::Closed;
+
+    static constexpr std::uint32_t kProbeInvalid = 0xffffffffu;
 };
 
 /** Completion notification for a read. */

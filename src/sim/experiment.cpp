@@ -17,8 +17,12 @@ RunResult
 runWorkload(const workloads::Mix &mix, const SystemConfig &cfg)
 {
     std::vector<std::unique_ptr<cpu::Generator>> gens;
+    // Empty trailing slots make a partial mix (e.g. a single-core run);
+    // the seed stays tied to the slot so core i is reproducible
+    // regardless of how many slots are filled.
     for (unsigned i = 0; i < mix.apps.size(); ++i)
-        gens.push_back(workloads::makeGenerator(mix.apps[i], i + 1));
+        if (!mix.apps[i].empty())
+            gens.push_back(workloads::makeGenerator(mix.apps[i], i + 1));
     System system(cfg, std::move(gens));
     return system.run();
 }
@@ -27,18 +31,32 @@ double
 AloneIpcCache::get(const std::string &app, const ConfigPoint &point)
 {
     const std::string key = point.key() + "#" + app;
-    auto it = cache_.find(key);
-    if (it != cache_.end())
-        return it->second;
 
-    SystemConfig cfg = makeConfig(point);
-    std::vector<std::unique_ptr<cpu::Generator>> gens;
-    gens.push_back(workloads::makeGenerator(app, 1));
-    System system(cfg, std::move(gens));
-    const RunResult res = system.run();
-    const double ipc = res.ipc.at(0);
-    cache_.emplace(key, ipc);
-    return ipc;
+    // Claim-or-wait: the first caller installs a future and computes;
+    // later callers (any thread) block on the shared result.
+    std::promise<double> prom;
+    std::shared_future<double> fut;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            compute = true;
+            fut = prom.get_future().share();
+            cache_.emplace(key, fut);
+        } else {
+            fut = it->second;
+        }
+    }
+
+    if (compute) {
+        SystemConfig cfg = makeConfig(point);
+        std::vector<std::unique_ptr<cpu::Generator>> gens;
+        gens.push_back(workloads::makeGenerator(app, 1));
+        System system(cfg, std::move(gens));
+        prom.set_value(system.run().ipc.at(0));
+    }
+    return fut.get();
 }
 
 double
@@ -46,10 +64,14 @@ weightedSpeedup(const workloads::Mix &mix, const RunResult &shared,
                 const ConfigPoint &point, AloneIpcCache &alone)
 {
     double ws = 0.0;
+    unsigned core = 0;  // Active cores pack down past empty mix slots.
     for (unsigned c = 0; c < mix.apps.size(); ++c) {
+        if (mix.apps[c].empty())
+            continue;
         const double alone_ipc = alone.get(mix.apps[c], point);
         if (alone_ipc > 0.0)
-            ws += shared.ipc.at(c) / alone_ipc;
+            ws += shared.ipc.at(core) / alone_ipc;
+        ++core;
     }
     return ws;
 }

@@ -8,7 +8,9 @@
 #ifndef PRA_SIM_EXPERIMENT_H
 #define PRA_SIM_EXPERIMENT_H
 
+#include <future>
 #include <map>
+#include <mutex>
 #include <string>
 
 #include "sim/system.h"
@@ -39,7 +41,13 @@ SystemConfig makeConfig(const ConfigPoint &point);
 /** Run a 4-core workload (rate quadruple or Table 4 mix). */
 RunResult runWorkload(const workloads::Mix &mix, const SystemConfig &cfg);
 
-/** Caches IPC_alone per (config key, app). */
+/**
+ * Caches IPC_alone per (config key, app).
+ *
+ * Thread-safe with compute-once semantics: when several sweep threads
+ * need the same alone IPC, exactly one runs the simulation and the rest
+ * block on its shared_future, so no alone-run is ever duplicated.
+ */
 class AloneIpcCache
 {
   public:
@@ -47,7 +55,8 @@ class AloneIpcCache
     double get(const std::string &app, const ConfigPoint &point);
 
   private:
-    std::map<std::string, double> cache_;
+    std::mutex mu_;
+    std::map<std::string, std::shared_future<double>> cache_;
 };
 
 /**

@@ -1,0 +1,99 @@
+#include "sim/runner.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+namespace pra::sim {
+
+RunResult
+runSweepJob(const SweepJob &job)
+{
+    SystemConfig cfg = job.config ? *job.config : makeConfig(job.point);
+    if (!job.config && job.targetInstructions > 0)
+        cfg.targetInstructions = job.targetInstructions;
+    return runWorkload(job.mix, cfg);
+}
+
+Runner::Runner(unsigned threads) : threads_(resolveThreads(threads)) {}
+
+unsigned
+Runner::resolveThreads(unsigned requested)
+{
+    if (requested > 0)
+        return requested;
+    if (const char *env = std::getenv("PRA_JOBS")) {
+        char *end = nullptr;
+        const long v = std::strtol(env, &end, 10);
+        if (end != env && *end == '\0' && v > 0)
+            return static_cast<unsigned>(v);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw > 0 ? hw : 1;
+}
+
+void
+Runner::parallelFor(std::size_t n,
+                    const std::function<void(std::size_t)> &fn)
+{
+    const std::size_t workers =
+        std::min<std::size_t>(threads_, n);
+    if (workers <= 1) {
+        // Serial reference path: same claim order, same results.
+        for (std::size_t i = 0; i < n; ++i)
+            fn(i);
+        return;
+    }
+
+    std::atomic<std::size_t> next{0};
+    std::exception_ptr first_error;
+    std::mutex error_mu;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                std::lock_guard<std::mutex> lock(error_mu);
+                if (!first_error)
+                    first_error = std::current_exception();
+            }
+        }
+    };
+
+    std::vector<std::thread> pool;
+    pool.reserve(workers);
+    for (std::size_t t = 0; t < workers; ++t)
+        pool.emplace_back(worker);
+    for (auto &th : pool)
+        th.join();
+
+    if (first_error)
+        std::rethrow_exception(first_error);
+}
+
+std::vector<RunResult>
+Runner::run(const std::vector<SweepJob> &jobs)
+{
+    // Results are indexed by job id, so whichever thread finishes a cell
+    // first, the returned ordering matches the enqueue ordering exactly.
+    std::vector<RunResult> results(jobs.size());
+    parallelFor(jobs.size(),
+                [&](std::size_t i) { results[i] = runSweepJob(jobs[i]); });
+    return results;
+}
+
+double
+Runner::weightedSpeedup(const workloads::Mix &mix, const RunResult &shared,
+                        const ConfigPoint &point)
+{
+    return sim::weightedSpeedup(mix, shared, point, alone_);
+}
+
+} // namespace pra::sim

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Parallel sweep engine for the benchmark binaries and examples.
+ *
+ * The evaluation sweeps are embarrassingly parallel: every (workload,
+ * configuration) cell is an independent deterministic simulation. The
+ * Runner fans the cells out over a std::thread pool and hands back the
+ * results in job order, so a caller that prints results sequentially
+ * produces byte-identical output to the old serial loops — only faster.
+ *
+ * Thread count resolution (Runner::resolveThreads):
+ *   1. an explicit constructor argument wins;
+ *   2. otherwise the PRA_JOBS environment variable (positive integer);
+ *   3. otherwise std::thread::hardware_concurrency().
+ * PRA_JOBS=1 therefore forces the engine serial, which the determinism
+ * regression tests use as the reference.
+ *
+ * Weighted-speedup sweeps share one AloneIpcCache across all threads;
+ * its compute-once guarantee means each (config, app) alone run happens
+ * exactly once no matter how many cells need it concurrently.
+ */
+#ifndef PRA_SIM_RUNNER_H
+#define PRA_SIM_RUNNER_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "sim/experiment.h"
+
+namespace pra::sim {
+
+/** One independent sweep cell: a workload under a configuration. */
+struct SweepJob
+{
+    workloads::Mix mix;
+    ConfigPoint point{};
+    /**
+     * Measured-region length; 0 keeps makeConfig()'s default. Ignored
+     * when @ref config is set.
+     */
+    std::uint64_t targetInstructions = 0;
+    /**
+     * Full configuration override for jobs that tweak raw SystemConfig
+     * fields (ablations, DDR4 projection); when set, @ref point is not
+     * consulted for the config (it may still label the job).
+     */
+    std::optional<SystemConfig> config;
+};
+
+/** Run one sweep cell (also the per-thread worker body). */
+RunResult runSweepJob(const SweepJob &job);
+
+/** The parallel sweep engine. */
+class Runner
+{
+  public:
+    /**
+     * @param threads Worker count; 0 = resolveThreads(0) (PRA_JOBS or
+     *                hardware concurrency).
+     */
+    explicit Runner(unsigned threads = 0);
+
+    /** Worker count this runner fans out over. */
+    unsigned threads() const { return threads_; }
+
+    /** Apply the resolution order documented above to @p requested. */
+    static unsigned resolveThreads(unsigned requested);
+
+    /**
+     * Run @p fn(0) .. @p fn(n-1) across the pool and block until all
+     * complete. Indices are claimed dynamically; @p fn must be safe to
+     * call concurrently from different threads with distinct indices.
+     * The first exception thrown by any invocation is rethrown here.
+     */
+    void parallelFor(std::size_t n,
+                     const std::function<void(std::size_t)> &fn);
+
+    /**
+     * Run every job and return the results with results[i] belonging to
+     * jobs[i], regardless of completion order — deterministic by
+     * construction.
+     */
+    std::vector<RunResult> run(const std::vector<SweepJob> &jobs);
+
+    /** Shared alone-IPC cache (thread-safe, compute-once). */
+    AloneIpcCache &aloneIpc() { return alone_; }
+
+    /** Weighted speedup (Eq. 3) against the shared alone cache. */
+    double weightedSpeedup(const workloads::Mix &mix,
+                           const RunResult &shared,
+                           const ConfigPoint &point);
+
+  private:
+    unsigned threads_;
+    AloneIpcCache alone_;
+};
+
+} // namespace pra::sim
+
+#endif // PRA_SIM_RUNNER_H

@@ -131,6 +131,21 @@ System::run()
                 ++done;
             }
         }
+
+        // Cycle-skip fast path: when every core is provably unable to make
+        // progress and no writeback is waiting to enqueue, nothing in the
+        // system can change until the DRAM's next event. Jump there in one
+        // step; the skipped cycles are no-op core ticks plus action-free
+        // DRAM ticks whose background power fastForwardTo() accounts
+        // analytically.
+        if (cfg_.enableCycleSkip && done < cores_.size() &&
+            pendingWb_.empty() &&
+            std::all_of(cores_.begin(), cores_.end(),
+                        [](const cpu::Core &c) { return c.stalled(); })) {
+            const Cycle target =
+                std::min(dram_.nextEventCycle(), cfg_.maxDramCycles);
+            dram_.fastForwardTo(target);
+        }
     }
 
     RunResult res;

@@ -40,6 +40,15 @@ struct SystemConfig
     Cycle maxDramCycles = 40'000'000;
     /** Writeback buffer backpressure threshold. */
     std::size_t writebackBacklogLimit = 64;
+    /**
+     * Cycle-skipping fast path: when every core is stalled and the DRAM
+     * system reports no action possible before cycle T, jump the clock to
+     * T instead of ticking through the idle stretch. Produces bit-identical
+     * results to the naive loop (the skipped cycles are provably
+     * action-free; background power is accounted analytically and, in
+     * debug builds, asserted against a cycle-by-cycle replay).
+     */
+    bool enableCycleSkip = true;
 };
 
 /** Everything one simulation run produces. */
