@@ -46,6 +46,7 @@ main()
     // power-down, each as a full-config override.
     sim::Runner runner;
     SweepTimer timer("ablation_controller");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (unsigned c : caps) {
         sim::SystemConfig cfg = baselineCfg();

@@ -111,6 +111,7 @@ main()
     };
     sim::Runner runner;
     SweepTimer timer("ablation_pra");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (const auto &mix : mixes)
         buildJobs(mix, jobs);

@@ -63,6 +63,7 @@ main()
 {
     sim::Runner runner;
     SweepTimer timer("ddr4_projection");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     buildJobs(dram::ddr3_1600(), jobs);
     buildJobs(dram::ddr4_2400(), jobs);

@@ -32,6 +32,7 @@ main()
     const auto names = workloads::benchmarkNames();
     sim::Runner runner;
     SweepTimer timer("export_sweep");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     std::vector<std::pair<std::string, sim::ConfigPoint>> labels;
     for (const auto &name : names) {

@@ -27,6 +27,7 @@ main()
     const auto names = workloads::benchmarkNames();
     sim::Runner runner;
     SweepTimer timer("fig10");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (const auto &name : names) {
         const workloads::Mix rate{name, {name, name, name, name}};

@@ -29,6 +29,7 @@ report(sim::Runner &runner, dram::PagePolicy policy, const char *title,
     SweepTimer timer(policy == dram::PagePolicy::RestrictedClose
                          ? "fig11a"
                          : "fig11b");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (const auto &mix : mixes)
         jobs.push_back({mix, pra, kBenchTargetInstructions, {}});

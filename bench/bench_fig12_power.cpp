@@ -48,6 +48,7 @@ main()
     const auto mixes = workloads::allWorkloads();
     sim::Runner runner;
     SweepTimer timer("fig12");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (const auto &mix : mixes) {
         jobs.push_back({mix, {Scheme::Baseline, policy, false},

@@ -35,6 +35,7 @@ main()
 
     sim::Runner runner;
     SweepTimer timer("fig13");
+    timer.attach(runner);
 
     // Shared (4-core) runs: one job per (workload, point) cell.
     std::vector<sim::SweepJob> jobs;

@@ -29,6 +29,7 @@ main()
 
     sim::Runner runner;
     SweepTimer timer("fig14");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (const auto &mix : mixes)
         for (const auto &pt : points)

@@ -51,6 +51,7 @@ main()
 
     sim::Runner runner;
     SweepTimer timer("fig15");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (const auto &mix : mixes)
         for (const auto &pt : points)

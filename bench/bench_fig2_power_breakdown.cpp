@@ -29,6 +29,7 @@ main()
     const auto names = workloads::benchmarkNames();
     sim::Runner runner;
     SweepTimer timer("fig2");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (const auto &name : names)
         jobs.push_back({workloads::Mix{name, {name}}, base,

@@ -28,6 +28,7 @@ main()
     const auto names = workloads::benchmarkNames();
     sim::Runner runner;
     SweepTimer timer("fig3");
+    timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (const auto &name : names) {
         const workloads::Mix rate{name, {name, name, name, name}};

@@ -17,6 +17,7 @@
 
 #include "common/table.h"
 #include "sim/experiment.h"
+#include "sim/runner.h"
 
 namespace pra::bench {
 
@@ -88,6 +89,13 @@ class SweepTimer
             add(r);
     }
 
+    /**
+     * Report @p runner's reuse counters (persistent-cache hits, warmups
+     * simulated) alongside the wall time. The runner must outlive this
+     * timer; counters are read at destruction.
+     */
+    void attach(const sim::Runner &runner) { runner_ = &runner; }
+
     ~SweepTimer()
     {
         const double secs =
@@ -98,11 +106,20 @@ class SweepTimer
             static_cast<double>(simulatedCycles_.load());
         std::fprintf(stderr,
                      "[sweep] %s: %llu cells, %.2f s wall, "
-                     "%.1fM DRAM cycles, %.2fM cycles/s\n",
+                     "%.1fM DRAM cycles, %.2fM cycles/s",
                      label_.c_str(),
                      static_cast<unsigned long long>(cells_.load()),
                      secs, cycles / 1e6,
                      secs > 0.0 ? cycles / 1e6 / secs : 0.0);
+        if (runner_ != nullptr) {
+            std::fprintf(
+                stderr, ", %llu cache hits, %llu warmups",
+                static_cast<unsigned long long>(
+                    runner_->resultCacheHits()),
+                static_cast<unsigned long long>(
+                    runner_->warmupsComputed()));
+        }
+        std::fprintf(stderr, "\n");
     }
 
   private:
@@ -110,6 +127,7 @@ class SweepTimer
     std::chrono::steady_clock::time_point start_;
     std::atomic<std::uint64_t> simulatedCycles_{0};
     std::atomic<std::uint64_t> cells_{0};
+    const sim::Runner *runner_ = nullptr;
 };
 
 } // namespace pra::bench

@@ -52,6 +52,12 @@ class LogAppend : public cpu::Generator
 
     const char *name() const override { return "log-append"; }
 
+    std::unique_ptr<cpu::Generator>
+    clone() const override
+    {
+        return std::make_unique<LogAppend>(*this);
+    }
+
   private:
     Rng rng_;
     Addr logHead_ = 0;

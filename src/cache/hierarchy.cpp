@@ -15,6 +15,17 @@ Hierarchy::Hierarchy(const HierarchyConfig &cfg)
     }
 }
 
+Hierarchy::Hierarchy(const Hierarchy &other)
+    : cfg_(other.cfg_), l2_(other.l2_), dirtyWords_(other.dirtyWords_),
+      memReads_(other.memReads_), memWrites_(other.memWrites_)
+{
+    l1s_.reserve(other.l1s_.size());
+    for (const auto &l1 : other.l1s_)
+        l1s_.push_back(std::make_unique<Cache>(*l1));
+    if (other.dbi_)
+        dbi_ = std::make_unique<DirtyBlockIndex>(*other.dbi_);
+}
+
 void
 Hierarchy::emitWriteback(Addr addr, ByteMask dirty,
                          std::vector<Writeback> &out)

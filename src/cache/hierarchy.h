@@ -56,6 +56,16 @@ class Hierarchy
     explicit Hierarchy(const HierarchyConfig &cfg);
 
     /**
+     * Deep copy: every tag array, dirty mask, LRU clock, DBI row-group
+     * table, and statistic counter is duplicated, so the copy behaves
+     * bit-identically to the original under any subsequent access
+     * sequence. This is what lets a warm snapshot (sim::WarmSnapshot) be
+     * forked into many simulations after a single functional warmup.
+     */
+    Hierarchy(const Hierarchy &other);
+    Hierarchy(Hierarchy &&) = default;
+
+    /**
      * Core @p core accesses @p addr; for stores @p store_bytes are the
      * bytes written (FGD granularity).
      */

@@ -121,6 +121,21 @@ class Summary
     double max() const { return n_ ? max_ : 0.0; }
     std::uint64_t samples() const { return n_; }
 
+    /** Raw running sum (bit-exact persistence of sweep results). */
+    double sum() const { return sum_; }
+
+    /** Rebuild a summary from its raw state (sum, not mean). */
+    static Summary
+    fromRaw(std::uint64_t n, double sum, double min, double max)
+    {
+        Summary s;
+        s.n_ = n;
+        s.sum_ = sum;
+        s.min_ = min;
+        s.max_ = max;
+        return s;
+    }
+
   private:
     std::uint64_t n_ = 0;
     double sum_ = 0.0;

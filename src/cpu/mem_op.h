@@ -8,6 +8,8 @@
 #ifndef PRA_CPU_MEM_OP_H
 #define PRA_CPU_MEM_OP_H
 
+#include <memory>
+
 #include "common/bitmask.h"
 #include "common/types.h"
 
@@ -39,6 +41,16 @@ class Generator
 
     /** Short workload name for reports. */
     virtual const char *name() const = 0;
+
+    /**
+     * Checkpoint support: an independent deep copy whose future next()
+     * stream is identical to this generator's — RNG state, cursors, and
+     * any pending-operation state included. Warm-snapshot forking
+     * (sim::WarmSnapshot) clones the post-warmup generators so every
+     * forked system replays the exact instruction stream a cold run
+     * would have seen.
+     */
+    virtual std::unique_ptr<Generator> clone() const = 0;
 };
 
 } // namespace pra::cpu

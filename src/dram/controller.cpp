@@ -87,11 +87,13 @@ MemoryController::enqueue(Request req, Cycle now)
             // cached need/probe are stale.
             w.need = needOf(w);
             w.probeEpoch = Request::kProbeInvalid;
+            ++writeQueueEpoch_;
             return;
         }
         req.need = needOf(req);
         writeQ_.push_back(req);
         writeIndex_.emplace(req.addr, writeQ_.size() - 1);
+        ++writeQueueEpoch_;
     } else {
         ++stats_.readReqs;
         // Forwarding: a read that matches a queued write is served from
@@ -193,19 +195,23 @@ MemoryController::reserveDataBus(Cycle start, unsigned burst,
 }
 
 WordMask
-MemoryController::mergedWriteMask(const DecodedAddr &loc) const
+MemoryController::mergedWriteMask(Request &req) const
 {
+    if (req.mergedMaskEpoch == writeQueueEpoch_)
+        return req.cachedMergedMask;
     // "PRA masks are ORed to activate partial rows as many as possible to
     //  accommodate all requests targeting the same row" (Section 5.2.1).
     WordMask merged = WordMask::none();
     for (const auto &w : writeQ_) {
-        if (!w.loc.sameRow(loc))
+        if (!w.loc.sameRow(req.loc))
             continue;
         merged |= traits_.chipSelect ? WordMask{w.chipMask} : w.mask;
         if (!cfg_->mergeWriteMasks)
             break;   // Ablation: only the oldest same-row write's mask.
     }
-    return merged.empty() ? WordMask::full() : merged;
+    req.cachedMergedMask = merged.empty() ? WordMask::full() : merged;
+    req.mergedMaskEpoch = writeQueueEpoch_;
+    return req.cachedMergedMask;
 }
 
 void
@@ -234,7 +240,7 @@ MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
     Rank &rank = ranks_[req.loc.rank];
     Bank &bank = rank.bank(req.loc.bank);
 
-    WordMask dirty = is_write ? mergedWriteMask(req.loc) : WordMask::full();
+    WordMask dirty = is_write ? mergedWriteMask(req) : WordMask::full();
     unsigned gran = traits_.actGranularity(is_write, dirty);
     const WordMask open_mask = traits_.actMask(is_write, dirty);
     const bool partial = traits_.needsMaskCycle(is_write, dirty);
@@ -283,8 +289,10 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
 {
     Request req = queue[idx];
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
-    if (is_write)
+    if (is_write) {
         eraseWriteIndex(req.addr, idx);
+        ++writeQueueEpoch_;
+    }
 
     Rank &rank = ranks_[req.loc.rank];
     Bank &bank = rank.bank(req.loc.bank);
@@ -422,8 +430,12 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
           case RowProbe::Closed: {
             if (rank.refreshDue(now) || rank.refreshing(now))
                 break;   // Let the rank drain for refresh.
+            // The bank gate needs no mask, so check it before the (write-
+            // queue scanning) merged-mask / weight derivation.
+            if (!bank.canActivate(now))
+                break;
             WordMask dirty =
-                is_write ? mergedWriteMask(req.loc) : WordMask::full();
+                is_write ? mergedWriteMask(req) : WordMask::full();
             unsigned gran = traits_.actGranularity(is_write, dirty);
             if (traits_.needsMaskCycle(is_write, dirty) &&
                 gran < cfg_->minActGranularity) {
@@ -433,7 +445,7 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
                 cfg_->weightedActWindow
                     ? traits_.actWeight(gran, cfg_->power)
                     : 1.0;
-            if (bank.canActivate(now) && rank.canActivate(now, weight)) {
+            if (rank.canActivate(now, weight)) {
                 classify(req, probe);
                 issueActivate(req, is_write, now);
                 return true;

@@ -181,8 +181,11 @@ class MemoryController
                      bool is_write, Cycle now);
     void issuePrecharge(unsigned rank_id, unsigned bank_id, Cycle now);
 
-    /** OR of PRA masks of every queued write to @p loc's row. */
-    WordMask mergedWriteMask(const DecodedAddr &loc) const;
+    /**
+     * OR of PRA masks of every queued write to @p req's row, cached per
+     * request and invalidated by writeQueueEpoch_.
+     */
+    WordMask mergedWriteMask(Request &req) const;
 
     void recountOpenRowMatches(unsigned rank_id, unsigned bank_id);
     void accountBackground(Cycle now);
@@ -198,6 +201,8 @@ class MemoryController
     std::deque<Request> writeQ_;
     /** Line address → writeQ_ position, for O(1) combine/forward. */
     std::unordered_map<Addr, std::size_t> writeIndex_;
+    /** Bumped whenever writeQ_ membership or masks change. */
+    std::uint64_t writeQueueEpoch_ = 0;
     bool drainMode_ = false;
 
     Cycle cmdBusFree_ = 0;

@@ -65,7 +65,18 @@ struct Request
     /** Row-buffer probe result cached at probeEpoch. */
     RowProbe cachedProbe = RowProbe::Closed;
 
+    /**
+     * Cached merged same-row write mask: valid while the controller's
+     * write-queue epoch (bumped on any write enqueue/combine/dequeue)
+     * matches, so repeated FR-FCFS prepare scans during a write drain do
+     * not rescan the whole write queue per request per cycle.
+     */
+    WordMask cachedMergedMask = WordMask::full();
+    /** Write-queue epoch the cached merged mask was taken against. */
+    std::uint64_t mergedMaskEpoch = kMergedInvalid;
+
     static constexpr std::uint32_t kProbeInvalid = 0xffffffffu;
+    static constexpr std::uint64_t kMergedInvalid = ~std::uint64_t{0};
 };
 
 /** Completion notification for a read. */

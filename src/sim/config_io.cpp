@@ -1,6 +1,7 @@
 #include "sim/config_io.h"
 
 #include <algorithm>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
@@ -156,6 +157,109 @@ loadConfigFile(const std::string &path, SystemConfig &cfg)
     if (!in)
         throw std::runtime_error("cannot open config file " + path);
     loadConfig(in, cfg);
+}
+
+std::string
+canonicalConfig(const SystemConfig &cfg)
+{
+    std::ostringstream os;
+    // Doubles are rendered as the hex of their bit pattern: bit-exact,
+    // locale-independent, and collision-free under any field change.
+    auto bits = [&os](const char *key, double v) {
+        std::uint64_t u;
+        static_assert(sizeof(u) == sizeof(v));
+        std::memcpy(&u, &v, sizeof(u));
+        os << key << " = 0x" << std::hex << u << std::dec << '\n';
+    };
+
+    const dram::DramConfig &d = cfg.dram;
+    os << "scheme = " << schemeName(d.scheme) << '\n'
+       << "policy = " << static_cast<int>(d.policy) << '\n'
+       << "mapping = " << static_cast<int>(d.mapping) << '\n'
+       << "channels = " << d.channels << '\n'
+       << "ranks = " << d.ranksPerChannel << '\n'
+       << "banks = " << d.banksPerRank << '\n'
+       << "rows = " << d.rowsPerBank << '\n'
+       << "lines_per_row = " << d.linesPerRow << '\n'
+       << "chips = " << d.chipsPerRank << '\n'
+       << "ecc_chips = " << d.eccChipsPerRank << '\n'
+       << "read_queue = " << d.readQueueDepth << '\n'
+       << "write_queue = " << d.writeQueueDepth << '\n'
+       << "write_high_watermark = " << d.writeHighWatermark << '\n'
+       << "write_low_watermark = " << d.writeLowWatermark << '\n'
+       << "row_hit_cap = " << d.rowHitCap << '\n'
+       << "power_down = " << d.powerDownEnabled << '\n'
+       << "power_down_threshold = " << d.powerDownThreshold << '\n'
+       << "checker = " << d.enableChecker << '\n'
+       << "merge_write_masks = " << d.mergeWriteMasks << '\n'
+       << "weighted_act_window = " << d.weightedActWindow << '\n'
+       << "min_act_granularity = " << d.minActGranularity << '\n';
+
+    const dram::Timing &t = d.timing;
+    os << "trcd = " << t.tRcd << '\n'
+       << "trp = " << t.tRp << '\n'
+       << "tcas = " << t.tCas << '\n'
+       << "tras = " << t.tRas << '\n'
+       << "twr = " << t.tWr << '\n'
+       << "tccd = " << t.tCcd << '\n'
+       << "trrd = " << t.tRrd << '\n'
+       << "tfaw = " << t.tFaw << '\n'
+       << "trc = " << t.tRc << '\n'
+       << "wl = " << t.wl << '\n'
+       << "trtp = " << t.tRtp << '\n'
+       << "twtr = " << t.tWtr << '\n'
+       << "trfc = " << t.tRfc << '\n'
+       << "trefi = " << t.tRefi << '\n'
+       << "txp = " << t.tXp << '\n'
+       << "trtrs = " << t.tRtrs << '\n'
+       << "burst_cycles = " << t.burstCycles << '\n'
+       << "bank_groups = " << t.bankGroups << '\n'
+       << "tccd_l = " << t.tCcdL << '\n'
+       << "pra_mask_cycles = " << t.praMaskCycles << '\n';
+
+    const power::PowerParams &p = d.power;
+    bits("p_pre_standby", p.preStandby);
+    bits("p_pre_power_down", p.prePowerDown);
+    bits("p_refresh", p.refresh);
+    bits("p_act_standby", p.actStandby);
+    bits("p_read", p.read);
+    bits("p_write", p.write);
+    bits("p_read_io", p.readIo);
+    bits("p_write_odt", p.writeOdt);
+    bits("p_read_term", p.readTerm);
+    bits("p_write_term", p.writeTerm);
+    os << "read_io_pins = " << p.readIoPins << '\n'
+       << "write_io_pins = " << p.writeIoPins << '\n';
+    for (unsigned g = 0; g < p.actPower.size(); ++g) {
+        const std::string key = "p_act_" + std::to_string(g + 1);
+        bits(key.c_str(), p.actPower[g]);
+    }
+    bits("tck_ns", p.tCkNs);
+    os << "power_trc = " << p.tRc << '\n'
+       << "power_burst_cycles = " << p.burstCycles << '\n'
+       << "power_trfc = " << p.tRfc << '\n'
+       << "power_trefi = " << p.tRefi << '\n';
+
+    os << "issue_width = " << cfg.core.issueWidth << '\n'
+       << "rob = " << cfg.core.robSize << '\n'
+       << "ldq = " << cfg.core.ldqSize << '\n'
+       << "stq = " << cfg.core.stqSize << '\n';
+
+    os << "cores = " << cfg.caches.numCores << '\n'
+       << "l1_bytes = " << cfg.caches.l1.sizeBytes << '\n'
+       << "l1_ways = " << cfg.caches.l1.ways << '\n'
+       << "l1_line = " << cfg.caches.l1.lineBytes << '\n'
+       << "l2_bytes = " << cfg.caches.l2.sizeBytes << '\n'
+       << "l2_ways = " << cfg.caches.l2.ways << '\n'
+       << "l2_line = " << cfg.caches.l2.lineBytes << '\n'
+       << "dbi = " << cfg.enableDbi << '\n';
+
+    os << "warmup_ops = " << cfg.warmupOpsPerCore << '\n'
+       << "target_instructions = " << cfg.targetInstructions << '\n'
+       << "max_cycles = " << cfg.maxDramCycles << '\n'
+       << "writeback_backlog = " << cfg.writebackBacklogLimit << '\n'
+       << "cycle_skip = " << cfg.enableCycleSkip << '\n';
+    return os.str();
 }
 
 std::string

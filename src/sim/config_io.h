@@ -48,6 +48,17 @@ void loadConfigFile(const std::string &path, SystemConfig &cfg);
 /** Render the interesting fields of @p cfg as key=value text. */
 std::string dumpConfig(const SystemConfig &cfg);
 
+/**
+ * Render *every* behaviour-affecting field of @p cfg as canonical
+ * key=value text: organization, controller policy, ablation knobs,
+ * scheme, the full timing set, the power parameters (doubles as
+ * bit-exact hex), the cache/core geometry, and the run lengths. Two
+ * configs with equal canonical text simulate identically; any field
+ * change alters the text. This is the config half of the
+ * content-addressed result-cache key (sim::resultCacheKey).
+ */
+std::string canonicalConfig(const SystemConfig &cfg);
+
 } // namespace pra::sim
 
 #endif // PRA_SIM_CONFIG_IO_H

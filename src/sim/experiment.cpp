@@ -1,5 +1,9 @@
 #include "sim/experiment.h"
 
+#include <sstream>
+
+#include "sim/result_cache.h"
+
 namespace pra::sim {
 
 SystemConfig
@@ -13,8 +17,8 @@ makeConfig(const ConfigPoint &point)
     return cfg;
 }
 
-RunResult
-runWorkload(const workloads::Mix &mix, const SystemConfig &cfg)
+std::vector<std::unique_ptr<cpu::Generator>>
+mixGenerators(const workloads::Mix &mix)
 {
     std::vector<std::unique_ptr<cpu::Generator>> gens;
     // Empty trailing slots make a partial mix (e.g. a single-core run);
@@ -23,7 +27,85 @@ runWorkload(const workloads::Mix &mix, const SystemConfig &cfg)
     for (unsigned i = 0; i < mix.apps.size(); ++i)
         if (!mix.apps[i].empty())
             gens.push_back(workloads::makeGenerator(mix.apps[i], i + 1));
-    System system(cfg, std::move(gens));
+    return gens;
+}
+
+RunResult
+runWorkload(const workloads::Mix &mix, const SystemConfig &cfg)
+{
+    System system(cfg, mixGenerators(mix));
+    return system.run();
+}
+
+std::string
+warmupKey(const SystemConfig &cfg, const workloads::Mix &mix)
+{
+    // Warmup touches only the hierarchy and the generators, through the
+    // per-core address relocation and (with DBI) the row-key function.
+    // Everything listed here is exactly what those depend on; scheme,
+    // timing, queueing, power, and run-length knobs are deliberately
+    // absent so configurations differing only in those share a snapshot.
+    std::ostringstream os;
+    os << workloadSpec(mix) << "warmup_ops = " << cfg.warmupOpsPerCore
+       << '\n'
+       << "cores = " << cfg.caches.numCores << '\n'
+       << "l1_bytes = " << cfg.caches.l1.sizeBytes << '\n'
+       << "l1_ways = " << cfg.caches.l1.ways << '\n'
+       << "l1_line = " << cfg.caches.l1.lineBytes << '\n'
+       << "l2_bytes = " << cfg.caches.l2.sizeBytes << '\n'
+       << "l2_ways = " << cfg.caches.l2.ways << '\n'
+       << "l2_line = " << cfg.caches.l2.lineBytes << '\n'
+       << "dbi = " << cfg.enableDbi << '\n'
+       << "mapping = " << static_cast<int>(cfg.dram.mapping) << '\n'
+       << "channels = " << cfg.dram.channels << '\n'
+       << "ranks = " << cfg.dram.ranksPerChannel << '\n'
+       << "banks = " << cfg.dram.banksPerRank << '\n'
+       << "rows = " << cfg.dram.rowsPerBank << '\n'
+       << "lines_per_row = " << cfg.dram.linesPerRow << '\n';
+    return os.str();
+}
+
+std::shared_ptr<const WarmSnapshot>
+WarmupCache::get(const SystemConfig &cfg, const workloads::Mix &mix)
+{
+    const std::string key = warmupKey(cfg, mix);
+
+    std::promise<std::shared_ptr<const WarmSnapshot>> prom;
+    std::shared_future<std::shared_ptr<const WarmSnapshot>> fut;
+    bool compute = false;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            compute = true;
+            fut = prom.get_future().share();
+            cache_.emplace(key, fut);
+        } else {
+            fut = it->second;
+        }
+    }
+
+    if (compute) {
+        try {
+            System system(cfg, mixGenerators(mix));
+            prom.set_value(std::make_shared<const WarmSnapshot>(
+                system.exportWarmSnapshot()));
+            computed_.fetch_add(1);
+        } catch (...) {
+            // Propagate to every waiter instead of deadlocking them.
+            prom.set_exception(std::current_exception());
+        }
+    }
+    return fut.get();
+}
+
+RunResult
+runWorkload(const workloads::Mix &mix, const SystemConfig &cfg,
+            WarmupCache &warm)
+{
+    if (cfg.warmupOpsPerCore == 0)
+        return runWorkload(mix, cfg);   // Nothing to snapshot.
+    System system(cfg, *warm.get(cfg, mix));
     return system.run();
 }
 
@@ -50,11 +132,32 @@ AloneIpcCache::get(const std::string &app, const ConfigPoint &point)
     }
 
     if (compute) {
-        SystemConfig cfg = makeConfig(point);
-        std::vector<std::unique_ptr<cpu::Generator>> gens;
-        gens.push_back(workloads::makeGenerator(app, 1));
-        System system(cfg, std::move(gens));
-        prom.set_value(system.run().ipc.at(0));
+        try {
+            const SystemConfig cfg = makeConfig(point);
+            // Slot 0 fixes the generator seed to 1, matching the
+            // pre-cache behaviour of building makeGenerator(app, 1).
+            const workloads::Mix solo{app, {app, "", "", ""}};
+
+            std::string material;
+            std::optional<RunResult> cached;
+            if (results_ && results_->enabled()) {
+                material = resultCacheMaterial(cfg, solo);
+                cached = results_->load(material);
+            }
+            RunResult res;
+            if (cached) {
+                persistentHits_.fetch_add(1);
+                res = std::move(*cached);
+            } else {
+                res = warm_ ? runWorkload(solo, cfg, *warm_)
+                            : runWorkload(solo, cfg);
+                if (results_ && results_->enabled())
+                    results_->store(material, res);
+            }
+            prom.set_value(res.ipc.at(0));
+        } catch (...) {
+            prom.set_exception(std::current_exception());
+        }
     }
     return fut.get();
 }

@@ -8,8 +8,11 @@
 #ifndef PRA_SIM_EXPERIMENT_H
 #define PRA_SIM_EXPERIMENT_H
 
+#include <atomic>
+#include <cstdint>
 #include <future>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 
@@ -17,6 +20,8 @@
 #include "workloads/factory.h"
 
 namespace pra::sim {
+
+class ResultCache;
 
 /** One evaluated configuration point. */
 struct ConfigPoint
@@ -41,12 +46,64 @@ SystemConfig makeConfig(const ConfigPoint &point);
 /** Run a 4-core workload (rate quadruple or Table 4 mix). */
 RunResult runWorkload(const workloads::Mix &mix, const SystemConfig &cfg);
 
+/** The generators a workload mix instantiates (slot index fixes seed). */
+std::vector<std::unique_ptr<cpu::Generator>>
+mixGenerators(const workloads::Mix &mix);
+
+/**
+ * Canonical text identifying the functional-warmup state a (cfg, mix)
+ * pair produces: the workload spec plus every warmup-relevant config
+ * field (warmup length, core count, cache geometry, DBI enable, and the
+ * DRAM organization/mapping that fixes address relocation and the DBI
+ * row key). Two pairs with equal keys produce bit-identical
+ * WarmSnapshots — notably the key excludes the scheme, timing, queue,
+ * and power knobs, so an entire scheme sweep shares one warmup.
+ */
+std::string warmupKey(const SystemConfig &cfg, const workloads::Mix &mix);
+
+/**
+ * Memoizes WarmSnapshots per warmupKey with compute-once semantics:
+ * exactly one thread performs each distinct warmup (the rest block on a
+ * shared_future), and every sweep cell then forks its System from the
+ * shared snapshot instead of re-warming.
+ */
+class WarmupCache
+{
+  public:
+    /** The warm snapshot for (cfg, mix); computed at most once. */
+    std::shared_ptr<const WarmSnapshot> get(const SystemConfig &cfg,
+                                            const workloads::Mix &mix);
+
+    /** Distinct warmups actually simulated (not served from cache). */
+    std::uint64_t computed() const { return computed_.load(); }
+
+  private:
+    std::mutex mu_;
+    std::map<std::string,
+             std::shared_future<std::shared_ptr<const WarmSnapshot>>>
+        cache_;
+    std::atomic<std::uint64_t> computed_{0};
+};
+
+/**
+ * Run @p mix under @p cfg, forking from @p warm's shared snapshot.
+ * Bit-identical to the cold overload (the snapshot is the complete
+ * post-warmup mutable state); falls back to a cold run when the config
+ * disables warmup.
+ */
+RunResult runWorkload(const workloads::Mix &mix, const SystemConfig &cfg,
+                      WarmupCache &warm);
+
 /**
  * Caches IPC_alone per (config key, app).
  *
  * Thread-safe with compute-once semantics: when several sweep threads
  * need the same alone IPC, exactly one runs the simulation and the rest
  * block on its shared_future, so no alone-run is ever duplicated.
+ *
+ * Optionally shares a WarmupCache (so alone runs reuse warmups across
+ * configuration points that agree on warmup-relevant fields) and a
+ * persistent ResultCache (so alone runs replay across processes).
  */
 class AloneIpcCache
 {
@@ -54,9 +111,21 @@ class AloneIpcCache
     /** IPC of @p app running alone under @p point (cached). */
     double get(const std::string &app, const ConfigPoint &point);
 
+    /** Fork alone runs from @p warm's snapshots (nullptr = cold). */
+    void shareWarmups(WarmupCache *warm) { warm_ = warm; }
+
+    /** Replay/persist alone results through @p cache (nullptr = off). */
+    void usePersistentCache(const ResultCache *cache) { results_ = cache; }
+
+    /** Alone results served from the persistent cache. */
+    std::uint64_t persistentHits() const { return persistentHits_.load(); }
+
   private:
     std::mutex mu_;
     std::map<std::string, std::shared_future<double>> cache_;
+    WarmupCache *warm_ = nullptr;
+    const ResultCache *results_ = nullptr;
+    std::atomic<std::uint64_t> persistentHits_{0};
 };
 
 /**

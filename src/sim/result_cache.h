@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Content-addressed persistent result cache for sweep cells.
+ *
+ * A simulation is a pure function of its configuration and workload, so
+ * its RunResult can be persisted and replayed across processes: the
+ * cache key is the FNV-1a hash of (canonical SystemConfig text +
+ * workload spec + simulator version salt), and the value is a bit-exact
+ * text serialization of the RunResult (doubles stored as the hex of
+ * their bit patterns). Repeated or incremental bench invocations then
+ * skip simulation entirely and return byte-identical results.
+ *
+ * Storage is one file per key under a cache directory resolved at
+ * construction (ResultCache::fromEnv):
+ *
+ *   - PRA_NO_CACHE=1 disables the cache (every cell recomputes);
+ *   - PRA_CACHE_DIR overrides the directory;
+ *   - otherwise $XDG_CACHE_HOME/pra, falling back to ~/.cache/pra.
+ *
+ * Each cache file embeds the full (pre-hash) key material and the
+ * loader compares it byte-for-byte, so even an FNV-1a collision cannot
+ * return a wrong result — it only causes a recompute. Any unreadable,
+ * truncated, or mismatched file is treated as a miss and overwritten.
+ * Writes go to a unique temporary file renamed into place, so
+ * concurrent sweeps (threads or processes) never observe a torn entry.
+ *
+ * Invalidation: any SystemConfig field change alters the canonical
+ * config text (sim::canonicalConfig), and behavioural simulator changes
+ * must bump kResultCacheSalt.
+ */
+#ifndef PRA_SIM_RESULT_CACHE_H
+#define PRA_SIM_RESULT_CACHE_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "sim/system.h"
+#include "workloads/factory.h"
+
+namespace pra::sim {
+
+/**
+ * Simulator version salt baked into every cache key. Bump whenever a
+ * code change alters any simulated statistic, so stale results can
+ * never be replayed across behavioural revisions.
+ */
+inline constexpr std::string_view kResultCacheSalt =
+    "pra-result-cache-v1";
+
+/** 64-bit FNV-1a hash of @p data. */
+std::uint64_t fnv1a(std::string_view data);
+
+/**
+ * Canonical text for the workload half of a cache key: each occupied
+ * mix slot with its position (the slot index fixes the generator seed,
+ * so two mixes with the same apps in different slots key differently).
+ * The display name is deliberately excluded — it does not affect the
+ * simulation.
+ */
+std::string workloadSpec(const workloads::Mix &mix);
+
+/**
+ * Full pre-hash key material for one sweep cell: canonical config +
+ * workload spec + version salt. The cache addresses entries by
+ * fnv1a(material) and verifies the material on every load.
+ */
+std::string resultCacheMaterial(const SystemConfig &cfg,
+                                const workloads::Mix &mix,
+                                std::string_view salt = kResultCacheSalt);
+
+/**
+ * Bit-exact text serialization of a RunResult. Integers are decimal,
+ * doubles are the hex of their IEEE-754 bit patterns, so
+ * deserializeRunResult(serializeRunResult(r)) reproduces every field
+ * byte-identically.
+ */
+std::string serializeRunResult(const RunResult &res);
+
+/** Strict inverse of serializeRunResult; nullopt on any mismatch. */
+std::optional<RunResult> deserializeRunResult(const std::string &text);
+
+/**
+ * True when @p a and @p b agree bit-for-bit on every statistic
+ * (doubles compared by bit pattern). Backs the PRA_COLD_REPLAY debug
+ * mode and the snapshot/cache equivalence tests.
+ */
+bool identicalResults(const RunResult &a, const RunResult &b);
+
+/** The persistent cache. Copyable; all state is the directory path. */
+class ResultCache
+{
+  public:
+    /** A disabled cache: load always misses, store is a no-op. */
+    ResultCache() = default;
+
+    /**
+     * A cache rooted at @p dir (created if missing; disabled with a
+     * stderr warning when creation fails).
+     */
+    explicit ResultCache(const std::string &dir);
+
+    /** Resolve from the environment (see file comment). */
+    static ResultCache fromEnv();
+
+    bool enabled() const { return !dir_.empty(); }
+    const std::string &dir() const { return dir_; }
+
+    /**
+     * Look up the entry for @p material. Returns the stored result only
+     * when the file exists, parses, and its embedded key material
+     * matches byte-for-byte.
+     */
+    std::optional<RunResult> load(const std::string &material) const;
+
+    /**
+     * Persist @p res under @p material (atomic rename; best-effort — a
+     * failed write warns on stderr once and the sweep continues).
+     */
+    void store(const std::string &material, const RunResult &res) const;
+
+  private:
+    std::string entryPath(const std::string &material) const;
+
+    std::string dir_;   //!< Empty = disabled.
+};
+
+} // namespace pra::sim
+
+#endif // PRA_SIM_RESULT_CACHE_H

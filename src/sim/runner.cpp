@@ -1,23 +1,40 @@
 #include "sim/runner.h"
 
 #include <atomic>
+#include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <exception>
+#include <limits>
 #include <mutex>
+#include <stdexcept>
 #include <thread>
 
 namespace pra::sim {
 
-RunResult
-runSweepJob(const SweepJob &job)
+SystemConfig
+sweepJobConfig(const SweepJob &job)
 {
     SystemConfig cfg = job.config ? *job.config : makeConfig(job.point);
     if (!job.config && job.targetInstructions > 0)
         cfg.targetInstructions = job.targetInstructions;
-    return runWorkload(job.mix, cfg);
+    return cfg;
 }
 
-Runner::Runner(unsigned threads) : threads_(resolveThreads(threads)) {}
+RunResult
+runSweepJob(const SweepJob &job)
+{
+    return runWorkload(job.mix, sweepJobConfig(job));
+}
+
+Runner::Runner(unsigned threads) : threads_(resolveThreads(threads))
+{
+    cache_ = ResultCache::fromEnv();
+    if (const char *env = std::getenv("PRA_COLD_REPLAY"))
+        coldReplay_ = (*env != '\0' && std::strcmp(env, "0") != 0);
+    alone_.shareWarmups(&warm_);
+    alone_.usePersistentCache(&cache_);
+}
 
 unsigned
 Runner::resolveThreads(unsigned requested)
@@ -27,8 +44,16 @@ Runner::resolveThreads(unsigned requested)
     if (const char *env = std::getenv("PRA_JOBS")) {
         char *end = nullptr;
         const long v = std::strtol(env, &end, 10);
-        if (end != env && *end == '\0' && v > 0)
+        if (end != env && *end == '\0' && v > 0 &&
+            static_cast<unsigned long>(v) <=
+                std::numeric_limits<unsigned>::max()) {
             return static_cast<unsigned>(v);
+        }
+        std::fprintf(stderr,
+                     "[pra] warning: ignoring invalid PRA_JOBS='%s' "
+                     "(want a positive integer); using hardware "
+                     "concurrency\n",
+                     env);
     }
     const unsigned hw = std::thread::hardware_concurrency();
     return hw > 0 ? hw : 1;
@@ -78,6 +103,37 @@ Runner::parallelFor(std::size_t n,
         std::rethrow_exception(first_error);
 }
 
+RunResult
+Runner::runJob(const SweepJob &job)
+{
+    const SystemConfig cfg = sweepJobConfig(job);
+
+    // Level 2: content-addressed persistent cache.
+    std::string material;
+    if (cache_.enabled()) {
+        material = resultCacheMaterial(cfg, job.mix);
+        if (std::optional<RunResult> hit = cache_.load(material)) {
+            cacheHits_.fetch_add(1);
+            return std::move(*hit);
+        }
+    }
+
+    // Level 1: fork from the shared warm snapshot.
+    RunResult res = runWorkload(job.mix, cfg, warm_);
+
+    if (coldReplay_ && !identicalResults(res, runSweepJob(job))) {
+        // A warm-forked cell diverging from its cold replay means the
+        // snapshot missed some warmup-mutated state — a simulator bug.
+        throw std::logic_error(
+            "PRA_COLD_REPLAY: warm-forked result diverges from cold run "
+            "for workload '" + job.mix.name + "'");
+    }
+
+    if (cache_.enabled())
+        cache_.store(material, res);
+    return res;
+}
+
 std::vector<RunResult>
 Runner::run(const std::vector<SweepJob> &jobs)
 {
@@ -85,7 +141,7 @@ Runner::run(const std::vector<SweepJob> &jobs)
     // first, the returned ordering matches the enqueue ordering exactly.
     std::vector<RunResult> results(jobs.size());
     parallelFor(jobs.size(),
-                [&](std::size_t i) { results[i] = runSweepJob(jobs[i]); });
+                [&](std::size_t i) { results[i] = runJob(jobs[i]); });
     return results;
 }
 

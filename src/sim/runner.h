@@ -8,26 +8,47 @@
  * results in job order, so a caller that prints results sequentially
  * produces byte-identical output to the old serial loops — only faster.
  *
+ * On top of the thread pool the Runner layers two reuse levels, both
+ * result-preserving (every cell stays bit-identical to a cold serial
+ * run):
+ *
+ *   1. A WarmupCache: N schemes sweeping one workload share a single
+ *      functional warmup — each cell forks its System from the shared
+ *      WarmSnapshot instead of re-running the 120k-ops-per-core warmup.
+ *   2. A persistent, content-addressed ResultCache: each cell's full
+ *      RunResult is stored under the hash of its canonical config +
+ *      workload + version salt, so a repeated sweep (same process or a
+ *      later one) replays results without simulating at all. Controlled
+ *      by PRA_CACHE_DIR / PRA_NO_CACHE (see sim/result_cache.h).
+ *
+ * Setting PRA_COLD_REPLAY=1 re-runs every warm-forked cell cold and
+ * aborts on any statistic mismatch — a debugging mode that proves the
+ * reuse machinery is invisible.
+ *
  * Thread count resolution (Runner::resolveThreads):
  *   1. an explicit constructor argument wins;
- *   2. otherwise the PRA_JOBS environment variable (positive integer);
+ *   2. otherwise the PRA_JOBS environment variable (positive integer;
+ *      anything else warns on stderr and is ignored);
  *   3. otherwise std::thread::hardware_concurrency().
  * PRA_JOBS=1 therefore forces the engine serial, which the determinism
  * regression tests use as the reference.
  *
  * Weighted-speedup sweeps share one AloneIpcCache across all threads;
  * its compute-once guarantee means each (config, app) alone run happens
- * exactly once no matter how many cells need it concurrently.
+ * exactly once no matter how many cells need it concurrently. The alone
+ * cache shares the Runner's warmup and result caches too.
  */
 #ifndef PRA_SIM_RUNNER_H
 #define PRA_SIM_RUNNER_H
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <optional>
 #include <vector>
 
 #include "sim/experiment.h"
+#include "sim/result_cache.h"
 
 namespace pra::sim {
 
@@ -49,7 +70,13 @@ struct SweepJob
     std::optional<SystemConfig> config;
 };
 
-/** Run one sweep cell (also the per-thread worker body). */
+/** The SystemConfig a sweep job resolves to. */
+SystemConfig sweepJobConfig(const SweepJob &job);
+
+/**
+ * Run one sweep cell cold: fresh system, fresh warmup, no caches. The
+ * reference semantics every reuse level must reproduce bit-exactly.
+ */
 RunResult runSweepJob(const SweepJob &job);
 
 /** The parallel sweep engine. */
@@ -78,6 +105,13 @@ class Runner
                      const std::function<void(std::size_t)> &fn);
 
     /**
+     * Run one job through both reuse levels: persistent result cache
+     * first, then a warm-forked simulation (stored back to the cache).
+     * Bit-identical to runSweepJob(job).
+     */
+    RunResult runJob(const SweepJob &job);
+
+    /**
      * Run every job and return the results with results[i] belonging to
      * jobs[i], regardless of completion order — deterministic by
      * construction.
@@ -92,9 +126,29 @@ class Runner
                            const RunResult &shared,
                            const ConfigPoint &point);
 
+    /** Shared warmup-snapshot store. */
+    WarmupCache &warmups() { return warm_; }
+
+    /** The persistent result cache this runner resolved from the env. */
+    const ResultCache &resultCache() const { return cache_; }
+
+    /** Cells served from the persistent cache (including alone runs). */
+    std::uint64_t
+    resultCacheHits() const
+    {
+        return cacheHits_.load() + alone_.persistentHits();
+    }
+
+    /** Distinct functional warmups simulated. */
+    std::uint64_t warmupsComputed() const { return warm_.computed(); }
+
   private:
     unsigned threads_;
+    WarmupCache warm_;
     AloneIpcCache alone_;
+    ResultCache cache_;
+    bool coldReplay_ = false;
+    std::atomic<std::uint64_t> cacheHits_{0};
 };
 
 } // namespace pra::sim

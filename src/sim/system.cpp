@@ -14,13 +14,16 @@ System::System(const SystemConfig &cfg,
     cache::HierarchyConfig hc = cfg_.caches;
     hc.enableDbi = cfg_.enableDbi;
     if (hc.enableDbi && !hc.dbiRowKey) {
-        // DRAM-row identity of a line under the configured mapping.
-        const dram::AddressMapper *mapper = &dram_.mapper();
+        // DRAM-row identity of a line under the configured mapping. The
+        // mapper is captured by value so the function — and any warm
+        // snapshot the hierarchy is exported into — stays valid after
+        // this System is destroyed.
+        const dram::AddressMapper mapper = dram_.mapper();
         const unsigned banks = cfg_.dram.banksPerRank;
         const unsigned ranks = cfg_.dram.ranksPerChannel;
         const unsigned channels = cfg_.dram.channels;
         hc.dbiRowKey = [mapper, banks, ranks, channels](Addr addr) {
-            const dram::DecodedAddr loc = mapper->decode(addr);
+            const dram::DecodedAddr loc = mapper.decode(addr);
             return ((static_cast<std::uint64_t>(loc.row) * ranks +
                      loc.rank) *
                         banks +
@@ -31,6 +34,32 @@ System::System(const SystemConfig &cfg,
     }
     hier_ = std::make_unique<cache::Hierarchy>(hc);
 
+    initCores();
+}
+
+System::System(const SystemConfig &cfg, const WarmSnapshot &snapshot)
+    : cfg_(cfg), dram_(cfg.dram)
+{
+    // Fork: adopt the warmed hierarchy and the advanced generators by
+    // deep copy, then skip warmup. The snapshot's hierarchy embeds its
+    // own DBI row-key function (mapper captured by value), which decodes
+    // identically here because the fork config agrees with the snapshot
+    // on the DRAM organization and mapping (WarmSnapshot contract).
+    hier_ = std::make_unique<cache::Hierarchy>(snapshot.hier);
+    gens_.reserve(snapshot.gens.size());
+    for (const auto &gen : snapshot.gens)
+        gens_.push_back(gen->clone());
+    assert(!gens_.empty() && gens_.size() <= cfg_.caches.numCores);
+
+    initCores();
+    warmed_ = true;
+}
+
+System::~System() = default;
+
+void
+System::initCores()
+{
     // Private physical slice per core.
     coreSlice_ = dram_.mapper().capacityBytes() / cfg_.caches.numCores;
 
@@ -41,7 +70,19 @@ System::System(const SystemConfig &cfg,
     finished_.assign(gens_.size(), false);
 }
 
-System::~System() = default;
+WarmSnapshot
+System::exportWarmSnapshot()
+{
+    if (!warmed_) {
+        functionalWarmup();
+        warmed_ = true;
+    }
+    WarmSnapshot snap{cache::Hierarchy(*hier_), {}};
+    snap.gens.reserve(gens_.size());
+    for (const auto &gen : gens_)
+        snap.gens.push_back(gen->clone());
+    return snap;
+}
 
 Addr
 System::translate(unsigned core, Addr addr) const
@@ -111,7 +152,10 @@ System::functionalWarmup()
 RunResult
 System::run()
 {
-    functionalWarmup();
+    if (!warmed_) {
+        functionalWarmup();
+        warmed_ = true;
+    }
 
     std::size_t done = 0;
     while (done < cores_.size() && dram_.now() < cfg_.maxDramCycles) {

@@ -73,6 +73,29 @@ struct RunResult
     double edp = 0.0;
 };
 
+/**
+ * Immutable image of a system's state right after functional warmup:
+ * the warmed cache hierarchy (tags, dirty bits, LRU clocks, DBI row
+ * groups, warmup-accrued statistics) plus the post-warmup generator
+ * states (RNG, cursors, pending ops). Because warmup never touches the
+ * DRAM clock, cores, or writeback queue, this is the *complete* mutable
+ * state a cold run has accumulated when its measured region begins — so
+ * a System forked from the snapshot produces results bit-identical to a
+ * cold run, while N configurations sharing a warmup pay for it once.
+ *
+ * Validity: a fork's SystemConfig must agree with the snapshot's source
+ * config on every warmup-relevant field — the mix and its per-slot
+ * seeds, warmupOpsPerCore, cache geometry, DBI enable, core count, and
+ * the DRAM organization/mapping (which fixes the address-relocation
+ * slices and the DBI row-key function). sim::warmupKey() canonicalizes
+ * exactly this set; WarmupCache keys snapshots with it.
+ */
+struct WarmSnapshot
+{
+    cache::Hierarchy hier;
+    std::vector<std::unique_ptr<cpu::Generator>> gens;
+};
+
 /** The simulation platform. */
 class System : public cpu::CoreMemoryPort
 {
@@ -84,7 +107,24 @@ class System : public cpu::CoreMemoryPort
      */
     System(const SystemConfig &cfg,
            std::vector<std::unique_ptr<cpu::Generator>> generators);
+
+    /**
+     * Fork a system from a warm snapshot: deep-copies the warmed
+     * hierarchy, clones the generators, and marks warmup done, so run()
+     * proceeds straight to the measured region. @p cfg may differ from
+     * the snapshot's source configuration in any field that does not
+     * affect warmup (scheme, timing, queue/policy knobs, power,
+     * targetInstructions, ...) — see WarmSnapshot's validity contract.
+     */
+    System(const SystemConfig &cfg, const WarmSnapshot &snapshot);
     ~System() override;
+
+    /**
+     * Run functional warmup now (idempotent; run() will not repeat it)
+     * and export the warmed state. The exported snapshot is independent
+     * of this system — safe to share across threads and outlive it.
+     */
+    WarmSnapshot exportWarmSnapshot();
 
     /** Warm the caches, run to completion, and evaluate power. */
     RunResult run();
@@ -100,6 +140,7 @@ class System : public cpu::CoreMemoryPort
   private:
     Addr translate(unsigned core, Addr addr) const;
     void functionalWarmup();
+    void initCores();
     void pushWritebacks(std::vector<cache::Writeback> &&wbs);
     void drainWritebacks();
 
@@ -114,6 +155,7 @@ class System : public cpu::CoreMemoryPort
     std::vector<bool> finished_;
 
     Addr coreSlice_ = 0;
+    bool warmed_ = false;   //!< Functional warmup already performed.
 };
 
 } // namespace pra::sim

@@ -12,6 +12,7 @@
 #define PRA_WORKLOADS_KERNELS_H
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.h"
@@ -32,6 +33,11 @@ class Gups : public cpu::Generator
 
     cpu::MemOp next() override;
     const char *name() const override { return "GUPS"; }
+    std::unique_ptr<cpu::Generator>
+    clone() const override
+    {
+        return std::make_unique<Gups>(*this);
+    }
 
   private:
     Addr tableBytes_;
@@ -56,6 +62,11 @@ class LinkedList : public cpu::Generator
 
     cpu::MemOp next() override;
     const char *name() const override { return "LinkedList"; }
+    std::unique_ptr<cpu::Generator>
+    clone() const override
+    {
+        return std::make_unique<LinkedList>(*this);
+    }
 
   private:
     std::vector<std::uint32_t> nextIndex_;  //!< Random cycle permutation.
@@ -80,6 +91,11 @@ class Em3d : public cpu::Generator
 
     cpu::MemOp next() override;
     const char *name() const override { return "em3d"; }
+    std::unique_ptr<cpu::Generator>
+    clone() const override
+    {
+        return std::make_unique<Em3d>(*this);
+    }
 
   private:
     std::size_t nodes_;

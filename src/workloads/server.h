@@ -13,6 +13,8 @@
 #ifndef PRA_WORKLOADS_SERVER_H
 #define PRA_WORKLOADS_SERVER_H
 
+#include <memory>
+
 #include "common/rng.h"
 #include "cpu/mem_op.h"
 
@@ -27,6 +29,11 @@ class Stream : public cpu::Generator
 
     cpu::MemOp next() override;
     const char *name() const override { return "stream"; }
+    std::unique_ptr<cpu::Generator>
+    clone() const override
+    {
+        return std::make_unique<Stream>(*this);
+    }
 
   private:
     Addr arrayBytes_;
@@ -49,6 +56,11 @@ class KvStore : public cpu::Generator
 
     cpu::MemOp next() override;
     const char *name() const override { return "kvstore"; }
+    std::unique_ptr<cpu::Generator>
+    clone() const override
+    {
+        return std::make_unique<KvStore>(*this);
+    }
 
   private:
     Addr recordAddr();

@@ -74,6 +74,11 @@ class Synthetic : public cpu::Generator
 
     cpu::MemOp next() override;
     const char *name() const override { return params_.name.c_str(); }
+    std::unique_ptr<cpu::Generator>
+    clone() const override
+    {
+        return std::make_unique<Synthetic>(*this);
+    }
 
     const SyntheticParams &params() const { return params_; }
 

@@ -21,6 +21,7 @@
 #define PRA_WORKLOADS_TRACE_H
 
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -59,6 +60,11 @@ class TraceGenerator : public cpu::Generator
 
     cpu::MemOp next() override;
     const char *name() const override { return name_.c_str(); }
+    std::unique_ptr<cpu::Generator>
+    clone() const override
+    {
+        return std::make_unique<TraceGenerator>(*this);
+    }
 
     std::size_t size() const { return ops_.size(); }
 

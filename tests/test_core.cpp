@@ -31,6 +31,12 @@ class ScriptGen : public Generator
 
     const char *name() const override { return "script"; }
 
+    std::unique_ptr<Generator>
+    clone() const override
+    {
+        return std::make_unique<ScriptGen>(*this);
+    }
+
   private:
     std::vector<MemOp> ops_;
     std::size_t pos_ = 0;

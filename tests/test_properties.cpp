@@ -44,6 +44,12 @@ class FullLineGups : public cpu::Generator
 
     const char *name() const override { return "gups-full"; }
 
+    std::unique_ptr<cpu::Generator>
+    clone() const override
+    {
+        return std::make_unique<FullLineGups>(*this);
+    }
+
   private:
     Rng rng_;
     bool pending_ = false;

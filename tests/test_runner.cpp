@@ -121,6 +121,34 @@ class PraJobsGuard
     std::string saved_;
 };
 
+/// Force PRA_NO_CACHE=1 for a test's Runners, so determinism checks
+/// exercise real (warm-forked) simulations rather than replaying a
+/// developer's populated persistent cache; restores the old value.
+class NoCacheGuard
+{
+  public:
+    NoCacheGuard()
+    {
+        const char *v = std::getenv("PRA_NO_CACHE");
+        if (v) {
+            had_ = true;
+            saved_ = v;
+        }
+        setenv("PRA_NO_CACHE", "1", 1);
+    }
+    ~NoCacheGuard()
+    {
+        if (had_)
+            setenv("PRA_NO_CACHE", saved_.c_str(), 1);
+        else
+            unsetenv("PRA_NO_CACHE");
+    }
+
+  private:
+    bool had_ = false;
+    std::string saved_;
+};
+
 TEST(ResolveThreads, ExplicitArgumentWins)
 {
     PraJobsGuard guard;
@@ -200,6 +228,7 @@ TEST(ParallelFor, ZeroJobsIsANoOp)
 
 TEST(RunnerDeterminism, SerialOneThreadAndFourThreadsAgree)
 {
+    NoCacheGuard no_cache;
     // A small but heterogeneous sweep: two schemes and two workloads.
     const std::vector<SweepJob> jobs = {
         shortJob("GUPS", Scheme::Baseline),
@@ -243,6 +272,7 @@ TEST(RunnerDeterminism, ConfigOverrideBypassesPoint)
 
 TEST(AloneIpcCache, ComputeOnceUnderConcurrency)
 {
+    NoCacheGuard no_cache;
     // Hammer one cache entry from many workers: all observers must get
     // the bit-identical value (a single computation shared via future),
     // and a fresh cache computing the same key must agree.
