@@ -1,6 +1,9 @@
 #include "cache/cache.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "common/hash.h"
 
 namespace pra::cache {
 
@@ -128,6 +131,45 @@ Cache::mergeDirty(Addr addr, ByteMask dirty)
 {
     if (Way *way = find(lineBase(addr)))
         way->dirty |= dirty;
+}
+
+std::vector<EvictedLine>
+Cache::dirtyLinesInRange(std::size_t first, std::size_t count) const
+{
+    std::vector<EvictedLine> lines;
+    if (ways_.empty())
+        return lines;
+    count = std::min(count, ways_.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t idx = (first + i) % ways_.size();
+        const Way &way = ways_[idx];
+        if (way.valid && !way.dirty.empty()) {
+            const std::size_t set = idx / params_.ways;
+            const Addr addr = (way.tag * sets_ + set) * params_.lineBytes;
+            lines.push_back({addr, way.dirty});
+        }
+    }
+    return lines;
+}
+
+std::uint64_t
+Cache::auditFingerprint() const
+{
+    Fnv1a h;
+    h.add(sets_);
+    h.add(params_.ways);
+    h.add(useClock_);
+    h.add(hits_);
+    h.add(misses_);
+    h.add(evictions_);
+    h.add(dirtyEvictions_);
+    for (const Way &way : ways_) {
+        h.add(static_cast<std::uint8_t>(way.valid));
+        h.add(way.tag);
+        h.add(way.dirty.bits());
+        h.add(way.lastUse);
+    }
+    return h.value();
 }
 
 std::vector<EvictedLine>

@@ -84,6 +84,24 @@ class Cache
     /** All resident dirty lines (diagnostics / flush). */
     std::vector<EvictedLine> collectDirtyLines() const;
 
+    /** Total way slots (sets x associativity), for chunked audits. */
+    std::size_t totalWays() const { return ways_.size(); }
+
+    /**
+     * Dirty lines among way slots [first, first + count) with wrap-
+     * around, so an auditor can scan the cache incrementally with a
+     * rotating cursor instead of O(cache) per sample.
+     */
+    std::vector<EvictedLine> dirtyLinesInRange(std::size_t first,
+                                               std::size_t count) const;
+
+    /**
+     * FNV-1a over the complete mutable state (tags, dirty masks, LRU
+     * stamps, statistics). Two caches with equal fingerprints behave
+     * identically under any subsequent access sequence.
+     */
+    std::uint64_t auditFingerprint() const;
+
     // Statistics.
     std::uint64_t hits() const { return hits_; }
     std::uint64_t misses() const { return misses_; }

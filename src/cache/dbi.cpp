@@ -2,7 +2,63 @@
 
 #include <algorithm>
 
+#include "common/hash.h"
+
 namespace pra::cache {
+
+bool
+DirtyBlockIndex::isTracked(Addr addr) const
+{
+    addr = lineBase(addr);
+    const auto it = dirtyByRow_.find(rowKey_(addr));
+    if (it == dirtyByRow_.end())
+        return false;
+    return std::find(it->second.begin(), it->second.end(), addr) !=
+           it->second.end();
+}
+
+std::vector<Addr>
+DirtyBlockIndex::trackedAddresses() const
+{
+    // The unordered_map iteration order is an implementation detail;
+    // sort by row key so audits (and fingerprints) are deterministic.
+    std::vector<std::uint64_t> keys;
+    keys.reserve(dirtyByRow_.size());
+    for (const auto &[key, lines] : dirtyByRow_) {
+        (void)lines;
+        keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+
+    std::vector<Addr> addrs;
+    for (std::uint64_t key : keys) {
+        for (Addr addr : dirtyByRow_.at(key))
+            addrs.push_back(addr);
+    }
+    return addrs;
+}
+
+std::uint64_t
+DirtyBlockIndex::auditFingerprint() const
+{
+    std::vector<std::uint64_t> keys;
+    keys.reserve(dirtyByRow_.size());
+    for (const auto &[key, lines] : dirtyByRow_) {
+        (void)lines;
+        keys.push_back(key);
+    }
+    std::sort(keys.begin(), keys.end());
+
+    Fnv1a h;
+    h.add(tracked_);
+    h.add(proactive_);
+    for (std::uint64_t key : keys) {
+        h.add(key);
+        for (Addr addr : dirtyByRow_.at(key))
+            h.add(addr);
+    }
+    return h.value();
+}
 
 void
 DirtyBlockIndex::markDirty(Addr addr)

@@ -45,6 +45,18 @@ class DirtyBlockIndex
     std::uint64_t trackedLines() const { return tracked_; }
     std::uint64_t proactiveWritebacks() const { return proactive_; }
 
+    /** True when @p addr is currently tracked as dirty. */
+    bool isTracked(Addr addr) const;
+
+    /**
+     * Every tracked line address, ordered by (row key, intra-row
+     * insertion order) for deterministic audit iteration.
+     */
+    std::vector<Addr> trackedAddresses() const;
+
+    /** FNV-1a over the row-group table (sorted) and counters. */
+    std::uint64_t auditFingerprint() const;
+
   private:
     std::function<std::uint64_t(Addr)> rowKey_;
     std::unordered_map<std::uint64_t, std::vector<Addr>> dirtyByRow_;

@@ -2,6 +2,8 @@
 
 #include <cassert>
 
+#include "common/hash.h"
+
 namespace pra::cache {
 
 Hierarchy::Hierarchy(const HierarchyConfig &cfg)
@@ -111,6 +113,22 @@ Hierarchy::access(unsigned core, Addr addr, bool is_write,
     if (l2_result.evicted)
         evictFromL2(*l2_result.evicted, outcome.writebacks);
     return outcome;
+}
+
+std::uint64_t
+Hierarchy::auditFingerprint() const
+{
+    Fnv1a h;
+    h.add(static_cast<std::uint64_t>(l1s_.size()));
+    for (const auto &l1 : l1s_)
+        h.add(l1->auditFingerprint());
+    h.add(l2_.auditFingerprint());
+    for (std::size_t b = 0; b < dirtyWords_.buckets(); ++b)
+        h.add(dirtyWords_.count(b));
+    h.add(memReads_);
+    h.add(memWrites_);
+    h.add(dbi_ ? dbi_->auditFingerprint() : std::uint64_t{0});
+    return h.value();
 }
 
 std::vector<Writeback>

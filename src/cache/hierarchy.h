@@ -75,9 +75,22 @@ class Hierarchy
     /** Write back every dirty line (end-of-run flush). */
     std::vector<Writeback> flush();
 
+    unsigned numCores() const
+    {
+        return static_cast<unsigned>(l1s_.size());
+    }
     const Cache &l1(unsigned core) const { return *l1s_[core]; }
     const Cache &l2() const { return l2_; }
     const DirtyBlockIndex *dbi() const { return dbi_.get(); }
+
+    /**
+     * FNV-1a over the complete mutable hierarchy state (every cache,
+     * the DBI table, histograms, counters). The deep-copy constructor's
+     * contract — a warm-snapshot fork behaves bit-identically to its
+     * source — is checkable as fingerprint equality; the invariant
+     * auditor does so under PRA_AUDIT_REPLAY=1.
+     */
+    std::uint64_t auditFingerprint() const;
 
     /** Dirty-word count distribution of LLC writebacks (Figure 3). */
     const Histogram &dirtyWordsHistogram() const { return dirtyWords_; }

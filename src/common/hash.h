@@ -1,0 +1,63 @@
+/**
+ * @file
+ * 64-bit FNV-1a hashing shared by the persistent result cache (content
+ * addressing) and the invariant auditor (config and state fingerprints).
+ * Deterministic across platforms; never used where collision resistance
+ * against an adversary matters.
+ */
+#ifndef PRA_COMMON_HASH_H
+#define PRA_COMMON_HASH_H
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace pra {
+
+inline constexpr std::uint64_t kFnv1aOffset = 14695981039346656037ull;
+inline constexpr std::uint64_t kFnv1aPrime = 1099511628211ull;
+
+/** One-shot FNV-1a over a byte string. */
+inline std::uint64_t
+fnv1a64(std::string_view data, std::uint64_t seed = kFnv1aOffset)
+{
+    std::uint64_t h = seed;
+    for (unsigned char c : data) {
+        h ^= c;
+        h *= kFnv1aPrime;
+    }
+    return h;
+}
+
+/** Incremental FNV-1a for fingerprinting structured state. */
+class Fnv1a
+{
+  public:
+    void
+    bytes(const void *data, std::size_t n)
+    {
+        const auto *p = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < n; ++i) {
+            hash_ ^= p[i];
+            hash_ *= kFnv1aPrime;
+        }
+    }
+
+    /** Fold an integral (or bit-copied) value into the hash. */
+    template <typename T>
+    void
+    add(T value)
+    {
+        static_assert(std::is_trivially_copyable_v<T>);
+        bytes(&value, sizeof(value));
+    }
+
+    std::uint64_t value() const { return hash_; }
+
+  private:
+    std::uint64_t hash_ = kFnv1aOffset;
+};
+
+} // namespace pra
+
+#endif // PRA_COMMON_HASH_H

@@ -22,6 +22,11 @@
  *                 each selected chip still activates its full row, so
  *                 activation energy scales linearly with selected chips
  *                 (no shared-structure floor *within* a chip is saved).
+ *
+ * Conformance: the invariant auditor (src/verify/auditor.h) re-derives
+ * every activation's expected mask/granularity/weight from these same
+ * trait functions against its own shadow write queue, so a controller
+ * that drifts from the traits is caught at the first divergent command.
  */
 #ifndef PRA_CORE_SCHEME_H
 #define PRA_CORE_SCHEME_H

@@ -94,14 +94,34 @@ TimingChecker::observe(const CheckedCommand &cmd)
             fail(cmd, "column command to a closed bank");
         if (cmd.cycle < bk.columnAllowed)
             fail(cmd, "column command violates tRCD/tCCD");
+        if (!is_write && cmd.cycle < rk.writeToReadOk)
+            fail(cmd, "READ violates tWTR after a write to the rank");
         const Cycle data_start =
             cmd.cycle + (is_write ? t.wl : t.rl());
-        if (data_start < dataBusBusyUntil_)
-            fail(cmd, "data-bus overlap");
+        // A burst that switches ranks pays the tRTRS bubble on top of
+        // plain bus occupancy; the read-to-write direction change is the
+        // interesting special case and gets its own message.
+        Cycle bus_free = dataBusBusyUntil_;
+        if (busUsed_ && cmd.rank != lastBusRank_)
+            bus_free += t.tRtrs;
+        if (data_start < bus_free) {
+            if (is_write && lastBurstWasRead_ &&
+                data_start >= dataBusBusyUntil_) {
+                fail(cmd, "read-to-write rank turnaround violates tRTRS");
+            } else {
+                fail(cmd, "data-bus overlap");
+            }
+        }
         dataBusBusyUntil_ = data_start + cmd.burstCycles;
+        busUsed_ = true;
+        lastBusRank_ = cmd.rank;
+        lastBurstWasRead_ = !is_write;
         bk.columnAllowed =
             std::max(bk.columnAllowed, cmd.cycle + t.tCcd);
         if (is_write) {
+            rk.writeToReadOk =
+                std::max(rk.writeToReadOk,
+                         cmd.cycle + t.wl + cmd.burstCycles + t.tWtr);
             bk.prechargeAllowed =
                 std::max(bk.prechargeAllowed,
                          cmd.cycle + t.wl + cmd.burstCycles + t.tWr);

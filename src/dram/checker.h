@@ -21,7 +21,11 @@
  *    WL + burst + tWR (from WRITE);
  *  - REF only with all banks of the rank precharged, and no command to
  *    a refreshing rank before tRFC elapses;
- *  - data-bus occupancy never overlaps between transfers on a channel.
+ *  - READ no earlier than WL + burst + tWTR after a WRITE to the same
+ *    rank (write-to-read turnaround);
+ *  - data-bus occupancy never overlaps between transfers on a channel,
+ *    and a burst that switches ranks (including the read-to-write
+ *    direction change) pays the tRTRS bus bubble first.
  */
 #ifndef PRA_DRAM_CHECKER_H
 #define PRA_DRAM_CHECKER_H
@@ -91,6 +95,7 @@ class TimingChecker
         double lastActWeight = 1.0;
         bool everActivated = false;
         Cycle refreshUntil = 0;
+        Cycle writeToReadOk = 0;   //!< tWTR gate for READs to this rank.
     };
 
     void fail(const CheckedCommand &cmd, const std::string &why);
@@ -100,6 +105,9 @@ class TimingChecker
     DramConfig cfg_;
     std::vector<RankShadow> ranks_;
     Cycle dataBusBusyUntil_ = 0;
+    bool busUsed_ = false;           //!< A burst has occupied the bus.
+    unsigned lastBusRank_ = 0;       //!< Rank of the last data burst.
+    bool lastBurstWasRead_ = false;  //!< Direction of the last burst.
     std::vector<std::string> violations_;
     std::uint64_t checked_ = 0;
 };

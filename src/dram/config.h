@@ -72,6 +72,14 @@ struct DramConfig
     unsigned powerDownThreshold = 8; //!< Idle cycles before PRE PDN.
     /** Attach the independent DDR3 protocol checker (debug/test aid). */
     bool enableChecker = false;
+    /**
+     * Test-only fault hook: OR these bits into every activation's open
+     * mask after the scheme computed it. A non-zero value deliberately
+     * widens partial activations — a mask-conformance bug the invariant
+     * auditor (src/verify) must catch. Affects simulated behaviour, so
+     * it participates in the canonical config / result-cache key.
+     */
+    std::uint8_t auditFaultWidenAct = 0;
 
     // PRA design-space ablation knobs (DESIGN.md "ablations").
     /** OR the masks of queued same-row writes into one activation. */

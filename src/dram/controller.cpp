@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "verify/auditor.h"
+
 namespace pra::dram {
 
 namespace {
@@ -77,6 +79,13 @@ MemoryController::enqueue(Request req, Cycle now)
 
     if (req.isWrite) {
         ++stats_.writeReqs;
+        if (audit_) {
+            // Report the pre-combine transaction; the auditor's shadow
+            // queue performs its own combining.
+            audit_->onWriteEnqueue({now, channelId_, req.loc.rank,
+                                    req.loc.bank, req.loc.row, req.addr,
+                                    req.mask, req.chipMask});
+        }
         // Write combining: coalesce with a queued write to the same line
         // (O(1) via the address index; queued write addresses are unique).
         if (auto it = writeIndex_.find(req.addr); it != writeIndex_.end()) {
@@ -242,13 +251,17 @@ MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
 
     WordMask dirty = is_write ? mergedWriteMask(req) : WordMask::full();
     unsigned gran = traits_.actGranularity(is_write, dirty);
-    const WordMask open_mask = traits_.actMask(is_write, dirty);
+    WordMask open_mask = traits_.actMask(is_write, dirty);
     const bool partial = traits_.needsMaskCycle(is_write, dirty);
     if (partial && gran < cfg_->minActGranularity)
         gran = std::min(cfg_->minActGranularity, kMatGroups);
     const double weight = cfg_->weightedActWindow
                               ? traits_.actWeight(gran, cfg_->power)
                               : 1.0;
+    // Deliberate fault injection (tests only): widen the opened mask
+    // behind the scheme's back so the auditor must catch the mismatch.
+    if (cfg_->auditFaultWidenAct != 0)
+        open_mask |= WordMask{cfg_->auditFaultWidenAct};
 
     if (checker_) {
         checker_->observe({CheckedCommand::Kind::Activate, now,
@@ -257,6 +270,13 @@ MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
     }
     bank.activate(now, req.loc.row, open_mask, partial);
     rank.recordActivation(now, weight);
+    if (audit_) {
+        audit_->onCommand({verify::DramCommandEvent::Kind::Activate, now,
+                           channelId_, req.loc.rank, req.loc.bank,
+                           req.loc.row, req.addr, open_mask,
+                           WordMask::none(), partial, is_write, gran,
+                           weight});
+    }
 
     // A partial activation occupies the command/address bus one extra
     // cycle to transfer the PRA mask (paper Fig. 7a).
@@ -312,6 +332,17 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
                            now, req.loc.rank, req.loc.bank, req.loc.row,
                            false, 0.0, burst});
     }
+    if (audit_) {
+        const WordMask drive =
+            is_write ? (traits_.chipSelect ? WordMask{req.chipMask}
+                                           : req.mask)
+                     : WordMask::full();
+        audit_->onCommand({is_write ? verify::DramCommandEvent::Kind::Write
+                                    : verify::DramCommandEvent::Kind::Read,
+                           now, channelId_, req.loc.rank, req.loc.bank,
+                           req.loc.row, req.addr, drive, req.need, false,
+                           is_write, 0, 0.0});
+    }
     cmdBusFree_ = now + 1;
     bank.recordHit();
     if (cfg_->policy == PagePolicy::RestrictedClose)
@@ -356,6 +387,12 @@ MemoryController::issuePrecharge(unsigned rank_id, unsigned bank_id,
     cmdBusFree_ = now + 1;
     ++stats_.precharges;
     info(rank_id, bank_id).openRowMatches = 0;
+    if (audit_) {
+        audit_->onCommand({verify::DramCommandEvent::Kind::Precharge, now,
+                           channelId_, rank_id, bank_id, 0, 0,
+                           WordMask::none(), WordMask::none(), false,
+                           false, 0, 0.0});
+    }
 }
 
 bool
@@ -527,6 +564,14 @@ MemoryController::tryRefresh(Cycle now)
             cmdBusFree_ = now + 1;
             ++stats_.refreshes;
             ++energy_.refreshOps;
+            if (audit_) {
+                const auto rank_id =
+                    static_cast<unsigned>(&rank - ranks_.data());
+                audit_->onCommand(
+                    {verify::DramCommandEvent::Kind::Refresh, now,
+                     channelId_, rank_id, 0, 0, 0, WordMask::none(),
+                     WordMask::none(), false, false, 0, 0.0});
+            }
             return true;
         }
     }
@@ -575,6 +620,12 @@ MemoryController::tick(Cycle now)
                 bank.precharge(now);
                 ++stats_.precharges;
                 info(r, b).openRowMatches = 0;
+                if (audit_) {
+                    audit_->onCommand(
+                        {verify::DramCommandEvent::Kind::Precharge, now,
+                         channelId_, r, b, 0, 0, WordMask::none(),
+                         WordMask::none(), false, false, 0, 0.0});
+                }
             }
         }
     }

@@ -39,6 +39,10 @@
 #include "dram/request.h"
 #include "power/power_model.h"
 
+namespace pra::verify {
+class Auditor;
+}
+
 namespace pra::dram {
 
 /** Controller statistics backing Table 1 and Figures 10/11. */
@@ -141,6 +145,14 @@ class MemoryController
     /** Protocol checker, when DramConfig::enableChecker is set. */
     const TimingChecker *checker() const { return checker_.get(); }
 
+    /**
+     * Attach the cross-layer invariant auditor (not owned). The
+     * controller reports write-queue admissions and every command it
+     * issues; the auditor re-derives mask/granularity expectations from
+     * its own shadow state.
+     */
+    void attachAuditor(verify::Auditor *auditor) { audit_ = auditor; }
+
   private:
     // Per-bank bookkeeping for fast "does anything still want this row?"
     struct BankInfo
@@ -219,6 +231,7 @@ class MemoryController
     ControllerStats stats_;
     power::EnergyCounts energy_;
     std::unique_ptr<TimingChecker> checker_;
+    verify::Auditor *audit_ = nullptr;
 };
 
 } // namespace pra::dram

@@ -79,6 +79,14 @@ class DramSystem
     }
     const MemoryController &channel(unsigned c) const { return channels_[c]; }
 
+    /** Attach the invariant auditor (not owned) to every channel. */
+    void
+    attachAuditor(verify::Auditor *auditor)
+    {
+        for (auto &ch : channels_)
+            ch.attachAuditor(auditor);
+    }
+
   private:
     DramConfig cfg_;
     AddressMapper mapper_;

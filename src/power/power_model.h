@@ -58,6 +58,8 @@ struct EnergyCounts
     std::uint64_t elapsedCycles = 0;    //!< Wall-clock DRAM cycles.
 
     EnergyCounts &operator+=(const EnergyCounts &o);
+    /** Field-wise equality: bit-exactness checks (auditor, fast paths). */
+    bool operator==(const EnergyCounts &o) const = default;
 
     /** Mean activation granularity in MAT groups (1..8), both curves. */
     double meanActGranularity() const;

@@ -193,7 +193,12 @@ canonicalConfig(const SystemConfig &cfg)
        << "checker = " << d.enableChecker << '\n'
        << "merge_write_masks = " << d.mergeWriteMasks << '\n'
        << "weighted_act_window = " << d.weightedActWindow << '\n'
-       << "min_act_granularity = " << d.minActGranularity << '\n';
+       << "min_act_granularity = " << d.minActGranularity << '\n'
+       // Behavioural fault hook (src/verify tests): widens ACT masks, so
+       // it must key the result cache. The enableAudit flag itself is
+       // observational and deliberately excluded.
+       << "audit_fault_widen_act = "
+       << static_cast<unsigned>(d.auditFaultWidenAct) << '\n';
 
     const dram::Timing &t = d.timing;
     os << "trcd = " << t.tRcd << '\n'

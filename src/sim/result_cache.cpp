@@ -10,6 +10,7 @@
 #include <sstream>
 #include <thread>
 
+#include "common/hash.h"
 #include "sim/config_io.h"
 
 namespace pra::sim {
@@ -154,12 +155,7 @@ parseEnvBool(std::string s)
 std::uint64_t
 fnv1a(std::string_view data)
 {
-    std::uint64_t hash = 0xcbf29ce484222325ull;
-    for (const char c : data) {
-        hash ^= static_cast<unsigned char>(c);
-        hash *= 0x100000001b3ull;
-    }
-    return hash;
+    return pra::fnv1a64(data);
 }
 
 std::string

@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/hash.h"
+#include "sim/config_io.h"
 
 namespace pra::sim {
 
@@ -35,6 +40,7 @@ System::System(const SystemConfig &cfg,
     hier_ = std::make_unique<cache::Hierarchy>(hc);
 
     initCores();
+    setupAudit();
 }
 
 System::System(const SystemConfig &cfg, const WarmSnapshot &snapshot)
@@ -53,6 +59,42 @@ System::System(const SystemConfig &cfg, const WarmSnapshot &snapshot)
 
     initCores();
     warmed_ = true;
+    setupAudit();
+    if (auditor_ && auditReplay_) {
+        auditor_->checkFingerprint("warm-snapshot fork",
+                                   snapshot.hier.auditFingerprint(),
+                                   hier_->auditFingerprint());
+    }
+}
+
+void
+System::setupAudit()
+{
+    const bool env = verify::Auditor::envEnabled();
+    if (!cfg_.enableAudit && !env)
+        return;
+
+    verify::AuditConfig ac;
+    ac.traits = cfg_.dram.traits();
+    ac.mergeWriteMasks = cfg_.dram.mergeWriteMasks;
+    ac.weightedActWindow = cfg_.dram.weightedActWindow;
+    ac.minActGranularity = cfg_.dram.minActGranularity;
+    ac.channels = cfg_.dram.channels;
+    ac.ranksPerChannel = cfg_.dram.ranksPerChannel;
+    ac.banksPerRank = cfg_.dram.banksPerRank;
+    ac.power = cfg_.dram.power;
+    ac.chipsPerRank = cfg_.dram.chipsPerRank;
+    ac.eccChipsPerRank = cfg_.dram.eccChipsPerRank;
+    ac.scanStride = cfg_.auditScanStride;
+    ac.configFingerprint = fnv1a64(canonicalConfig(cfg_));
+
+    auditor_ = std::make_unique<verify::Auditor>(ac);
+    auditor_->attachHierarchy(hier_.get());
+    dram_.attachAuditor(auditor_.get());
+    // A configured fault hook means a test inspects the violations
+    // itself; enforcement would abort before it can.
+    auditEnforce_ = env && cfg_.dram.auditFaultWidenAct == 0;
+    auditReplay_ = verify::Auditor::envReplay();
 }
 
 System::~System() = default;
@@ -81,6 +123,11 @@ System::exportWarmSnapshot()
     snap.gens.reserve(gens_.size());
     for (const auto &gen : gens_)
         snap.gens.push_back(gen->clone());
+    if (auditor_ && auditReplay_) {
+        auditor_->checkFingerprint("warm-snapshot export",
+                                   hier_->auditFingerprint(),
+                                   snap.hier.auditFingerprint());
+    }
     return snap;
 }
 
@@ -105,6 +152,8 @@ System::access(unsigned core, const cpu::MemOp &op, std::uint64_t tag)
     cache::HierarchyOutcome out =
         hier_->access(core, addr, op.isWrite, op.bytes);
     pushWritebacks(std::move(out.writebacks));
+    if (auditor_)
+        auditor_->onCacheAccess();
     if (out.needsMemRead) {
         const bool ok = dram_.enqueue(addr, false, WordMask::full(), core,
                                       tag);
@@ -118,8 +167,11 @@ System::access(unsigned core, const cpu::MemOp &op, std::uint64_t tag)
 void
 System::pushWritebacks(std::vector<cache::Writeback> &&wbs)
 {
-    for (auto &wb : wbs)
+    for (auto &wb : wbs) {
+        if (auditor_)
+            auditor_->onWriteback({wb.addr, wb.dirty, wb.praMask()});
         pendingWb_.push_back(wb);
+    }
 }
 
 void
@@ -144,7 +196,16 @@ System::functionalWarmup()
     for (std::uint64_t i = 0; i < cfg_.warmupOpsPerCore; ++i) {
         for (unsigned c = 0; c < gens_.size(); ++c) {
             const cpu::MemOp op = gens_[c]->next();
-            hier_->access(c, translate(c, op.addr), op.isWrite, op.bytes);
+            const cache::HierarchyOutcome out = hier_->access(
+                c, translate(c, op.addr), op.isWrite, op.bytes);
+            if (auditor_) {
+                // Warmup discards its writebacks (no DRAM timing), but
+                // the cache-side invariants still apply to them.
+                for (const cache::Writeback &wb : out.writebacks)
+                    auditor_->onWriteback({wb.addr, wb.dirty,
+                                           wb.praMask()});
+                auditor_->onCacheAccess();
+            }
         }
     }
 }
@@ -188,7 +249,19 @@ System::run()
                         [](const cpu::Core &c) { return c.stalled(); })) {
             const Cycle target =
                 std::min(dram_.nextEventCycle(), cfg_.maxDramCycles);
-            dram_.fastForwardTo(target);
+            if (auditor_ && auditReplay_) {
+                // Fast-path equivalence audit: tick through the window
+                // the fast path would skip. Any command issued inside it
+                // disproves the quiescence claim; the per-tick background
+                // accounting otherwise matches fastForwardTo exactly, so
+                // results stay bit-identical.
+                auditor_->beginQuiescentWindow(dram_.now(), target);
+                while (dram_.now() < target)
+                    dram_.tick();
+                auditor_->endQuiescentWindow();
+            } else {
+                dram_.fastForwardTo(target);
+            }
         }
     }
 
@@ -223,6 +296,14 @@ System::run()
     res.avgPowerMw = model.averagePower(res.energy);
     res.totalEnergyNj = model.totalEnergy(res.energy);
     res.edp = model.energyDelayProduct(res.energy);
+
+    if (auditor_) {
+        auditor_->finalize(res.energy);
+        if (auditEnforce_ && !auditor_->clean()) {
+            std::fprintf(stderr, "%s", auditor_->report().c_str());
+            std::abort();
+        }
+    }
     return res;
 }
 

@@ -21,6 +21,7 @@
 #include "cpu/core.h"
 #include "dram/dram_system.h"
 #include "power/power_model.h"
+#include "verify/auditor.h"
 
 namespace pra::sim {
 
@@ -49,6 +50,18 @@ struct SystemConfig
      * debug builds, asserted against a cycle-by-cycle replay).
      */
     bool enableCycleSkip = true;
+    /**
+     * Attach the cross-layer invariant auditor (src/verify) — the
+     * semantic counterpart of DramConfig::enableChecker. Observational
+     * only: results are bit-identical with or without it. PRA_AUDIT=1
+     * in the environment force-enables it for every System and turns
+     * violations into an abort with a full report; PRA_AUDIT_REPLAY=1
+     * additionally replays cycle-skip windows through the slow path and
+     * fingerprint-checks warm-snapshot forks.
+     */
+    bool enableAudit = false;
+    /** Auditor coherence-scan stride in accesses; 0 = auto. */
+    unsigned auditScanStride = 0;
 };
 
 /** Everything one simulation run produces. */
@@ -137,16 +150,23 @@ class System : public cpu::CoreMemoryPort
     const dram::DramSystem &dram() const { return dram_; }
     const cache::Hierarchy &caches() const { return *hier_; }
 
+    /** The invariant auditor, when enabled (null otherwise). */
+    const verify::Auditor *auditor() const { return auditor_.get(); }
+
   private:
     Addr translate(unsigned core, Addr addr) const;
     void functionalWarmup();
     void initCores();
+    void setupAudit();
     void pushWritebacks(std::vector<cache::Writeback> &&wbs);
     void drainWritebacks();
 
     SystemConfig cfg_;
     dram::DramSystem dram_;
     std::unique_ptr<cache::Hierarchy> hier_;
+    std::unique_ptr<verify::Auditor> auditor_;
+    bool auditEnforce_ = false;   //!< Abort on violations (PRA_AUDIT=1).
+    bool auditReplay_ = false;    //!< Replay fast paths (PRA_AUDIT_REPLAY).
     std::vector<std::unique_ptr<cpu::Generator>> gens_;
     std::vector<cpu::Core> cores_;
 

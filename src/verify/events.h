@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Events observed by the cross-layer invariant auditor.
+ *
+ * Every layer that participates in the PRA contract reports what it
+ * *actually did* through one of these plain structs; the auditor keeps
+ * its own shadow state and derives what *should* have happened. The
+ * structs carry raw facts only — no derived expectations — so a bug in
+ * the reporting layer cannot pre-satisfy the invariant it violates.
+ */
+#ifndef PRA_VERIFY_EVENTS_H
+#define PRA_VERIFY_EVENTS_H
+
+#include <cstdint>
+
+#include "common/bitmask.h"
+#include "common/types.h"
+
+namespace pra::verify {
+
+/** One DRAM command as the controller issued it. */
+struct DramCommandEvent
+{
+    enum class Kind
+    {
+        Activate,
+        Read,
+        Write,
+        Precharge,
+        Refresh,
+    };
+
+    Kind kind;
+    Cycle cycle = 0;
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint32_t row = 0;
+    Addr addr = 0;
+
+    /**
+     * ACT: the MAT groups the activation actually opened (post fault
+     * injection, if any). Column commands: the words actually driven on
+     * the DQ pins (writes) or the full line (reads).
+     */
+    WordMask mask = WordMask::full();
+    /** Column commands: the MAT footprint the request must find open. */
+    WordMask need = WordMask::full();
+
+    bool partial = false;     //!< ACT spent the extra PRA-mask cycle.
+    bool forWrite = false;    //!< ACT triggered by / column is a write.
+    unsigned granularity = 0; //!< ACT granularity the controller charged.
+    double weight = 0.0;      //!< ACT tFAW/tRRD weight charged.
+};
+
+/** A write transaction entering a controller write queue (pre-combine). */
+struct WriteQueueEvent
+{
+    Cycle cycle = 0;
+    unsigned channel = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint32_t row = 0;
+    Addr addr = 0;
+    WordMask mask = WordMask::full();  //!< FGD dirty-word (PRA) mask.
+    std::uint8_t chipMask = 0xff;      //!< SDS chip-access mask.
+};
+
+/** A line leaving the cache hierarchy toward DRAM. */
+struct WritebackEvent
+{
+    Addr addr = 0;
+    ByteMask dirty;            //!< FGD byte-granularity dirty bits.
+    WordMask pra;              //!< PRA mask the hierarchy attached.
+};
+
+} // namespace pra::verify
+
+#endif // PRA_VERIFY_EVENTS_H

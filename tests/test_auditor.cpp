@@ -1,0 +1,337 @@
+/**
+ * @file
+ * Tests for the cross-layer invariant auditor (src/verify) — first at
+ * the unit level with hand-fed event streams, then end-to-end: audited
+ * full-system runs of every scheme must be violation free, and a
+ * deliberately injected mask-widening fault in the controller
+ * (DramConfig::auditFaultWidenAct) must be caught by the PRA-mask
+ * invariant with a ring-buffer report.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.h"
+#include "verify/auditor.h"
+
+namespace pra::verify {
+namespace {
+
+AuditConfig
+praAuditConfig()
+{
+    dram::DramConfig d;
+    d.scheme = Scheme::Pra;
+    AuditConfig ac;
+    ac.traits = d.traits();
+    ac.channels = 1;
+    ac.ranksPerChannel = d.ranksPerChannel;
+    ac.banksPerRank = d.banksPerRank;
+    ac.power = d.power;
+    ac.chipsPerRank = d.chipsPerRank;
+    ac.eccChipsPerRank = d.eccChipsPerRank;
+    ac.configFingerprint = 0xdeadbeef;
+    return ac;
+}
+
+DramCommandEvent
+actEvent(const AuditConfig &ac, bool for_write, WordMask dirty)
+{
+    DramCommandEvent ev;
+    ev.kind = DramCommandEvent::Kind::Activate;
+    ev.cycle = 100;
+    ev.row = 7;
+    ev.addr = 0x1000;
+    ev.forWrite = for_write;
+    ev.mask = ac.traits.actMask(for_write, dirty);
+    ev.partial = ac.traits.needsMaskCycle(for_write, dirty);
+    ev.granularity = ac.traits.actGranularity(for_write, dirty);
+    ev.weight = ac.traits.actWeight(ev.granularity, ac.power);
+    return ev;
+}
+
+TEST(Auditor, CleanManualWriteSequence)
+{
+    const AuditConfig ac = praAuditConfig();
+    Auditor a(ac);
+
+    const WordMask dirty{0x03};
+    a.onWriteEnqueue({50, 0, 0, 0, 7, 0x1000, dirty, 0xff});
+    a.onCommand(actEvent(ac, true, dirty));
+
+    DramCommandEvent col;
+    col.kind = DramCommandEvent::Kind::Write;
+    col.cycle = 120;
+    col.row = 7;
+    col.addr = 0x1000;
+    col.forWrite = true;
+    col.mask = dirty;   // Words driven.
+    col.need = dirty;   // MAT footprint.
+    a.onCommand(col);
+
+    DramCommandEvent pre;
+    pre.kind = DramCommandEvent::Kind::Precharge;
+    pre.cycle = 160;
+    a.onCommand(pre);
+
+    EXPECT_TRUE(a.clean()) << a.report();
+    EXPECT_EQ(a.eventsAudited(), 4u);
+}
+
+TEST(Auditor, PartialReadActivationFlagged)
+{
+    const AuditConfig ac = praAuditConfig();
+    Auditor a(ac);
+
+    // A read activation that opened only half the MAT groups: PRA must
+    // never do this (reads are full-row by construction).
+    DramCommandEvent ev = actEvent(ac, false, WordMask::full());
+    ev.mask = WordMask{0x0f};
+    a.onCommand(ev);
+
+    ASSERT_FALSE(a.clean());
+    bool found = false;
+    for (const auto &v : a.violations())
+        found = found || v.find("read-full-row") != std::string::npos;
+    EXPECT_TRUE(found) << a.report();
+}
+
+TEST(Auditor, WidenedWriteActivationFlagged)
+{
+    const AuditConfig ac = praAuditConfig();
+    Auditor a(ac);
+
+    const WordMask dirty{0x03};
+    a.onWriteEnqueue({50, 0, 0, 0, 7, 0x1000, dirty, 0xff});
+    DramCommandEvent ev = actEvent(ac, true, dirty);
+    ev.mask |= WordMask{0x80};   // Controller opened a MAT it shouldn't.
+    a.onCommand(ev);
+
+    ASSERT_FALSE(a.clean());
+    EXPECT_NE(a.violations()[0].find("mask-conformance"),
+              std::string::npos);
+    // The report carries the evidence: invariant table, the offending
+    // masks, and the pre-violation ring buffer.
+    const std::string report = a.report();
+    EXPECT_NE(report.find("ring buffer"), std::string::npos);
+    EXPECT_NE(report.find("config fingerprint"), std::string::npos);
+    EXPECT_NE(report.find("0xdeadbeef"), std::string::npos);
+}
+
+TEST(Auditor, ColumnOutsideOpenMaskFlagged)
+{
+    const AuditConfig ac = praAuditConfig();
+    Auditor a(ac);
+
+    const WordMask dirty{0x03};
+    a.onWriteEnqueue({50, 0, 0, 0, 7, 0x1000, dirty, 0xff});
+    a.onCommand(actEvent(ac, true, dirty));
+
+    DramCommandEvent col;
+    col.kind = DramCommandEvent::Kind::Write;
+    col.cycle = 120;
+    col.row = 7;
+    col.addr = 0x1000;
+    col.forWrite = true;
+    col.mask = WordMask{0x0c};
+    col.need = WordMask{0x0c};   // Outside the 0x03 activation.
+    a.onCommand(col);
+
+    ASSERT_FALSE(a.clean());
+    bool found = false;
+    for (const auto &v : a.violations())
+        found = found || v.find("within-open-mask") != std::string::npos;
+    EXPECT_TRUE(found) << a.report();
+}
+
+TEST(Auditor, CommandInsideQuiescentWindowFlagged)
+{
+    const AuditConfig ac = praAuditConfig();
+    Auditor a(ac);
+
+    a.beginQuiescentWindow(1000, 2000);
+    a.onCommand(actEvent(ac, false, WordMask::full()));
+    a.endQuiescentWindow();
+
+    ASSERT_FALSE(a.clean());
+    bool found = false;
+    for (const auto &v : a.violations())
+        found = found || v.find("skip-quiescent") != std::string::npos;
+    EXPECT_TRUE(found) << a.report();
+}
+
+TEST(Auditor, FingerprintMismatchFlagged)
+{
+    Auditor a(praAuditConfig());
+    a.checkFingerprint("unit test", 1, 1);
+    EXPECT_TRUE(a.clean());
+    a.checkFingerprint("unit test", 1, 2);
+    ASSERT_FALSE(a.clean());
+    EXPECT_NE(a.violations()[0].find("fork-fingerprint"),
+              std::string::npos);
+}
+
+// --- End-to-end -------------------------------------------------------
+
+sim::SystemConfig
+smallConfig(Scheme scheme, bool dbi)
+{
+    sim::SystemConfig cfg =
+        sim::makeConfig({scheme, dram::PagePolicy::RelaxedClose, dbi});
+    cfg.enableAudit = true;
+    cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};
+    cfg.warmupOpsPerCore = 3000;
+    cfg.targetInstructions = 40'000;
+    // Scan densely enough that small runs exercise the coherence scan.
+    cfg.auditScanStride = 1024;
+    return cfg;
+}
+
+sim::RunResult
+runAudited(const sim::SystemConfig &cfg, const sim::System **out_sys,
+           std::unique_ptr<sim::System> &holder)
+{
+    const workloads::Mix mix{"mix", {"GUPS", "lbm", "em3d", "mcf"}};
+    std::vector<std::unique_ptr<cpu::Generator>> gens;
+    for (unsigned i = 0; i < mix.apps.size(); ++i)
+        gens.push_back(workloads::makeGenerator(mix.apps[i], i + 1));
+    holder = std::make_unique<sim::System>(cfg, std::move(gens));
+    if (out_sys)
+        *out_sys = holder.get();
+    return holder->run();
+}
+
+TEST(AuditorEndToEnd, AuditedRunsAreCleanAcrossSchemes)
+{
+    const struct
+    {
+        Scheme scheme;
+        bool dbi;
+    } points[] = {
+        {Scheme::Baseline, false}, {Scheme::Fga, false},
+        {Scheme::HalfDram, false}, {Scheme::Pra, false},
+        {Scheme::Pra, true},       {Scheme::HalfDramPra, true},
+        {Scheme::Sds, false},
+    };
+    for (const auto &p : points) {
+        SCOPED_TRACE(schemeName(p.scheme) + std::string(p.dbi ? "/dbi"
+                                                              : ""));
+        std::unique_ptr<sim::System> sys;
+        const sim::System *view = nullptr;
+        runAudited(smallConfig(p.scheme, p.dbi), &view, sys);
+        ASSERT_NE(view->auditor(), nullptr);
+        EXPECT_TRUE(view->auditor()->clean()) << view->auditor()->report();
+        EXPECT_GT(view->auditor()->eventsAudited(), 1000u);
+        EXPECT_GT(view->auditor()->scansRun(), 0u);
+    }
+}
+
+TEST(AuditorEndToEnd, InjectedMaskWideningIsCaught)
+{
+    // The acceptance-criteria fault drill: a controller bug that widens
+    // every partial activation by one MAT group must be caught by the
+    // PRA mask-conformance invariant, with the ring-buffer report.
+    sim::SystemConfig cfg = smallConfig(Scheme::Pra, false);
+    cfg.dram.auditFaultWidenAct = 0x80;
+
+    std::unique_ptr<sim::System> sys;
+    const sim::System *view = nullptr;
+    runAudited(cfg, &view, sys);
+
+    ASSERT_NE(view->auditor(), nullptr);
+    ASSERT_FALSE(view->auditor()->clean());
+    const auto &stats = view->auditor()->invariants();
+    const auto &mask_stat =
+        stats[static_cast<std::size_t>(Invariant::ActMaskConformance)];
+    EXPECT_GT(mask_stat.violations, 0u);
+
+    const std::string report = view->auditor()->report();
+    EXPECT_NE(report.find("dram.act.mask-conformance"), std::string::npos);
+    EXPECT_NE(report.find("ring buffer"), std::string::npos);
+    EXPECT_NE(report.find("config fingerprint"), std::string::npos);
+}
+
+/** Scoped environment override (tests are single-threaded). */
+class EnvGuard
+{
+  public:
+    EnvGuard(const char *name, const char *value) : name_(name)
+    {
+        const char *old = std::getenv(name);
+        if (old) {
+            had_ = true;
+            old_ = old;
+        }
+        ::setenv(name, value, 1);
+    }
+    ~EnvGuard()
+    {
+        if (had_)
+            ::setenv(name_, old_.c_str(), 1);
+        else
+            ::unsetenv(name_);
+    }
+
+  private:
+    const char *name_;
+    bool had_ = false;
+    std::string old_;
+};
+
+TEST(AuditorEndToEnd, ReplayModeMatchesFastPathBitExactly)
+{
+    const sim::SystemConfig cfg = smallConfig(Scheme::Pra, true);
+
+    std::unique_ptr<sim::System> fast_sys;
+    const sim::RunResult fast = runAudited(cfg, nullptr, fast_sys);
+
+    EnvGuard replay("PRA_AUDIT_REPLAY", "1");
+    std::unique_ptr<sim::System> slow_sys;
+    const sim::System *slow_view = nullptr;
+    const sim::RunResult slow = runAudited(cfg, &slow_view, slow_sys);
+
+    ASSERT_NE(slow_view->auditor(), nullptr);
+    EXPECT_TRUE(slow_view->auditor()->clean())
+        << slow_view->auditor()->report();
+    const auto &skip_stat = slow_view->auditor()->invariants()
+        [static_cast<std::size_t>(Invariant::SkipQuiescent)];
+    EXPECT_GT(skip_stat.checks, 0u);
+
+    // Replaying the skipped windows through the slow path must not
+    // change a single bit of the result.
+    EXPECT_EQ(fast.dramCycles, slow.dramCycles);
+    EXPECT_EQ(fast.ipc, slow.ipc);
+    EXPECT_EQ(fast.memReads, slow.memReads);
+    EXPECT_EQ(fast.memWrites, slow.memWrites);
+    EXPECT_TRUE(fast.energy == slow.energy);
+    EXPECT_EQ(fast.totalEnergyNj, slow.totalEnergyNj);
+    EXPECT_EQ(fast.avgPowerMw, slow.avgPowerMw);
+}
+
+TEST(AuditorEndToEnd, ForkFingerprintAudited)
+{
+    EnvGuard replay("PRA_AUDIT_REPLAY", "1");
+    const sim::SystemConfig cfg = smallConfig(Scheme::Pra, false);
+
+    const workloads::Mix mix{"mix", {"GUPS", "lbm", "em3d", "mcf"}};
+    std::vector<std::unique_ptr<cpu::Generator>> gens;
+    for (unsigned i = 0; i < mix.apps.size(); ++i)
+        gens.push_back(workloads::makeGenerator(mix.apps[i], i + 1));
+    sim::System warm(cfg, std::move(gens));
+    const sim::WarmSnapshot snap = warm.exportWarmSnapshot();
+
+    sim::System fork(cfg, snap);
+    fork.run();
+
+    ASSERT_NE(fork.auditor(), nullptr);
+    EXPECT_TRUE(fork.auditor()->clean()) << fork.auditor()->report();
+    const auto &fp_stat = fork.auditor()->invariants()
+        [static_cast<std::size_t>(Invariant::ForkFingerprint)];
+    EXPECT_GT(fp_stat.checks, 0u);
+}
+
+} // namespace
+} // namespace pra::verify

@@ -7,6 +7,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "dram/checker.h"
 #include "sim/experiment.h"
 
@@ -151,6 +153,60 @@ TEST(Checker, WeightedTfawAdmitsPartials)
         t += 2;
     }
     EXPECT_TRUE(c.clean());
+}
+
+TEST(Checker, TwtrWriteToReadFlagged)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5));
+    const Cycle w = kT.tRcd;
+    c.observe(wr(w, 0, 0));
+    c.observe(rd(w + kT.wl + 4 + kT.tWtr - 1, 0, 0));   // One too early.
+    ASSERT_FALSE(c.clean());
+    EXPECT_NE(c.violations()[0].find("tWTR"), std::string::npos);
+
+    TimingChecker ok(oneChannel());
+    ok.observe(act(0, 0, 0, 5));
+    ok.observe(wr(kT.tRcd, 0, 0));
+    ok.observe(rd(kT.tRcd + kT.wl + 4 + kT.tWtr, 0, 0));
+    EXPECT_TRUE(ok.clean()) << ok.violations()[0];
+}
+
+TEST(Checker, TwtrIsPerRank)
+{
+    // A write on rank 0 does not gate a read on rank 1 (only the tRTRS
+    // bus bubble applies across ranks).
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 5));
+    c.observe(act(0, 1, 0, 5));
+    const Cycle w = kT.tRcd;
+    c.observe(wr(w, 0, 0));
+    // Read command early w.r.t. tWTR but with its data window clear of
+    // the write burst plus the rank-switch bubble.
+    const Cycle r = w + kT.wl + 4 + kT.tRtrs - kT.rl();
+    c.observe(rd(std::max<Cycle>(r, w + kT.tCcd), 1, 0));
+    EXPECT_TRUE(c.clean()) << c.violations()[0];
+}
+
+TEST(Checker, ReadToWriteRankSwitchPaysTrtrs)
+{
+    TimingChecker c(oneChannel());
+    c.observe(act(0, 0, 0, 1));
+    c.observe(act(0, 1, 0, 1));
+    c.observe(rd(kT.tRcd, 0, 0));
+    // Write on the other rank whose data would start inside the tRTRS
+    // bubble after the read burst.
+    const Cycle bubble_end = kT.tRcd + kT.rl() + 4 + kT.tRtrs;
+    c.observe(wr(bubble_end - 1 - kT.wl, 1, 0));
+    ASSERT_FALSE(c.clean());
+    EXPECT_NE(c.violations()[0].find("turnaround"), std::string::npos);
+
+    TimingChecker ok(oneChannel());
+    ok.observe(act(0, 0, 0, 1));
+    ok.observe(act(0, 1, 0, 1));
+    ok.observe(rd(kT.tRcd, 0, 0));
+    ok.observe(wr(bubble_end - kT.wl, 1, 0));
+    EXPECT_TRUE(ok.clean()) << ok.violations()[0];
 }
 
 TEST(Checker, DataBusOverlapFlagged)

@@ -12,6 +12,8 @@
  */
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -49,8 +51,11 @@ class ScopedCacheDir
   public:
     ScopedCacheDir()
     {
+        // PID-qualified: ctest runs every test in its own process (the
+        // counter restarts at 0 each time), and a parallel ctest must
+        // not land two tests in the same cache directory.
         dir_ = (std::filesystem::temp_directory_path() /
-                ("pra-cache-test-" +
+                ("pra-cache-test-" + std::to_string(::getpid()) + "-" +
                  std::to_string(::testing::UnitTest::GetInstance()
                                     ->random_seed()) +
                  "-" + std::to_string(counter_++)))

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Determinism lint: the simulator must be bit-reproducible, so no source
+# file under src/ may reach for ambient entropy or wall-clock time. All
+# randomness flows through the seeded PRNG in src/common/rng.h; all time
+# is simulated Cycle time. (bench/ is exempt: the sweep driver reports
+# real elapsed time, which never feeds back into results.)
+#
+# Exits non-zero listing every offending line.
+set -u
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+cd "$root"
+
+# Each call pattern is anchored so identifiers like `ranktime` or
+# `strand()` do not trip it. Comment text is stripped before matching.
+pattern='(^|[^[:alnum:]_.])(rand|srand|rand_r|random|drand48|time|gettimeofday|clock_gettime|clock)[[:space:]]*\(|std::random_device|std::(system_clock|steady_clock|high_resolution_clock)|::getentropy|/dev/u?random'
+
+offenders=$(find src \( -name '*.h' -o -name '*.cpp' \) \
+                 ! -path src/common/rng.h -print0 |
+    xargs -0 awk -v pat="$pattern" '
+        {
+            line = $0
+            sub(/\/\/.*/, "", line)              # line comments
+            if (line ~ /^[[:space:]]*\*/) next   # block-comment bodies
+            if (line ~ pat)
+                printf "%s:%d:%s\n", FILENAME, FNR, $0
+        }')
+
+if [ -n "$offenders" ]; then
+    echo "Determinism lint: forbidden entropy/clock usage in src/" >&2
+    echo "(only src/common/rng.h may own randomness; simulated time only)" >&2
+    echo "$offenders" >&2
+    exit 1
+fi
+
+echo "Determinism lint: clean."
