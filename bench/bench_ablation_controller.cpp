@@ -2,12 +2,14 @@
  * @file
  * Controller-policy ablations on the conventional baseline: the
  * row-hit cap (the paper adopts 4, after Kaseridis et al.), write-queue
- * watermarks, and precharge power-down. These show why the baseline is
- * configured the way the paper configures it.
+ * watermarks, precharge power-down, and the scheduler policy (FR-FCFS
+ * against strict FCFS and FR-FCFS with write-age promotion). These show
+ * why the baseline is configured the way the paper configures it.
  */
 #include <iostream>
 
 #include "bench_util.h"
+#include "dram/sched/scheduler_policy.h"
 #include "sim/runner.h"
 
 using namespace pra;
@@ -64,6 +66,16 @@ main()
         cfg.dram.powerDownEnabled = enabled;
         jobs.push_back({bzip, {}, 0, cfg});
     }
+    const std::vector<dram::SchedulerKind> scheds{
+        dram::SchedulerKind::FrFcfs, dram::SchedulerKind::Fcfs,
+        dram::SchedulerKind::FrFcfsWriteAge};
+    for (dram::SchedulerKind kind : scheds) {
+        for (const workloads::Mix &m : {gups, mix}) {
+            sim::SystemConfig cfg = baselineCfg();
+            cfg.dram.scheduler = kind;
+            jobs.push_back({m, {}, 0, cfg});
+        }
+    }
     const std::vector<sim::RunResult> results = runner.run(jobs);
     timer.add(results);
     std::size_t job = 0;
@@ -98,5 +110,21 @@ main()
                    Table::fmt(r.avgPowerMw, 0), Table::fmt(r.ipc[0], 3)});
     }
     pd.print(std::cout);
+
+    Table sched("Scheduler policy sweep (relaxed close-page)");
+    sched.header({"policy", "mix", "rd hit", "wr hit", "rd lat",
+                  "IPC0", "power mW"});
+    for (dram::SchedulerKind kind : scheds) {
+        for (const workloads::Mix &m : {gups, mix}) {
+            const sim::RunResult &r = results[job++];
+            sched.addRow({dram::schedulerKindName(kind), m.name,
+                          Table::pct(r.dramStats.readHitRate()),
+                          Table::pct(r.dramStats.writeHitRate()),
+                          Table::fmt(r.dramStats.readLatency.mean(), 1),
+                          Table::fmt(r.ipc[0], 3),
+                          Table::fmt(r.avgPowerMw, 0)});
+        }
+    }
+    sched.print(std::cout);
     return 0;
 }

@@ -1,0 +1,34 @@
+#include "dram/bank_engine.h"
+
+namespace pra::dram {
+
+BankEngine::BankEngine(const DramConfig &cfg) : cfg_(&cfg)
+{
+    ranks_.reserve(cfg.ranksPerChannel);
+    for (unsigned r = 0; r < cfg.ranksPerChannel; ++r)
+        ranks_.emplace_back(cfg, r);
+    bankInfo_.resize(cfg.ranksPerChannel * cfg.banksPerRank);
+}
+
+void
+BankEngine::recountOpenRowMatches(unsigned r, unsigned b,
+                                  std::deque<Request> &readQ,
+                                  std::deque<Request> &writeQ)
+{
+    BankInfo &bi = info(r, b);
+    bi.openRowMatches = 0;
+    if (!bank(r, b).isOpen())
+        return;
+    auto count = [&](std::deque<Request> &q) {
+        for (auto &req : q) {
+            if (req.loc.rank == r && req.loc.bank == b &&
+                probe(req) == RowProbe::Hit) {
+                ++bi.openRowMatches;
+            }
+        }
+    };
+    count(readQ);
+    count(writeQ);
+}
+
+} // namespace pra::dram

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Command- and data-bus arbiter for one channel.
+ *
+ * Owns every channel-level shared-resource gate the controller used to
+ * scatter across its tick path:
+ *
+ *  - command/address-bus occupancy (one slot per command, plus the
+ *    extra PRA mask cycles of a partial activation);
+ *  - data-bus reservation with the tRTRS rank-switch bubble;
+ *  - the tWTR write-to-read turnaround gate;
+ *  - DDR4 bank-group column spacing (tCCD_L within a group, tCCD_S
+ *    across groups) at the channel level.
+ *
+ * The scheduler and maintenance paths ask may-issue questions here and
+ * report issued commands back; the cycle-skip bound enumerates the
+ * arbiter's wake-up candidates through considerWakeups().
+ */
+#ifndef PRA_DRAM_BUS_ARBITER_H
+#define PRA_DRAM_BUS_ARBITER_H
+
+#include "dram/config.h"
+
+namespace pra::dram {
+
+/** Channel-level bus and turnaround gating (see file header). */
+class BusArbiter
+{
+  public:
+    explicit BusArbiter(const DramConfig &cfg) : cfg_(&cfg) {}
+
+    // --- Command/address bus ---------------------------------------------
+
+    bool cmdBusBusy(Cycle now) const { return now < cmdBusFree_; }
+
+    /** Occupy the command bus at @p now for 1 + @p extra cycles. */
+    void holdCmdBus(Cycle now, unsigned extra = 0)
+    {
+        cmdBusFree_ = now + 1 + extra;
+    }
+
+    // --- Write-to-read turnaround ----------------------------------------
+
+    /** tWTR: read commands blocked until the write data window clears. */
+    bool readBlocked(Cycle now) const
+    {
+        if (cfg_->faultIgnoreTwtr)
+            return false;   // Test-only fault: checker must catch this.
+        return now < readCmdBlockedUntil_;
+    }
+
+    /** A write command at @p now blocks reads for wl + burst + tWTR. */
+    void noteWriteIssued(Cycle now, unsigned burst)
+    {
+        readCmdBlockedUntil_ =
+            now + cfg_->timing.wl + burst + cfg_->timing.tWtr;
+    }
+
+    // --- Data bus ---------------------------------------------------------
+
+    /** May a burst to @p rank_id start its data at @p start? */
+    bool
+    dataBusFree(Cycle start, unsigned rank_id) const
+    {
+        Cycle earliest = dataBusFree_;
+        if (rank_id != lastBusRank_)
+            earliest += cfg_->timing.tRtrs;
+        return start >= earliest;
+    }
+
+    void
+    reserveDataBus(Cycle start, unsigned burst, unsigned rank_id)
+    {
+        dataBusFree_ = start + burst;
+        lastBusRank_ = rank_id;
+    }
+
+    // --- DDR4 bank-group column spacing ------------------------------------
+
+    /** tCCD_S/tCCD_L spacing against the last column command. */
+    bool
+    columnGateOk(unsigned bank_id, Cycle now) const
+    {
+        if (cfg_->timing.bankGroups <= 1 || !anyColumnIssued_)
+            return true;
+        const bool same_group = groupOf(bank_id) == lastColumnGroup_;
+        // Test-only fault: treat same-group spacing as cross-group, so
+        // the independent TimingChecker must flag the tCCD_L violation.
+        const unsigned gap = same_group && !cfg_->faultIgnoreTccdL
+                                 ? cfg_->timing.tCcdL
+                                 : cfg_->timing.tCcd;
+        return now >= lastColumnCycle_ + gap;
+    }
+
+    void
+    noteColumnIssued(unsigned bank_id, Cycle now)
+    {
+        if (cfg_->timing.bankGroups > 1) {
+            lastColumnCycle_ = now;
+            lastColumnGroup_ = groupOf(bank_id);
+            anyColumnIssued_ = true;
+        }
+    }
+
+    // --- Cycle-skip support -------------------------------------------------
+
+    /**
+     * Feed every cycle at which a bus gate could release an otherwise
+     * ready action to @p consider (the nextEventCycle() candidate
+     * collector).
+     */
+    template <typename Fn>
+    void
+    considerWakeups(bool reads_queued, bool any_queued,
+                    Fn &&consider) const
+    {
+        // The command bus gates refresh and every scheduler action.
+        consider(cmdBusFree_);
+        if (!any_queued)
+            return;
+        if (reads_queued)
+            consider(readCmdBlockedUntil_);   // tWTR release.
+        if (cfg_->timing.bankGroups > 1 && anyColumnIssued_) {
+            consider(lastColumnCycle_ + cfg_->timing.tCcd);
+            consider(lastColumnCycle_ + cfg_->timing.tCcdL);
+        }
+        // Data-bus release: a column command becomes issuable once its
+        // data window (starting wl/rl cycles later, +tRtrs on a rank
+        // switch) clears dataBusFree_.
+        const Cycle lats[] = {cfg_->timing.wl, cfg_->timing.rl()};
+        for (Cycle lat : lats) {
+            for (Cycle busy_until :
+                 {dataBusFree_, dataBusFree_ + cfg_->timing.tRtrs}) {
+                if (busy_until > lat)
+                    consider(busy_until - lat);
+            }
+        }
+    }
+
+  private:
+    unsigned groupOf(unsigned bank_id) const
+    {
+        return bank_id / (cfg_->banksPerRank / cfg_->timing.bankGroups);
+    }
+
+    const DramConfig *cfg_;
+    Cycle cmdBusFree_ = 0;
+    Cycle dataBusFree_ = 0;
+    unsigned lastBusRank_ = 0;
+    Cycle readCmdBlockedUntil_ = 0;  //!< tWTR gate after write data.
+    Cycle lastColumnCycle_ = 0;      //!< DDR4 tCCD_S/tCCD_L gating.
+    unsigned lastColumnGroup_ = ~0u;
+    bool anyColumnIssued_ = false;
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_BUS_ARBITER_H

@@ -96,6 +96,28 @@ TimingChecker::observe(const CheckedCommand &cmd)
             fail(cmd, "column command violates tRCD/tCCD");
         if (!is_write && cmd.cycle < rk.writeToReadOk)
             fail(cmd, "READ violates tWTR after a write to the rank");
+        // DDR4 bank groups: the long tCCD_L applies to back-to-back
+        // column commands within one group, tCCD(_S) across groups —
+        // tracked at the channel level, independently of the per-bank
+        // tCCD gate folded into columnAllowed.
+        if (t.bankGroups > 1) {
+            const unsigned group =
+                cmd.bank / (cfg_.banksPerRank / t.bankGroups);
+            if (anyColumnSeen_) {
+                const bool same_group = group == lastColumnGroup_;
+                const Cycle gap = same_group ? t.tCcdL : t.tCcd;
+                if (cmd.cycle < lastColumnCycle_ + gap) {
+                    fail(cmd, same_group
+                                  ? "column command violates tCCD_L "
+                                    "within a bank group"
+                                  : "column command violates tCCD_S "
+                                    "across bank groups");
+                }
+            }
+            lastColumnCycle_ = cmd.cycle;
+            lastColumnGroup_ = group;
+            anyColumnSeen_ = true;
+        }
         const Cycle data_start =
             cmd.cycle + (is_write ? t.wl : t.rl());
         // A burst that switches ranks pays the tRTRS bubble on top of

@@ -17,6 +17,8 @@
  *  - column commands only to an open bank after tRCD (+ the PRA mask
  *    cycle for partial activations) and tCCD after a previous column
  *    command to the same rank;
+ *  - with DDR4 bank groups, channel-level column spacing: tCCD_L after
+ *    a column command to the same bank group, tCCD_S across groups;
  *  - PRE only after tRAS (from ACT), tRTP (from READ) and
  *    WL + burst + tWR (from WRITE);
  *  - REF only with all banks of the rank precharged, and no command to
@@ -104,6 +106,9 @@ class TimingChecker
 
     DramConfig cfg_;
     std::vector<RankShadow> ranks_;
+    Cycle lastColumnCycle_ = 0;      //!< DDR4 bank-group spacing.
+    unsigned lastColumnGroup_ = 0;
+    bool anyColumnSeen_ = false;
     Cycle dataBusBusyUntil_ = 0;
     bool busUsed_ = false;           //!< A burst has occupied the bus.
     unsigned lastBusRank_ = 0;       //!< Rank of the last data burst.

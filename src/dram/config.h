@@ -8,6 +8,7 @@
 #ifndef PRA_DRAM_CONFIG_H
 #define PRA_DRAM_CONFIG_H
 
+#include "common/types.h"
 #include "core/scheme.h"
 #include "dram/timing.h"
 #include "power/power_params.h"
@@ -34,6 +35,26 @@ enum class PagePolicy
      * reuse at the cost of conflict latency and background power.
      */
     OpenPage,
+};
+
+/** Request scheduling policy (src/dram/sched/). */
+enum class SchedulerKind
+{
+    /**
+     * FR-FCFS (paper baseline): row hits first within each queue, reads
+     * prioritized over writes with watermark-driven drain hysteresis,
+     * at most rowHitCap consecutive hits per activation.
+     */
+    FrFcfs,
+    /** Strict in-order service per queue: no row-hit reordering. */
+    Fcfs,
+    /**
+     * FR-FCFS plus oldest-write promotion: once the oldest queued write
+     * has waited longer than writeAgePromotionCycles, writes are
+     * serviced ahead of reads even below the high watermark, bounding
+     * write starvation under read-heavy traffic.
+     */
+    FrFcfsWriteAge,
 };
 
 /** Physical address interleaving. */
@@ -63,6 +84,12 @@ struct DramConfig
     // Controller.
     PagePolicy policy = PagePolicy::RelaxedClose;
     AddrMapping mapping = AddrMapping::RowInterleaved;
+    SchedulerKind scheduler = SchedulerKind::FrFcfs;
+    /**
+     * FrFcfsWriteAge only: queue age in DRAM cycles past which the
+     * oldest write is promoted ahead of reads.
+     */
+    Cycle writeAgePromotionCycles = 2000;
     unsigned readQueueDepth = 64;
     unsigned writeQueueDepth = 64;
     unsigned writeHighWatermark = 48;
@@ -80,6 +107,16 @@ struct DramConfig
      * it participates in the canonical config / result-cache key.
      */
     std::uint8_t auditFaultWidenAct = 0;
+    /**
+     * Test-only fault hooks for the bus arbiter, in the same spirit:
+     * drop the tCCD_L same-bank-group gate (issuing too-early column
+     * commands) or the tWTR write-to-read gate. The independent
+     * TimingChecker must flag the resulting protocol violations. Both
+     * affect simulated behaviour, so they participate in the canonical
+     * config / result-cache key.
+     */
+    bool faultIgnoreTccdL = false;
+    bool faultIgnoreTwtr = false;
 
     // PRA design-space ablation knobs (DESIGN.md "ablations").
     /** OR the masks of queued same-row writes into one activation. */

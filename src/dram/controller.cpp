@@ -37,12 +37,10 @@ trace(Cycle now, unsigned ch, const char *cmd, unsigned rank, unsigned bank,
 
 MemoryController::MemoryController(const DramConfig &cfg,
                                    unsigned channel_id)
-    : cfg_(&cfg), traits_(cfg.traits()), channelId_(channel_id)
+    : cfg_(&cfg), traits_(cfg.traits()), channelId_(channel_id),
+      banks_(cfg), bus_(cfg), sched_(makeSchedulerPolicy(cfg)),
+      maint_(cfg, banks_, *this)
 {
-    ranks_.reserve(cfg.ranksPerChannel);
-    for (unsigned r = 0; r < cfg.ranksPerChannel; ++r)
-        ranks_.emplace_back(cfg, r);
-    bankInfo_.resize(cfg.ranksPerChannel * cfg.banksPerRank);
     if (cfg.enableChecker)
         checker_ = std::make_unique<TimingChecker>(cfg);
 }
@@ -117,25 +115,11 @@ MemoryController::enqueue(Request req, Cycle now)
         readQ_.push_back(req);
     }
 
-    auto &bi = info(req.loc.rank, req.loc.bank);
-    ++bi.queued;
-    // Mask-aware: only requests the (possibly partial) open row can
-    // actually serve count as pending hits. probeOf() also primes the
-    // request's probe cache for the upcoming FR-FCFS scans.
+    // Mask-aware accounting: only requests the (possibly partial) open
+    // row can actually serve count as pending hits. The engine's probe
+    // also primes the request's cache for the upcoming scheduler scans.
     Request &queued_req = req.isWrite ? writeQ_.back() : readQ_.back();
-    if (probeOf(queued_req) == RowProbe::Hit)
-        ++bi.openRowMatches;
-}
-
-RowProbe
-MemoryController::probeOf(Request &req) const
-{
-    const Bank &bank = ranks_[req.loc.rank].bank(req.loc.bank);
-    if (req.probeEpoch != bank.stateEpoch()) {
-        req.cachedProbe = bank.probe(req.loc.row, req.need);
-        req.probeEpoch = bank.stateEpoch();
-    }
-    return req.cachedProbe;
+    banks_.onEnqueue(queued_req);
 }
 
 void
@@ -184,25 +168,6 @@ MemoryController::classify(Request &req, RowProbe probe)
     }
 }
 
-bool
-MemoryController::dataBusFree(Cycle start, unsigned burst,
-                              unsigned rank_id) const
-{
-    (void)burst;
-    Cycle earliest = dataBusFree_;
-    if (rank_id != lastBusRank_)
-        earliest += cfg_->timing.tRtrs;
-    return start >= earliest;
-}
-
-void
-MemoryController::reserveDataBus(Cycle start, unsigned burst,
-                                 unsigned rank_id)
-{
-    dataBusFree_ = start + burst;
-    lastBusRank_ = rank_id;
-}
-
 WordMask
 MemoryController::mergedWriteMask(Request &req) const
 {
@@ -223,30 +188,23 @@ MemoryController::mergedWriteMask(Request &req) const
     return req.cachedMergedMask;
 }
 
-void
-MemoryController::recountOpenRowMatches(unsigned rank_id, unsigned bank_id)
+SchedulerInputs
+MemoryController::schedulerInputs() const
 {
-    auto &bi = info(rank_id, bank_id);
-    bi.openRowMatches = 0;
-    const Bank &bank = ranks_[rank_id].bank(bank_id);
-    if (!bank.isOpen())
-        return;
-    auto count = [&](std::deque<Request> &q) {
-        for (auto &r : q) {
-            if (r.loc.rank == rank_id && r.loc.bank == bank_id &&
-                probeOf(r) == RowProbe::Hit) {
-                ++bi.openRowMatches;
-            }
-        }
-    };
-    count(readQ_);
-    count(writeQ_);
+    SchedulerInputs in;
+    in.readQueueSize = readQ_.size();
+    in.writeQueueSize = writeQ_.size();
+    if (!readQ_.empty())
+        in.oldestReadArrival = readQ_.front().arrival;
+    if (!writeQ_.empty())
+        in.oldestWriteArrival = writeQ_.front().arrival;
+    return in;
 }
 
 void
 MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
 {
-    Rank &rank = ranks_[req.loc.rank];
+    Rank &rank = banks_.rank(req.loc.rank);
     Bank &bank = rank.bank(req.loc.bank);
 
     WordMask dirty = is_write ? mergedWriteMask(req) : WordMask::full();
@@ -280,7 +238,7 @@ MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
 
     // A partial activation occupies the command/address bus one extra
     // cycle to transfer the PRA mask (paper Fig. 7a).
-    cmdBusFree_ = now + 1 + (partial ? cfg_->timing.praMaskCycles : 0u);
+    bus_.holdCmdBus(now, partial ? cfg_->timing.praMaskCycles : 0u);
 
     trace(now, channelId_, "ACT", req.loc.rank, req.loc.bank, req.loc.row,
           gran);
@@ -300,7 +258,8 @@ MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
     else
         ++stats_.actsForReads;
 
-    recountOpenRowMatches(req.loc.rank, req.loc.bank);
+    banks_.recountOpenRowMatches(req.loc.rank, req.loc.bank, readQ_,
+                                 writeQ_);
 }
 
 void
@@ -314,16 +273,11 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
         ++writeQueueEpoch_;
     }
 
-    Rank &rank = ranks_[req.loc.rank];
+    Rank &rank = banks_.rank(req.loc.rank);
     Bank &bank = rank.bank(req.loc.bank);
     const unsigned burst = traits_.burstCycles(cfg_->timing.burstCycles);
 
-    if (cfg_->timing.bankGroups > 1) {
-        lastColumnCycle_ = now;
-        lastColumnGroup_ =
-            req.loc.bank / (cfg_->banksPerRank / cfg_->timing.bankGroups);
-        anyColumnIssued_ = true;
-    }
+    bus_.noteColumnIssued(req.loc.bank, now);
     trace(now, channelId_, is_write ? "WR" : "RD", req.loc.rank,
           req.loc.bank, req.loc.row, req.loc.col);
     if (checker_) {
@@ -343,23 +297,22 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
                            req.loc.row, req.addr, drive, req.need, false,
                            is_write, 0, 0.0});
     }
-    cmdBusFree_ = now + 1;
+    bus_.holdCmdBus(now);
     bank.recordHit();
     if (cfg_->policy == PagePolicy::RestrictedClose)
         bank.setAutoPrecharge();
 
     if (is_write) {
         bank.write(now, burst);
-        reserveDataBus(now + cfg_->timing.wl, burst, req.loc.rank);
-        readCmdBlockedUntil_ =
-            now + cfg_->timing.wl + burst + cfg_->timing.tWtr;
+        bus_.reserveDataBus(now + cfg_->timing.wl, burst, req.loc.rank);
+        bus_.noteWriteIssued(now, burst);
         ++energy_.writeLines;
         energy_.writeWordsDriven += traits_.wordsDriven(
             traits_.chipSelect ? WordMask{req.chipMask} : req.mask);
     } else {
         bank.read(now, burst);
         const Cycle finish = now + cfg_->timing.rl() + burst;
-        reserveDataBus(now + cfg_->timing.rl(), burst, req.loc.rank);
+        bus_.reserveDataBus(now + cfg_->timing.rl(), burst, req.loc.rank);
         ++energy_.readLines;
         inflight_.push_back({req.tag, req.coreId, req.addr, finish,
                              finish - req.arrival});
@@ -367,11 +320,7 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
             static_cast<double>(finish - req.arrival));
     }
 
-    auto &bi = info(req.loc.rank, req.loc.bank);
-    assert(bi.queued > 0);
-    --bi.queued;
-    if (bi.openRowMatches > 0)
-        --bi.openRowMatches;
+    banks_.onDequeue(req);
 }
 
 void
@@ -383,10 +332,10 @@ MemoryController::issuePrecharge(unsigned rank_id, unsigned bank_id,
         checker_->observe({CheckedCommand::Kind::Precharge, now, rank_id,
                            bank_id, 0, false, 0.0, 0});
     }
-    ranks_[rank_id].bank(bank_id).precharge(now);
-    cmdBusFree_ = now + 1;
+    banks_.bank(rank_id, bank_id).precharge(now);
+    bus_.holdCmdBus(now);
     ++stats_.precharges;
-    info(rank_id, bank_id).openRowMatches = 0;
+    banks_.onPrecharge(rank_id, bank_id);
     if (audit_) {
         audit_->onCommand({verify::DramCommandEvent::Kind::Precharge, now,
                            channelId_, rank_id, bank_id, 0, 0,
@@ -395,17 +344,56 @@ MemoryController::issuePrecharge(unsigned rank_id, unsigned bank_id,
     }
 }
 
+void
+MemoryController::issueAutoPrecharge(unsigned rank_id, unsigned bank_id,
+                                     Cycle now)
+{
+    // Auto-precharge (restricted close-page) is encoded in the column
+    // command (RDA/WRA), so it consumes no command-bus slot.
+    if (checker_) {
+        checker_->observe({CheckedCommand::Kind::Precharge, now, rank_id,
+                           bank_id, 0, false, 0.0, 0});
+    }
+    banks_.bank(rank_id, bank_id).precharge(now);
+    ++stats_.precharges;
+    banks_.onPrecharge(rank_id, bank_id);
+    if (audit_) {
+        audit_->onCommand({verify::DramCommandEvent::Kind::Precharge, now,
+                           channelId_, rank_id, bank_id, 0, 0,
+                           WordMask::none(), WordMask::none(), false,
+                           false, 0, 0.0});
+    }
+}
+
+void
+MemoryController::issueRefresh(unsigned rank_id, Cycle now)
+{
+    if (checker_) {
+        checker_->observe({CheckedCommand::Kind::Refresh, now, rank_id, 0,
+                           0, false, 0.0, 0});
+    }
+    banks_.rank(rank_id).refresh(now);
+    bus_.holdCmdBus(now);
+    ++stats_.refreshes;
+    ++energy_.refreshOps;
+    if (audit_) {
+        audit_->onCommand({verify::DramCommandEvent::Kind::Refresh, now,
+                           channelId_, rank_id, 0, 0, 0, WordMask::none(),
+                           WordMask::none(), false, false, 0, 0.0});
+    }
+}
+
 bool
 MemoryController::tryColumnAccess(std::deque<Request> &queue, bool is_write,
                                   Cycle now)
 {
-    if (!is_write && now < readCmdBlockedUntil_)
+    if (!is_write && bus_.readBlocked(now))
         return false;
-    const unsigned burst = traits_.burstCycles(cfg_->timing.burstCycles);
-    for (std::size_t i = 0; i < queue.size(); ++i) {
+    const std::size_t window = sched_->columnWindow(queue.size());
+    for (std::size_t i = 0; i < window; ++i) {
         Request &req = queue[i];
-        Bank &bank = ranks_[req.loc.rank].bank(req.loc.bank);
-        if (probeOf(req) != RowProbe::Hit)
+        Bank &bank = banks_.bank(req.loc.rank, req.loc.bank);
+        if (banks_.probe(req) != RowProbe::Hit)
             continue;
         // Restricted close-page: the auto-precharge is encoded in the
         // previous column command (RDA/WRA), so the row is already
@@ -424,19 +412,11 @@ MemoryController::tryColumnAccess(std::deque<Request> &queue, bool is_write,
         // DDR4 bank groups: back-to-back column commands to the same
         // group must honor the long tCCD_L; across groups tCCD(_S)
         // applies at the channel level.
-        if (cfg_->timing.bankGroups > 1 && anyColumnIssued_) {
-            const unsigned group =
-                req.loc.bank /
-                (cfg_->banksPerRank / cfg_->timing.bankGroups);
-            const unsigned gap = group == lastColumnGroup_
-                                     ? cfg_->timing.tCcdL
-                                     : cfg_->timing.tCcd;
-            if (now < lastColumnCycle_ + gap)
-                continue;
-        }
+        if (!bus_.columnGateOk(req.loc.bank, now))
+            continue;
         const Cycle data_start =
             now + (is_write ? cfg_->timing.wl : cfg_->timing.rl());
-        if (!dataBusFree(data_start, burst, req.loc.rank))
+        if (!bus_.dataBusFree(data_start, req.loc.rank))
             continue;
         if (cfg_->policy == PagePolicy::RelaxedClose &&
             bank.hitCount() >= cfg_->rowHitCap) {
@@ -453,15 +433,14 @@ bool
 MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
                              Cycle now)
 {
-    // FR-FCFS prepares banks for the oldest requests first; scanning a
-    // small window bounds the per-cycle work without changing behaviour
-    // in practice.
-    const std::size_t window = std::min<std::size_t>(queue.size(), 16);
+    // The policy bounds how deep the prepare scan may look past the
+    // oldest request (FR-FCFS: a small window; FCFS: the head only).
+    const std::size_t window = sched_->prepareWindow(queue.size());
     for (std::size_t i = 0; i < window; ++i) {
         Request &req = queue[i];
-        Rank &rank = ranks_[req.loc.rank];
+        Rank &rank = banks_.rank(req.loc.rank);
         Bank &bank = rank.bank(req.loc.bank);
-        const RowProbe probe = probeOf(req);
+        const RowProbe probe = banks_.probe(req);
 
         switch (probe) {
           case RowProbe::Closed: {
@@ -497,11 +476,10 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
             // precharges: the partially opened row cannot serve this
             // request and the re-activation's (full or merged) footprint
             // covers every same-row request (paper Section 5.2.1).
-            const auto &bi = info(req.loc.rank, req.loc.bank);
             const bool still_useful =
                 probe == RowProbe::Conflict &&
                 cfg_->policy == PagePolicy::RelaxedClose &&
-                bi.openRowMatches > 0 &&
+                banks_.openRowMatches(req.loc.rank, req.loc.bank) > 0 &&
                 bank.hitCount() < cfg_->rowHitCap;
             if (!still_useful && bank.canPrecharge(now)) {
                 classify(req, probe);
@@ -524,69 +502,12 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
     return false;
 }
 
-bool
-MemoryController::tryMaintenanceClose(Cycle now)
-{
-    for (unsigned r = 0; r < ranks_.size(); ++r) {
-        Rank &rank = ranks_[r];
-        const bool want_refresh = rank.refreshDue(now);
-        for (unsigned b = 0; b < rank.numBanks(); ++b) {
-            Bank &bank = rank.bank(b);
-            if (!bank.isOpen() || !bank.canPrecharge(now))
-                continue;
-            const auto &bi = info(r, b);
-            const bool useless = bi.openRowMatches == 0 ||
-                                 bank.hitCount() >= cfg_->rowHitCap;
-            // Open-page keeps rows open unless refresh needs them shut.
-            if ((cfg_->policy == PagePolicy::RelaxedClose && useless) ||
-                want_refresh) {
-                issuePrecharge(r, b, now);
-                return true;
-            }
-        }
-    }
-    return false;
-}
-
-bool
-MemoryController::tryRefresh(Cycle now)
-{
-    for (auto &rank : ranks_) {
-        if (rank.refreshDue(now) && rank.canRefresh(now) &&
-            !rank.refreshing(now)) {
-            if (checker_) {
-                const auto rank_id = static_cast<unsigned>(&rank -
-                                                           ranks_.data());
-                checker_->observe({CheckedCommand::Kind::Refresh, now,
-                                   rank_id, 0, 0, false, 0.0, 0});
-            }
-            rank.refresh(now);
-            cmdBusFree_ = now + 1;
-            ++stats_.refreshes;
-            ++energy_.refreshOps;
-            if (audit_) {
-                const auto rank_id =
-                    static_cast<unsigned>(&rank - ranks_.data());
-                audit_->onCommand(
-                    {verify::DramCommandEvent::Kind::Refresh, now,
-                     channelId_, rank_id, 0, 0, 0, WordMask::none(),
-                     WordMask::none(), false, false, 0, 0.0});
-            }
-            return true;
-        }
-    }
-    return false;
-}
-
 void
 MemoryController::accountBackground(Cycle now)
 {
-    for (unsigned r = 0; r < ranks_.size(); ++r) {
-        Rank &rank = ranks_[r];
-        bool queued = false;
-        for (unsigned b = 0; b < rank.numBanks() && !queued; ++b)
-            queued = info(r, b).queued > 0;
-        rank.updatePowerState(now, queued);
+    for (unsigned r = 0; r < banks_.numRanks(); ++r) {
+        Rank &rank = banks_.rank(r);
+        rank.updatePowerState(now, banks_.anyQueuedInRank(r));
         switch (rank.powerState(now)) {
           case RankState::ActiveStandby:
           case RankState::Refreshing:
@@ -607,28 +528,8 @@ MemoryController::tick(Cycle now)
 {
     accountBackground(now);
 
-    // Auto-precharge (restricted close-page): encoded in the column
-    // command (RDA/WRA), so it consumes no command-bus slot.
-    for (unsigned r = 0; r < ranks_.size(); ++r) {
-        for (unsigned b = 0; b < ranks_[r].numBanks(); ++b) {
-            Bank &bank = ranks_[r].bank(b);
-            if (bank.autoPrechargePending() && bank.canPrecharge(now)) {
-                if (checker_) {
-                    checker_->observe({CheckedCommand::Kind::Precharge,
-                                       now, r, b, 0, false, 0.0, 0});
-                }
-                bank.precharge(now);
-                ++stats_.precharges;
-                info(r, b).openRowMatches = 0;
-                if (audit_) {
-                    audit_->onCommand(
-                        {verify::DramCommandEvent::Kind::Precharge, now,
-                         channelId_, r, b, 0, 0, WordMask::none(),
-                         WordMask::none(), false, false, 0, 0.0});
-                }
-            }
-        }
-    }
+    // Restricted-close auto-precharges retire without a command slot.
+    maint_.stepAutoPrecharge(now);
 
     // Deliver finished reads.
     for (std::size_t i = 0; i < inflight_.size();) {
@@ -641,19 +542,21 @@ MemoryController::tick(Cycle now)
         }
     }
 
-    // Write-drain hysteresis.
-    if (writeQ_.size() >= cfg_->writeHighWatermark)
-        drainMode_ = true;
-    else if (writeQ_.size() <= cfg_->writeLowWatermark)
-        drainMode_ = false;
+    // The policy observes queue occupancy every cycle (its drain
+    // hysteresis must track enqueues even on command-bus-busy ticks).
+    const SchedulerInputs inputs = schedulerInputs();
+    sched_->onTick(inputs, now);
 
-    if (now < cmdBusFree_)
+    if (bus_.cmdBusBusy(now))
         return;
 
-    if (tryRefresh(now))
+    if (maint_.tryRefresh(now))
+        return;
+    // Pluggable maintenance operations (none registered by default).
+    if (maint_.tryOps(now))
         return;
 
-    const bool writes_first = drainMode_ || readQ_.empty();
+    const bool writes_first = sched_->writesFirst(inputs, now);
     std::deque<Request> &primary = writes_first ? writeQ_ : readQ_;
     std::deque<Request> &secondary = writes_first ? readQ_ : writeQ_;
     const bool primary_is_write = writes_first;
@@ -670,7 +573,7 @@ MemoryController::tick(Cycle now)
         tryPrepare(secondary, !primary_is_write, now)) {
         return;
     }
-    tryMaintenanceClose(now);
+    maint_.tryMaintenanceClose(now);
 }
 
 Cycle
@@ -697,18 +600,15 @@ MemoryController::nextEventCycle(Cycle now) const
     const bool writes_queued = !writeQ_.empty();
     const bool any_queued = reads_queued || writes_queued;
 
-    // The command bus gates refresh and every scheduler action.
-    consider(cmdBusFree_);
+    // Bus gates: command bus, tWTR, bank-group spacing, data-bus release.
+    bus_.considerWakeups(reads_queued, any_queued, consider);
 
-    for (unsigned r = 0; r < ranks_.size(); ++r) {
-        const Rank &rank = ranks_[r];
+    for (unsigned r = 0; r < banks_.numRanks(); ++r) {
+        const Rank &rank = banks_.rank(r);
         // Refresh becomes due at the deadline regardless of the queues.
         consider(rank.nextRefreshAt());
 
-        bool rank_queued = false;
-        for (unsigned b = 0; b < rank.numBanks() && !rank_queued; ++b)
-            rank_queued = bankInfo_[r * cfg_->banksPerRank + b].queued > 0;
-
+        const bool rank_queued = banks_.anyQueuedInRank(r);
         if (rank_queued) {
             // Activation gates (tRRD, weighted tFAW expiries).
             consider(rank.nextActAllowedAt());
@@ -732,38 +632,16 @@ MemoryController::nextEventCycle(Cycle now) const
         }
     }
 
-    if (any_queued) {
-        if (reads_queued)
-            consider(readCmdBlockedUntil_);   // tWTR release.
-        if (cfg_->timing.bankGroups > 1 && anyColumnIssued_) {
-            consider(lastColumnCycle_ + cfg_->timing.tCcd);
-            consider(lastColumnCycle_ + cfg_->timing.tCcdL);
-        }
-        // Data-bus release: a column command becomes issuable once its
-        // data window (starting wl/rl cycles later, +tRtrs on a rank
-        // switch) clears dataBusFree_.
-        const Cycle lats[] = {cfg_->timing.wl, cfg_->timing.rl()};
-        for (Cycle lat : lats) {
-            for (Cycle busy_until :
-                 {dataBusFree_, dataBusFree_ + cfg_->timing.tRtrs}) {
-                if (busy_until > lat)
-                    consider(busy_until - lat);
-            }
-        }
-    }
-
     return next;
 }
 
 void
 MemoryController::fastForward(Cycle from, Cycle to)
 {
-    for (unsigned r = 0; r < ranks_.size(); ++r) {
-        Rank &rank = ranks_[r];
-        bool queued = false;
-        for (unsigned b = 0; b < rank.numBanks() && !queued; ++b)
-            queued = info(r, b).queued > 0;
-        rank.fastForwardBackground(from, to, queued, energy_);
+    for (unsigned r = 0; r < banks_.numRanks(); ++r) {
+        banks_.rank(r).fastForwardBackground(from, to,
+                                             banks_.anyQueuedInRank(r),
+                                             energy_);
     }
 }
 

@@ -1,15 +1,37 @@
 /**
  * @file
- * Per-channel DDR3 memory controller.
+ * Per-channel DDR3/DDR4 memory controller, composed of four layers
+ * (DESIGN.md §9):
  *
- * Implements the paper's baseline controller: FR-FCFS scheduling with
- * reads prioritized over writes, separate 64-entry read/write queues with
- * 48/16 write-drain watermarks, row-interleaved mapping with the relaxed
- * close-page policy (rows close when no queued request can use them; at
- * most four consecutive row hits per activation), or line-interleaved
- * mapping with the restricted close-page policy (auto-precharge on every
- * column access). Refresh, data-bus and command-bus contention, write-to-
- * read turnaround and rank-to-rank switch penalties are modeled.
+ *  - a SchedulerPolicy (dram/sched/) owning request *selection*: class
+ *    priority (reads vs. writes, drain hysteresis) and how far the
+ *    column/prepare scans may reorder past the queue head. FR-FCFS is
+ *    the default; FCFS and FR-FCFS+write-age-promotion are ablations;
+ *  - a BankEngine owning per-bank FSM state (open row, open PRA mask,
+ *    hit streak, state epochs) plus pending-work counters, queried by
+ *    the scheduling paths, the cycle-skip bound, and maintenance alike;
+ *  - a BusArbiter owning the shared-resource gates: command-bus slots,
+ *    data-bus reservation with tRTRS rank turnaround, the tWTR
+ *    write-to-read gate, and DDR4 tCCD_S/tCCD_L bank-group spacing;
+ *  - a MaintenanceEngine owning refresh scheduling and the relaxed/
+ *    restricted close policies, with a registerOp() seam for future
+ *    maintenance operations (PRAC-style alerts, TRR, scrubbing).
+ *
+ * The controller itself keeps the queues (write combining, read
+ * forwarding, merged PRA masks) and the command *mechanisms* — issuing
+ * ACT/column/PRE/REF with stats, energy events, checker and auditor
+ * reporting. The default FR-FCFS configuration is bit-identical to the
+ * pre-decomposition monolith (pinned by test_golden_equivalence.cpp).
+ *
+ * Baseline behaviour: FR-FCFS scheduling with reads prioritized over
+ * writes, separate 64-entry read/write queues with 48/16 write-drain
+ * watermarks, row-interleaved mapping with the relaxed close-page
+ * policy (rows close when no queued request can use them; at most four
+ * consecutive row hits per activation), or line-interleaved mapping
+ * with the restricted close-page policy (auto-precharge on every
+ * column access). Refresh, data-bus and command-bus contention,
+ * write-to-read turnaround and rank-to-rank switch penalties are
+ * modeled.
  *
  * PRA behaviour (when the configured scheme enables partial writes):
  *  - a write activation ORs the PRA masks of every queued write to the
@@ -33,10 +55,13 @@
 #include <unordered_map>
 
 #include "common/stats.h"
+#include "dram/bank_engine.h"
+#include "dram/bus_arbiter.h"
 #include "dram/checker.h"
 #include "dram/config.h"
-#include "dram/rank.h"
+#include "dram/maintenance_engine.h"
 #include "dram/request.h"
+#include "dram/sched/scheduler_policy.h"
 #include "power/power_model.h"
 
 namespace pra::verify {
@@ -91,8 +116,8 @@ struct ControllerStats
     }
 };
 
-/** One channel: ranks, queues, scheduler, and power event counting. */
-class MemoryController
+/** One channel: queues + command mechanisms over the four layers. */
+class MemoryController : private MaintenanceHooks
 {
   public:
     MemoryController(const DramConfig &cfg, unsigned channel_id);
@@ -133,11 +158,17 @@ class MemoryController
     const ControllerStats &stats() const { return stats_; }
     const power::EnergyCounts &energyCounts() const { return energy_; }
 
-    unsigned numRanks() const
-    {
-        return static_cast<unsigned>(ranks_.size());
-    }
-    const Rank &rank(unsigned r) const { return ranks_[r]; }
+    unsigned numRanks() const { return banks_.numRanks(); }
+    const Rank &rank(unsigned r) const { return banks_.rank(r); }
+
+    /** Per-bank state engine (banks, pending-work counters). */
+    const BankEngine &bankEngine() const { return banks_; }
+
+    /** The scheduling policy driving request selection. */
+    const SchedulerPolicy &schedulerPolicy() const { return *sched_; }
+
+    /** Maintenance engine; registerOp() is the extension seam. */
+    MaintenanceEngine &maintenance() { return maint_; }
 
     std::size_t readQueueSize() const { return readQ_.size(); }
     std::size_t writeQueueSize() const { return writeQ_.size(); }
@@ -154,44 +185,29 @@ class MemoryController
     void attachAuditor(verify::Auditor *auditor) { audit_ = auditor; }
 
   private:
-    // Per-bank bookkeeping for fast "does anything still want this row?"
-    struct BankInfo
-    {
-        unsigned queued = 0;        //!< Requests targeting this bank.
-        unsigned openRowMatches = 0; //!< Of those, same row as open.
-    };
-
-    BankInfo &info(unsigned rank, unsigned bank)
-    {
-        return bankInfo_[rank * cfg_->banksPerRank + bank];
-    }
-
     WordMask needOf(const Request &req) const;
     void classify(Request &req, RowProbe probe);
-
-    /**
-     * Row-buffer probe of @p req against its bank, cached per request
-     * and invalidated by the bank's state epoch (activate/precharge) or
-     * a mask change (write combining).
-     */
-    RowProbe probeOf(Request &req) const;
 
     /** Drop @p addr from the write-queue index after erasing entry @p idx. */
     void eraseWriteIndex(Addr addr, std::size_t idx);
 
+    /** Queue occupancy snapshot handed to the scheduler policy. */
+    SchedulerInputs schedulerInputs() const;
+
     bool tryColumnAccess(std::deque<Request> &queue, bool is_write,
                          Cycle now);
     bool tryPrepare(std::deque<Request> &queue, bool is_write, Cycle now);
-    bool tryMaintenanceClose(Cycle now);
-    bool tryRefresh(Cycle now);
-
-    bool dataBusFree(Cycle start, unsigned burst, unsigned rank_id) const;
-    void reserveDataBus(Cycle start, unsigned burst, unsigned rank_id);
 
     void issueActivate(Request &req, bool is_write, Cycle now);
     void issueColumn(std::deque<Request> &queue, std::size_t idx,
                      bool is_write, Cycle now);
-    void issuePrecharge(unsigned rank_id, unsigned bank_id, Cycle now);
+
+    // MaintenanceHooks (decisions live in the MaintenanceEngine).
+    void issuePrecharge(unsigned rank_id, unsigned bank_id,
+                        Cycle now) override;
+    void issueAutoPrecharge(unsigned rank_id, unsigned bank_id,
+                            Cycle now) override;
+    void issueRefresh(unsigned rank_id, Cycle now) override;
 
     /**
      * OR of PRA masks of every queued write to @p req's row, cached per
@@ -199,15 +215,16 @@ class MemoryController
      */
     WordMask mergedWriteMask(Request &req) const;
 
-    void recountOpenRowMatches(unsigned rank_id, unsigned bank_id);
     void accountBackground(Cycle now);
 
     const DramConfig *cfg_;
     SchemeTraits traits_;
     unsigned channelId_;
 
-    std::vector<Rank> ranks_;
-    std::vector<BankInfo> bankInfo_;
+    BankEngine banks_;
+    BusArbiter bus_;
+    std::unique_ptr<SchedulerPolicy> sched_;
+    MaintenanceEngine maint_;
 
     std::deque<Request> readQ_;
     std::deque<Request> writeQ_;
@@ -215,15 +232,6 @@ class MemoryController
     std::unordered_map<Addr, std::size_t> writeIndex_;
     /** Bumped whenever writeQ_ membership or masks change. */
     std::uint64_t writeQueueEpoch_ = 0;
-    bool drainMode_ = false;
-
-    Cycle cmdBusFree_ = 0;
-    Cycle dataBusFree_ = 0;
-    unsigned lastBusRank_ = 0;
-    Cycle readCmdBlockedUntil_ = 0;  //!< tWTR gate after write data.
-    Cycle lastColumnCycle_ = 0;      //!< DDR4 tCCD_S/tCCD_L gating.
-    unsigned lastColumnGroup_ = ~0u;
-    bool anyColumnIssued_ = false;
 
     std::vector<Completion> inflight_;  //!< Reads waiting for data.
     std::vector<Completion> finished_;

@@ -1,0 +1,54 @@
+#include "dram/maintenance_engine.h"
+
+namespace pra::dram {
+
+void
+MaintenanceEngine::stepAutoPrecharge(Cycle now)
+{
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        for (unsigned b = 0; b < banks_->rank(r).numBanks(); ++b) {
+            const Bank &bank = banks_->bank(r, b);
+            if (bank.autoPrechargePending() && bank.canPrecharge(now))
+                hooks_->issueAutoPrecharge(r, b, now);
+        }
+    }
+}
+
+bool
+MaintenanceEngine::tryRefresh(Cycle now)
+{
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        const Rank &rank = banks_->rank(r);
+        if (rank.refreshDue(now) && rank.canRefresh(now) &&
+            !rank.refreshing(now)) {
+            hooks_->issueRefresh(r, now);
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+MaintenanceEngine::tryMaintenanceClose(Cycle now)
+{
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        const Rank &rank = banks_->rank(r);
+        const bool want_refresh = rank.refreshDue(now);
+        for (unsigned b = 0; b < rank.numBanks(); ++b) {
+            const Bank &bank = rank.bank(b);
+            if (!bank.isOpen() || !bank.canPrecharge(now))
+                continue;
+            const bool useless = banks_->openRowMatches(r, b) == 0 ||
+                                 bank.hitCount() >= cfg_->rowHitCap;
+            // Open-page keeps rows open unless refresh needs them shut.
+            if ((cfg_->policy == PagePolicy::RelaxedClose && useless) ||
+                want_refresh) {
+                hooks_->issuePrecharge(r, b, now);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+} // namespace pra::dram

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Maintenance engine: refresh scheduling and row-close policies.
+ *
+ * Owns the *decisions* that keep the array healthy and the row buffers
+ * policy-conformant — when an all-bank refresh issues, when the relaxed
+ * close policy shuts a useless open row, when a restricted-close
+ * auto-precharge retires — while the controller keeps the *mechanism*
+ * (stats, checker/auditor reporting, bus accounting) behind the
+ * MaintenanceHooks interface it implements.
+ *
+ * Future maintenance operations with their own issue windows — PRAC
+ * per-bank alert recovery, targeted-row-refresh, scrubbing — plug in
+ * through registerOp(): an op is polled once per scheduling round after
+ * refresh and before the request scheduler, and returns true when it
+ * consumed the round's command slot (see DESIGN.md §9).
+ */
+#ifndef PRA_DRAM_MAINTENANCE_ENGINE_H
+#define PRA_DRAM_MAINTENANCE_ENGINE_H
+
+#include <functional>
+#include <vector>
+
+#include "dram/bank_engine.h"
+#include "dram/config.h"
+
+namespace pra::dram {
+
+/** Command mechanisms the maintenance engine drives (the controller). */
+class MaintenanceHooks
+{
+  public:
+    /** Explicit PRE command (occupies a command-bus slot). */
+    virtual void issuePrecharge(unsigned rank_id, unsigned bank_id,
+                                Cycle now) = 0;
+    /** Auto-precharge retire (RDA/WRA-encoded; no command-bus slot). */
+    virtual void issueAutoPrecharge(unsigned rank_id, unsigned bank_id,
+                                    Cycle now) = 0;
+    /** All-bank refresh to @p rank_id. */
+    virtual void issueRefresh(unsigned rank_id, Cycle now) = 0;
+
+  protected:
+    ~MaintenanceHooks() = default;
+};
+
+/** Refresh + close-policy decision engine (see file header). */
+class MaintenanceEngine
+{
+  public:
+    MaintenanceEngine(const DramConfig &cfg, BankEngine &banks,
+                      MaintenanceHooks &hooks)
+        : cfg_(&cfg), banks_(&banks), hooks_(&hooks)
+    {
+    }
+
+    /**
+     * Retire pending auto-precharges (restricted close-page). Runs
+     * every cycle — the precharge is encoded in the previous column
+     * command, so it needs no command-bus slot.
+     */
+    void stepAutoPrecharge(Cycle now);
+
+    /** Issue an all-bank refresh to any rank that is due and ready. */
+    bool tryRefresh(Cycle now);
+
+    /**
+     * Close open rows that no queued request can use (relaxed close
+     * policy), or that a due refresh needs shut. Open-page keeps rows
+     * open unless refresh forces the close.
+     */
+    bool tryMaintenanceClose(Cycle now);
+
+    /**
+     * A pluggable maintenance operation: returns true when it issued a
+     * command (consuming this round's slot).
+     */
+    using MaintenanceOp = std::function<bool(Cycle)>;
+
+    /** Register @p op; polled in registration order by tryOps(). */
+    void registerOp(MaintenanceOp op)
+    {
+        ops_.push_back(std::move(op));
+    }
+
+    /** Poll registered ops; true when one consumed the round. */
+    bool
+    tryOps(Cycle now)
+    {
+        for (auto &op : ops_) {
+            if (op(now))
+                return true;
+        }
+        return false;
+    }
+
+  private:
+    const DramConfig *cfg_;
+    BankEngine *banks_;
+    MaintenanceHooks *hooks_;
+    std::vector<MaintenanceOp> ops_;
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_MAINTENANCE_ENGINE_H

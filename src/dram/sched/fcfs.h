@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Strict first-come-first-served scheduling (ablation reference).
+ */
+#ifndef PRA_DRAM_SCHED_FCFS_H
+#define PRA_DRAM_SCHED_FCFS_H
+
+#include "dram/sched/scheduler_policy.h"
+
+namespace pra::dram {
+
+/**
+ * FCFS: each queue is serviced strictly in arrival order — the scans
+ * may only look at the queue head, so a row miss at the head blocks
+ * younger row hits behind it (no first-ready reordering). Between the
+ * classes, the older head request goes first, which also removes the
+ * watermark drain hysteresis. The lower row-hit rate this produces is
+ * the classic motivation for FR-FCFS (Rixner et al., ISCA 2000) and
+ * shows up directly in the scheduler ablation table.
+ */
+class FcfsPolicy : public SchedulerPolicy
+{
+  public:
+    explicit FcfsPolicy(const DramConfig &) {}
+
+    const char *name() const override { return "fcfs"; }
+
+    void onTick(const SchedulerInputs &, Cycle) override {}
+
+    bool
+    writesFirst(const SchedulerInputs &in, Cycle) const override
+    {
+        if (in.readQueueSize == 0)
+            return in.writeQueueSize > 0;
+        if (in.writeQueueSize == 0)
+            return false;
+        return in.oldestWriteArrival < in.oldestReadArrival;
+    }
+
+    std::size_t
+    columnWindow(std::size_t queue_size) const override
+    {
+        return queue_size ? 1 : 0;
+    }
+
+    std::size_t
+    prepareWindow(std::size_t queue_size) const override
+    {
+        return queue_size ? 1 : 0;
+    }
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_SCHED_FCFS_H

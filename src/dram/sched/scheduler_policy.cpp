@@ -1,0 +1,36 @@
+#include "dram/sched/scheduler_policy.h"
+
+#include "dram/sched/fcfs.h"
+#include "dram/sched/frfcfs.h"
+
+namespace pra::dram {
+
+const char *
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::FrFcfs:
+        return "frfcfs";
+      case SchedulerKind::Fcfs:
+        return "fcfs";
+      case SchedulerKind::FrFcfsWriteAge:
+        return "frfcfs_wage";
+    }
+    return "?";
+}
+
+std::unique_ptr<SchedulerPolicy>
+makeSchedulerPolicy(const DramConfig &cfg)
+{
+    switch (cfg.scheduler) {
+      case SchedulerKind::Fcfs:
+        return std::make_unique<FcfsPolicy>(cfg);
+      case SchedulerKind::FrFcfsWriteAge:
+        return std::make_unique<FrFcfsWriteAgePolicy>(cfg);
+      case SchedulerKind::FrFcfs:
+        break;
+    }
+    return std::make_unique<FrFcfsPolicy>(cfg);
+}
+
+} // namespace pra::dram

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Pluggable request-scheduling policies for the memory controller.
+ *
+ * The controller owns the *mechanism* of command issue — timing gates,
+ * bus arbitration, bank FSMs — while a SchedulerPolicy owns the
+ * *selection*: which service class (reads or writes) goes first this
+ * cycle, and how deep into each age-ordered queue the column-access and
+ * prepare scans may reorder. The controller consults the policy at
+ * fixed points in its tick:
+ *
+ *  1. onTick() every DRAM cycle (even command-bus-busy ones), so a
+ *     policy's hysteresis state tracks queue occupancy exactly as the
+ *     pre-decomposition monolith's drain flag did;
+ *  2. writesFirst() when a scheduling round actually runs;
+ *  3. columnWindow()/prepareWindow() to bound the two FR-FCFS scans.
+ *
+ * A window of 1 disables reordering entirely (strict per-queue FCFS); a
+ * window of queue_size reproduces classic FR-FCFS row-hit-first
+ * behaviour. New policies implement this interface and register in
+ * makeSchedulerPolicy(); see DESIGN.md §9.
+ */
+#ifndef PRA_DRAM_SCHED_SCHEDULER_POLICY_H
+#define PRA_DRAM_SCHED_SCHEDULER_POLICY_H
+
+#include <cstddef>
+#include <memory>
+
+#include "common/types.h"
+#include "dram/config.h"
+
+namespace pra::dram {
+
+/** Queue occupancy snapshot the policy sees each cycle. */
+struct SchedulerInputs
+{
+    std::size_t readQueueSize = 0;
+    std::size_t writeQueueSize = 0;
+    /** Arrival cycle of the oldest queued read; valid when non-empty. */
+    Cycle oldestReadArrival = 0;
+    /** Arrival cycle of the oldest queued write; valid when non-empty. */
+    Cycle oldestWriteArrival = 0;
+};
+
+/** Request-selection policy interface (see file header). */
+class SchedulerPolicy
+{
+  public:
+    virtual ~SchedulerPolicy() = default;
+
+    /** Policy name as spelled in config files (`scheduler = <name>`). */
+    virtual const char *name() const = 0;
+
+    /**
+     * Called once per DRAM cycle before any issue decision, including
+     * cycles on which the command bus is busy. Policies update
+     * hysteresis state (e.g. write-drain mode) here.
+     */
+    virtual void onTick(const SchedulerInputs &in, Cycle now) = 0;
+
+    /** True when the write queue is the primary class this round. */
+    virtual bool writesFirst(const SchedulerInputs &in, Cycle now) const = 0;
+
+    /**
+     * Number of queue-head entries the column-access (row-hit) scan may
+     * consider, in age order. The first entry passing every timing gate
+     * issues.
+     */
+    virtual std::size_t columnWindow(std::size_t queue_size) const = 0;
+
+    /** Same bound for the prepare (ACT/PRE) scan. */
+    virtual std::size_t prepareWindow(std::size_t queue_size) const = 0;
+};
+
+/** Config-file spelling of @p kind (frfcfs, fcfs, frfcfs_wage). */
+const char *schedulerKindName(SchedulerKind kind);
+
+/** Instantiate the policy selected by @p cfg. */
+std::unique_ptr<SchedulerPolicy> makeSchedulerPolicy(const DramConfig &cfg);
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_SCHED_SCHEDULER_POLICY_H

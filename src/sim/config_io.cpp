@@ -1,5 +1,7 @@
 #include "sim/config_io.h"
 
+#include "dram/sched/scheduler_policy.h"
+
 #include <algorithm>
 #include <cstring>
 #include <fstream>
@@ -56,6 +58,150 @@ parseScheme(const std::string &v)
     throw std::runtime_error("unknown scheme '" + v + "'");
 }
 
+dram::SchedulerKind
+parseScheduler(const std::string &v)
+{
+    const std::string s = lower(v);
+    if (s == "frfcfs" || s == "fr-fcfs")
+        return dram::SchedulerKind::FrFcfs;
+    if (s == "fcfs")
+        return dram::SchedulerKind::Fcfs;
+    if (s == "frfcfs_wage" || s == "frfcfs-wage")
+        return dram::SchedulerKind::FrFcfsWriteAge;
+    throw std::runtime_error("unknown scheduler '" + v +
+                             "' (accepted: frfcfs, fcfs, frfcfs_wage)");
+}
+
+unsigned
+asUnsigned(const std::string &v)
+{
+    return static_cast<unsigned>(std::stoul(v));
+}
+
+/**
+ * One config key: name + parse-and-apply action. Table-driven so the
+ * unknown-key diagnostic can enumerate every accepted key.
+ */
+struct KeyHandler
+{
+    const char *key;
+    void (*apply)(const std::string &value, SystemConfig &cfg);
+};
+
+constexpr KeyHandler kKeyHandlers[] = {
+    {"scheme",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.scheme = parseScheme(v);
+     }},
+    {"policy",
+     [](const std::string &v, SystemConfig &c) {
+         const std::string s = lower(v);
+         if (s == "relaxed") {
+             c.dram.policy = dram::PagePolicy::RelaxedClose;
+             c.dram.mapping = dram::AddrMapping::RowInterleaved;
+         } else if (s == "restricted") {
+             c.dram.useRestrictedClosePage();
+         } else if (s == "open" || s == "openpage") {
+             c.dram.policy = dram::PagePolicy::OpenPage;
+             c.dram.mapping = dram::AddrMapping::RowInterleaved;
+         } else {
+             throw std::runtime_error("unknown policy '" + v + "'");
+         }
+     }},
+    {"scheduler",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.scheduler = parseScheduler(v);
+     }},
+    {"write_age_promotion",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.writeAgePromotionCycles = std::stoull(v);
+     }},
+    {"dbi",
+     [](const std::string &v, SystemConfig &c) {
+         c.enableDbi = parseBool(v);
+     }},
+    {"channels",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.channels = asUnsigned(v);
+     }},
+    {"ranks",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.ranksPerChannel = asUnsigned(v);
+     }},
+    {"read_queue",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.readQueueDepth = asUnsigned(v);
+     }},
+    {"write_queue",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.writeQueueDepth = asUnsigned(v);
+     }},
+    {"write_high_watermark",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.writeHighWatermark = asUnsigned(v);
+     }},
+    {"write_low_watermark",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.writeLowWatermark = asUnsigned(v);
+     }},
+    {"row_hit_cap",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.rowHitCap = asUnsigned(v);
+     }},
+    {"power_down",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.powerDownEnabled = parseBool(v);
+     }},
+    {"checker",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.enableChecker = parseBool(v);
+     }},
+    {"target_instructions",
+     [](const std::string &v, SystemConfig &c) {
+         c.targetInstructions = std::stoull(v);
+     }},
+    {"warmup_ops",
+     [](const std::string &v, SystemConfig &c) {
+         c.warmupOpsPerCore = std::stoull(v);
+     }},
+    {"max_cycles",
+     [](const std::string &v, SystemConfig &c) {
+         c.maxDramCycles = std::stoull(v);
+     }},
+    {"l2_kb",
+     [](const std::string &v, SystemConfig &c) {
+         c.caches.l2.sizeBytes = std::stoull(v) * 1024;
+     }},
+    {"l1_kb",
+     [](const std::string &v, SystemConfig &c) {
+         c.caches.l1.sizeBytes = std::stoull(v) * 1024;
+     }},
+    {"trcd",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.timing.tRcd = asUnsigned(v);
+     }},
+    {"trp",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.timing.tRp = asUnsigned(v);
+     }},
+    {"tras",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.timing.tRas = asUnsigned(v);
+     }},
+    {"trrd",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.timing.tRrd = asUnsigned(v);
+     }},
+    {"tfaw",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.timing.tFaw = asUnsigned(v);
+     }},
+    {"pra_mask_cycles",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.timing.praMaskCycles = asUnsigned(v);
+     }},
+};
+
 } // namespace
 
 bool
@@ -75,71 +221,20 @@ applyConfigLine(const std::string &raw, SystemConfig &cfg)
     if (value.empty())
         throw std::runtime_error("empty value for " + key);
 
-    auto as_unsigned = [&] {
-        return static_cast<unsigned>(std::stoul(value));
-    };
-
-    if (key == "scheme") {
-        cfg.dram.scheme = parseScheme(value);
-    } else if (key == "policy") {
-        const std::string v = lower(value);
-        if (v == "relaxed") {
-            cfg.dram.policy = dram::PagePolicy::RelaxedClose;
-            cfg.dram.mapping = dram::AddrMapping::RowInterleaved;
-        } else if (v == "restricted") {
-            cfg.dram.useRestrictedClosePage();
-        } else if (v == "open" || v == "openpage") {
-            cfg.dram.policy = dram::PagePolicy::OpenPage;
-            cfg.dram.mapping = dram::AddrMapping::RowInterleaved;
-        } else {
-            throw std::runtime_error("unknown policy '" + value + "'");
+    for (const KeyHandler &h : kKeyHandlers) {
+        if (key == h.key) {
+            h.apply(value, cfg);
+            return true;
         }
-    } else if (key == "dbi") {
-        cfg.enableDbi = parseBool(value);
-    } else if (key == "channels") {
-        cfg.dram.channels = as_unsigned();
-    } else if (key == "ranks") {
-        cfg.dram.ranksPerChannel = as_unsigned();
-    } else if (key == "read_queue") {
-        cfg.dram.readQueueDepth = as_unsigned();
-    } else if (key == "write_queue") {
-        cfg.dram.writeQueueDepth = as_unsigned();
-    } else if (key == "write_high_watermark") {
-        cfg.dram.writeHighWatermark = as_unsigned();
-    } else if (key == "write_low_watermark") {
-        cfg.dram.writeLowWatermark = as_unsigned();
-    } else if (key == "row_hit_cap") {
-        cfg.dram.rowHitCap = as_unsigned();
-    } else if (key == "power_down") {
-        cfg.dram.powerDownEnabled = parseBool(value);
-    } else if (key == "checker") {
-        cfg.dram.enableChecker = parseBool(value);
-    } else if (key == "target_instructions") {
-        cfg.targetInstructions = std::stoull(value);
-    } else if (key == "warmup_ops") {
-        cfg.warmupOpsPerCore = std::stoull(value);
-    } else if (key == "max_cycles") {
-        cfg.maxDramCycles = std::stoull(value);
-    } else if (key == "l2_kb") {
-        cfg.caches.l2.sizeBytes = std::stoull(value) * 1024;
-    } else if (key == "l1_kb") {
-        cfg.caches.l1.sizeBytes = std::stoull(value) * 1024;
-    } else if (key == "trcd") {
-        cfg.dram.timing.tRcd = as_unsigned();
-    } else if (key == "trp") {
-        cfg.dram.timing.tRp = as_unsigned();
-    } else if (key == "tras") {
-        cfg.dram.timing.tRas = as_unsigned();
-    } else if (key == "trrd") {
-        cfg.dram.timing.tRrd = as_unsigned();
-    } else if (key == "tfaw") {
-        cfg.dram.timing.tFaw = as_unsigned();
-    } else if (key == "pra_mask_cycles") {
-        cfg.dram.timing.praMaskCycles = as_unsigned();
-    } else {
-        throw std::runtime_error("unknown config key '" + key + "'");
     }
-    return true;
+    std::string accepted;
+    for (const KeyHandler &h : kKeyHandlers) {
+        if (!accepted.empty())
+            accepted += ", ";
+        accepted += h.key;
+    }
+    throw std::runtime_error("unknown config key '" + key +
+                             "' (accepted keys: " + accepted + ")");
 }
 
 void
@@ -174,6 +269,8 @@ canonicalConfig(const SystemConfig &cfg)
 
     const dram::DramConfig &d = cfg.dram;
     os << "scheme = " << schemeName(d.scheme) << '\n'
+       << "scheduler = " << dram::schedulerKindName(d.scheduler) << '\n'
+       << "write_age_promotion = " << d.writeAgePromotionCycles << '\n'
        << "policy = " << static_cast<int>(d.policy) << '\n'
        << "mapping = " << static_cast<int>(d.mapping) << '\n'
        << "channels = " << d.channels << '\n'
@@ -198,7 +295,11 @@ canonicalConfig(const SystemConfig &cfg)
        // it must key the result cache. The enableAudit flag itself is
        // observational and deliberately excluded.
        << "audit_fault_widen_act = "
-       << static_cast<unsigned>(d.auditFaultWidenAct) << '\n';
+       << static_cast<unsigned>(d.auditFaultWidenAct) << '\n'
+       // The timing fault hooks change which commands issue when, so
+       // they are behavioural and must key the result cache too.
+       << "fault_ignore_tccd_l = " << d.faultIgnoreTccdL << '\n'
+       << "fault_ignore_twtr = " << d.faultIgnoreTwtr << '\n';
 
     const dram::Timing &t = d.timing;
     os << "trcd = " << t.tRcd << '\n'
@@ -272,6 +373,8 @@ dumpConfig(const SystemConfig &cfg)
 {
     std::ostringstream os;
     os << "scheme = " << schemeName(cfg.dram.scheme) << '\n'
+       << "scheduler = " << dram::schedulerKindName(cfg.dram.scheduler)
+       << '\n'
        << "policy = "
        << (cfg.dram.policy == dram::PagePolicy::RelaxedClose
                ? "relaxed"

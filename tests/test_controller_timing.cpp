@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Direct controller-level timing-gate tests: DDR4 tCCD_L bank-group
+ * spacing and the tWTR write-to-read turnaround, each verified twice —
+ * once legally (checker clean, spacing visible in the completion
+ * times), and once with the matching DramConfig fault hook disabling
+ * the controller's gate, which the independent TimingChecker must then
+ * flag (the same fault-injection discipline as test_auditor.cpp: a
+ * verifier that has never failed is itself unverified).
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "dram/address_mapping.h"
+#include "dram/controller.h"
+#include "dram/presets.h"
+
+namespace pra::dram {
+namespace {
+
+/** Single-channel controller on @p cfg with crafted addresses. */
+class TimingHarness
+{
+  public:
+    explicit TimingHarness(DramConfig config) : cfg(std::move(config))
+    {
+        cfg.channels = 1;
+        cfg.powerDownEnabled = false;
+        cfg.enableChecker = true;
+        mapper = std::make_unique<AddressMapper>(cfg);
+        mc = std::make_unique<MemoryController>(cfg, 0);
+    }
+
+    Request
+    make(std::uint32_t row, unsigned bank, unsigned col, bool is_write)
+    {
+        DecodedAddr loc;
+        loc.channel = 0;
+        loc.rank = 0;
+        loc.bank = bank;
+        loc.row = row;
+        loc.col = col;
+        Request req;
+        req.addr = mapper->encode(loc);
+        req.isWrite = is_write;
+        if (is_write)
+            req.mask = WordMask::full();
+        req.loc = loc;
+        req.tag = nextTag++;
+        return req;
+    }
+
+    void
+    runUntilCompletions(std::size_t n, Cycle limit = 5000)
+    {
+        const Cycle end = now + limit;
+        while (now < end && mc->completions().size() < n)
+            mc->tick(now++);
+    }
+
+    bool
+    checkerMentions(const std::string &needle) const
+    {
+        for (const auto &v : mc->checker()->violations()) {
+            if (v.find(needle) != std::string::npos)
+                return true;
+        }
+        return false;
+    }
+
+    DramConfig cfg;
+    std::unique_ptr<AddressMapper> mapper;
+    std::unique_ptr<MemoryController> mc;
+    Cycle now = 0;
+    std::uint64_t nextTag = 1;
+};
+
+/** Two same-group reads (banks 0 and 1, groups of 4) via one harness. */
+Cycle
+sameGroupReadGap(TimingHarness &h)
+{
+    h.mc->enqueue(h.make(7, 0, 0, false), 0);
+    h.mc->enqueue(h.make(7, 1, 0, false), 0);
+    h.runUntilCompletions(2);
+    EXPECT_EQ(h.mc->completions().size(), 2u);
+    const Cycle f0 = h.mc->completions()[0].finish;
+    const Cycle f1 = h.mc->completions()[1].finish;
+    return f1 > f0 ? f1 - f0 : f0 - f1;
+}
+
+TEST(ControllerTiming, Ddr4SameGroupColumnsSpacedByTccdL)
+{
+    TimingHarness h(ddr4_2400());
+    const Cycle gap = sameGroupReadGap(h);
+    EXPECT_GE(gap, h.cfg.timing.tCcdL);
+    EXPECT_TRUE(h.mc->checker()->clean())
+        << h.mc->checker()->violations()[0];
+}
+
+TEST(ControllerTiming, Ddr4TccdLFaultCaughtByChecker)
+{
+    // Fault hook: the arbiter treats same-group spacing as cross-group
+    // (tCCD_S), so the second read issues 4 instead of 6 cycles after
+    // the first. The checker's independent channel-level shadow must
+    // flag exactly the tCCD_L rule.
+    DramConfig cfg = ddr4_2400();
+    cfg.faultIgnoreTccdL = true;
+    TimingHarness h(cfg);
+    const Cycle gap = sameGroupReadGap(h);
+    EXPECT_LT(gap, h.cfg.timing.tCcdL);
+    EXPECT_FALSE(h.mc->checker()->clean());
+    EXPECT_TRUE(h.checkerMentions("tCCD_L"));
+}
+
+TEST(ControllerTiming, Ddr4CrossGroupColumnsAllowedAtTccdS)
+{
+    // Banks 0 and 4 are in different groups (4 groups of 4 banks), so
+    // plain tCCD_S spacing is legal and the checker must stay clean.
+    TimingHarness h(ddr4_2400());
+    h.mc->enqueue(h.make(7, 0, 0, false), 0);
+    h.mc->enqueue(h.make(7, 4, 0, false), 0);
+    h.runUntilCompletions(2);
+    ASSERT_EQ(h.mc->completions().size(), 2u);
+    const Cycle f0 = h.mc->completions()[0].finish;
+    const Cycle f1 = h.mc->completions()[1].finish;
+    const Cycle gap = f1 > f0 ? f1 - f0 : f0 - f1;
+    EXPECT_LT(gap, h.cfg.timing.tCcdL);
+    EXPECT_TRUE(h.mc->checker()->clean())
+        << h.mc->checker()->violations()[0];
+}
+
+/**
+ * Issue a write, let it reach the array, then enqueue a same-row read;
+ * returns the read's finish cycle. The read's only non-trivial gate is
+ * the tWTR turnaround (row hit, command/data bus otherwise free).
+ */
+Cycle
+writeThenReadFinish(TimingHarness &h)
+{
+    h.mc->enqueue(h.make(5, 0, 0, true), 0);
+    // Run until the write's data has been driven (WR issued).
+    while (h.now < 2000 && h.mc->energyCounts().writeLines == 0)
+        h.mc->tick(h.now++);
+    EXPECT_EQ(h.mc->energyCounts().writeLines, 1u);
+    h.mc->enqueue(h.make(5, 0, 1, false), h.now);
+    h.runUntilCompletions(1);
+    EXPECT_EQ(h.mc->completions().size(), 1u);
+    return h.mc->completions()[0].finish;
+}
+
+TEST(ControllerTiming, ReadAfterWriteHonorsTwtr)
+{
+    TimingHarness legal{DramConfig{}};
+    const Cycle legal_finish = writeThenReadFinish(legal);
+    EXPECT_TRUE(legal.mc->checker()->clean())
+        << legal.mc->checker()->violations()[0];
+
+    // Fault hook: the arbiter stops enforcing the tWTR read block, so
+    // the read issues as soon as the bank/bus allow — strictly earlier
+    // — and the checker's shadow tWTR rule must fire.
+    DramConfig cfg;
+    cfg.faultIgnoreTwtr = true;
+    TimingHarness faulty(cfg);
+    const Cycle faulty_finish = writeThenReadFinish(faulty);
+
+    EXPECT_LT(faulty_finish, legal_finish);
+    EXPECT_FALSE(faulty.mc->checker()->clean());
+    EXPECT_TRUE(faulty.checkerMentions("tWTR"));
+}
+
+} // namespace
+} // namespace pra::dram
