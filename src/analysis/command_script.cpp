@@ -1,0 +1,242 @@
+#include "analysis/command_script.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/bitmask.h"
+
+namespace pra::analysis {
+
+namespace {
+
+using dram::CheckedCommand;
+
+const char *
+kindName(CheckedCommand::Kind k)
+{
+    switch (k) {
+      case CheckedCommand::Kind::Activate: return "ACT";
+      case CheckedCommand::Kind::Read: return "RD";
+      case CheckedCommand::Kind::Write: return "WR";
+      case CheckedCommand::Kind::Precharge: return "PRE";
+      case CheckedCommand::Kind::Refresh: return "REF";
+    }
+    return "?";
+}
+
+/** Parse "key=value"; returns false when the key does not match. */
+bool
+keyValue(const std::string &tok, const char *key, std::string &value)
+{
+    const std::string prefix = std::string(key) + "=";
+    if (tok.rfind(prefix, 0) != 0)
+        return false;
+    value = tok.substr(prefix.size());
+    return true;
+}
+
+bool
+parseHex8(const std::string &s, std::uint8_t &out)
+{
+    unsigned v = 0;
+    if (std::sscanf(s.c_str(), "%x", &v) != 1 || v > 0xff)
+        return false;
+    out = static_cast<std::uint8_t>(v);
+    return true;
+}
+
+} // namespace
+
+dram::CheckedCommand
+ScriptCommand::checked() const
+{
+    return {kind, cycle, rank, bank, row, partial, weight, burst};
+}
+
+std::string
+CommandScript::serialize() const
+{
+    std::ostringstream os;
+    os << "# pra-modelcheck command script v1\n";
+    os << "# scheduler=" << scheduler << " fault=" << fault << "\n";
+    for (const ScriptCommand &c : commands) {
+        os << kindName(c.kind) << " " << c.cycle << " " << c.rank;
+        switch (c.kind) {
+          case CheckedCommand::Kind::Activate: {
+            char buf[64];
+            std::snprintf(buf, sizeof buf,
+                          " partial=%u weight=%.17g mask=%02x expect=%02x",
+                          c.partial ? 1u : 0u, c.weight, c.mask, c.expect);
+            os << " " << c.bank << " " << c.row << buf;
+            break;
+          }
+          case CheckedCommand::Kind::Read:
+          case CheckedCommand::Kind::Write: {
+            char buf[32];
+            std::snprintf(buf, sizeof buf, " burst=%u need=%02x", c.burst,
+                          c.need);
+            os << " " << c.bank << " " << c.row << buf;
+            break;
+          }
+          case CheckedCommand::Kind::Precharge:
+            os << " " << c.bank;
+            break;
+          case CheckedCommand::Kind::Refresh:
+            break;
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+bool
+CommandScript::parse(const std::string &text, CommandScript &out,
+                     std::string &error)
+{
+    out = CommandScript{};
+    std::istringstream is(text);
+    std::string line;
+    unsigned lineno = 0;
+    while (std::getline(is, line)) {
+        ++lineno;
+        // Metadata is carried in a comment so the format stays trivially
+        // line-oriented; recover it when present.
+        if (line.rfind("# scheduler=", 0) == 0) {
+            std::istringstream ls(line.substr(2));
+            std::string tok, value;
+            while (ls >> tok) {
+                if (keyValue(tok, "scheduler", value))
+                    out.scheduler = value;
+                else if (keyValue(tok, "fault", value))
+                    out.fault = value;
+            }
+            continue;
+        }
+        const auto hash = line.find('#');
+        if (hash != std::string::npos)
+            line = line.substr(0, hash);
+        std::istringstream ls(line);
+        std::string op;
+        if (!(ls >> op))
+            continue;   // Blank line.
+
+        ScriptCommand cmd;
+        auto fail = [&](const char *why) {
+            error = "line " + std::to_string(lineno) + ": " + why;
+            return false;
+        };
+        if (op == "ACT")
+            cmd.kind = CheckedCommand::Kind::Activate;
+        else if (op == "RD")
+            cmd.kind = CheckedCommand::Kind::Read;
+        else if (op == "WR")
+            cmd.kind = CheckedCommand::Kind::Write;
+        else if (op == "PRE")
+            cmd.kind = CheckedCommand::Kind::Precharge;
+        else if (op == "REF")
+            cmd.kind = CheckedCommand::Kind::Refresh;
+        else
+            return fail("unknown command");
+
+        if (!(ls >> cmd.cycle >> cmd.rank))
+            return fail("missing cycle/rank");
+        if (cmd.kind != CheckedCommand::Kind::Refresh && !(ls >> cmd.bank))
+            return fail("missing bank");
+        if (cmd.kind == CheckedCommand::Kind::Activate ||
+            cmd.kind == CheckedCommand::Kind::Read ||
+            cmd.kind == CheckedCommand::Kind::Write) {
+            if (!(ls >> cmd.row))
+                return fail("missing row");
+        }
+        std::string tok, value;
+        while (ls >> tok) {
+            if (keyValue(tok, "partial", value))
+                cmd.partial = value == "1";
+            else if (keyValue(tok, "weight", value))
+                cmd.weight = std::stod(value);
+            else if (keyValue(tok, "burst", value))
+                cmd.burst = static_cast<unsigned>(std::stoul(value));
+            else if (keyValue(tok, "mask", value)) {
+                if (!parseHex8(value, cmd.mask))
+                    return fail("bad mask");
+            } else if (keyValue(tok, "expect", value)) {
+                if (!parseHex8(value, cmd.expect))
+                    return fail("bad expect");
+            } else if (keyValue(tok, "need", value)) {
+                if (!parseHex8(value, cmd.need))
+                    return fail("bad need");
+            } else {
+                return fail("unknown attribute");
+            }
+        }
+        out.commands.push_back(cmd);
+    }
+    return true;
+}
+
+std::vector<std::string>
+replayScript(const CommandScript &script, const dram::DramConfig &cfg)
+{
+    dram::TimingChecker checker(cfg);
+    // Independent open-mask shadow: the TimingChecker validates command
+    // spacing, this validates the PRA mask algebra on top of it.
+    std::vector<WordMask> shadow(cfg.ranksPerChannel * cfg.banksPerRank,
+                                 WordMask::none());
+    auto at = [&](const ScriptCommand &c) -> WordMask & {
+        return shadow[c.rank * cfg.banksPerRank + c.bank];
+    };
+
+    std::vector<std::string> violations;
+    auto fail = [&](const ScriptCommand &c, const std::string &why) {
+        violations.push_back("cycle " + std::to_string(c.cycle) + " rank " +
+                             std::to_string(c.rank) + " bank " +
+                             std::to_string(c.bank) + ": " + why);
+    };
+    auto hex = [](std::uint8_t v) {
+        char buf[8];
+        std::snprintf(buf, sizeof buf, "0x%02x", v);
+        return std::string(buf);
+    };
+
+    for (const ScriptCommand &c : script.commands) {
+        if (c.rank >= cfg.ranksPerChannel || c.bank >= cfg.banksPerRank) {
+            fail(c, "rank/bank outside configured geometry");
+            continue;
+        }
+        checker.observe(c.checked());
+        switch (c.kind) {
+          case CheckedCommand::Kind::Activate:
+            if (c.mask != c.expect) {
+                fail(c, "ACT opens mask " + hex(c.mask) +
+                            " but the scheme-derived mask is " +
+                            hex(c.expect));
+            }
+            at(c) = WordMask{c.mask};
+            break;
+          case CheckedCommand::Kind::Read:
+            // Reads always consume the full row (PRA's asymmetric design
+            // point): a read served by a partially open row is a protocol
+            // violation even if the recorded need were narrower.
+            if (!at(c).isFull())
+                fail(c, "READ from a partially open row (mask " +
+                            hex(at(c).bits()) + ")");
+            [[fallthrough]];
+          case CheckedCommand::Kind::Write:
+            if (!at(c).covers(WordMask{c.need})) {
+                fail(c, "column access needs " + hex(c.need) +
+                            " outside open mask " + hex(at(c).bits()));
+            }
+            break;
+          case CheckedCommand::Kind::Precharge:
+            at(c) = WordMask::none();
+            break;
+          case CheckedCommand::Kind::Refresh:
+            break;
+        }
+    }
+    for (const std::string &v : checker.violations())
+        violations.push_back(v);
+    return violations;
+}
+
+} // namespace pra::analysis

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Replayable DRAM command scripts.
+ *
+ * A command script is the serialized form of one explored command path:
+ * every ACT/RD/WR/PRE/REF the model checker (or a hand-written
+ * regression case) issued, with enough annotation to re-validate the
+ * path from scratch — the activation's issued open mask next to the
+ * scheme-derived mask it *should* have opened, and each column
+ * command's request footprint. Replaying a script feeds the commands to
+ * a fresh TimingChecker and an independent open-mask shadow, so a
+ * counterexample found by exploration becomes a permanent, self-checking
+ * regression artifact (tests/test_modelcheck_regressions.cpp).
+ *
+ * Text format (one command per line, '#' starts a comment):
+ *
+ *   ACT <cycle> <rank> <bank> <row> partial=<0|1> weight=<float>
+ *       mask=<hex> expect=<hex>
+ *   RD  <cycle> <rank> <bank> <row> burst=<n> need=<hex>
+ *   WR  <cycle> <rank> <bank> <row> burst=<n> need=<hex>
+ *   PRE <cycle> <rank> <bank>
+ *   REF <cycle> <rank>
+ */
+#ifndef PRA_ANALYSIS_COMMAND_SCRIPT_H
+#define PRA_ANALYSIS_COMMAND_SCRIPT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dram/checker.h"
+#include "dram/config.h"
+
+namespace pra::analysis {
+
+/** One serialized DRAM command with its validation annotations. */
+struct ScriptCommand
+{
+    dram::CheckedCommand::Kind kind = dram::CheckedCommand::Kind::Activate;
+    Cycle cycle = 0;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint32_t row = 0;
+    bool partial = false;        //!< ACT: PRA mask delivery cycle spent.
+    double weight = 1.0;         //!< ACT: tFAW/tRRD charge.
+    unsigned burst = 0;          //!< RD/WR: data-bus occupancy.
+    std::uint8_t mask = 0xff;    //!< ACT: MAT groups actually opened.
+    std::uint8_t expect = 0xff;  //!< ACT: scheme-derived expected mask.
+    std::uint8_t need = 0xff;    //!< RD/WR: request word footprint.
+
+    /** The checker-facing view of this command. */
+    dram::CheckedCommand checked() const;
+};
+
+/** A replayable command path plus its provenance metadata. */
+struct CommandScript
+{
+    std::vector<ScriptCommand> commands;
+    std::string scheduler = "frfcfs";  //!< Policy the path was found under.
+    std::string fault = "none";        //!< Fault hook active when found.
+
+    /** Render as the text format above (parse() round-trips it). */
+    std::string serialize() const;
+
+    /**
+     * Parse the text format. Returns false and sets @p error on the
+     * first malformed line; metadata lines are optional.
+     */
+    static bool parse(const std::string &text, CommandScript &out,
+                      std::string &error);
+};
+
+/**
+ * Replay @p script against a fresh TimingChecker built from @p cfg plus
+ * an independent per-bank open-mask shadow, returning every violation:
+ * all timing-rule breaches, ACT masks that differ from their
+ * scheme-derived expectation, and column accesses outside the open
+ * (possibly partial) row mask. Empty result == clean path.
+ */
+std::vector<std::string> replayScript(const CommandScript &script,
+                                      const dram::DramConfig &cfg);
+
+} // namespace pra::analysis
+
+#endif // PRA_ANALYSIS_COMMAND_SCRIPT_H

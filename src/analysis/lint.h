@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Repo-specific determinism and configuration lint (DESIGN.md §10).
+ *
+ * Four rules, each encoding an invariant this repository depends on but
+ * a generic linter cannot know:
+ *
+ *  - entropy: no ambient randomness or wall-clock access outside
+ *    common/rng.h — the simulator must be bit-reproducible, so all
+ *    randomness flows through the seeded PRNG and all time is simulated
+ *    Cycle time (the compiled port of tools/check_determinism.sh);
+ *  - unordered-iteration: no iteration over std::unordered_map/
+ *    unordered_set in result-affecting code (src/dram, src/sim,
+ *    src/cache) — hash-order iteration silently varies across library
+ *    versions, defeating determinism. Suppress a vetted site (e.g. keys
+ *    sorted before use) with `// pra-lint: unordered-ok`;
+ *  - config-coverage: every DramConfig and SystemConfig field must
+ *    appear in canonicalConfig() (the result-cache key — a field
+ *    missing there lets two behaviourally different configs share a
+ *    cache entry) and in the applyConfigLine() handler region (so
+ *    config files can set it). Fields that cannot affect simulated
+ *    results opt out of the canonical key with
+ *    `// pra-lint: observational`;
+ *  - energy-coverage: every power::EnergyCounts member must be
+ *    consumed by the PowerModel aggregation and the auditor's energy
+ *    conservation check — an unconsumed counter means silently dropped
+ *    energy.
+ *
+ * The engine operates on in-memory sources so tests can drill it with
+ * synthetic inputs (tests/test_pra_lint.cpp); tools/pra_lint.cpp feeds
+ * it the real tree.
+ */
+#ifndef PRA_ANALYSIS_LINT_H
+#define PRA_ANALYSIS_LINT_H
+
+#include <string>
+#include <vector>
+
+namespace pra::analysis {
+
+/** One source file handed to the linter. */
+struct SourceFile
+{
+    std::string path;  //!< Repo-relative path (rule scoping keys on it).
+    std::string text;
+};
+
+/** One lint finding. */
+struct LintIssue
+{
+    std::string file;
+    unsigned line = 0;   //!< 1-based; 0 for whole-file findings.
+    std::string rule;    //!< entropy, unordered-iteration, ...
+    std::string message;
+
+    std::string format() const;
+};
+
+/** Run every rule over @p files; empty result == clean. */
+std::vector<LintIssue> lintSources(const std::vector<SourceFile> &files);
+
+// --- Parsing helpers (exposed for the lint's own tests) -----------------
+
+/**
+ * Names of the data members of struct/class @p struct_name declared in
+ * @p text (brace-depth-1 declarations only; member functions and
+ * comments are skipped).
+ */
+std::vector<std::string> structFields(const std::string &text,
+                                      const std::string &struct_name);
+
+/**
+ * Body (between the outermost braces) of the function named
+ * @p function_name in @p text; empty when not found.
+ */
+std::string functionBody(const std::string &text,
+                         const std::string &function_name);
+
+/** True when @p identifier occurs word-bounded in @p text. */
+bool containsIdentifier(const std::string &text,
+                        const std::string &identifier);
+
+} // namespace pra::analysis
+
+#endif // PRA_ANALYSIS_LINT_H

@@ -1,0 +1,814 @@
+#include "analysis/model_checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <set>
+#include <unordered_set>
+#include <utility>
+
+#include "common/hash.h"
+#include "dram/bank_engine.h"
+#include "dram/bus_arbiter.h"
+#include "dram/checker.h"
+#include "dram/maintenance_engine.h"
+#include "dram/request.h"
+#include "dram/sched/scheduler_policy.h"
+
+namespace pra::analysis {
+
+namespace {
+
+using dram::BankEngine;
+using dram::BusArbiter;
+using dram::CheckedCommand;
+using dram::DramConfig;
+using dram::MaintenanceEngine;
+using dram::Request;
+using dram::TimingChecker;
+
+/**
+ * Timing-register deltas are saturated at this horizon when hashing
+ * (see Bank::fingerprint). Anything further out than the default depth
+ * budget cannot fire within one exploration, so states differing only
+ * beyond it merge. Dedup is a pruning heuristic: merging never invents
+ * a violation, it can only skip re-exploring an already-covered future.
+ */
+constexpr Cycle kFingerprintHorizon = 64;
+
+/** Candidate-enumeration-only hooks: the explorer issues commands on
+ *  its own copied state, so the engine's issue callbacks are unused. */
+class NullHooks final : public dram::MaintenanceHooks
+{
+  public:
+    void issuePrecharge(unsigned, unsigned, Cycle) override {}
+    void issueAutoPrecharge(unsigned, unsigned, Cycle) override {}
+    void issueRefresh(unsigned, Cycle) override {}
+};
+
+NullHooks g_nullHooks;
+
+/** One fully copyable point of the explored product state space. */
+struct ModelState
+{
+    Cycle now = 0;
+    BankEngine banks;
+    BusArbiter bus;
+    std::deque<Request> readQ;
+    std::deque<Request> writeQ;
+    std::size_t nextArrival = 0;
+    TimingChecker checker;
+
+    ModelState(const DramConfig &cfg)
+        : banks(cfg), bus(cfg), checker(cfg)
+    {
+    }
+};
+
+/** One enumerated legal command (or letting the cycle pass). */
+struct Choice
+{
+    enum class Kind
+    {
+        Idle,
+        Refresh,
+        Precharge,
+        Activate,
+        Column,
+    };
+
+    Kind kind = Kind::Idle;
+    bool isWrite = false;   //!< Activate/Column: which queue.
+    std::size_t index = 0;  //!< Activate/Column: queue position.
+    unsigned rank = 0;      //!< Refresh/Precharge target.
+    unsigned bank = 0;      //!< Precharge target.
+};
+
+class Explorer
+{
+  public:
+    Explorer(const ModelChecker::Options &opts)
+        : opts_(opts), cfg_(ModelChecker::modelConfig(opts.fault)),
+          traits_(cfg_.traits()),
+          workload_(ModelChecker::defaultWorkload())
+    {
+        cfg_.scheduler = opts.scheduler;
+        sched_ = dram::makeSchedulerPolicy(cfg_);
+    }
+
+    ModelCheckResult run();
+
+  private:
+    // --- Workload admission (mirrors MemoryController::enqueue) ----------
+
+    WordMask
+    needOf(const Request &req) const
+    {
+        if (!req.isWrite || !traits_.partialWrites)
+            return WordMask::full();
+        return req.mask.empty() ? WordMask::full() : req.mask;
+    }
+
+    void
+    enqueueArrivals(ModelState &s) const
+    {
+        while (s.nextArrival < workload_.size() &&
+               workload_[s.nextArrival].arrival <= s.now) {
+            const ModelRequest &m = workload_[s.nextArrival++];
+            Request req;
+            req.addr = syntheticAddr(m);
+            req.isWrite = m.isWrite;
+            req.mask = m.isWrite ? WordMask{m.mask} : WordMask::full();
+            req.arrival = s.now;
+            req.loc.channel = 0;
+            req.loc.rank = m.rank;
+            req.loc.bank = m.bank;
+            req.loc.row = m.row;
+            req.loc.col = m.col;
+            if (req.isWrite) {
+                // Write combining with a queued same-line write.
+                bool combined = false;
+                for (Request &w : s.writeQ) {
+                    if (w.addr == req.addr) {
+                        w.mask |= req.mask;
+                        w.need = needOf(w);
+                        w.probeEpoch = Request::kProbeInvalid;
+                        combined = true;
+                        break;
+                    }
+                }
+                if (combined)
+                    continue;
+                req.need = needOf(req);
+                s.writeQ.push_back(req);
+                s.banks.onEnqueue(s.writeQ.back());
+            } else {
+                // Read forwarding: served from the write queue, never
+                // reaches DRAM.
+                bool forwarded = false;
+                for (const Request &w : s.writeQ)
+                    forwarded = forwarded || w.addr == req.addr;
+                if (forwarded)
+                    continue;
+                req.need = WordMask::full();
+                s.readQ.push_back(req);
+                s.banks.onEnqueue(s.readQ.back());
+            }
+        }
+    }
+
+    Addr
+    syntheticAddr(const ModelRequest &m) const
+    {
+        const Addr lines =
+            ((static_cast<Addr>(m.row) * cfg_.banksPerRank + m.bank) *
+                 cfg_.ranksPerChannel +
+             m.rank) *
+                cfg_.linesPerRow +
+            m.col;
+        return lines * 64;
+    }
+
+    /** OR of queued same-row write masks (mergedWriteMask, uncached). */
+    WordMask
+    mergedWriteMask(const ModelState &s, const Request &req) const
+    {
+        WordMask merged = WordMask::none();
+        for (const Request &w : s.writeQ) {
+            if (!w.loc.sameRow(req.loc))
+                continue;
+            merged |= w.mask;
+            if (!cfg_.mergeWriteMasks)
+                break;
+        }
+        return merged.empty() ? WordMask::full() : merged;
+    }
+
+    // --- Command application (mirrors the controller's issue paths) ------
+
+    /** Feed @p cmd to the path checker; non-empty on a rule breach. */
+    std::string
+    observe(ModelState &s, const CheckedCommand &cmd)
+    {
+        s.checker.observe(cmd);
+        if (!s.checker.clean())
+            return s.checker.violations().front();
+        return {};
+    }
+
+    std::string
+    applyActivate(ModelState &s, bool is_write, std::size_t idx,
+                  std::vector<ScriptCommand> &path)
+    {
+        std::deque<Request> &q = is_write ? s.writeQ : s.readQ;
+        Request &req = q[idx];
+        dram::Rank &rank = s.banks.rank(req.loc.rank);
+        dram::Bank &bank = rank.bank(req.loc.bank);
+
+        const WordMask dirty =
+            is_write ? mergedWriteMask(s, req) : WordMask::full();
+        unsigned gran = traits_.actGranularity(is_write, dirty);
+        WordMask open_mask = traits_.actMask(is_write, dirty);
+        const bool partial = traits_.needsMaskCycle(is_write, dirty);
+        if (partial && gran < cfg_.minActGranularity)
+            gran = std::min(cfg_.minActGranularity, kMatGroups);
+        const double weight = cfg_.weightedActWindow
+                                  ? traits_.actWeight(gran, cfg_.power)
+                                  : 1.0;
+        // The scheme-derived mask is the invariant; the fault hook (when
+        // armed) widens the issued mask behind its back, exactly like the
+        // controller's issueActivate does.
+        const WordMask expected = open_mask;
+        if (cfg_.auditFaultWidenAct != 0)
+            open_mask |= WordMask{cfg_.auditFaultWidenAct};
+
+        ScriptCommand sc;
+        sc.kind = CheckedCommand::Kind::Activate;
+        sc.cycle = s.now;
+        sc.rank = req.loc.rank;
+        sc.bank = req.loc.bank;
+        sc.row = req.loc.row;
+        sc.partial = partial;
+        sc.weight = weight;
+        sc.mask = open_mask.bits();
+        sc.expect = expected.bits();
+        path.push_back(sc);
+
+        std::string v = observe(s, sc.checked());
+        if (v.empty() && open_mask != expected) {
+            v = "cycle " + std::to_string(s.now) +
+                ": ACT opens mask beyond the scheme-derived union of "
+                "served dirty MAT groups";
+        }
+        bank.activate(s.now, req.loc.row, open_mask, partial);
+        rank.recordActivation(s.now, weight);
+        s.bus.holdCmdBus(s.now,
+                         partial ? cfg_.timing.praMaskCycles : 0u);
+        s.banks.recountOpenRowMatches(req.loc.rank, req.loc.bank, s.readQ,
+                                      s.writeQ);
+        return v;
+    }
+
+    std::string
+    applyColumn(ModelState &s, bool is_write, std::size_t idx,
+                std::vector<ScriptCommand> &path)
+    {
+        std::deque<Request> &q = is_write ? s.writeQ : s.readQ;
+        const Request req = q[idx];
+        q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
+
+        dram::Bank &bank = s.banks.bank(req.loc.rank, req.loc.bank);
+        const unsigned burst =
+            traits_.burstCycles(cfg_.timing.burstCycles);
+        const WordMask open_mask = bank.rowBuffer().openMask();
+
+        ScriptCommand sc;
+        sc.kind = is_write ? CheckedCommand::Kind::Write
+                           : CheckedCommand::Kind::Read;
+        sc.cycle = s.now;
+        sc.rank = req.loc.rank;
+        sc.bank = req.loc.bank;
+        sc.row = req.loc.row;
+        sc.burst = burst;
+        sc.need = req.need.bits();
+        path.push_back(sc);
+
+        std::string v = observe(s, sc.checked());
+        // PRA mask invariants, independent of the probe that admitted
+        // the access: reads consume the full row, and any column access
+        // must fall inside the open (possibly partial) mask.
+        if (v.empty() && !is_write && !open_mask.isFull()) {
+            v = "cycle " + std::to_string(s.now) +
+                ": READ served by a partially open row";
+        }
+        if (v.empty() && !open_mask.covers(req.need)) {
+            v = "cycle " + std::to_string(s.now) +
+                ": column access outside the open PRA mask";
+        }
+
+        s.bus.noteColumnIssued(req.loc.bank, s.now);
+        s.bus.holdCmdBus(s.now);
+        bank.recordHit();
+        if (cfg_.policy == dram::PagePolicy::RestrictedClose)
+            bank.setAutoPrecharge();
+        if (is_write) {
+            bank.write(s.now, burst);
+            s.bus.reserveDataBus(s.now + cfg_.timing.wl, burst,
+                                 req.loc.rank);
+            s.bus.noteWriteIssued(s.now, burst);
+        } else {
+            bank.read(s.now, burst);
+            s.bus.reserveDataBus(s.now + cfg_.timing.rl(), burst,
+                                 req.loc.rank);
+        }
+        s.banks.onDequeue(req);
+        return v;
+    }
+
+    std::string
+    applyPrecharge(ModelState &s, unsigned r, unsigned b,
+                   std::vector<ScriptCommand> &path, bool auto_pre)
+    {
+        ScriptCommand sc;
+        sc.kind = CheckedCommand::Kind::Precharge;
+        sc.cycle = s.now;
+        sc.rank = r;
+        sc.bank = b;
+        path.push_back(sc);
+
+        const std::string v = observe(s, sc.checked());
+        s.banks.bank(r, b).precharge(s.now);
+        if (!auto_pre)
+            s.bus.holdCmdBus(s.now);
+        s.banks.onPrecharge(r, b);
+        return v;
+    }
+
+    std::string
+    applyRefresh(ModelState &s, unsigned r,
+                 std::vector<ScriptCommand> &path)
+    {
+        ScriptCommand sc;
+        sc.kind = CheckedCommand::Kind::Refresh;
+        sc.cycle = s.now;
+        sc.rank = r;
+        path.push_back(sc);
+
+        const std::string v = observe(s, sc.checked());
+        s.banks.rank(r).refresh(s.now);
+        s.bus.holdCmdBus(s.now);
+        return v;
+    }
+
+    /** Retire every ready auto-precharge (forced, not a choice). */
+    std::string
+    applyAutoPrecharges(ModelState &s, std::vector<ScriptCommand> &path)
+    {
+        MaintenanceEngine maint(cfg_, s.banks, g_nullHooks);
+        for (const auto &[r, b] : maint.autoPrechargeCandidates(s.now)) {
+            const std::string v = applyPrecharge(s, r, b, path, true);
+            if (!v.empty())
+                return v;
+        }
+        return {};
+    }
+
+    /**
+     * Take @p c on @p s, then advance one cycle and run the forced
+     * per-cycle steps (arrivals, auto-precharge retirement). Non-empty
+     * return = first violation on this edge.
+     */
+    std::string
+    applyEdge(ModelState &s, const Choice &c,
+              std::vector<ScriptCommand> &path)
+    {
+        std::string v;
+        switch (c.kind) {
+          case Choice::Kind::Idle:
+            break;
+          case Choice::Kind::Refresh:
+            v = applyRefresh(s, c.rank, path);
+            break;
+          case Choice::Kind::Precharge:
+            v = applyPrecharge(s, c.rank, c.bank, path, false);
+            break;
+          case Choice::Kind::Activate:
+            v = applyActivate(s, c.isWrite, c.index, path);
+            break;
+          case Choice::Kind::Column:
+            v = applyColumn(s, c.isWrite, c.index, path);
+            break;
+        }
+        if (!v.empty())
+            return v;
+        s.now += 1;
+        enqueueArrivals(s);
+        return applyAutoPrecharges(s, path);
+    }
+
+    // --- Choice enumeration (mirrors the controller's tick gates) --------
+
+    void
+    enumerateColumns(ModelState &s, bool is_write,
+                     std::vector<Choice> &out,
+                     std::set<Addr> &seen) const
+    {
+        if (!is_write && s.bus.readBlocked(s.now))
+            return;
+        std::deque<Request> &q = is_write ? s.writeQ : s.readQ;
+        const std::size_t window = sched_->columnWindow(q.size());
+        for (std::size_t i = 0; i < window; ++i) {
+            Request &req = q[i];
+            const dram::Bank &bank =
+                s.banks.bank(req.loc.rank, req.loc.bank);
+            if (s.banks.probe(req) != RowProbe::Hit)
+                continue;
+            if (bank.autoPrechargePending())
+                continue;
+            if (cfg_.policy == dram::PagePolicy::RestrictedClose &&
+                !req.classified) {
+                continue;
+            }
+            const bool column_ok = is_write ? bank.canWrite(s.now)
+                                            : bank.canRead(s.now);
+            if (!column_ok)
+                continue;
+            if (!s.bus.columnGateOk(req.loc.bank, s.now))
+                continue;
+            const Cycle data_start =
+                s.now +
+                (is_write ? cfg_.timing.wl : cfg_.timing.rl());
+            if (!s.bus.dataBusFree(data_start, req.loc.rank))
+                continue;
+            if (cfg_.policy == dram::PagePolicy::RelaxedClose &&
+                bank.hitCount() >= cfg_.rowHitCap) {
+                continue;
+            }
+            // Duplicate-address reads are interchangeable: issuing
+            // either yields the same successor state.
+            if (!seen.insert(req.addr).second)
+                continue;
+            Choice c;
+            c.kind = Choice::Kind::Column;
+            c.isWrite = is_write;
+            c.index = i;
+            out.push_back(c);
+        }
+    }
+
+    void
+    enumeratePrepares(ModelState &s, bool is_write,
+                      std::vector<Choice> &out,
+                      std::set<std::uint64_t> &actSeen,
+                      std::set<std::pair<unsigned, unsigned>> &preSeen)
+        const
+    {
+        std::deque<Request> &q = is_write ? s.writeQ : s.readQ;
+        const std::size_t window = sched_->prepareWindow(q.size());
+        for (std::size_t i = 0; i < window; ++i) {
+            Request &req = q[i];
+            const dram::Rank &rank = s.banks.rank(req.loc.rank);
+            const dram::Bank &bank = rank.bank(req.loc.bank);
+            const RowProbe probe = s.banks.probe(req);
+
+            switch (probe) {
+              case RowProbe::Closed: {
+                if (rank.refreshDue(s.now) || rank.refreshing(s.now))
+                    break;
+                if (!bank.canActivate(s.now))
+                    break;
+                const WordMask dirty = is_write
+                                           ? mergedWriteMask(s, req)
+                                           : WordMask::full();
+                unsigned gran =
+                    traits_.actGranularity(is_write, dirty);
+                if (traits_.needsMaskCycle(is_write, dirty) &&
+                    gran < cfg_.minActGranularity) {
+                    gran = std::min(cfg_.minActGranularity, kMatGroups);
+                }
+                const double weight =
+                    cfg_.weightedActWindow
+                        ? traits_.actWeight(gran, cfg_.power)
+                        : 1.0;
+                if (!rank.canActivate(s.now, weight))
+                    break;
+                // Two requests producing the same activation (same bank,
+                // row and mask) yield identical successors.
+                const std::uint64_t key =
+                    (static_cast<std::uint64_t>(req.loc.rank) << 48) |
+                    (static_cast<std::uint64_t>(req.loc.bank) << 40) |
+                    (static_cast<std::uint64_t>(req.loc.row) << 8) |
+                    traits_.actMask(is_write, dirty).bits();
+                if (!actSeen.insert(key).second)
+                    break;
+                Choice c;
+                c.kind = Choice::Kind::Activate;
+                c.isWrite = is_write;
+                c.index = i;
+                out.push_back(c);
+                break;
+              }
+              case RowProbe::Conflict:
+              case RowProbe::FalseHit: {
+                const bool still_useful =
+                    probe == RowProbe::Conflict &&
+                    cfg_.policy == dram::PagePolicy::RelaxedClose &&
+                    s.banks.openRowMatches(req.loc.rank, req.loc.bank) >
+                        0 &&
+                    bank.hitCount() < cfg_.rowHitCap;
+                if (!still_useful && bank.canPrecharge(s.now) &&
+                    preSeen.insert({req.loc.rank, req.loc.bank})
+                        .second) {
+                    Choice c;
+                    c.kind = Choice::Kind::Precharge;
+                    c.rank = req.loc.rank;
+                    c.bank = req.loc.bank;
+                    out.push_back(c);
+                }
+                break;
+              }
+              case RowProbe::Hit:
+                if (cfg_.policy == dram::PagePolicy::RelaxedClose &&
+                    bank.hitCount() >= cfg_.rowHitCap &&
+                    bank.canPrecharge(s.now) &&
+                    preSeen.insert({req.loc.rank, req.loc.bank})
+                        .second) {
+                    Choice c;
+                    c.kind = Choice::Kind::Precharge;
+                    c.rank = req.loc.rank;
+                    c.bank = req.loc.bank;
+                    out.push_back(c);
+                }
+                break;
+            }
+        }
+    }
+
+    std::vector<Choice>
+    enumerateChoices(ModelState &s) const
+    {
+        std::vector<Choice> out;
+        out.push_back(Choice{});   // Idle: let the cycle pass.
+        if (s.bus.cmdBusBusy(s.now))
+            return out;   // The controller's early-out: nothing issues.
+
+        MaintenanceEngine maint(cfg_, s.banks, g_nullHooks);
+        for (unsigned r : maint.refreshCandidates(s.now)) {
+            Choice c;
+            c.kind = Choice::Kind::Refresh;
+            c.rank = r;
+            out.push_back(c);
+        }
+
+        std::set<Addr> colSeen;
+        enumerateColumns(s, false, out, colSeen);
+        enumerateColumns(s, true, out, colSeen);
+
+        std::set<std::uint64_t> actSeen;
+        std::set<std::pair<unsigned, unsigned>> preSeen;
+        enumeratePrepares(s, false, out, actSeen, preSeen);
+        enumeratePrepares(s, true, out, actSeen, preSeen);
+
+        for (const auto &[r, b] : maint.closeCandidates(s.now)) {
+            if (preSeen.insert({r, b}).second) {
+                Choice c;
+                c.kind = Choice::Kind::Precharge;
+                c.rank = r;
+                c.bank = b;
+                out.push_back(c);
+            }
+        }
+        return out;
+    }
+
+    // --- State dedup ------------------------------------------------------
+
+    std::uint64_t
+    fingerprint(const ModelState &s) const
+    {
+        Fnv1a h;
+        s.banks.fingerprint(h, s.now, kFingerprintHorizon);
+        s.bus.fingerprint(h, s.now, kFingerprintHorizon);
+        auto addQueue = [&](const std::deque<Request> &q) {
+            h.add(q.size());
+            for (const Request &r : q) {
+                h.add(r.loc.rank);
+                h.add(r.loc.bank);
+                h.add(r.loc.row);
+                h.add(r.loc.col);
+                h.add(r.isWrite);
+                h.add(r.mask.bits());
+                h.add(r.need.bits());
+            }
+        };
+        addQueue(s.readQ);
+        addQueue(s.writeQ);
+        h.add(s.nextArrival);
+        if (s.nextArrival < workload_.size()) {
+            const Cycle a = workload_[s.nextArrival].arrival;
+            h.add(a <= s.now ? Cycle{0}
+                             : std::min(a - s.now, kFingerprintHorizon));
+        }
+        return h.value();
+    }
+
+    ModelChecker::Options opts_;
+    DramConfig cfg_;
+    SchemeTraits traits_;
+    std::vector<ModelRequest> workload_;
+    std::unique_ptr<dram::SchedulerPolicy> sched_;
+};
+
+ModelCheckResult
+Explorer::run()
+{
+    ModelCheckResult res;
+
+    struct Node
+    {
+        ModelState state;
+        std::vector<Choice> choices;
+        std::size_t next = 0;
+        std::size_t restoreLen = 0;   //!< Path length before this node.
+    };
+
+    std::vector<ScriptCommand> path;
+    std::vector<Node> stack;
+    std::unordered_set<std::uint64_t> visited;
+
+    auto finishScript = [&](CommandScript &out) {
+        out.commands = path;
+        out.scheduler = sched_->name();
+        out.fault = faultName(opts_.fault);
+    };
+    auto noteDepth = [&](const ModelState &s) {
+        res.deepestCycle = std::max(res.deepestCycle, s.now);
+        if (path.size() > res.deepestPath.commands.size())
+            finishScript(res.deepestPath);
+    };
+
+    ModelState root(cfg_);
+    enqueueArrivals(root);
+    {
+        const std::string v = applyAutoPrecharges(root, path);
+        if (!v.empty()) {
+            res.violationFound = true;
+            res.violation = v;
+            finishScript(res.counterexample);
+            return res;
+        }
+    }
+    visited.insert(fingerprint(root));
+    res.statesExplored = 1;
+    noteDepth(root);
+    {
+        std::vector<Choice> choices = enumerateChoices(root);
+        stack.push_back({std::move(root), std::move(choices), 0, 0});
+    }
+
+    while (!stack.empty()) {
+        Node &top = stack.back();
+        if (top.next >= top.choices.size()) {
+            path.resize(top.restoreLen);
+            stack.pop_back();
+            continue;
+        }
+        const Choice choice = top.choices[top.next++];
+        const std::size_t prev_len = path.size();
+        ModelState child = top.state;   // Copy: explore independently.
+        const std::string v = applyEdge(child, choice, path);
+        if (choice.kind != Choice::Kind::Idle)
+            ++res.commandsIssued;
+        if (!v.empty()) {
+            res.violationFound = true;
+            res.violation = v;
+            finishScript(res.counterexample);
+            return res;
+        }
+        if (child.now > opts_.depth) {
+            noteDepth(child);
+            path.resize(prev_len);
+            continue;
+        }
+        if (!visited.insert(fingerprint(child)).second) {
+            ++res.statesDeduped;
+            path.resize(prev_len);
+            continue;
+        }
+        ++res.statesExplored;
+        noteDepth(child);
+        if (res.statesExplored >= opts_.maxStates) {
+            res.budgetExhausted = true;
+            break;
+        }
+        std::vector<Choice> choices = enumerateChoices(child);
+        stack.push_back(
+            {std::move(child), std::move(choices), 0, prev_len});
+    }
+    return res;
+}
+
+} // namespace
+
+const char *
+faultName(Fault f)
+{
+    switch (f) {
+      case Fault::None: return "none";
+      case Fault::WidenAct: return "widen_act";
+      case Fault::IgnoreTccdL: return "ignore_tccd_l";
+      case Fault::IgnoreTwtr: return "ignore_twtr";
+    }
+    return "none";
+}
+
+bool
+parseFault(const std::string &name, Fault &out)
+{
+    if (name == "none")
+        out = Fault::None;
+    else if (name == "widen_act")
+        out = Fault::WidenAct;
+    else if (name == "ignore_tccd_l")
+        out = Fault::IgnoreTccdL;
+    else if (name == "ignore_twtr")
+        out = Fault::IgnoreTwtr;
+    else
+        return false;
+    return true;
+}
+
+ModelChecker::ModelChecker(const Options &opts) : opts_(opts) {}
+
+ModelCheckResult
+ModelChecker::run()
+{
+    Explorer explorer(opts_);
+    return explorer.run();
+}
+
+dram::DramConfig
+ModelChecker::modelConfig(Fault fault)
+{
+    DramConfig cfg;
+    cfg.channels = 1;
+    cfg.ranksPerChannel = 2;
+    cfg.banksPerRank = 4;
+    cfg.rowsPerBank = 16;
+    cfg.linesPerRow = 4;
+    cfg.policy = dram::PagePolicy::RelaxedClose;
+    cfg.scheduler = dram::SchedulerKind::FrFcfs;
+    cfg.readQueueDepth = 8;
+    cfg.writeQueueDepth = 8;
+    cfg.writeHighWatermark = 6;
+    cfg.writeLowWatermark = 2;
+    cfg.rowHitCap = 2;
+    cfg.powerDownEnabled = false;
+    cfg.enableChecker = false;   // The explorer owns its own checker.
+    cfg.scheme = Scheme::Pra;
+
+    // Reduced timing: every rule (refresh included) fires inside the
+    // default depth budget; tCCD_L > tCCD so the bank-group rule is
+    // observable; tRC = tRAS + tRP stays self-consistent.
+    dram::Timing &t = cfg.timing;
+    t.tRcd = 3;
+    t.tRp = 3;
+    t.tCas = 3;
+    t.tRas = 6;
+    t.tWr = 3;
+    t.tCcd = 2;
+    t.tRrd = 2;
+    t.tFaw = 8;
+    t.tRc = 9;
+    t.wl = 2;
+    t.tRtp = 2;
+    t.tWtr = 3;
+    t.tRfc = 6;
+    t.tRefi = 30;
+    t.tXp = 2;
+    t.tRtrs = 1;
+    t.burstCycles = 2;
+    t.bankGroups = 2;
+    t.tCcdL = 4;
+    t.praMaskCycles = 1;
+
+    switch (fault) {
+      case Fault::None:
+        break;
+      case Fault::WidenAct:
+        cfg.auditFaultWidenAct = 0x80;
+        break;
+      case Fault::IgnoreTccdL:
+        cfg.faultIgnoreTccdL = true;
+        break;
+      case Fault::IgnoreTwtr:
+        cfg.faultIgnoreTwtr = true;
+        break;
+    }
+    return cfg;
+}
+
+std::vector<ModelRequest>
+ModelChecker::defaultWorkload()
+{
+    // Geometry: 2 ranks x 4 banks, bank groups {0,1} and {2,3}.
+    return {
+        // Same-row partial writes: merged PRA mask, partial ACT.
+        {0, true, 0, 0, 1, 0, 0x03},
+        {0, true, 0, 0, 1, 1, 0x0c},
+        // Same-group reads (bank 1, two columns of one row): tCCD_L
+        // back-to-back pressure and the row-hit cap.
+        {0, false, 0, 1, 2, 0, 0xff},
+        {1, false, 0, 1, 2, 1, 0xff},
+        // Cross-group read: tCCD_S spacing and write-to-read turnaround.
+        {1, false, 0, 2, 3, 0, 0xff},
+        // Cross-rank write: tRTRS bus bubble, second rank's refresh.
+        {2, true, 1, 0, 1, 0, 0x10},
+        // Row conflict on (0, 0): precharge + re-activate path.
+        {2, false, 0, 0, 4, 0, 0xff},
+        // Full-mask write on the fourth bank: non-partial ACT, tFAW
+        // pressure with four banks active in rank 0.
+        {3, true, 0, 3, 5, 0, 0xff},
+    };
+}
+
+} // namespace pra::analysis

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Bounded exhaustive protocol model checker for the decomposed memory
+ * controller (DESIGN.md §10).
+ *
+ * The live controller picks *one* command per cycle; a scheduling or
+ * gating bug that only manifests under a choice the default policy
+ * never makes stays invisible to simulation-based testing. This checker
+ * explores the *product* of the controller's layers — BankEngine bank
+ * FSMs x BusArbiter channel gates x MaintenanceEngine decisions — by
+ * enumerating, at every cycle of every explored path, every command the
+ * layer gates declare legal (not just the policy's pick), issuing it on
+ * a copied state, and validating the resulting command stream against
+ * the independent TimingChecker plus the PRA mask invariants:
+ *
+ *  - reads are served only by fully open rows;
+ *  - column accesses fall inside the open (possibly partial) PRA mask;
+ *  - an activation opens exactly the scheme-derived mask (the union of
+ *    the queued same-row writes' dirty MAT groups for PRA writes).
+ *
+ * Exploration is depth-first over a reduced-timing model configuration
+ * (small tRCD/tRAS/tREFI so refresh and every turnaround rule fire
+ * within a shallow horizon), with visited-state deduplication keyed on
+ * the engines' fingerprint() seams: all timing registers are hashed as
+ * now-relative saturated deltas, so time-shifted but future-equivalent
+ * states merge. Dedup only prunes re-exploration — every reported
+ * violation lies on a concretely simulated path and is emitted as a
+ * replayable CommandScript.
+ *
+ * The three deliberate fault hooks (DramConfig::auditFaultWidenAct,
+ * faultIgnoreTccdL, faultIgnoreTwtr) weaken controller-side gates
+ * without touching the checker; the default depth budget must find a
+ * counterexample for each (tests/test_modelcheck_regressions.cpp pins
+ * this), and must find none with no fault armed.
+ */
+#ifndef PRA_ANALYSIS_MODEL_CHECKER_H
+#define PRA_ANALYSIS_MODEL_CHECKER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "analysis/command_script.h"
+#include "dram/config.h"
+
+namespace pra::analysis {
+
+/** Which deliberate fault hook the explored configuration arms. */
+enum class Fault
+{
+    None,        //!< Unfaulted build: exploration must stay clean.
+    WidenAct,    //!< auditFaultWidenAct: ACT masks widened covertly.
+    IgnoreTccdL, //!< faultIgnoreTccdL: same-group tCCD_L gate dropped.
+    IgnoreTwtr,  //!< faultIgnoreTwtr: write-to-read tWTR gate dropped.
+};
+
+/** Config-flag spelling of @p f (none, widen_act, ...). */
+const char *faultName(Fault f);
+
+/** Inverse of faultName(); returns false on unknown spellings. */
+bool parseFault(const std::string &name, Fault &out);
+
+/** One request of the exploration workload. */
+struct ModelRequest
+{
+    Cycle arrival = 0;
+    bool isWrite = false;
+    unsigned rank = 0;
+    unsigned bank = 0;
+    std::uint32_t row = 0;
+    unsigned col = 0;
+    std::uint8_t mask = 0xff;  //!< Dirty-word mask (writes).
+};
+
+/** Outcome of one bounded exploration. */
+struct ModelCheckResult
+{
+    bool violationFound = false;
+    /** First violation message (checker rule or mask invariant). */
+    std::string violation;
+    /** Replayable path ending in the violating command. */
+    CommandScript counterexample;
+    /** Longest violation-free path seen (near-miss --emit-test seed). */
+    CommandScript deepestPath;
+    std::uint64_t statesExplored = 0;
+    std::uint64_t statesDeduped = 0;
+    std::uint64_t commandsIssued = 0;
+    Cycle deepestCycle = 0;
+    bool budgetExhausted = false;  //!< maxStates hit before completion.
+};
+
+/** Bounded exhaustive explorer (see file header). */
+class ModelChecker
+{
+  public:
+    struct Options
+    {
+        Cycle depth = kDefaultDepth;
+        std::uint64_t maxStates = kDefaultMaxStates;
+        dram::SchedulerKind scheduler = dram::SchedulerKind::FrFcfs;
+        Fault fault = Fault::None;
+    };
+
+    static constexpr Cycle kDefaultDepth = 56;
+    static constexpr std::uint64_t kDefaultMaxStates = 300000;
+
+    explicit ModelChecker(const Options &opts);
+
+    /** Explore; stops at the first violation or when budgets drain. */
+    ModelCheckResult run();
+
+    /**
+     * The reduced-timing model configuration: every checked rule fires
+     * within the default depth budget (tREFI and tRFC included), DDR4
+     * bank groups are on with tCCD_L > tCCD_S so the group rule is
+     * observable, and the scheme is PRA so partial-activation masks
+     * exercise the mask invariants.
+     */
+    static dram::DramConfig modelConfig(Fault fault);
+
+    /**
+     * The deterministic exploration workload: same-row partial writes
+     * (mask merging), same- and cross-group reads (tCCD_L/tCCD_S),
+     * cross-rank traffic (tRTRS), a row conflict, and enough banks in
+     * one rank to saturate the weighted tFAW window.
+     */
+    static std::vector<ModelRequest> defaultWorkload();
+
+  private:
+    Options opts_;
+};
+
+} // namespace pra::analysis
+
+#endif // PRA_ANALYSIS_MODEL_CHECKER_H

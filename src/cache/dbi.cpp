@@ -24,7 +24,7 @@ DirtyBlockIndex::trackedAddresses() const
     // sort by row key so audits (and fingerprints) are deterministic.
     std::vector<std::uint64_t> keys;
     keys.reserve(dirtyByRow_.size());
-    for (const auto &[key, lines] : dirtyByRow_) {
+    for (const auto &[key, lines] : dirtyByRow_) {   // pra-lint: unordered-ok (keys sorted before use)
         (void)lines;
         keys.push_back(key);
     }
@@ -43,7 +43,7 @@ DirtyBlockIndex::auditFingerprint() const
 {
     std::vector<std::uint64_t> keys;
     keys.reserve(dirtyByRow_.size());
-    for (const auto &[key, lines] : dirtyByRow_) {
+    for (const auto &[key, lines] : dirtyByRow_) {   // pra-lint: unordered-ok (keys sorted before use)
         (void)lines;
         keys.push_back(key);
     }

@@ -7,6 +7,9 @@
 #ifndef PRA_DRAM_BANK_H
 #define PRA_DRAM_BANK_H
 
+#include <algorithm>
+
+#include "common/hash.h"
 #include "common/types.h"
 #include "core/row_buffer.h"
 #include "dram/timing.h"
@@ -95,6 +98,32 @@ class Bank
     /** Restricted close-page: auto-precharge pending after column op. */
     bool autoPrechargePending() const { return autoPre_; }
     void setAutoPrecharge() { autoPre_ = true; }
+
+    // --- Analysis probe seam ----------------------------------------------
+
+    /**
+     * Fold the protocol-relevant bank state into @p h, with every timing
+     * register expressed as a delta from @p now saturated at @p horizon.
+     * Two banks whose futures are indistinguishable (all gates released,
+     * same row-buffer contents) hash equal regardless of how they got
+     * there — the normalization the offline model checker's state
+     * deduplication relies on (src/analysis).
+     */
+    void
+    fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const
+    {
+        auto delta = [&](Cycle reg) {
+            h.add(reg <= now ? Cycle{0} : std::min(reg - now, horizon));
+        };
+        h.add(rowBuf_.isOpen());
+        h.add(rowBuf_.isOpen() ? rowBuf_.openRow() : kInvalidRow);
+        h.add(rowBuf_.openMask().bits());
+        delta(earliestAct_);
+        delta(earliestColumn_);
+        delta(earliestPre_);
+        h.add(hitCount_);
+        h.add(autoPre_);
+    }
 
   private:
     const Timing *timing_;

@@ -31,4 +31,15 @@ BankEngine::recountOpenRowMatches(unsigned r, unsigned b,
     count(writeQ);
 }
 
+void
+BankEngine::fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const
+{
+    for (const Rank &r : ranks_)
+        r.fingerprint(h, now, horizon);
+    for (const BankInfo &bi : bankInfo_) {
+        h.add(bi.queued);
+        h.add(bi.openRowMatches);
+    }
+}
+
 } // namespace pra::dram

@@ -118,6 +118,14 @@ class BankEngine
                                std::deque<Request> &readQ,
                                std::deque<Request> &writeQ);
 
+    /**
+     * Analysis probe seam: fold every rank/bank FSM plus the pending-work
+     * counters into @p h, timing registers normalized to @p now and
+     * saturated at @p horizon (see Bank::fingerprint). Used by the
+     * offline model checker (src/analysis) for state deduplication.
+     */
+    void fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const;
+
   private:
     struct BankInfo
     {

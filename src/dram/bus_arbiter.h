@@ -19,6 +19,9 @@
 #ifndef PRA_DRAM_BUS_ARBITER_H
 #define PRA_DRAM_BUS_ARBITER_H
 
+#include <algorithm>
+
+#include "common/hash.h"
 #include "dram/config.h"
 
 namespace pra::dram {
@@ -134,6 +137,34 @@ class BusArbiter
                 if (busy_until > lat)
                     consider(busy_until - lat);
             }
+        }
+    }
+
+    // --- Analysis probe seam ----------------------------------------------
+
+    /**
+     * Fold the channel bus state into @p h, cycle registers normalized
+     * to @p now and saturated at @p horizon (see Bank::fingerprint).
+     * The tCCD_S/L reference point is hashed as the two release cycles
+     * it implies rather than the raw command cycle, so long-expired
+     * column history does not keep otherwise-identical states apart.
+     */
+    void
+    fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const
+    {
+        auto delta = [&](Cycle reg) {
+            h.add(reg <= now ? Cycle{0} : std::min(reg - now, horizon));
+        };
+        delta(cmdBusFree_);
+        delta(dataBusFree_);
+        h.add(dataBusFree_ > now ? lastBusRank_ : 0u);
+        delta(readCmdBlockedUntil_);
+        if (cfg_->timing.bankGroups > 1 && anyColumnIssued_) {
+            delta(lastColumnCycle_ + cfg_->timing.tCcd);
+            delta(lastColumnCycle_ + cfg_->timing.tCcdL);
+            const bool live =
+                lastColumnCycle_ + cfg_->timing.tCcdL > now;
+            h.add(live ? lastColumnGroup_ : ~0u);
         }
     }
 

@@ -126,13 +126,12 @@ void
 MemoryController::eraseWriteIndex(Addr addr, std::size_t idx)
 {
     writeIndex_.erase(addr);
-    // A mid-queue erase shifts every later entry down one slot. The
-    // queue is at most writeQueueDepth (64) entries, so this stays cheap.
-    for (auto &[a, i] : writeIndex_) {
-        (void)a;
-        if (i > idx)
-            --i;
-    }
+    // A mid-queue erase shifts every later entry down one slot; renumber
+    // from the queue itself (deterministic order) instead of walking the
+    // hash map. The queue is at most writeQueueDepth (64) entries, so
+    // this stays cheap.
+    for (std::size_t i = idx; i < writeQ_.size(); ++i)
+        writeIndex_[writeQ_[i].addr] = i;
 }
 
 void

@@ -2,35 +2,57 @@
 
 namespace pra::dram {
 
-void
-MaintenanceEngine::stepAutoPrecharge(Cycle now)
+std::vector<MaintenanceEngine::BankRef>
+MaintenanceEngine::autoPrechargeCandidates(Cycle now) const
 {
+    std::vector<BankRef> out;
     for (unsigned r = 0; r < banks_->numRanks(); ++r) {
         for (unsigned b = 0; b < banks_->rank(r).numBanks(); ++b) {
             const Bank &bank = banks_->bank(r, b);
             if (bank.autoPrechargePending() && bank.canPrecharge(now))
-                hooks_->issueAutoPrecharge(r, b, now);
+                out.emplace_back(r, b);
         }
     }
+    return out;
+}
+
+void
+MaintenanceEngine::stepAutoPrecharge(Cycle now)
+{
+    // Auto-precharges are encoded in their column command, so every
+    // ready one retires this cycle — no command-bus slot to arbitrate.
+    for (const auto &[r, b] : autoPrechargeCandidates(now))
+        hooks_->issueAutoPrecharge(r, b, now);
+}
+
+std::vector<unsigned>
+MaintenanceEngine::refreshCandidates(Cycle now) const
+{
+    std::vector<unsigned> out;
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        const Rank &rank = banks_->rank(r);
+        if (rank.refreshDue(now) && rank.canRefresh(now) &&
+            !rank.refreshing(now)) {
+            out.push_back(r);
+        }
+    }
+    return out;
 }
 
 bool
 MaintenanceEngine::tryRefresh(Cycle now)
 {
-    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
-        const Rank &rank = banks_->rank(r);
-        if (rank.refreshDue(now) && rank.canRefresh(now) &&
-            !rank.refreshing(now)) {
-            hooks_->issueRefresh(r, now);
-            return true;
-        }
-    }
-    return false;
+    const auto ranks = refreshCandidates(now);
+    if (ranks.empty())
+        return false;
+    hooks_->issueRefresh(ranks.front(), now);
+    return true;
 }
 
-bool
-MaintenanceEngine::tryMaintenanceClose(Cycle now)
+std::vector<MaintenanceEngine::BankRef>
+MaintenanceEngine::closeCandidates(Cycle now) const
 {
+    std::vector<BankRef> out;
     for (unsigned r = 0; r < banks_->numRanks(); ++r) {
         const Rank &rank = banks_->rank(r);
         const bool want_refresh = rank.refreshDue(now);
@@ -43,12 +65,22 @@ MaintenanceEngine::tryMaintenanceClose(Cycle now)
             // Open-page keeps rows open unless refresh needs them shut.
             if ((cfg_->policy == PagePolicy::RelaxedClose && useless) ||
                 want_refresh) {
-                hooks_->issuePrecharge(r, b, now);
-                return true;
+                out.emplace_back(r, b);
             }
         }
     }
-    return false;
+    return out;
+}
+
+bool
+MaintenanceEngine::tryMaintenanceClose(Cycle now)
+{
+    const auto targets = closeCandidates(now);
+    if (targets.empty())
+        return false;
+    hooks_->issuePrecharge(targets.front().first, targets.front().second,
+                           now);
+    return true;
 }
 
 } // namespace pra::dram

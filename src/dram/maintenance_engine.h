@@ -19,6 +19,7 @@
 #define PRA_DRAM_MAINTENANCE_ENGINE_H
 
 #include <functional>
+#include <utility>
 #include <vector>
 
 #include "dram/bank_engine.h"
@@ -92,6 +93,31 @@ class MaintenanceEngine
         }
         return false;
     }
+
+    // --- Analysis choice-enumeration seams ---------------------------------
+    //
+    // The offline model checker (src/analysis) explores *every* legal
+    // maintenance decision, not just the first one the try*/step*
+    // methods would take. These enumerators are the single source of
+    // truth: the try*/step* methods above are implemented on top of
+    // them, so the live controller and the checker can never disagree
+    // about which commands are candidates at a given cycle.
+
+    /** (rank, bank) pair identifying a maintenance target. */
+    using BankRef = std::pair<unsigned, unsigned>;
+
+    /** Ranks whose refresh is due and issuable at @p now, in rank order. */
+    std::vector<unsigned> refreshCandidates(Cycle now) const;
+
+    /**
+     * Banks the close policy may precharge at @p now (useless open rows
+     * under relaxed close, or any open row blocking a due refresh), in
+     * (rank, bank) order.
+     */
+    std::vector<BankRef> closeCandidates(Cycle now) const;
+
+    /** Banks whose pending auto-precharge can retire at @p now. */
+    std::vector<BankRef> autoPrechargeCandidates(Cycle now) const;
 
   private:
     const DramConfig *cfg_;

@@ -113,6 +113,28 @@ Rank::wake(Cycle now)
         b.blockUntil(now + cfg_->timing.tXp);
 }
 
+void
+Rank::fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const
+{
+    auto delta = [&](Cycle reg) {
+        h.add(reg <= now ? Cycle{0} : std::min(reg - now, horizon));
+    };
+    for (const Bank &b : banks_)
+        b.fingerprint(h, now, horizon);
+    // Only window entries still inside tFAW can gate a future ACT; the
+    // expired ones are popped lazily, so skip them for normalization.
+    for (const auto &[cycle, weight] : actWindow_) {
+        if (cycle + cfg_->timing.tFaw <= now)
+            continue;
+        delta(cycle + cfg_->timing.tFaw);
+        h.add(weight);
+    }
+    delta(nextActAllowed_);
+    delta(nextRefresh_);
+    delta(refreshDone_);
+    h.add(poweredDown_);
+}
+
 std::vector<Cycle>
 Rank::actWindowExpiries() const
 {

@@ -111,6 +111,16 @@ class Rank
     void fastForwardBackground(Cycle from, Cycle to, bool has_queued_work,
                                power::EnergyCounts &energy);
 
+    // --- Analysis probe seam ----------------------------------------------
+
+    /**
+     * Fold the protocol-relevant rank state (banks, weighted tFAW
+     * window, tRRD gate, refresh schedule, power-down) into @p h with
+     * all cycle registers normalized to @p now and saturated at
+     * @p horizon — see Bank::fingerprint.
+     */
+    void fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const;
+
   private:
     const DramConfig *cfg_;
     std::vector<Bank> banks_;

@@ -75,6 +75,18 @@ class SchedulerPolicy
 /** Config-file spelling of @p kind (frfcfs, fcfs, frfcfs_wage). */
 const char *schedulerKindName(SchedulerKind kind);
 
+/**
+ * Every registered scheduler kind, in config-spelling order. Analysis
+ * tools (the model checker sweeps the product space under each policy)
+ * and parameterized tests iterate this instead of hard-coding the enum,
+ * so a new policy is picked up everywhere by registering here.
+ */
+inline constexpr SchedulerKind kAllSchedulerKinds[] = {
+    SchedulerKind::FrFcfs,
+    SchedulerKind::Fcfs,
+    SchedulerKind::FrFcfsWriteAge,
+};
+
 /** Instantiate the policy selected by @p cfg. */
 std::unique_ptr<SchedulerPolicy> makeSchedulerPolicy(const DramConfig &cfg);
 

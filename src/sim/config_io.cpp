@@ -128,6 +128,26 @@ constexpr KeyHandler kKeyHandlers[] = {
      [](const std::string &v, SystemConfig &c) {
          c.dram.ranksPerChannel = asUnsigned(v);
      }},
+    {"banks",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.banksPerRank = asUnsigned(v);
+     }},
+    {"rows",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.rowsPerBank = asUnsigned(v);
+     }},
+    {"lines_per_row",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.linesPerRow = asUnsigned(v);
+     }},
+    {"chips",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.chipsPerRank = asUnsigned(v);
+     }},
+    {"ecc_chips",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.eccChipsPerRank = asUnsigned(v);
+     }},
     {"read_queue",
      [](const std::string &v, SystemConfig &c) {
          c.dram.readQueueDepth = asUnsigned(v);
@@ -152,6 +172,35 @@ constexpr KeyHandler kKeyHandlers[] = {
      [](const std::string &v, SystemConfig &c) {
          c.dram.powerDownEnabled = parseBool(v);
      }},
+    {"power_down_threshold",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.powerDownThreshold = asUnsigned(v);
+     }},
+    {"merge_write_masks",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.mergeWriteMasks = parseBool(v);
+     }},
+    {"weighted_act_window",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.weightedActWindow = parseBool(v);
+     }},
+    {"min_act_granularity",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.minActGranularity = asUnsigned(v);
+     }},
+    {"audit_fault_widen_act",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.auditFaultWidenAct =
+             static_cast<std::uint8_t>(asUnsigned(v));
+     }},
+    {"fault_ignore_tccd_l",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.faultIgnoreTccdL = parseBool(v);
+     }},
+    {"fault_ignore_twtr",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.faultIgnoreTwtr = parseBool(v);
+     }},
     {"checker",
      [](const std::string &v, SystemConfig &c) {
          c.dram.enableChecker = parseBool(v);
@@ -167,6 +216,34 @@ constexpr KeyHandler kKeyHandlers[] = {
     {"max_cycles",
      [](const std::string &v, SystemConfig &c) {
          c.maxDramCycles = std::stoull(v);
+     }},
+    {"writeback_backlog",
+     [](const std::string &v, SystemConfig &c) {
+         c.writebackBacklogLimit = std::stoull(v);
+     }},
+    {"cycle_skip",
+     [](const std::string &v, SystemConfig &c) {
+         c.enableCycleSkip = parseBool(v);
+     }},
+    {"audit",
+     [](const std::string &v, SystemConfig &c) {
+         c.enableAudit = parseBool(v);
+     }},
+    {"audit_scan_stride",
+     [](const std::string &v, SystemConfig &c) {
+         c.auditScanStride = asUnsigned(v);
+     }},
+    {"issue_width",
+     [](const std::string &v, SystemConfig &c) {
+         c.core.issueWidth = asUnsigned(v);
+     }},
+    {"rob",
+     [](const std::string &v, SystemConfig &c) {
+         c.core.robSize = asUnsigned(v);
+     }},
+    {"tck_ns",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.power.tCkNs = std::stod(v);
      }},
     {"l2_kb",
      [](const std::string &v, SystemConfig &c) {

@@ -59,9 +59,9 @@ struct SystemConfig
      * additionally replays cycle-skip windows through the slow path and
      * fingerprint-checks warm-snapshot forks.
      */
-    bool enableAudit = false;
+    bool enableAudit = false;       // pra-lint: observational
     /** Auditor coherence-scan stride in accesses; 0 = auto. */
-    unsigned auditScanStride = 0;
+    unsigned auditScanStride = 0;   // pra-lint: observational
 };
 
 /** Everything one simulation run produces. */

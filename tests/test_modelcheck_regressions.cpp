@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Regression tests for the bounded protocol model checker
+ * (src/analysis/model_checker.h) and its command-script replay format.
+ *
+ * Two layers:
+ *  - live exploration: each deliberate fault hook must be caught within
+ *    the default depth budget (for every scheduler policy), and the
+ *    unfaulted model must explore clean;
+ *  - distilled counterexamples: command scripts pinned here replay
+ *    specific protocol rules (weighted tFAW bursts, DDR4 bank-group
+ *    tCCD_S/tCCD_L, refresh/close collisions) straight through the
+ *    independent TimingChecker, so these rules stay covered even if the
+ *    explorer's search order changes.
+ */
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/command_script.h"
+#include "analysis/model_checker.h"
+#include "dram/sched/scheduler_policy.h"
+
+namespace pra::analysis {
+namespace {
+
+std::vector<std::string>
+replayText(const std::string &text, const dram::DramConfig &cfg)
+{
+    CommandScript script;
+    std::string error;
+    EXPECT_TRUE(CommandScript::parse(text, script, error)) << error;
+    return replayScript(script, cfg);
+}
+
+bool
+anyContains(const std::vector<std::string> &violations, const char *needle)
+{
+    for (const std::string &v : violations) {
+        if (v.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+// --- Live exploration ---------------------------------------------------
+
+class FaultCatch : public ::testing::TestWithParam<Fault>
+{
+};
+
+TEST_P(FaultCatch, CaughtWithinDefaultBudgetUnderEveryScheduler)
+{
+    const Fault fault = GetParam();
+    for (dram::SchedulerKind sched : dram::kAllSchedulerKinds) {
+        ModelChecker::Options opts;
+        opts.fault = fault;
+        opts.scheduler = sched;
+        const ModelCheckResult res = ModelChecker(opts).run();
+        ASSERT_TRUE(res.violationFound)
+            << faultName(fault) << " not caught under "
+            << dram::schedulerKindName(sched);
+        ASSERT_FALSE(res.counterexample.commands.empty());
+
+        // The counterexample must survive a serialize/parse round trip
+        // and reproduce a violation in the independent replayer.
+        CommandScript parsed;
+        std::string error;
+        ASSERT_TRUE(CommandScript::parse(res.counterexample.serialize(),
+                                         parsed, error))
+            << error;
+        EXPECT_EQ(parsed.fault, faultName(fault));
+        EXPECT_EQ(parsed.commands.size(),
+                  res.counterexample.commands.size());
+        const auto violations =
+            replayScript(parsed, ModelChecker::modelConfig(fault));
+        EXPECT_FALSE(violations.empty())
+            << "counterexample did not replay:\n"
+            << res.counterexample.serialize();
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllFaults, FaultCatch,
+                         ::testing::Values(Fault::WidenAct,
+                                           Fault::IgnoreTccdL,
+                                           Fault::IgnoreTwtr));
+
+TEST(ModelCheck, UnfaultedExplorationIsClean)
+{
+    for (dram::SchedulerKind sched : dram::kAllSchedulerKinds) {
+        ModelChecker::Options opts;
+        opts.scheduler = sched;
+        const ModelCheckResult res = ModelChecker(opts).run();
+        EXPECT_FALSE(res.violationFound)
+            << "under " << dram::schedulerKindName(sched) << ": "
+            << res.violation << "\n"
+            << res.counterexample.serialize();
+        // The exploration must be substantial, not vacuous.
+        EXPECT_GT(res.statesExplored, 10000u);
+        EXPECT_GT(res.commandsIssued, 10000u);
+    }
+}
+
+TEST(ModelCheck, CleanRunDeepestPathReplaysClean)
+{
+    // --emit-test on a clean run serializes the deepest violation-free
+    // path; that path must agree with the independent replayer.
+    ModelChecker::Options opts;
+    opts.depth = 30;
+    opts.maxStates = 20000;
+    const ModelCheckResult res = ModelChecker(opts).run();
+    ASSERT_FALSE(res.violationFound) << res.violation;
+    ASSERT_FALSE(res.deepestPath.commands.empty());
+    const auto violations =
+        replayScript(res.deepestPath, ModelChecker::modelConfig(Fault::None));
+    EXPECT_TRUE(violations.empty())
+        << violations.front() << "\n"
+        << res.deepestPath.serialize();
+}
+
+TEST(ModelCheck, WorkloadExercisesBothRanksAndMaskMerging)
+{
+    const auto workload = ModelChecker::defaultWorkload();
+    ASSERT_FALSE(workload.empty());
+    bool rank1 = false, partialWrite = false;
+    for (const ModelRequest &r : workload) {
+        rank1 |= r.rank == 1;
+        partialWrite |= r.isWrite && r.mask != 0xff;
+    }
+    EXPECT_TRUE(rank1);
+    EXPECT_TRUE(partialWrite);
+}
+
+// --- Distilled counterexamples ------------------------------------------
+
+TEST(ScriptRegression, WeightedTfawBurstIsFlagged)
+{
+    // Five full-row activations to distinct banks of one rank, spaced at
+    // exactly tRRD, inside a widened tFAW window: the fifth exceeds the
+    // weighted budget of 4.0 activations while every pairwise rule
+    // (tRRD, tRC) stays satisfied.
+    dram::DramConfig cfg = ModelChecker::modelConfig(Fault::None);
+    cfg.banksPerRank = 8;
+    cfg.timing.tFaw = 10;
+    const auto violations = replayText("ACT 0 0 0 10\n"
+                                       "ACT 2 0 1 10\n"
+                                       "ACT 4 0 2 10\n"
+                                       "ACT 6 0 3 10\n"
+                                       "ACT 8 0 4 10\n",
+                                       cfg);
+    ASSERT_EQ(violations.size(), 1u) << violations.front();
+    EXPECT_TRUE(anyContains(violations, "tFAW")) << violations.front();
+}
+
+TEST(ScriptRegression, BankGroupTccdShortOkLongFlagged)
+{
+    // Model geometry: 4 banks in 2 groups ({0,1} and {2,3}), tCCD_S = 2,
+    // tCCD_L = 4. Cross-group reads at the short spacing are legal; the
+    // final same-group read at the short spacing violates tCCD_L.
+    const dram::DramConfig cfg = ModelChecker::modelConfig(Fault::None);
+    const auto violations = replayText("ACT 0 0 0 7\n"
+                                       "ACT 2 0 2 7\n"
+                                       "ACT 4 0 1 7\n"
+                                       "RD 5 0 0 7 burst=2\n"
+                                       "RD 7 0 2 7 burst=2\n"
+                                       "RD 9 0 1 7 burst=2\n"
+                                       "RD 11 0 0 7 burst=2\n",
+                                       cfg);
+    ASSERT_EQ(violations.size(), 1u) << violations.front();
+    EXPECT_TRUE(anyContains(violations, "tCCD_L")) << violations.front();
+}
+
+TEST(ScriptRegression, RefreshCollisionsAreFlagged)
+{
+    // Rank 0: REF while a bank is still open. Rank 1: a legal REF
+    // followed by an ACT inside its tRFC window.
+    const dram::DramConfig cfg = ModelChecker::modelConfig(Fault::None);
+    const auto violations = replayText("ACT 0 0 0 3\n"
+                                       "REF 4 0\n"
+                                       "REF 5 1\n"
+                                       "ACT 7 1 0 1\n",
+                                       cfg);
+    // The late ACT trips both the rank-level tRFC gate and the bank's
+    // actAllowed register, so it may be reported more than once.
+    ASSERT_GE(violations.size(), 2u);
+    EXPECT_TRUE(anyContains(violations, "REF with bank"));
+    EXPECT_TRUE(anyContains(violations, "command during tRFC"));
+}
+
+TEST(ScriptRegression, MaskInvariantsCheckedOnReplay)
+{
+    const dram::DramConfig cfg = ModelChecker::modelConfig(Fault::None);
+    // A widened ACT (mask != scheme-derived expectation) is flagged.
+    auto violations = replayText(
+        "ACT 0 0 0 5 partial=1 weight=0.5 mask=8f expect=0f\n", cfg);
+    EXPECT_TRUE(anyContains(violations, "scheme-derived"));
+
+    // A read served by a partially open row is flagged even when every
+    // timing rule passes.
+    violations = replayText("ACT 0 0 0 5 partial=1 weight=0.5 mask=0f "
+                            "expect=0f\n"
+                            "RD 4 0 0 5 burst=2 need=03\n",
+                            cfg);
+    EXPECT_TRUE(anyContains(violations, "partially open row"));
+
+    // A write outside the open mask is flagged.
+    violations = replayText("ACT 0 0 0 5 partial=1 weight=0.5 mask=0f "
+                            "expect=0f\n"
+                            "WR 4 0 0 5 burst=2 need=f0\n",
+                            cfg);
+    EXPECT_TRUE(anyContains(violations, "outside open mask"));
+
+    // The conforming variants replay clean.
+    violations = replayText("ACT 0 0 0 5 partial=1 weight=0.5 mask=0f "
+                            "expect=0f\n"
+                            "WR 4 0 0 5 burst=2 need=0c\n",
+                            cfg);
+    EXPECT_TRUE(violations.empty()) << violations.front();
+}
+
+TEST(ScriptRegression, ParserRejectsMalformedScripts)
+{
+    CommandScript script;
+    std::string error;
+    EXPECT_FALSE(CommandScript::parse("FOO 0 0 0 1\n", script, error));
+    EXPECT_NE(error.find("unknown command"), std::string::npos);
+    EXPECT_FALSE(CommandScript::parse("ACT 0 0\n", script, error));
+    EXPECT_FALSE(
+        CommandScript::parse("ACT 0 0 0 1 bogus=1\n", script, error));
+    EXPECT_FALSE(
+        CommandScript::parse("ACT 0 0 0 1 mask=zz\n", script, error));
+}
+
+} // namespace
+} // namespace pra::analysis

@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Tests for the repo-specific lint engine (src/analysis/lint.h): each
+ * rule is drilled with synthetic sources (including the "field added to
+ * DramConfig without a canonicalConfig entry" scenario the lint exists
+ * to catch), and the real tree under PRA_SOURCE_DIR must scan clean.
+ *
+ * Note: this file spells forbidden entropy patterns (rand(), ...)
+ * inside drill inputs. That is safe because neither pra_lint nor
+ * tools/check_determinism.sh scans tests/ — both cover src/ only.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+namespace pra::analysis {
+namespace {
+
+std::vector<LintIssue>
+issuesOfRule(const std::vector<LintIssue> &issues, const std::string &rule)
+{
+    std::vector<LintIssue> out;
+    for (const LintIssue &i : issues) {
+        if (i.rule == rule)
+            out.push_back(i);
+    }
+    return out;
+}
+
+std::string
+joined(const std::vector<LintIssue> &issues)
+{
+    std::string out;
+    for (const LintIssue &i : issues)
+        out += i.format() + "\n";
+    return out;
+}
+
+// --- Parsing helpers ----------------------------------------------------
+
+TEST(StructFields, ExtractsDataMembersOnly)
+{
+    const std::string text = R"(
+        /** Doc comment mentioning fakeField and rand(). */
+        struct Sample
+        {
+            unsigned channels = 2;          //!< trailing comment
+            std::uint8_t mask = 0;
+            std::array<std::uint64_t, 8> acts{};
+            Timing timing{};
+            power::PowerParams power{};
+            std::uint64_t warmup = 120'000; // digit separator
+            SchemeTraits traits() const { return {}; }
+            void reset() { mask = 0; }
+            static constexpr int kConst = 3;
+            bool operator==(const Sample &o) const = default;
+        };
+        struct Other { int unrelated; };
+    )";
+    const auto fields = structFields(text, "Sample");
+    EXPECT_EQ(fields, (std::vector<std::string>{
+                          "channels", "mask", "acts", "timing", "power",
+                          "warmup"}));
+    EXPECT_EQ(structFields(text, "Other"),
+              std::vector<std::string>{"unrelated"});
+    EXPECT_TRUE(structFields(text, "Missing").empty());
+}
+
+TEST(FunctionBody, ExtractsDefinitionNotDeclaration)
+{
+    const std::string text = R"(
+        std::string canonicalConfig(const SystemConfig &cfg);
+        std::string canonicalConfig(const SystemConfig &cfg)
+        {
+            return std::to_string(cfg.dram.channels);
+        }
+        void other() { int canonical = 0; (void)canonical; }
+    )";
+    const std::string body = functionBody(text, "canonicalConfig");
+    EXPECT_TRUE(containsIdentifier(body, "channels"));
+    EXPECT_FALSE(containsIdentifier(body, "canonical"));
+    EXPECT_TRUE(functionBody(text, "missing").empty());
+}
+
+// --- Rule: entropy ------------------------------------------------------
+
+TEST(EntropyRule, FlagsAmbientEntropyAndClocks)
+{
+    const std::vector<SourceFile> files{
+        {"src/dram/bad.cpp",
+         "int a = rand();\n"
+         "std::random_device rd;\n"
+         "auto t = std::chrono::steady_clock::now();\n"
+         "int fd = open(\"/dev/urandom\", 0);\n"}};
+    const auto issues = issuesOfRule(lintSources(files), "entropy");
+    ASSERT_EQ(issues.size(), 4u) << joined(issues);
+    EXPECT_EQ(issues[0].line, 1u);
+    EXPECT_EQ(issues[3].line, 4u);
+}
+
+TEST(EntropyRule, IgnoresCommentsAnchorsAndRngHeader)
+{
+    const std::vector<SourceFile> files{
+        {"src/dram/ok.cpp",
+         "// rand() in a comment is fine\n"
+         "/* std::random_device too */\n"
+         "int strand(int x);\n"          // Identifier suffix: anchored.
+         "int y = strand(3);\n"
+         "int ranktime(int);\n"
+         "double lifetime (0.5);\n"      // `time` bounded inside words.
+         "int z = obj.time();\n"},       // Member call on another object.
+        {"src/common/rng.h",
+         "std::uint64_t seedFromEntropy() { return rand(); }\n"}};
+    const auto issues = issuesOfRule(lintSources(files), "entropy");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
+// --- Rule: unordered-iteration ------------------------------------------
+
+TEST(UnorderedIterationRule, FlagsIterationAcrossDeclaringFile)
+{
+    // Member declared in the header, iterated in the .cpp: names are
+    // pooled across result-affecting files.
+    const std::vector<SourceFile> files{
+        {"src/dram/widget.h",
+         "struct W { std::unordered_map<int, int> index_; };\n"},
+        {"src/dram/widget.cpp",
+         "void W::walk() {\n"
+         "    for (auto &[k, v] : index_) { use(k, v); }\n"
+         "}\n"}};
+    const auto issues =
+        issuesOfRule(lintSources(files), "unordered-iteration");
+    ASSERT_EQ(issues.size(), 1u) << joined(issues);
+    EXPECT_EQ(issues[0].file, "src/dram/widget.cpp");
+    EXPECT_EQ(issues[0].line, 2u);
+}
+
+TEST(UnorderedIterationRule, SuppressionAndElementAccessAndScope)
+{
+    const std::vector<SourceFile> files{
+        // Annotated iteration (keys sorted afterwards) is accepted.
+        {"src/cache/sorted.cpp",
+         "std::unordered_map<int, int> m_;\n"
+         "void f() {\n"
+         "    // pra-lint: unordered-ok (keys sorted before use)\n"
+         "    for (auto &[k, v] : m_) keys.push_back(k);\n"
+         "}\n"},
+        // Iterating a mapped value (deterministic vector) is fine.
+        {"src/cache/value.cpp",
+         "std::unordered_map<int, std::vector<int>> byRow_;\n"
+         "void g(int k) {\n"
+         "    for (int line : byRow_.at(k)) use(line);\n"
+         "}\n"},
+        // Outside the result-affecting directories the rule is off.
+        {"src/power/report.cpp",
+         "std::unordered_set<int> seen_;\n"
+         "void h() { for (int s : seen_) print(s); }\n"},
+        // Explicit iterator walks are flagged too.
+        {"src/sim/iter.cpp",
+         "std::unordered_set<int> live_;\n"
+         "void k() { for (auto it = live_.begin(); it != live_.end(); "
+         "++it) use(*it); }\n"}};
+    const auto issues =
+        issuesOfRule(lintSources(files), "unordered-iteration");
+    ASSERT_EQ(issues.size(), 1u) << joined(issues);
+    EXPECT_EQ(issues[0].file, "src/sim/iter.cpp");
+}
+
+// --- Rule: config-coverage ----------------------------------------------
+
+namespace drill {
+
+const char *const kConfigHeader =
+    "struct DramConfig\n"
+    "{\n"
+    "    unsigned channels = 2;\n"
+    "    unsigned newKnob = 1;\n"
+    "};\n";
+
+const char *const kSystemHeader =
+    "struct SystemConfig\n"
+    "{\n"
+    "    dram::DramConfig dram{};\n"
+    "    bool enableAudit = false;   // pra-lint: observational\n"
+    "};\n";
+
+std::vector<SourceFile>
+files(const std::string &config_io)
+{
+    return {{"src/dram/config.h", kConfigHeader},
+            {"src/sim/system.h", kSystemHeader},
+            {"src/sim/config_io.cpp", config_io}};
+}
+
+} // namespace drill
+
+TEST(ConfigCoverageRule, FieldMissingFromCanonicalConfigFails)
+{
+    // The ISSUE drill: a field added to DramConfig with a parse handler
+    // but no canonicalConfig entry must fail the lint.
+    const auto issues = issuesOfRule(
+        lintSources(drill::files(
+            "std::string canonicalConfig(const SystemConfig &cfg)\n"
+            "{ return std::to_string(cfg.dram.channels); }\n"
+            "void applyConfigLine(SystemConfig &c)\n"
+            "{ c.dram.channels = 1; c.dram.newKnob = 2; "
+            "c.enableAudit = true; }\n")),
+        "config-coverage");
+    ASSERT_EQ(issues.size(), 1u) << joined(issues);
+    EXPECT_EQ(issues[0].file, "src/dram/config.h");
+    EXPECT_NE(issues[0].message.find("newKnob"), std::string::npos);
+    EXPECT_NE(issues[0].message.find("canonicalConfig"), std::string::npos);
+}
+
+TEST(ConfigCoverageRule, FieldMissingFromApplyConfigLineFails)
+{
+    const auto issues = issuesOfRule(
+        lintSources(drill::files(
+            "std::string canonicalConfig(const SystemConfig &cfg)\n"
+            "{ return std::to_string(cfg.dram.channels + cfg.dram.newKnob);"
+            " }\n"
+            "void applyConfigLine(SystemConfig &c)\n"
+            "{ c.dram.channels = 1; c.enableAudit = true; }\n")),
+        "config-coverage");
+    ASSERT_EQ(issues.size(), 1u) << joined(issues);
+    EXPECT_NE(issues[0].message.find("newKnob"), std::string::npos);
+    EXPECT_NE(issues[0].message.find("applyConfigLine"), std::string::npos);
+}
+
+TEST(ConfigCoverageRule, FullCoverageAndObservationalExemptionPass)
+{
+    // enableAudit is annotated observational: exempt from the canonical
+    // key (it cannot affect results) but still settable from configs.
+    const auto issues = issuesOfRule(
+        lintSources(drill::files(
+            "std::string canonicalConfig(const SystemConfig &cfg)\n"
+            "{ return std::to_string(cfg.dram.channels + cfg.dram.newKnob);"
+            " }\n"
+            "void applyConfigLine(SystemConfig &c)\n"
+            "{ c.dram.channels = 1; c.dram.newKnob = 2; "
+            "c.enableAudit = true; }\n")),
+        "config-coverage");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
+TEST(ConfigCoverageRule, MentionInsideDumpConfigDoesNotCount)
+{
+    // dumpConfig mentioning the field must not mask the missing handler.
+    const auto issues = issuesOfRule(
+        lintSources(drill::files(
+            "std::string canonicalConfig(const SystemConfig &cfg)\n"
+            "{ return std::to_string(cfg.dram.channels + cfg.dram.newKnob);"
+            " }\n"
+            "std::string dumpConfig(const SystemConfig &cfg)\n"
+            "{ return std::to_string(cfg.dram.newKnob + cfg.enableAudit); "
+            "}\n"
+            "void applyConfigLine(SystemConfig &c)\n"
+            "{ c.dram.channels = 1; c.enableAudit = true; }\n")),
+        "config-coverage");
+    ASSERT_EQ(issues.size(), 1u) << joined(issues);
+    EXPECT_NE(issues[0].message.find("newKnob"), std::string::npos);
+}
+
+// --- Rule: energy-coverage ----------------------------------------------
+
+TEST(EnergyCoverageRule, UnconsumedCounterFails)
+{
+    const std::vector<SourceFile> files{
+        {"src/power/power_model.h",
+         "struct EnergyCounts\n"
+         "{\n"
+         "    std::uint64_t readLines = 0;\n"
+         "    std::uint64_t orphanCount = 0;\n"
+         "};\n"},
+        {"src/power/power_model.cpp",
+         "double f(const EnergyCounts &c) { return 1.0 * c.readLines; }\n"},
+        {"src/verify/auditor.cpp",
+         "void check(const EnergyCounts &c)\n"
+         "{ expect(c.readLines); expect(c.orphanCount); }\n"}};
+    const auto issues = issuesOfRule(lintSources(files), "energy-coverage");
+    ASSERT_EQ(issues.size(), 1u) << joined(issues);
+    EXPECT_NE(issues[0].message.find("orphanCount"), std::string::npos);
+    EXPECT_NE(issues[0].message.find("power_model.cpp"), std::string::npos);
+}
+
+// --- The real tree must be clean ----------------------------------------
+
+TEST(RepoScan, SourceTreeIsLintClean)
+{
+#ifndef PRA_SOURCE_DIR
+    GTEST_SKIP() << "PRA_SOURCE_DIR not defined";
+#else
+    namespace fs = std::filesystem;
+    const fs::path src = fs::path(PRA_SOURCE_DIR) / "src";
+    ASSERT_TRUE(fs::is_directory(src)) << src;
+
+    std::vector<fs::path> paths;
+    for (const fs::directory_entry &e :
+         fs::recursive_directory_iterator(src)) {
+        if (!e.is_regular_file())
+            continue;
+        const std::string ext = e.path().extension().string();
+        if (ext == ".h" || ext == ".cpp")
+            paths.push_back(e.path());
+    }
+    std::sort(paths.begin(), paths.end());
+    ASSERT_GT(paths.size(), 50u);   // Sanity: the tree was actually found.
+
+    std::vector<SourceFile> files;
+    for (const fs::path &p : paths) {
+        std::ifstream in(p);
+        ASSERT_TRUE(in) << p;
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        std::error_code ec;
+        files.push_back(
+            {fs::relative(p, fs::path(PRA_SOURCE_DIR), ec).generic_string(),
+             ss.str()});
+    }
+
+    const auto issues = lintSources(files);
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+
+    // The scan must have really exercised the coverage rules: the config
+    // and energy anchors exist in the tree.
+    bool sawConfig = false, sawPower = false;
+    for (const SourceFile &f : files) {
+        sawConfig |= f.path == "src/sim/config_io.cpp";
+        sawPower |= f.path == "src/power/power_model.cpp";
+    }
+    EXPECT_TRUE(sawConfig);
+    EXPECT_TRUE(sawPower);
+#endif
+}
+
+} // namespace
+} // namespace pra::analysis

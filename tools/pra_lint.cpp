@@ -1,0 +1,79 @@
+/**
+ * @file
+ * CLI front end of the repo-specific lint (src/analysis/lint.h,
+ * DESIGN.md §10): loads every .h/.cpp under <root>/src and runs the
+ * determinism and coverage rules. Exit 0 when clean, 1 when any rule
+ * fired, 2 on usage/IO errors.
+ *
+ * usage: pra_lint [--root DIR]
+ *
+ * DIR defaults to the current directory; CI passes the repository root.
+ */
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/lint.h"
+
+int
+main(int argc, char **argv)
+{
+    namespace fs = std::filesystem;
+    std::string root = ".";
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--root" && i + 1 < argc) {
+            root = argv[++i];
+        } else {
+            std::fprintf(stderr, "usage: %s [--root DIR]\n", argv[0]);
+            return 2;
+        }
+    }
+
+    const fs::path src = fs::path(root) / "src";
+    std::error_code ec;
+    if (!fs::is_directory(src, ec)) {
+        std::fprintf(stderr, "pra_lint: %s is not a directory\n",
+                     src.string().c_str());
+        return 2;
+    }
+
+    // Collect repo-relative paths in sorted order so output (and any
+    // future baseline diffing) is deterministic.
+    std::vector<fs::path> paths;
+    for (const fs::directory_entry &e :
+         fs::recursive_directory_iterator(src)) {
+        if (!e.is_regular_file())
+            continue;
+        const std::string ext = e.path().extension().string();
+        if (ext == ".h" || ext == ".cpp")
+            paths.push_back(e.path());
+    }
+    std::sort(paths.begin(), paths.end());
+
+    std::vector<pra::analysis::SourceFile> files;
+    files.reserve(paths.size());
+    for (const fs::path &p : paths) {
+        std::ifstream in(p);
+        if (!in) {
+            std::fprintf(stderr, "pra_lint: cannot read %s\n",
+                         p.string().c_str());
+            return 2;
+        }
+        std::ostringstream ss;
+        ss << in.rdbuf();
+        files.push_back({fs::relative(p, root, ec).generic_string(),
+                         ss.str()});
+    }
+
+    const auto issues = pra::analysis::lintSources(files);
+    for (const pra::analysis::LintIssue &issue : issues)
+        std::printf("%s\n", issue.format().c_str());
+    std::printf("pra_lint: %zu file(s) scanned, %zu issue(s)\n",
+                files.size(), issues.size());
+    return issues.empty() ? 0 : 1;
+}

@@ -1,0 +1,267 @@
+/**
+ * @file
+ * CLI front end of the bounded protocol model checker (DESIGN.md §10).
+ *
+ * Modes:
+ *  - explore (default): run the bounded exhaustive exploration for the
+ *    selected fault hook(s) and scheduler(s). Exit 0 when exploration is
+ *    clean, 1 when a violation was found (printed as a replayable
+ *    command script), 2 on usage errors.
+ *  - --expect-violation: invert the verdict — CI uses this to pin that
+ *    each deliberate fault hook IS caught within the default budget.
+ *  - --emit-test FILE: additionally serialize the counterexample (or,
+ *    on a clean run, the deepest violation-free path) to FILE for
+ *    distillation into tests/test_modelcheck_regressions.cpp.
+ *  - --replay FILE: re-validate a previously emitted command script
+ *    against the independent TimingChecker + PRA mask shadow.
+ *
+ * Environment: PRA_MC_DEPTH and PRA_MC_SEED_FAULT override the depth
+ * budget and default fault selection (see EXPERIMENTS.md).
+ */
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/command_script.h"
+#include "analysis/model_checker.h"
+#include "dram/sched/scheduler_policy.h"
+
+namespace {
+
+using pra::analysis::CommandScript;
+using pra::analysis::Fault;
+using pra::analysis::ModelChecker;
+using pra::analysis::ModelCheckResult;
+
+int
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [options]\n"
+        "  --depth N            exploration depth in cycles (default %u;\n"
+        "                       env PRA_MC_DEPTH)\n"
+        "  --max-states N       visited-state budget (default %llu)\n"
+        "  --scheduler NAME     frfcfs | fcfs | frfcfs_wage | all\n"
+        "                       (default: all)\n"
+        "  --fault NAME         none | widen_act | ignore_tccd_l |\n"
+        "                       ignore_twtr | all (default: none;\n"
+        "                       env PRA_MC_SEED_FAULT)\n"
+        "  --expect-violation   exit 0 iff every run finds a violation\n"
+        "  --emit-test FILE     write counterexample (or deepest clean\n"
+        "                       path) as a replayable command script\n"
+        "  --replay FILE        re-validate an emitted command script\n"
+        "  --quiet              suppress per-run statistics\n",
+        argv0,
+        static_cast<unsigned>(ModelChecker::kDefaultDepth),
+        static_cast<unsigned long long>(ModelChecker::kDefaultMaxStates));
+    return 2;
+}
+
+bool
+parseSchedulerName(const std::string &name, pra::dram::SchedulerKind &out)
+{
+    for (pra::dram::SchedulerKind k : pra::dram::kAllSchedulerKinds) {
+        if (name == pra::dram::schedulerKindName(k)) {
+            out = k;
+            return true;
+        }
+    }
+    return false;
+}
+
+int
+replay(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in) {
+        std::fprintf(stderr, "pra_modelcheck: cannot open %s\n",
+                     path.c_str());
+        return 2;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+
+    CommandScript script;
+    std::string error;
+    if (!CommandScript::parse(ss.str(), script, error)) {
+        std::fprintf(stderr, "pra_modelcheck: %s: %s\n", path.c_str(),
+                     error.c_str());
+        return 2;
+    }
+    Fault fault = Fault::None;
+    if (!script.fault.empty() &&
+        !pra::analysis::parseFault(script.fault, fault)) {
+        std::fprintf(stderr, "pra_modelcheck: %s: unknown fault '%s'\n",
+                     path.c_str(), script.fault.c_str());
+        return 2;
+    }
+    const auto violations = pra::analysis::replayScript(
+        script, ModelChecker::modelConfig(fault));
+    std::printf("replayed %zu commands (scheduler=%s fault=%s): "
+                "%zu violation(s)\n",
+                script.commands.size(), script.scheduler.c_str(),
+                script.fault.c_str(), violations.size());
+    for (const std::string &v : violations)
+        std::printf("  %s\n", v.c_str());
+    return violations.empty() ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    ModelChecker::Options opts;
+    bool allSchedulers = true;
+    bool expectViolation = false;
+    bool quiet = false;
+    std::string emitPath;
+    std::vector<Fault> faults{Fault::None};
+
+    if (const char *env = std::getenv("PRA_MC_DEPTH"))
+        opts.depth = static_cast<pra::Cycle>(std::strtoull(env, nullptr, 10));
+    if (const char *env = std::getenv("PRA_MC_SEED_FAULT")) {
+        Fault f = Fault::None;
+        if (!pra::analysis::parseFault(env, f)) {
+            std::fprintf(stderr,
+                         "pra_modelcheck: bad PRA_MC_SEED_FAULT '%s'\n", env);
+            return 2;
+        }
+        faults = {f};
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto value = [&]() -> const char * {
+            return i + 1 < argc ? argv[++i] : nullptr;
+        };
+        if (arg == "--depth") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opts.depth = static_cast<pra::Cycle>(
+                std::strtoull(v, nullptr, 10));
+        } else if (arg == "--max-states") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opts.maxStates = std::strtoull(v, nullptr, 10);
+        } else if (arg == "--scheduler") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            if (std::strcmp(v, "all") == 0) {
+                allSchedulers = true;
+            } else if (parseSchedulerName(v, opts.scheduler)) {
+                allSchedulers = false;
+            } else {
+                std::fprintf(stderr,
+                             "pra_modelcheck: unknown scheduler '%s'\n", v);
+                return 2;
+            }
+        } else if (arg == "--fault") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            if (std::strcmp(v, "all") == 0) {
+                faults = {Fault::WidenAct, Fault::IgnoreTccdL,
+                          Fault::IgnoreTwtr};
+            } else {
+                Fault f = Fault::None;
+                if (!pra::analysis::parseFault(v, f)) {
+                    std::fprintf(stderr,
+                                 "pra_modelcheck: unknown fault '%s'\n", v);
+                    return 2;
+                }
+                faults = {f};
+            }
+        } else if (arg == "--expect-violation") {
+            expectViolation = true;
+        } else if (arg == "--emit-test") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            emitPath = v;
+        } else if (arg == "--replay") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            return replay(v);
+        } else if (arg == "--quiet") {
+            quiet = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+
+    std::vector<pra::dram::SchedulerKind> schedulers;
+    if (allSchedulers) {
+        schedulers.assign(std::begin(pra::dram::kAllSchedulerKinds),
+                          std::end(pra::dram::kAllSchedulerKinds));
+    } else {
+        schedulers.push_back(opts.scheduler);
+    }
+
+    bool anyClean = false;
+    bool anyViolation = false;
+    bool emitted = false;
+    CommandScript deepest;
+    for (Fault fault : faults) {
+        for (pra::dram::SchedulerKind sched : schedulers) {
+            ModelChecker::Options run = opts;
+            run.fault = fault;
+            run.scheduler = sched;
+            const ModelCheckResult res = ModelChecker(run).run();
+            if (!quiet) {
+                std::printf(
+                    "fault=%-13s scheduler=%-12s depth=%-3llu "
+                    "states=%llu deduped=%llu commands=%llu%s: %s\n",
+                    pra::analysis::faultName(fault),
+                    pra::dram::schedulerKindName(sched),
+                    static_cast<unsigned long long>(run.depth),
+                    static_cast<unsigned long long>(res.statesExplored),
+                    static_cast<unsigned long long>(res.statesDeduped),
+                    static_cast<unsigned long long>(res.commandsIssued),
+                    res.budgetExhausted ? " (budget exhausted)" : "",
+                    res.violationFound ? "VIOLATION" : "clean");
+            }
+            if (res.violationFound) {
+                anyViolation = true;
+                std::printf("violation (fault=%s scheduler=%s): %s\n",
+                            pra::analysis::faultName(fault),
+                            pra::dram::schedulerKindName(sched),
+                            res.violation.c_str());
+                std::printf("%s", res.counterexample.serialize().c_str());
+                if (!emitPath.empty() && !emitted) {
+                    std::ofstream out(emitPath);
+                    out << res.counterexample.serialize();
+                    emitted = true;
+                    std::printf("counterexample written to %s\n",
+                                emitPath.c_str());
+                }
+            } else {
+                anyClean = true;
+                if (res.deepestPath.commands.size() >
+                    deepest.commands.size())
+                    deepest = res.deepestPath;
+            }
+        }
+    }
+
+    if (!emitPath.empty() && !emitted && !deepest.commands.empty()) {
+        // Clean run: emit the deepest explored path as a regression seed.
+        std::ofstream out(emitPath);
+        out << deepest.serialize();
+        std::printf("deepest clean path (%zu commands) written to %s\n",
+                    deepest.commands.size(), emitPath.c_str());
+    }
+
+    if (expectViolation)
+        return anyClean ? 1 : 0;   // Every run must have been caught.
+    return anyViolation ? 1 : 0;
+}
