@@ -79,6 +79,16 @@ class SweepTimer
         simulatedCycles_.fetch_add(res.dramCycles,
                                    std::memory_order_relaxed);
         cells_.fetch_add(1, std::memory_order_relaxed);
+        eventsPopped_.fetch_add(res.engine.eventsPopped,
+                                std::memory_order_relaxed);
+        roundsRun_.fetch_add(res.engine.rounds, std::memory_order_relaxed);
+        skippedTicks_.fetch_add(res.engine.skippedTicks,
+                                std::memory_order_relaxed);
+        std::uint64_t prev = heapPeak_.load(std::memory_order_relaxed);
+        while (prev < res.engine.heapPeak &&
+               !heapPeak_.compare_exchange_weak(prev, res.engine.heapPeak,
+                                                std::memory_order_relaxed)) {
+        }
     }
 
     /** Credit @p results finished cells at once. */
@@ -119,7 +129,22 @@ class SweepTimer
                 static_cast<unsigned long long>(
                     runner_->warmupsComputed()));
         }
-        std::fprintf(stderr, "\n");
+        // Event-engine counters (DESIGN.md §11): wake-ups popped per
+        // simulated kilocycle, the fraction of ticks the engine slept
+        // through, and the deepest wake-up heap seen. All-zero under
+        // EngineKind::Tick.
+        const double events =
+            static_cast<double>(eventsPopped_.load());
+        const double rounds = static_cast<double>(roundsRun_.load());
+        const double skipped =
+            static_cast<double>(skippedTicks_.load());
+        std::fprintf(
+            stderr, ", %.2f events/kcycle, %.1f%% ticks skipped, "
+                    "heap peak %llu\n",
+            cycles > 0.0 ? events / (cycles / 1e3) : 0.0,
+            rounds + skipped > 0.0 ? 100.0 * skipped / (rounds + skipped)
+                                   : 0.0,
+            static_cast<unsigned long long>(heapPeak_.load()));
     }
 
   private:
@@ -127,6 +152,10 @@ class SweepTimer
     std::chrono::steady_clock::time_point start_;
     std::atomic<std::uint64_t> simulatedCycles_{0};
     std::atomic<std::uint64_t> cells_{0};
+    std::atomic<std::uint64_t> eventsPopped_{0};
+    std::atomic<std::uint64_t> roundsRun_{0};
+    std::atomic<std::uint64_t> skippedTicks_{0};
+    std::atomic<std::uint64_t> heapPeak_{0};
     const sim::Runner *runner_ = nullptr;
 };
 

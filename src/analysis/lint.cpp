@@ -438,6 +438,69 @@ lintUnorderedIteration(const SourceFile &f,
     }
 }
 
+// --- Rule: timing-locality ----------------------------------------------
+
+/**
+ * True when @p path names an issue-path translation unit covered by the
+ * timing-locality rule: the controller, the bank/rank FSM layers, the
+ * bus arbiter, the maintenance engine, the wake-up heap, and every
+ * scheduler policy. timing_tables.* (the table builder — the one place
+ * allowed to read raw Timing fields) and checker.* (the independent
+ * oracle, deliberately a second derivation) fall outside the scope by
+ * construction: their stems are not in the list and they do not live
+ * under src/dram/sched/.
+ */
+bool
+timingLocalityScoped(const std::string &path)
+{
+    if (path.find("src/dram/") == std::string::npos)
+        return false;
+    const std::size_t slash = path.find_last_of('/');
+    const std::string base =
+        slash == std::string::npos ? path : path.substr(slash + 1);
+    const std::size_t dot = base.find_last_of('.');
+    if (dot == std::string::npos)
+        return false;
+    const std::string ext = base.substr(dot + 1);
+    if (ext != "h" && ext != "cpp")
+        return false;
+    if (path.find("src/dram/sched/") != std::string::npos)
+        return true;
+    const std::string stem = base.substr(0, dot);
+    for (const char *s : {"controller", "bank", "bank_engine",
+                          "bus_arbiter", "rank", "maintenance_engine",
+                          "wakeup_heap"}) {
+        if (stem == s)
+            return true;
+    }
+    return false;
+}
+
+void
+lintTimingLocality(const SourceFile &f, const std::vector<std::string> &raw,
+                   const std::vector<std::string> &stripped,
+                   std::vector<LintIssue> &issues)
+{
+    if (!timingLocalityScoped(f.path))
+        return;
+    for (std::size_t li = 0; li < stripped.size(); ++li) {
+        const std::string &line = stripped[li];
+        const bool hit =
+            findIdentifier(line, "timing") != std::string::npos ||
+            findIdentifier(line, "Timing") != std::string::npos;
+        if (hit && !suppressed(raw, li, "pra-lint: timing-ok")) {
+            issues.push_back(
+                {f.path, static_cast<unsigned>(li + 1), "timing-locality",
+                 "raw timing-parameter access in issue-path code — "
+                 "hot-path legality must flow through the precomputed "
+                 "command-pair gap tables (src/dram/timing_tables.h); add "
+                 "the derived gap to the table builder instead, or "
+                 "annotate a vetted cold-path site with "
+                 "`pra-lint: timing-ok`"});
+        }
+    }
+}
+
 // --- Rules: config-coverage / energy-coverage ---------------------------
 
 const SourceFile *
@@ -644,6 +707,7 @@ lintSources(const std::vector<SourceFile> &files)
             splitLines(stripComments(f.text));
         lintEntropy(f, stripped, issues);
         lintUnorderedIteration(f, raw, stripped, unordered, issues);
+        lintTimingLocality(f, raw, stripped, issues);
     }
     lintConfigCoverage(files, issues);
     lintEnergyCoverage(files, issues);

@@ -2,7 +2,7 @@
  * @file
  * Repo-specific determinism and configuration lint (DESIGN.md §10).
  *
- * Four rules, each encoding an invariant this repository depends on but
+ * Five rules, each encoding an invariant this repository depends on but
  * a generic linter cannot know:
  *
  *  - entropy: no ambient randomness or wall-clock access outside
@@ -14,6 +14,15 @@
  *    src/cache) — hash-order iteration silently varies across library
  *    versions, defeating determinism. Suppress a vetted site (e.g. keys
  *    sorted before use) with `// pra-lint: unordered-ok`;
+ *  - timing-locality: no raw timing-parameter access (word-bounded
+ *    `timing`/`Timing`) in issue-path code — the controller, bank/rank
+ *    FSMs, bus arbiter, maintenance engine, wake-up heap, and scheduler
+ *    policies must derive legality from the precomputed command-pair
+ *    gap tables (src/dram/timing_tables.h), keeping the hot path free
+ *    of scattered tRCD-style arithmetic that the event engine's wake-up
+ *    bounds could silently miss. timing_tables.cpp (the builder) and
+ *    checker.* (the independent oracle) are outside the scope; a vetted
+ *    cold-path site suppresses with `// pra-lint: timing-ok`;
  *  - config-coverage: every DramConfig and SystemConfig field must
  *    appear in canonicalConfig() (the result-cache key — a field
  *    missing there lets two behaviourally different configs share a

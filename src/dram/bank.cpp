@@ -7,15 +7,14 @@ namespace pra::dram {
 void
 Bank::activate(Cycle now, std::uint32_t row, WordMask mask, bool partial)
 {
-    const Cycle sense_start =
-        now + (partial ? timing_->praMaskCycles : 0u);
+    const Cycle sense_start = now + (partial ? t_.maskDelay : Cycle{0});
     rowBuf_.activate(row, mask);
     ++stateEpoch_;
-    earliestColumn_ = sense_start + timing_->tRcd;
-    earliestPre_ = sense_start + timing_->tRas;
-    // tRC lower-bounds the next activation of this bank even if the row
-    // is precharged early.
-    earliestAct_ = std::max(earliestAct_, sense_start + timing_->tRc);
+    earliestColumn_ = sense_start + t_.actToColumn;
+    earliestPre_ = sense_start + t_.actToPrecharge;
+    // The ACT->ACT gap lower-bounds the next activation of this bank
+    // even if the row is precharged early.
+    earliestAct_ = std::max(earliestAct_, sense_start + t_.actToAct);
     hitCount_ = 0;
     autoPre_ = false;
 }
@@ -24,17 +23,17 @@ void
 Bank::read(Cycle now, unsigned burst_cycles)
 {
     (void)burst_cycles;
-    earliestColumn_ = std::max(earliestColumn_, now + timing_->tCcd);
-    earliestPre_ = std::max(earliestPre_, now + timing_->tRtp);
+    earliestColumn_ = std::max(earliestColumn_, now + t_.columnToColumn);
+    earliestPre_ = std::max(earliestPre_, now + t_.readToPrecharge);
 }
 
 void
 Bank::write(Cycle now, unsigned burst_cycles)
 {
-    earliestColumn_ = std::max(earliestColumn_, now + timing_->tCcd);
+    earliestColumn_ = std::max(earliestColumn_, now + t_.columnToColumn);
     // Write recovery counts from the end of the data burst.
     earliestPre_ = std::max(earliestPre_,
-                            now + timing_->wl + burst_cycles + timing_->tWr);
+                            now + t_.writeToPrecharge + burst_cycles);
 }
 
 void
@@ -42,7 +41,7 @@ Bank::precharge(Cycle now)
 {
     rowBuf_.close();
     ++stateEpoch_;
-    earliestAct_ = std::max(earliestAct_, now + timing_->tRp);
+    earliestAct_ = std::max(earliestAct_, now + t_.prechargeToAct);
     hitCount_ = 0;
     autoPre_ = false;
 }

@@ -12,7 +12,7 @@
 #include "common/hash.h"
 #include "common/types.h"
 #include "core/row_buffer.h"
-#include "dram/timing.h"
+#include "dram/timing_tables.h"
 
 namespace pra::dram {
 
@@ -20,7 +20,7 @@ namespace pra::dram {
 class Bank
 {
   public:
-    explicit Bank(const Timing &t) : timing_(&t) {}
+    explicit Bank(const BankTables &t) : t_(t) {}
 
     const RowBufferState &rowBuffer() const { return rowBuf_; }
     bool isOpen() const { return rowBuf_.isOpen(); }
@@ -126,7 +126,7 @@ class Bank
     }
 
   private:
-    const Timing *timing_;
+    BankTables t_;
     RowBufferState rowBuf_;
 
     Cycle earliestAct_ = 0;     //!< tRP / tRC / tRFC gated.

@@ -23,6 +23,7 @@
 
 #include "common/hash.h"
 #include "dram/config.h"
+#include "dram/timing_tables.h"
 
 namespace pra::dram {
 
@@ -30,11 +31,17 @@ namespace pra::dram {
 class BusArbiter
 {
   public:
-    explicit BusArbiter(const DramConfig &cfg) : cfg_(&cfg) {}
+    explicit BusArbiter(const DramConfig &cfg)
+        : cfg_(&cfg), t_(TimingTables::build(cfg).channel)
+    {
+    }
 
     // --- Command/address bus ---------------------------------------------
 
     bool cmdBusBusy(Cycle now) const { return now < cmdBusFree_; }
+
+    /** Cycle the command bus frees (exact wake bound when busy). */
+    Cycle cmdBusFreeAt() const { return cmdBusFree_; }
 
     /** Occupy the command bus at @p now for 1 + @p extra cycles. */
     void holdCmdBus(Cycle now, unsigned extra = 0)
@@ -55,9 +62,11 @@ class BusArbiter
     /** A write command at @p now blocks reads for wl + burst + tWTR. */
     void noteWriteIssued(Cycle now, unsigned burst)
     {
-        readCmdBlockedUntil_ =
-            now + cfg_->timing.wl + burst + cfg_->timing.tWtr;
+        readCmdBlockedUntil_ = now + t_.writeToRead + burst;
     }
+
+    /** Cycle the tWTR gate releases (exact wake bound when blocked). */
+    Cycle readBlockedUntil() const { return readCmdBlockedUntil_; }
 
     // --- Data bus ---------------------------------------------------------
 
@@ -67,7 +76,7 @@ class BusArbiter
     {
         Cycle earliest = dataBusFree_;
         if (rank_id != lastBusRank_)
-            earliest += cfg_->timing.tRtrs;
+            earliest += t_.rankSwitch;
         return start >= earliest;
     }
 
@@ -78,27 +87,48 @@ class BusArbiter
         lastBusRank_ = rank_id;
     }
 
+    /** Earliest data-start cycle for @p rank_id (wake-bound query). */
+    Cycle
+    dataBusFreeAt(unsigned rank_id) const
+    {
+        return rank_id != lastBusRank_ ? dataBusFree_ + t_.rankSwitch
+                                       : dataBusFree_;
+    }
+
     // --- DDR4 bank-group column spacing ------------------------------------
 
     /** tCCD_S/tCCD_L spacing against the last column command. */
     bool
     columnGateOk(unsigned bank_id, Cycle now) const
     {
-        if (cfg_->timing.bankGroups <= 1 || !anyColumnIssued_)
+        if (t_.bankGroups <= 1 || !anyColumnIssued_)
             return true;
         const bool same_group = groupOf(bank_id) == lastColumnGroup_;
         // Test-only fault: treat same-group spacing as cross-group, so
         // the independent TimingChecker must flag the tCCD_L violation.
-        const unsigned gap = same_group && !cfg_->faultIgnoreTccdL
-                                 ? cfg_->timing.tCcdL
-                                 : cfg_->timing.tCcd;
+        const Cycle gap = same_group && !cfg_->faultIgnoreTccdL
+                              ? t_.columnSameGroup
+                              : t_.columnCrossGroup;
         return now >= lastColumnCycle_ + gap;
+    }
+
+    /** Cycle the tCCD spacing for @p bank_id releases (wake bound). */
+    Cycle
+    columnGateFreeAt(unsigned bank_id) const
+    {
+        if (t_.bankGroups <= 1 || !anyColumnIssued_)
+            return 0;
+        const bool same_group = groupOf(bank_id) == lastColumnGroup_;
+        const Cycle gap = same_group && !cfg_->faultIgnoreTccdL
+                              ? t_.columnSameGroup
+                              : t_.columnCrossGroup;
+        return lastColumnCycle_ + gap;
     }
 
     void
     noteColumnIssued(unsigned bank_id, Cycle now)
     {
-        if (cfg_->timing.bankGroups > 1) {
+        if (t_.bankGroups > 1) {
             lastColumnCycle_ = now;
             lastColumnGroup_ = groupOf(bank_id);
             anyColumnIssued_ = true;
@@ -123,17 +153,17 @@ class BusArbiter
             return;
         if (reads_queued)
             consider(readCmdBlockedUntil_);   // tWTR release.
-        if (cfg_->timing.bankGroups > 1 && anyColumnIssued_) {
-            consider(lastColumnCycle_ + cfg_->timing.tCcd);
-            consider(lastColumnCycle_ + cfg_->timing.tCcdL);
+        if (t_.bankGroups > 1 && anyColumnIssued_) {
+            consider(lastColumnCycle_ + t_.columnCrossGroup);
+            consider(lastColumnCycle_ + t_.columnSameGroup);
         }
         // Data-bus release: a column command becomes issuable once its
         // data window (starting wl/rl cycles later, +tRtrs on a rank
         // switch) clears dataBusFree_.
-        const Cycle lats[] = {cfg_->timing.wl, cfg_->timing.rl()};
+        const Cycle lats[] = {t_.writeLatency, t_.readLatency};
         for (Cycle lat : lats) {
             for (Cycle busy_until :
-                 {dataBusFree_, dataBusFree_ + cfg_->timing.tRtrs}) {
+                 {dataBusFree_, dataBusFree_ + t_.rankSwitch}) {
                 if (busy_until > lat)
                     consider(busy_until - lat);
             }
@@ -159,11 +189,11 @@ class BusArbiter
         delta(dataBusFree_);
         h.add(dataBusFree_ > now ? lastBusRank_ : 0u);
         delta(readCmdBlockedUntil_);
-        if (cfg_->timing.bankGroups > 1 && anyColumnIssued_) {
-            delta(lastColumnCycle_ + cfg_->timing.tCcd);
-            delta(lastColumnCycle_ + cfg_->timing.tCcdL);
+        if (t_.bankGroups > 1 && anyColumnIssued_) {
+            delta(lastColumnCycle_ + t_.columnCrossGroup);
+            delta(lastColumnCycle_ + t_.columnSameGroup);
             const bool live =
-                lastColumnCycle_ + cfg_->timing.tCcdL > now;
+                lastColumnCycle_ + t_.columnSameGroup > now;
             h.add(live ? lastColumnGroup_ : ~0u);
         }
     }
@@ -171,10 +201,12 @@ class BusArbiter
   private:
     unsigned groupOf(unsigned bank_id) const
     {
-        return bank_id / (cfg_->banksPerRank / cfg_->timing.bankGroups);
+        return bank_id /
+               (cfg_->banksPerRank / static_cast<unsigned>(t_.bankGroups));
     }
 
-    const DramConfig *cfg_;
+    const DramConfig *cfg_;   //!< Fault hooks + geometry only.
+    ChannelTables t_;
     Cycle cmdBusFree_ = 0;
     Cycle dataBusFree_ = 0;
     unsigned lastBusRank_ = 0;

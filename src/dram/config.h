@@ -57,6 +57,19 @@ enum class SchedulerKind
     FrFcfsWriteAge,
 };
 
+/** Simulation engine driving the controller (DESIGN.md §11). */
+enum class EngineKind
+{
+    /** Run a full scheduling round on every DRAM cycle. */
+    Tick,
+    /**
+     * Wakeup-queue event engine: rounds run only at published next-
+     * event cycles; intervening ticks just account background power.
+     * Bit-identical to Tick (pinned by test_engine_differential.cpp).
+     */
+    Event,
+};
+
 /** Physical address interleaving. */
 enum class AddrMapping
 {
@@ -129,6 +142,15 @@ struct DramConfig
      * masks need fewer PRA latch bits (and fewer wordline gates).
      */
     unsigned minActGranularity = 1;
+
+    /**
+     * Simulation engine. Observational: both engines produce identical
+     * simulated behaviour (it is excluded from the canonical config and
+     * result-cache keys), so this only trades wall-clock time. The
+     * PRA_ENGINE=tick|event environment variable overrides it
+     * process-wide.
+     */
+    EngineKind engine = EngineKind::Event;   // pra-lint: observational
 
     // Scheme under evaluation.
     Scheme scheme = Scheme::Baseline;

@@ -33,13 +33,35 @@ trace(Cycle now, unsigned ch, const char *cmd, unsigned rank, unsigned bank,
     }
 }
 
+/**
+ * Engine selection: DramConfig::engine, overridable with
+ * PRA_ENGINE=tick|event. The env value is cached once per process (like
+ * PRA_TRACE), so in-process engine comparisons must use the config
+ * knob, not the environment.
+ */
+bool
+eventEngineSelected(const DramConfig &cfg)
+{
+    static const int env_mode = [] {
+        const char *env = std::getenv("PRA_ENGINE");
+        if (!env || !env[0])
+            return -1;
+        return env[0] == 'e' ? 1 : 0;
+    }();
+    if (env_mode >= 0)
+        return env_mode == 1;
+    return cfg.engine == EngineKind::Event;
+}
+
 } // namespace
 
 MemoryController::MemoryController(const DramConfig &cfg,
                                    unsigned channel_id)
     : cfg_(&cfg), traits_(cfg.traits()), channelId_(channel_id),
       banks_(cfg), bus_(cfg), sched_(makeSchedulerPolicy(cfg)),
-      maint_(cfg, banks_, *this)
+      maint_(cfg, banks_, *this), tables_(TimingTables::build(cfg)),
+      eventMode_(eventEngineSelected(cfg)),
+      replayForce_(verify::Auditor::envReplay())
 {
     if (cfg.enableChecker)
         checker_ = std::make_unique<TimingChecker>(cfg);
@@ -74,6 +96,17 @@ MemoryController::enqueue(Request req, Cycle now)
 {
     req.arrival = now;
     assert(req.loc.channel == channelId_);
+
+    // An arrival can enable work immediately (on every enqueue path,
+    // including combining and forwarding), so pull the wake target in;
+    // tick(now) then runs a full round and republishes.
+    if (eventMode_ && now < nextWake_)
+        nextWake_ = now;
+
+    // Settle the deferred background window before the queues change:
+    // the window was arrival-free by construction, so its per-rank
+    // queued-work flags must be read against the pre-arrival state.
+    settleBackground();
 
     if (req.isWrite) {
         ++stats_.writeReqs;
@@ -203,6 +236,7 @@ MemoryController::schedulerInputs() const
 void
 MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
 {
+    roundActivity_ = true;
     Rank &rank = banks_.rank(req.loc.rank);
     Bank &bank = rank.bank(req.loc.bank);
 
@@ -237,7 +271,9 @@ MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
 
     // A partial activation occupies the command/address bus one extra
     // cycle to transfer the PRA mask (paper Fig. 7a).
-    bus_.holdCmdBus(now, partial ? cfg_->timing.praMaskCycles : 0u);
+    bus_.holdCmdBus(
+        now,
+        partial ? static_cast<unsigned>(tables_.channel.maskCycles) : 0u);
 
     trace(now, channelId_, "ACT", req.loc.rank, req.loc.bank, req.loc.row,
           gran);
@@ -265,6 +301,7 @@ void
 MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
                               bool is_write, Cycle now)
 {
+    roundActivity_ = true;
     Request req = queue[idx];
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(idx));
     if (is_write) {
@@ -274,7 +311,8 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
 
     Rank &rank = banks_.rank(req.loc.rank);
     Bank &bank = rank.bank(req.loc.bank);
-    const unsigned burst = traits_.burstCycles(cfg_->timing.burstCycles);
+    const unsigned burst =
+        traits_.burstCycles(static_cast<unsigned>(tables_.channel.burst));
 
     bus_.noteColumnIssued(req.loc.bank, now);
     trace(now, channelId_, is_write ? "WR" : "RD", req.loc.rank,
@@ -303,15 +341,17 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
 
     if (is_write) {
         bank.write(now, burst);
-        bus_.reserveDataBus(now + cfg_->timing.wl, burst, req.loc.rank);
+        bus_.reserveDataBus(now + tables_.channel.writeLatency, burst,
+                            req.loc.rank);
         bus_.noteWriteIssued(now, burst);
         ++energy_.writeLines;
         energy_.writeWordsDriven += traits_.wordsDriven(
             traits_.chipSelect ? WordMask{req.chipMask} : req.mask);
     } else {
         bank.read(now, burst);
-        const Cycle finish = now + cfg_->timing.rl() + burst;
-        bus_.reserveDataBus(now + cfg_->timing.rl(), burst, req.loc.rank);
+        const Cycle finish = now + tables_.channel.readLatency + burst;
+        bus_.reserveDataBus(now + tables_.channel.readLatency, burst,
+                            req.loc.rank);
         ++energy_.readLines;
         inflight_.push_back({req.tag, req.coreId, req.addr, finish,
                              finish - req.arrival});
@@ -326,6 +366,7 @@ void
 MemoryController::issuePrecharge(unsigned rank_id, unsigned bank_id,
                                  Cycle now)
 {
+    roundActivity_ = true;
     trace(now, channelId_, "PRE", rank_id, bank_id, 0, 0);
     if (checker_) {
         checker_->observe({CheckedCommand::Kind::Precharge, now, rank_id,
@@ -349,6 +390,7 @@ MemoryController::issueAutoPrecharge(unsigned rank_id, unsigned bank_id,
 {
     // Auto-precharge (restricted close-page) is encoded in the column
     // command (RDA/WRA), so it consumes no command-bus slot.
+    roundActivity_ = true;
     if (checker_) {
         checker_->observe({CheckedCommand::Kind::Precharge, now, rank_id,
                            bank_id, 0, false, 0.0, 0});
@@ -367,6 +409,7 @@ MemoryController::issueAutoPrecharge(unsigned rank_id, unsigned bank_id,
 void
 MemoryController::issueRefresh(unsigned rank_id, Cycle now)
 {
+    roundActivity_ = true;
     if (checker_) {
         checker_->observe({CheckedCommand::Kind::Refresh, now, rank_id, 0,
                            0, false, 0.0, 0});
@@ -386,12 +429,19 @@ bool
 MemoryController::tryColumnAccess(std::deque<Request> &queue, bool is_write,
                                   Cycle now)
 {
-    if (!is_write && bus_.readBlocked(now))
+    if (!is_write && bus_.readBlocked(now)) {
+        if (!queue.empty())
+            noteWake(bus_.readBlockedUntil(), now);
         return false;
+    }
     const std::size_t window = sched_->columnWindow(queue.size());
     for (std::size_t i = 0; i < window; ++i) {
         Request &req = queue[i];
         Bank &bank = banks_.bank(req.loc.rank, req.loc.bank);
+        // State-gated rejections (row miss, pending auto-precharge,
+        // unclassified, exhausted hit budget) need no retry bound: the
+        // enabling change is itself a command or arrival, which forces a
+        // round. Time-gated rejections note the exact release cycle.
         if (banks_.probe(req) != RowProbe::Hit)
             continue;
         // Restricted close-page: the auto-precharge is encoded in the
@@ -406,17 +456,24 @@ MemoryController::tryColumnAccess(std::deque<Request> &queue, bool is_write,
             continue;
         const bool column_ok =
             is_write ? bank.canWrite(now) : bank.canRead(now);
-        if (!column_ok)
+        if (!column_ok) {
+            noteWake(bank.earliestColumnAccess(), now);
             continue;
+        }
         // DDR4 bank groups: back-to-back column commands to the same
         // group must honor the long tCCD_L; across groups tCCD(_S)
         // applies at the channel level.
-        if (!bus_.columnGateOk(req.loc.bank, now))
+        if (!bus_.columnGateOk(req.loc.bank, now)) {
+            noteWake(bus_.columnGateFreeAt(req.loc.bank), now);
             continue;
-        const Cycle data_start =
-            now + (is_write ? cfg_->timing.wl : cfg_->timing.rl());
-        if (!bus_.dataBusFree(data_start, req.loc.rank))
+        }
+        const Cycle lat = is_write ? tables_.channel.writeLatency
+                                   : tables_.channel.readLatency;
+        const Cycle data_start = now + lat;
+        if (!bus_.dataBusFree(data_start, req.loc.rank)) {
+            noteWake(bus_.dataBusFreeAt(req.loc.rank) - lat, now);
             continue;
+        }
         if (cfg_->policy == PagePolicy::RelaxedClose &&
             bank.hitCount() >= cfg_->rowHitCap) {
             continue;   // Must re-activate; handled by close + prepare.
@@ -443,12 +500,19 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
 
         switch (probe) {
           case RowProbe::Closed: {
-            if (rank.refreshDue(now) || rank.refreshing(now))
+            if (rank.refreshDue(now) || rank.refreshing(now)) {
+                // A due refresh issues inside a round (maintenance wake
+                // bound covers it); an in-progress one releases at tRFC.
+                if (rank.refreshing(now))
+                    noteWake(rank.refreshDoneAt(), now);
                 break;   // Let the rank drain for refresh.
+            }
             // The bank gate needs no mask, so check it before the (write-
             // queue scanning) merged-mask / weight derivation.
-            if (!bank.canActivate(now))
+            if (!bank.canActivate(now)) {
+                noteWake(bank.earliestActivate(), now);
                 break;
+            }
             WordMask dirty =
                 is_write ? mergedWriteMask(req) : WordMask::full();
             unsigned gran = traits_.actGranularity(is_write, dirty);
@@ -465,6 +529,10 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
                 issueActivate(req, is_write, now);
                 return true;
             }
+            // Rank-level gate: either tRRD or the (weighted) tFAW window
+            // blocks; both release at register-known cycles.
+            noteWake(rank.nextActAllowedAt(), now);
+            noteWake(rank.earliestActWindowExpiry(), now);
             break;
           }
           case RowProbe::Conflict:
@@ -480,20 +548,27 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
                 cfg_->policy == PagePolicy::RelaxedClose &&
                 banks_.openRowMatches(req.loc.rank, req.loc.bank) > 0 &&
                 bank.hitCount() < cfg_->rowHitCap;
-            if (!still_useful && bank.canPrecharge(now)) {
-                classify(req, probe);
-                issuePrecharge(req.loc.rank, req.loc.bank, now);
-                return true;
+            if (!still_useful) {
+                if (bank.canPrecharge(now)) {
+                    classify(req, probe);
+                    issuePrecharge(req.loc.rank, req.loc.bank, now);
+                    return true;
+                }
+                // tRAS/tWR/tRTP gate; still_useful is state-gated (its
+                // hits drain inside rounds) and needs no bound.
+                noteWake(bank.earliestPrecharge(), now);
             }
             break;
           }
           case RowProbe::Hit:
             if (cfg_->policy == PagePolicy::RelaxedClose &&
-                bank.hitCount() >= cfg_->rowHitCap &&
-                bank.canPrecharge(now)) {
-                // Hit-budget exhausted: close so it can re-activate.
-                issuePrecharge(req.loc.rank, req.loc.bank, now);
-                return true;
+                bank.hitCount() >= cfg_->rowHitCap) {
+                if (bank.canPrecharge(now)) {
+                    // Hit-budget exhausted: close so it can re-activate.
+                    issuePrecharge(req.loc.rank, req.loc.bank, now);
+                    return true;
+                }
+                noteWake(bank.earliestPrecharge(), now);
             }
             break;   // Column path (or pending auto-PRE) handles it.
         }
@@ -525,7 +600,70 @@ MemoryController::accountBackground(Cycle now)
 void
 MemoryController::tick(Cycle now)
 {
+    if (!eventMode_) {
+        runRound(now);
+        return;
+    }
+
+    if (now < nextWake_ && !replayForce_) {
+        // Published-quiet cycle: only background power accrues, and even
+        // that is deferred — the next round (or counter read) settles
+        // the whole skipped window in one analytic jump.
+        ++engineStats_.skippedTicks;
+        bgPending_ = now + 1;
+        return;
+    }
+
+    // PRA_AUDIT_REPLAY forces a full round on cycles the heap declared
+    // quiet; such a round must not act, or the published wake-up set
+    // was unsound.
+    const bool forced_quiet = now < nextWake_;
+    const std::size_t popped = wake_.popDue(now);
+    engineStats_.eventsPopped += popped;
+    if (popped > 0)
+        ++engineStats_.wakeups;
+
+    roundActivity_ = false;
+    scanWake_ = kNever;
+    ++engineStats_.rounds;
+    runRound(now);
+    if (forced_quiet && audit_)
+        audit_->onEventRound(now, nextWake_, roundActivity_);
+    if (roundActivity_) {
+        // An active round nearly always warrants a next-cycle follow-up
+        // (the command bus is held, completions cascade); re-arming at
+        // now + 1 is sound — it skips nothing — and any bounds the
+        // round's scans noted before its issue are stale anyway. Only a
+        // round that found nothing to do publishes, and its scans have
+        // already computed the exact cycle each blocked gate releases.
+        nextWake_ = now + 1;
+    } else {
+        publishWakeups(now);
+    }
+}
+
+void
+MemoryController::settleBackground()
+{
+    if (bgPending_ <= bgFrom_)
+        return;
+    // The deferred window saw no commands and no arrivals (either would
+    // have forced a round), so bank-open state and queue membership were
+    // constant across it — exactly the contract the analytic jump needs.
+    for (unsigned r = 0; r < banks_.numRanks(); ++r) {
+        banks_.rank(r).fastForwardBackground(bgFrom_, bgPending_,
+                                             banks_.anyQueuedInRank(r),
+                                             energy_);
+    }
+    bgFrom_ = bgPending_;
+}
+
+void
+MemoryController::runRound(Cycle now)
+{
+    settleBackground();
     accountBackground(now);
+    bgFrom_ = bgPending_ = now + 1;
 
     // Restricted-close auto-precharges retire without a command slot.
     maint_.stepAutoPrecharge(now);
@@ -533,6 +671,7 @@ MemoryController::tick(Cycle now)
     // Deliver finished reads.
     for (std::size_t i = 0; i < inflight_.size();) {
         if (inflight_[i].finish <= now) {
+            roundActivity_ = true;
             finished_.push_back(inflight_[i]);
             inflight_[i] = inflight_.back();
             inflight_.pop_back();
@@ -541,19 +680,27 @@ MemoryController::tick(Cycle now)
         }
     }
 
-    // The policy observes queue occupancy every cycle (its drain
-    // hysteresis must track enqueues even on command-bus-busy ticks).
+    // The policy observes queue occupancy on every round. Rounds the
+    // event engine skips have unchanged queue sizes (an enqueue always
+    // forces a round), so the hysteresis state it would have computed on
+    // the skipped cycles is exactly what one application computes here.
     const SchedulerInputs inputs = schedulerInputs();
     sched_->onTick(inputs, now);
 
-    if (bus_.cmdBusBusy(now))
+    if (bus_.cmdBusBusy(now)) {
+        // Nothing below can issue until the slot frees; the retry bound
+        // is exact (auto-precharges and completions ran above).
+        noteWake(bus_.cmdBusFreeAt(), now);
         return;
+    }
 
     if (maint_.tryRefresh(now))
         return;
     // Pluggable maintenance operations (none registered by default).
-    if (maint_.tryOps(now))
+    if (maint_.tryOps(now)) {
+        roundActivity_ = true;
         return;
+    }
 
     const bool writes_first = sched_->writesFirst(inputs, now);
     std::deque<Request> &primary = writes_first ? writeQ_ : readQ_;
@@ -575,73 +722,80 @@ MemoryController::tick(Cycle now)
     maint_.tryMaintenanceClose(now);
 }
 
+void
+MemoryController::publishWakeups(Cycle now)
+{
+    wake_.clear();
+    std::uint64_t pushes = 0;
+    auto consider = [&](Cycle c) {
+        if (c > now && c != kNever) {
+            wake_.push(c);
+            ++pushes;
+        }
+    };
+    // The quiet round that just ran is itself the wake-bound scan: every
+    // gate that rejected a candidate noted its exact release cycle in
+    // scanWake_ (DESIGN.md §11). Only the layers whose next event needs
+    // no request scan are added here — in-flight completions, the
+    // scheduler's time-driven decision flips, and the maintenance
+    // engine's deadline bound. State-gated rejections (row miss, pending
+    // auto-precharge, still-useful row) need no retry candidate: their
+    // enabling change is itself a command or arrival, which forces a
+    // round.
+    consider(scanWake_);
+    for (const auto &c : inflight_)
+        consider(c.finish);
+    if (!readQ_.empty() || !writeQ_.empty())
+        consider(sched_->nextDecisionChangeAt(schedulerInputs(), now));
+    consider(maint_.nextWakeAt(now));
+    // Pluggable maintenance ops are opaque (no wake contract): while
+    // one is registered the engine degrades to per-cycle rounds.
+    if (maint_.hasOps())
+        consider(now + 1);
+    engineStats_.heapPushes += pushes;
+    engineStats_.heapPeak =
+        std::max<std::uint64_t>(engineStats_.heapPeak, wake_.size());
+    nextWake_ = wake_.empty() ? kNever : wake_.min();
+}
+
 Cycle
 MemoryController::nextEventCycle(Cycle now) const
 {
-    constexpr Cycle kNever = ~Cycle{0};
+    // Event engine: the heap minimum was published by the last round
+    // and every later enqueue ran through tick(), so it is exact for
+    // the caller's (no-arrivals) contract — no rescan needed. The
+    // invariant nextWake_ > last-ticked-cycle makes the guard always
+    // true once ticking has started.
+    if (eventMode_ && nextWake_ > now)
+        return nextWake_;
+
+    // Tick engine: recompute the bound by scanning every layer. Every
+    // gate that can block an otherwise-ready action is listed
+    // individually, so a window in which exactly one gate binds still
+    // wakes at the cycle that gate releases. Extra (too-early)
+    // candidates are harmless — the caller re-evaluates — but a missing
+    // one would overshoot and change behaviour.
     Cycle next = kNever;
     auto consider = [&](Cycle c) {
         if (c > now && c < next)
             next = c;
     };
-
-    // Every gate that can block an otherwise-ready action is listed
-    // individually, so a window in which exactly one gate binds still
-    // wakes at the cycle that gate releases. Extra (too-early) candidates
-    // are harmless — the caller re-evaluates — but a missing one would
-    // overshoot and change behaviour.
-
-    // Completion deliveries.
-    for (const auto &c : inflight_)
-        consider(c.finish);
-
-    const bool reads_queued = !readQ_.empty();
-    const bool writes_queued = !writeQ_.empty();
-    const bool any_queued = reads_queued || writes_queued;
-
-    // Bus gates: command bus, tWTR, bank-group spacing, data-bus release.
-    bus_.considerWakeups(reads_queued, any_queued, consider);
-
-    for (unsigned r = 0; r < banks_.numRanks(); ++r) {
-        const Rank &rank = banks_.rank(r);
-        // Refresh becomes due at the deadline regardless of the queues.
-        consider(rank.nextRefreshAt());
-
-        const bool rank_queued = banks_.anyQueuedInRank(r);
-        if (rank_queued) {
-            // Activation gates (tRRD, weighted tFAW expiries).
-            consider(rank.nextActAllowedAt());
-            for (Cycle e : rank.actWindowExpiries())
-                consider(e);
-        }
-
-        const bool refresh_pending = rank.refreshDue(now);
-        for (unsigned b = 0; b < rank.numBanks(); ++b) {
-            const Bank &bank = rank.bank(b);
-            if (bank.isOpen()) {
-                // Column hits, and precharges (auto, maintenance, or
-                // conflict/false-hit closes) unlock here.
-                consider(bank.earliestPrecharge());
-                consider(bank.earliestColumnAccess());
-            } else if (rank_queued || refresh_pending) {
-                // ACT for a queued request, or the tRP/tRFC expiry that
-                // lets a due refresh (or post-refresh ACT) proceed.
-                consider(bank.earliestActivate());
-            }
-        }
-    }
-
+    forEachWakeCandidate(now, consider);
     return next;
 }
 
 void
 MemoryController::fastForward(Cycle from, Cycle to)
 {
+    // Settle any lazily deferred window first so the two analytic jumps
+    // stay contiguous, then mark [from, to) as accounted.
+    settleBackground();
     for (unsigned r = 0; r < banks_.numRanks(); ++r) {
         banks_.rank(r).fastForwardBackground(from, to,
                                              banks_.anyQueuedInRank(r),
                                              energy_);
     }
+    bgFrom_ = bgPending_ = to;
 }
 
 bool

@@ -62,6 +62,8 @@
 #include "dram/maintenance_engine.h"
 #include "dram/request.h"
 #include "dram/sched/scheduler_policy.h"
+#include "dram/timing_tables.h"
+#include "dram/wakeup_heap.h"
 #include "power/power_model.h"
 
 namespace pra::verify {
@@ -116,6 +118,21 @@ struct ControllerStats
     }
 };
 
+/**
+ * Observational counters of the event-driven engine (DESIGN.md §11).
+ * Not part of simulated behaviour: excluded from golden fingerprints
+ * and from the result cache.
+ */
+struct EngineStats
+{
+    std::uint64_t rounds = 0;       //!< Scheduling rounds executed.
+    std::uint64_t skippedTicks = 0; //!< Ticks short-circuited by the heap.
+    std::uint64_t wakeups = 0;      //!< Rounds triggered by a due event.
+    std::uint64_t eventsPopped = 0; //!< Heap entries consumed.
+    std::uint64_t heapPushes = 0;   //!< Candidates published.
+    std::uint64_t heapPeak = 0;     //!< Max heap occupancy observed.
+};
+
 /** One channel: queues + command mechanisms over the four layers. */
 class MemoryController : private MaintenanceHooks
 {
@@ -128,16 +145,24 @@ class MemoryController : private MaintenanceHooks
     /** Enqueue @p req (its loc must already be decoded). */
     void enqueue(Request req, Cycle now);
 
-    /** Advance one DRAM cycle. */
+    /**
+     * Advance one DRAM cycle. Under the tick engine every call runs a
+     * full scheduling round. Under the event engine (DESIGN.md §11) a
+     * call before the published next-wake cycle only accounts
+     * background power; rounds run exactly at heap-published wake-up
+     * cycles (and whenever enqueue() lowers the wake target).
+     */
     void tick(Cycle now);
 
     /**
-     * Cycle-skip support: a conservative lower bound (> @p now) on the
-     * next cycle at which tick() could do anything beyond background
-     * power accounting — issue a command, auto-precharge, or deliver a
-     * completion — assuming no new request is enqueued in between. The
-     * bound may be earlier than the next real action (the caller simply
-     * re-evaluates) but is never later.
+     * Cycle-skip support: the next cycle (> @p now) at which tick()
+     * could do anything beyond background power accounting — issue a
+     * command, auto-precharge, or deliver a completion — assuming no
+     * new request is enqueued in between. Under the tick engine this is
+     * a conservative lower bound recomputed by scanning every layer:
+     * it may be earlier than the next real action (the caller simply
+     * re-evaluates) but is never later. Under the event engine it is
+     * the already-published heap minimum, returned without a scan.
      */
     Cycle nextEventCycle(Cycle now) const;
 
@@ -156,7 +181,22 @@ class MemoryController : private MaintenanceHooks
     bool busy() const;
 
     const ControllerStats &stats() const { return stats_; }
-    const power::EnergyCounts &energyCounts() const { return energy_; }
+
+    /**
+     * Background-energy counters. Event-mode skipped ticks defer their
+     * background accounting (settled analytically at the next round);
+     * reading the counters settles any still-pending window first so
+     * callers always see every ticked cycle accounted.
+     */
+    const power::EnergyCounts &
+    energyCounts() const
+    {
+        const_cast<MemoryController *>(this)->settleBackground();
+        return energy_;
+    }
+
+    /** Event-engine counters (zero under the tick engine). */
+    const EngineStats &engineStats() const { return engineStats_; }
 
     unsigned numRanks() const { return banks_.numRanks(); }
     const Rank &rank(unsigned r) const { return banks_.rank(r); }
@@ -217,6 +257,98 @@ class MemoryController : private MaintenanceHooks
 
     void accountBackground(Cycle now);
 
+    /**
+     * Account the background power of the deferred window [bgFrom_,
+     * bgPending_) in one analytic jump (Rank::fastForwardBackground).
+     * Event-mode skipped ticks only record bgPending_; the window is
+     * action- and arrival-free by construction, so the jump is exact.
+     */
+    void settleBackground();
+
+    // --- Event engine (DESIGN.md §11) --------------------------------------
+
+    /** One full scheduling round: the tick-engine per-cycle body. */
+    void runRound(Cycle now);
+
+    /**
+     * Rebuild the wake-up heap and set nextWake_ to its minimum (kNever
+     * when empty). Called after every quiet round; the invariant
+     * nextWake_ > now holds on return. The candidates are exact, not
+     * conservative: the quiet round's failing scans record the release
+     * cycle of each gate that blocked a scanned request (scanWake_), and
+     * the layers publish their own next decisions — in-flight read
+     * finishes, the maintenance engine's nextWakeAt() (refresh
+     * deadlines, blocked closes, auto-precharge retirements), and the
+     * scheduler's time-driven selection flip. Everything else that could
+     * enable work is itself an event (an enqueue lowers nextWake_; a
+     * command can only issue inside a round).
+     */
+    void publishWakeups(Cycle now);
+
+    /**
+     * Record an exact retry cycle for a gate that blocked this round.
+     * Bounds at or before @p now are stale — a gate register can sit in
+     * the past while a *different* predicate (e.g. the weighted tFAW
+     * sum behind an expired tRRD) does the blocking — and must not
+     * shadow the real future bounds under the single-min collapse.
+     */
+    void
+    noteWake(Cycle c, Cycle now)
+    {
+        if (c > now && c < scanWake_)
+            scanWake_ = c;
+    }
+
+    /**
+     * Enumerate every cycle at which a scheduling round could act:
+     * in-flight completions, the bus arbiter's gate releases, the
+     * scheduler policy's next decision flip, refresh deadlines, and the
+     * per-bank/per-rank timing-gate releases. Shared by the event
+     * engine's publish step and the tick engine's cycle-skip bound.
+     */
+    template <typename Fn>
+    void
+    forEachWakeCandidate(Cycle now, Fn &&consider) const
+    {
+        for (const auto &c : inflight_)
+            consider(c.finish);
+
+        const bool reads_queued = !readQ_.empty();
+        const bool any_queued = reads_queued || !writeQ_.empty();
+
+        bus_.considerWakeups(reads_queued, any_queued, consider);
+
+        // Time-dependent selection flips (e.g. write-age promotion)
+        // can enable a command with no timing-gate release at that
+        // cycle, so the policy publishes its own candidate.
+        if (any_queued)
+            consider(sched_->nextDecisionChangeAt(schedulerInputs(), now));
+
+        for (unsigned r = 0; r < banks_.numRanks(); ++r) {
+            const Rank &rank = banks_.rank(r);
+            // Refresh deadlines apply even to idle ranks.
+            consider(rank.nextRefreshAt());
+            const bool rank_queued = banks_.anyQueuedInRank(r);
+            if (rank_queued) {
+                consider(rank.nextActAllowedAt());
+                rank.forEachActWindowExpiry(consider);
+            }
+            const bool refresh_pending = rank.refreshDue(now);
+            for (unsigned b = 0; b < rank.numBanks(); ++b) {
+                const Bank &bank = rank.bank(b);
+                if (bank.isOpen()) {
+                    consider(bank.earliestPrecharge());
+                    consider(bank.earliestColumnAccess());
+                } else if (rank_queued || refresh_pending) {
+                    consider(bank.earliestActivate());
+                }
+            }
+        }
+    }
+
+    /** Sentinel wake cycle: nothing scheduled. */
+    static constexpr Cycle kNever = ~Cycle{0};
+
     const DramConfig *cfg_;
     SchemeTraits traits_;
     unsigned channelId_;
@@ -240,6 +372,18 @@ class MemoryController : private MaintenanceHooks
     power::EnergyCounts energy_;
     std::unique_ptr<TimingChecker> checker_;
     verify::Auditor *audit_ = nullptr;
+
+    // Event engine state (DESIGN.md §11).
+    TimingTables tables_;     //!< Precomputed command-pair gaps.
+    bool eventMode_ = false;  //!< Event engine selected (config or env).
+    bool replayForce_ = false; //!< PRA_AUDIT_REPLAY: tick every cycle.
+    Cycle nextWake_ = 0;      //!< Heap minimum; 0 forces the first round.
+    WakeupHeap wake_;
+    EngineStats engineStats_;
+    bool roundActivity_ = false; //!< Set when the current round acts.
+    Cycle scanWake_ = kNever; //!< Min gate release noted by this round.
+    Cycle bgFrom_ = 0;        //!< First cycle with unaccounted background.
+    Cycle bgPending_ = 0;     //!< End (exclusive) of the deferred window.
 };
 
 } // namespace pra::dram

@@ -73,6 +73,12 @@ class DramSystem
     /** Aggregated power-event counts (elapsedCycles = wall clock). */
     power::EnergyCounts energyCounts() const;
 
+    /**
+     * Aggregated event-engine counters over all channels (counts sum,
+     * heapPeak takes the max). Observational — see EngineStats.
+     */
+    EngineStats engineStats() const;
+
     unsigned numChannels() const
     {
         return static_cast<unsigned>(channels_.size());

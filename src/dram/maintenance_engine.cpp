@@ -1,6 +1,34 @@
 #include "dram/maintenance_engine.h"
 
+#include <algorithm>
+
 namespace pra::dram {
+
+bool
+MaintenanceEngine::autoPreReady(const Bank &bank, Cycle now) const
+{
+    return bank.autoPrechargePending() && bank.canPrecharge(now);
+}
+
+bool
+MaintenanceEngine::refreshReady(const Rank &rank, Cycle now) const
+{
+    return rank.refreshDue(now) && rank.canRefresh(now) &&
+           !rank.refreshing(now);
+}
+
+bool
+MaintenanceEngine::closeEligible(unsigned r, unsigned b, const Bank &bank,
+                                 bool want_refresh, Cycle now) const
+{
+    if (!bank.isOpen() || !bank.canPrecharge(now))
+        return false;
+    const bool useless = banks_->openRowMatches(r, b) == 0 ||
+                         bank.hitCount() >= cfg_->rowHitCap;
+    // Open-page keeps rows open unless refresh needs them shut.
+    return (cfg_->policy == PagePolicy::RelaxedClose && useless) ||
+           want_refresh;
+}
 
 std::vector<MaintenanceEngine::BankRef>
 MaintenanceEngine::autoPrechargeCandidates(Cycle now) const
@@ -8,8 +36,7 @@ MaintenanceEngine::autoPrechargeCandidates(Cycle now) const
     std::vector<BankRef> out;
     for (unsigned r = 0; r < banks_->numRanks(); ++r) {
         for (unsigned b = 0; b < banks_->rank(r).numBanks(); ++b) {
-            const Bank &bank = banks_->bank(r, b);
-            if (bank.autoPrechargePending() && bank.canPrecharge(now))
+            if (autoPreReady(banks_->bank(r, b), now))
                 out.emplace_back(r, b);
         }
     }
@@ -19,10 +46,21 @@ MaintenanceEngine::autoPrechargeCandidates(Cycle now) const
 void
 MaintenanceEngine::stepAutoPrecharge(Cycle now)
 {
+    // Auto-precharges exist only under restricted close-page: the
+    // controller sets the flag solely on RDA/WRA issue, which is gated
+    // on the policy. Every other policy can skip the bank scan.
+    if (cfg_->policy != PagePolicy::RestrictedClose)
+        return;
     // Auto-precharges are encoded in their column command, so every
     // ready one retires this cycle — no command-bus slot to arbitrate.
-    for (const auto &[r, b] : autoPrechargeCandidates(now))
-        hooks_->issueAutoPrecharge(r, b, now);
+    // Same (rank, bank) order as autoPrechargeCandidates(), without the
+    // per-round vector.
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        for (unsigned b = 0; b < banks_->rank(r).numBanks(); ++b) {
+            if (autoPreReady(banks_->bank(r, b), now))
+                hooks_->issueAutoPrecharge(r, b, now);
+        }
+    }
 }
 
 std::vector<unsigned>
@@ -30,11 +68,8 @@ MaintenanceEngine::refreshCandidates(Cycle now) const
 {
     std::vector<unsigned> out;
     for (unsigned r = 0; r < banks_->numRanks(); ++r) {
-        const Rank &rank = banks_->rank(r);
-        if (rank.refreshDue(now) && rank.canRefresh(now) &&
-            !rank.refreshing(now)) {
+        if (refreshReady(banks_->rank(r), now))
             out.push_back(r);
-        }
     }
     return out;
 }
@@ -42,11 +77,14 @@ MaintenanceEngine::refreshCandidates(Cycle now) const
 bool
 MaintenanceEngine::tryRefresh(Cycle now)
 {
-    const auto ranks = refreshCandidates(now);
-    if (ranks.empty())
-        return false;
-    hooks_->issueRefresh(ranks.front(), now);
-    return true;
+    // First rank in refreshCandidates() order.
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        if (refreshReady(banks_->rank(r), now)) {
+            hooks_->issueRefresh(r, now);
+            return true;
+        }
+    }
+    return false;
 }
 
 std::vector<MaintenanceEngine::BankRef>
@@ -57,16 +95,8 @@ MaintenanceEngine::closeCandidates(Cycle now) const
         const Rank &rank = banks_->rank(r);
         const bool want_refresh = rank.refreshDue(now);
         for (unsigned b = 0; b < rank.numBanks(); ++b) {
-            const Bank &bank = rank.bank(b);
-            if (!bank.isOpen() || !bank.canPrecharge(now))
-                continue;
-            const bool useless = banks_->openRowMatches(r, b) == 0 ||
-                                 bank.hitCount() >= cfg_->rowHitCap;
-            // Open-page keeps rows open unless refresh needs them shut.
-            if ((cfg_->policy == PagePolicy::RelaxedClose && useless) ||
-                want_refresh) {
+            if (closeEligible(r, b, rank.bank(b), want_refresh, now))
                 out.emplace_back(r, b);
-            }
         }
     }
     return out;
@@ -75,12 +105,65 @@ MaintenanceEngine::closeCandidates(Cycle now) const
 bool
 MaintenanceEngine::tryMaintenanceClose(Cycle now)
 {
-    const auto targets = closeCandidates(now);
-    if (targets.empty())
-        return false;
-    hooks_->issuePrecharge(targets.front().first, targets.front().second,
-                           now);
-    return true;
+    // First bank in closeCandidates() order.
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        const Rank &rank = banks_->rank(r);
+        const bool want_refresh = rank.refreshDue(now);
+        for (unsigned b = 0; b < rank.numBanks(); ++b) {
+            if (closeEligible(r, b, rank.bank(b), want_refresh, now)) {
+                hooks_->issuePrecharge(r, b, now);
+                return true;
+            }
+        }
+    }
+    return false;
+}
+
+Cycle
+MaintenanceEngine::nextWakeAt(Cycle now) const
+{
+    Cycle next = ~Cycle{0};
+    auto consider = [&](Cycle c) {
+        if (c > now && c < next)
+            next = c;
+    };
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        const Rank &rank = banks_->rank(r);
+        // Refresh deadlines apply even to idle ranks; an in-progress
+        // refresh re-enables activations when tRFC elapses.
+        consider(rank.nextRefreshAt());
+        if (rank.refreshing(now))
+            consider(rank.refreshDoneAt());
+        const bool want_refresh = rank.refreshDue(now);
+        bool all_closed = true;
+        Cycle refresh_ready = 0;
+        for (unsigned b = 0; b < rank.numBanks(); ++b) {
+            const Bank &bank = rank.bank(b);
+            if (bank.autoPrechargePending())
+                consider(bank.earliestPrecharge());
+            if (bank.isOpen()) {
+                all_closed = false;
+                const bool useless =
+                    banks_->openRowMatches(r, b) == 0 ||
+                    bank.hitCount() >= cfg_->rowHitCap;
+                // A close blocked only by its tRAS/tWR/tRTP gate fires
+                // exactly when the gate releases; a still-useful row is
+                // state-gated (its hits drain inside rounds).
+                if ((cfg_->policy == PagePolicy::RelaxedClose && useless) ||
+                    want_refresh) {
+                    consider(bank.earliestPrecharge());
+                }
+            } else {
+                refresh_ready = std::max(refresh_ready,
+                                         bank.earliestActivate());
+            }
+        }
+        // A due refresh with every bank closed becomes issuable the
+        // cycle the last tRP expires.
+        if (want_refresh && all_closed && !rank.refreshing(now))
+            consider(refresh_ready);
+    }
+    return next;
 }
 
 } // namespace pra::dram

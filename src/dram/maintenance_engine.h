@@ -83,6 +83,25 @@ class MaintenanceEngine
         ops_.push_back(std::move(op));
     }
 
+    /**
+     * True when any pluggable op is registered. Ops are opaque (no wake
+     * contract), so the event engine must poll every cycle while one is
+     * present (DESIGN.md §11).
+     */
+    bool hasOps() const { return !ops_.empty(); }
+
+    /**
+     * Event-engine wake bound (DESIGN.md §11): the earliest cycle > @p
+     * now at which a maintenance decision could newly fire — a refresh
+     * deadline or tRFC completion, a pending auto-precharge retiring, a
+     * close-policy precharge whose tRAS/tWR/tRTP gate releases, or a due
+     * refresh becoming issuable once every bank clears tRP. Exact for
+     * the no-intervening-commands window the event engine guarantees:
+     * every input (open rows, pending-work counters, deadlines) can
+     * otherwise change only inside a scheduling round.
+     */
+    Cycle nextWakeAt(Cycle now) const;
+
     /** Poll registered ops; true when one consumed the round. */
     bool
     tryOps(Cycle now)
@@ -120,6 +139,15 @@ class MaintenanceEngine
     std::vector<BankRef> autoPrechargeCandidates(Cycle now) const;
 
   private:
+    // Shared decision predicates: the try*/step* hot paths and the
+    // vector-returning enumerators above both reduce to these, so the
+    // live controller and the model checker can never disagree about
+    // which commands are candidates at a given cycle.
+    bool autoPreReady(const Bank &bank, Cycle now) const;
+    bool refreshReady(const Rank &rank, Cycle now) const;
+    bool closeEligible(unsigned r, unsigned b, const Bank &bank,
+                       bool want_refresh, Cycle now) const;
+
     const DramConfig *cfg_;
     BankEngine *banks_;
     MaintenanceHooks *hooks_;

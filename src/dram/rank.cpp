@@ -8,13 +8,15 @@ namespace pra::dram {
 
 Rank::Rank(const DramConfig &cfg, unsigned index) : cfg_(&cfg)
 {
+    const TimingTables tables = TimingTables::build(cfg);
+    t_ = tables.rank;
     banks_.reserve(cfg.banksPerRank);
     for (unsigned b = 0; b < cfg.banksPerRank; ++b)
-        banks_.emplace_back(cfg.timing);
+        banks_.emplace_back(tables.bank);
     // Stagger refresh deadlines across ranks so they do not refresh in
     // lockstep (matches real controller practice).
-    nextRefresh_ = cfg.timing.tRefi +
-                   index * (cfg.timing.tRefi / (cfg.ranksPerChannel + 1));
+    nextRefresh_ = t_.refreshInterval +
+                   index * (t_.refreshInterval / (cfg.ranksPerChannel + 1));
 }
 
 bool
@@ -31,7 +33,7 @@ Rank::canActivate(Cycle now, double weight) const
         return false;
     // Drop activations that have left the tFAW window.
     while (!actWindow_.empty() &&
-           actWindow_.front().first + cfg_->timing.tFaw <= now) {
+           actWindow_.front().first + t_.fawWindow <= now) {
         actWindow_.pop_front();
     }
     double in_window = 0.0;
@@ -46,9 +48,7 @@ void
 Rank::recordActivation(Cycle now, double weight)
 {
     actWindow_.emplace_back(now, weight);
-    const auto gap = static_cast<Cycle>(
-        std::max(2.0, std::round(cfg_->timing.tRrd * weight)));
-    nextActAllowed_ = now + gap;
+    nextActAllowed_ = now + t_.actGap(weight);
 }
 
 bool
@@ -64,13 +64,13 @@ Rank::canRefresh(Cycle now) const
 void
 Rank::refresh(Cycle now)
 {
-    refreshDone_ = now + cfg_->timing.tRfc;
+    refreshDone_ = now + t_.refreshCycle;
     for (auto &b : banks_)
         b.blockUntil(refreshDone_);
     // Catch-up semantics: a late refresh does not shift the schedule.
-    nextRefresh_ += cfg_->timing.tRefi;
+    nextRefresh_ += t_.refreshInterval;
     if (nextRefresh_ <= now)
-        nextRefresh_ = now + cfg_->timing.tRefi;
+        nextRefresh_ = now + t_.refreshInterval;
 }
 
 void
@@ -110,7 +110,7 @@ Rank::wake(Cycle now)
 {
     poweredDown_ = false;
     for (auto &b : banks_)
-        b.blockUntil(now + cfg_->timing.tXp);
+        b.blockUntil(now + t_.powerUp);
 }
 
 void
@@ -124,27 +124,15 @@ Rank::fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const
     // Only window entries still inside tFAW can gate a future ACT; the
     // expired ones are popped lazily, so skip them for normalization.
     for (const auto &[cycle, weight] : actWindow_) {
-        if (cycle + cfg_->timing.tFaw <= now)
+        if (cycle + t_.fawWindow <= now)
             continue;
-        delta(cycle + cfg_->timing.tFaw);
+        delta(cycle + t_.fawWindow);
         h.add(weight);
     }
     delta(nextActAllowed_);
     delta(nextRefresh_);
     delta(refreshDone_);
     h.add(poweredDown_);
-}
-
-std::vector<Cycle>
-Rank::actWindowExpiries() const
-{
-    std::vector<Cycle> expiries;
-    expiries.reserve(actWindow_.size());
-    for (const auto &[cycle, weight] : actWindow_) {
-        (void)weight;
-        expiries.push_back(cycle + cfg_->timing.tFaw);
-    }
-    return expiries;
 }
 
 void

@@ -68,11 +68,33 @@ class Rank
     Cycle nextActAllowedAt() const { return nextActAllowed_; }
 
     /**
-     * Expiry cycles of the activations currently charged against the
-     * weighted tFAW window (each entry leaves the window at its cycle +
-     * tFAW). Cycle-skip uses these as conservative wake-up candidates.
+     * Visit the expiry cycle of every activation currently charged
+     * against the weighted tFAW window (each entry leaves the window at
+     * its cycle + tFAW), oldest first. Cycle-skip uses these as wake-up
+     * candidates; allocation-free because it runs on the publish path.
      */
-    std::vector<Cycle> actWindowExpiries() const;
+    template <typename Fn>
+    void
+    forEachActWindowExpiry(Fn &&fn) const
+    {
+        for (const auto &[cycle, weight] : actWindow_) {
+            (void)weight;
+            fn(cycle + t_.fawWindow);
+        }
+    }
+
+    /**
+     * Earliest tFAW-window expiry, or the all-ones sentinel when the
+     * window is empty — the exact cycle the activation budget next
+     * loosens (entries are appended in issue order, so the front is the
+     * oldest).
+     */
+    Cycle
+    earliestActWindowExpiry() const
+    {
+        return actWindow_.empty() ? ~Cycle{0}
+                                  : actWindow_.front().first + t_.fawWindow;
+    }
 
     /** All banks closed and past their tRP so REF may issue. */
     bool canRefresh(Cycle now) const;
@@ -81,6 +103,9 @@ class Rank
     void refresh(Cycle now);
 
     bool refreshing(Cycle now) const { return now < refreshDone_; }
+
+    /** Cycle the in-progress (or last) refresh releases the banks. */
+    Cycle refreshDoneAt() const { return refreshDone_; }
 
     // --- Power-down ----------------------------------------------------------
 
@@ -122,7 +147,8 @@ class Rank
     void fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const;
 
   private:
-    const DramConfig *cfg_;
+    const DramConfig *cfg_;   //!< Power-down policy knobs only.
+    RankTables t_;
     std::vector<Bank> banks_;
 
     // Weighted tFAW window: (cycle, weight) of recent activations.

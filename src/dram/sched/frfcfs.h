@@ -85,6 +85,19 @@ class FrFcfsWriteAgePolicy : public FrFcfsPolicy
         return in.writeQueueSize > 0 &&
                now - in.oldestWriteArrival > cfg_->writeAgePromotionCycles;
     }
+
+    Cycle
+    nextDecisionChangeAt(const SchedulerInputs &in,
+                         Cycle now) const override
+    {
+        // The oldest write crosses the promotion age at a fixed future
+        // cycle; nothing else in this policy flips on time alone.
+        if (in.writeQueueSize == 0)
+            return ~Cycle{0};
+        const Cycle flip =
+            in.oldestWriteArrival + cfg_->writeAgePromotionCycles + 1;
+        return flip > now ? flip : ~Cycle{0};
+    }
 };
 
 } // namespace pra::dram

@@ -9,11 +9,13 @@
  * prepare scans may reorder. The controller consults the policy at
  * fixed points in its tick:
  *
- *  1. onTick() every DRAM cycle (even command-bus-busy ones), so a
- *     policy's hysteresis state tracks queue occupancy exactly as the
- *     pre-decomposition monolith's drain flag did;
+ *  1. onTick() on every scheduling round (even command-bus-busy ones),
+ *     so a policy's hysteresis state tracks queue occupancy exactly as
+ *     the pre-decomposition monolith's drain flag did;
  *  2. writesFirst() when a scheduling round actually runs;
- *  3. columnWindow()/prepareWindow() to bound the two FR-FCFS scans.
+ *  3. columnWindow()/prepareWindow() to bound the two FR-FCFS scans;
+ *  4. nextDecisionChangeAt() so the event engine (DESIGN.md §11) wakes
+ *     for purely time-driven selection flips (write-age promotion).
  *
  * A window of 1 disables reordering entirely (strict per-queue FCFS); a
  * window of queue_size reproduces classic FR-FCFS row-hit-first
@@ -52,14 +54,32 @@ class SchedulerPolicy
     virtual const char *name() const = 0;
 
     /**
-     * Called once per DRAM cycle before any issue decision, including
-     * cycles on which the command bus is busy. Policies update
-     * hysteresis state (e.g. write-drain mode) here.
+     * Called once per scheduling round before any issue decision,
+     * including rounds on which the command bus is busy. Under the tick
+     * engine that is every DRAM cycle; the event engine only runs
+     * rounds at wake-up cycles, and every round it skips has unchanged
+     * queue sizes (an enqueue forces a round), so hysteresis updates
+     * must be idempotent for fixed inputs — repeated application with
+     * the same SchedulerInputs reaches the same state as one.
      */
     virtual void onTick(const SchedulerInputs &in, Cycle now) = 0;
 
     /** True when the write queue is the primary class this round. */
     virtual bool writesFirst(const SchedulerInputs &in, Cycle now) const = 0;
+
+    /**
+     * Event-engine wake-up candidate: the next cycle (> @p now) at
+     * which writesFirst() could change its answer with the queues
+     * unchanged — a purely time-driven selection flip. Policies whose
+     * selection depends only on occupancy keep the default (never).
+     * A too-early candidate is harmless (the round re-evaluates); a
+     * late one would let the event engine sleep through the flip.
+     */
+    virtual Cycle
+    nextDecisionChangeAt(const SchedulerInputs &, Cycle) const
+    {
+        return ~Cycle{0};
+    }
 
     /**
      * Number of queue-head entries the column-access (row-hit) scan may

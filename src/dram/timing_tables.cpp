@@ -1,0 +1,45 @@
+#include "dram/timing_tables.h"
+
+#include "dram/config.h"
+
+namespace pra::dram {
+
+TimingTables
+TimingTables::build(const DramConfig &cfg)
+{
+    const Timing &t = cfg.timing;
+    TimingTables tt;
+
+    tt.bank.maskDelay = t.praMaskCycles;
+    tt.bank.actToColumn = t.tRcd;
+    tt.bank.actToPrecharge = t.tRas;
+    tt.bank.actToAct = t.tRc;
+    tt.bank.columnToColumn = t.tCcd;
+    tt.bank.readToPrecharge = t.tRtp;
+    tt.bank.writeToPrecharge = Cycle{t.wl} + t.tWr;
+    tt.bank.prechargeToAct = t.tRp;
+
+    tt.rank.actToActSameRank = t.tRrd;
+    tt.rank.fawWindow = t.tFaw;
+    tt.rank.refreshInterval = t.tRefi;
+    tt.rank.refreshCycle = t.tRfc;
+    tt.rank.powerUp = t.tXp;
+
+    tt.channel.readLatency = t.rl();
+    tt.channel.writeLatency = t.wl;
+    tt.channel.burst = t.burstCycles;
+    tt.channel.writeToRead = Cycle{t.wl} + t.tWtr;
+    tt.channel.rankSwitch = t.tRtrs;
+    tt.channel.columnSameGroup = t.tCcdL;
+    tt.channel.columnCrossGroup = t.tCcd;
+    tt.channel.maskCycles = t.praMaskCycles;
+    tt.channel.bankGroups = t.bankGroups;
+    // Cross-rank RD->WR turnaround; clamp: with very short read latency
+    // the write command needs no extra gap beyond the command bus.
+    const Cycle rd_done = Cycle{t.rl()} + t.burstCycles + t.tRtrs;
+    tt.channel.readToWrite = rd_done > t.wl ? rd_done - t.wl : 0;
+
+    return tt;
+}
+
+} // namespace pra::dram

@@ -1,0 +1,119 @@
+/**
+ * @file
+ * Precomputed command-pair gap tables (DESIGN.md §11).
+ *
+ * Hot-path legality in the bank/rank/channel engines used to be
+ * re-derived from raw Timing parameters on every issue decision
+ * (tRCD + mask delay here, WL + burst + tWR there). These tables
+ * flatten every command-pair rule into one precomputed minimum-gap
+ * value per scope — bank (same-bank FSM gaps), rank (inter-bank and
+ * maintenance gaps), channel (bus turnarounds and bank-group spacing) —
+ * built once per controller from DramConfig. The independent
+ * TimingChecker deliberately keeps deriving the same rules from the raw
+ * parameters, so a table-derivation bug surfaces as a checker violation
+ * under PRA_AUDIT, and tests/test_timing_tables.cpp pins every entry
+ * against the minimum gap the checker accepts.
+ *
+ * Derivations (all in cycles):
+ *   bank.maskDelay        = tPRA mask cycles (partial ACT row-sense delay)
+ *   bank.actToColumn      = tRCD
+ *   bank.actToPrecharge   = tRAS
+ *   bank.actToAct         = tRC
+ *   bank.columnToColumn   = tCCD
+ *   bank.readToPrecharge  = tRTP
+ *   bank.writeToPrecharge = WL + tWR        (burst added per command)
+ *   bank.prechargeToAct   = tRP
+ *   rank.actToActSameRank = tRRD            (weighted via actGap())
+ *   rank.fawWindow        = tFAW
+ *   rank.refreshInterval  = tREFI
+ *   rank.refreshCycle     = tRFC
+ *   rank.powerUp          = tXP
+ *   channel.readLatency   = RL (= tCAS)
+ *   channel.writeLatency  = WL
+ *   channel.burst         = burst beats per column command
+ *   channel.writeToRead   = WL + tWTR       (burst added per command)
+ *   channel.rankSwitch    = tRTRS
+ *   channel.columnSameGroup  = tCCD_L
+ *   channel.columnCrossGroup = tCCD_S (= tCCD)
+ *   channel.maskCycles    = tPRA mask cycles (command-bus occupancy)
+ *   channel.readToWrite   = RL + burst + tRTRS - WL (cross-rank RD->WR
+ *                           data-bus turnaround; same-rank RD->WR omits
+ *                           the tRTRS term — the off-by-tRTRS trap)
+ */
+#ifndef PRA_DRAM_TIMING_TABLES_H
+#define PRA_DRAM_TIMING_TABLES_H
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/types.h"
+
+namespace pra::dram {
+
+struct DramConfig;
+
+/** Same-bank command-pair gaps (consumed by Bank). */
+struct BankTables
+{
+    Cycle maskDelay = 0;        //!< Partial ACT: mask transfer before sense.
+    Cycle actToColumn = 0;      //!< ACT -> RD/WR.
+    Cycle actToPrecharge = 0;   //!< ACT -> PRE.
+    Cycle actToAct = 0;         //!< ACT -> ACT.
+    Cycle columnToColumn = 0;   //!< RD/WR -> RD/WR.
+    Cycle readToPrecharge = 0;  //!< RD -> PRE.
+    Cycle writeToPrecharge = 0; //!< WR -> PRE, excluding the burst.
+    Cycle prechargeToAct = 0;   //!< PRE -> ACT.
+};
+
+/** Same-rank, cross-bank gaps and maintenance windows (Rank). */
+struct RankTables
+{
+    Cycle actToActSameRank = 0; //!< ACT -> ACT, different banks, weight 1.
+    Cycle fawWindow = 0;        //!< Rolling four-activate window span.
+    Cycle refreshInterval = 0;  //!< REF cadence.
+    Cycle refreshCycle = 0;     //!< REF -> any command to the rank.
+    Cycle powerUp = 0;          //!< Power-down exit to first command.
+
+    /**
+     * Weighted ACT->ACT gap: a partial activation of weight w consumes
+     * w of the rail budget, so the pairwise spacing scales with the
+     * *previous* activation's weight, floored at the 2-cycle command
+     * bus minimum (mirrors TimingChecker's rule exactly).
+     */
+    Cycle
+    actGap(double weight) const
+    {
+        return static_cast<Cycle>(std::max(
+            2.0,
+            std::round(static_cast<double>(actToActSameRank) * weight)));
+    }
+};
+
+/** Channel-scope bus turnaround and bank-group gaps (BusArbiter). */
+struct ChannelTables
+{
+    Cycle readLatency = 0;      //!< RD command -> first data beat (RL).
+    Cycle writeLatency = 0;     //!< WR command -> first data beat (WL).
+    Cycle burst = 0;            //!< Data-bus beats per column command.
+    Cycle writeToRead = 0;      //!< WR -> RD same rank, excluding burst.
+    Cycle rankSwitch = 0;       //!< Data-bus rank turnaround.
+    Cycle columnSameGroup = 0;  //!< Column -> column, same bank group.
+    Cycle columnCrossGroup = 0; //!< Column -> column, across groups.
+    Cycle maskCycles = 0;       //!< Partial-ACT mask command-bus hold.
+    Cycle bankGroups = 0;       //!< Groups per rank; <= 1 disables rule.
+    Cycle readToWrite = 0;      //!< RD -> WR *cross rank* (see header).
+};
+
+/** All three scopes, built once per controller from the raw config. */
+struct TimingTables
+{
+    BankTables bank;
+    RankTables rank;
+    ChannelTables channel;
+
+    static TimingTables build(const DramConfig &cfg);
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_TIMING_TABLES_H

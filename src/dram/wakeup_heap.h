@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Wakeup queue for the event-driven controller engine (DESIGN.md §11).
+ *
+ * After a quiet scheduling round the controller repopulates the queue
+ * with the exact next-action cycle published by every layer (bank FSM
+ * gap expiries, bus releases, refresh deadlines, scheduler decision
+ * flips); tick() then fast-paths every cycle below the queue minimum.
+ *
+ * The structure is a flat vector with a cached minimum, not an ordered
+ * heap: the queue is cleared and fully repopulated at each publish, so
+ * only min() is ever consulted between publishes and heapification
+ * would be pure overhead on the publish path. popDue() is a linear
+ * compaction over a few dozen entries, and the vector storage keeps the
+ * controller copyable and movable.
+ */
+#ifndef PRA_DRAM_WAKEUP_HEAP_H
+#define PRA_DRAM_WAKEUP_HEAP_H
+
+#include <algorithm>
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace pra::dram {
+
+/** Min-tracking bag of future wakeup cycles (duplicates allowed). */
+class WakeupHeap
+{
+  public:
+    void
+    clear()
+    {
+        heap_.clear();
+        min_ = kNone;
+    }
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
+
+    /** Smallest queued cycle; undefined when empty. */
+    Cycle min() const { return min_; }
+
+    void
+    push(Cycle c)
+    {
+        heap_.push_back(c);
+        if (c < min_)
+            min_ = c;
+    }
+
+    /** Remove every entry <= @p now; returns how many were removed. */
+    std::size_t
+    popDue(Cycle now)
+    {
+        const std::size_t before = heap_.size();
+        heap_.erase(std::remove_if(heap_.begin(), heap_.end(),
+                                   [now](Cycle c) { return c <= now; }),
+                    heap_.end());
+        min_ = kNone;
+        for (Cycle c : heap_)
+            min_ = std::min(min_, c);
+        return before - heap_.size();
+    }
+
+  private:
+    static constexpr Cycle kNone = ~Cycle{0};
+
+    std::vector<Cycle> heap_;
+    Cycle min_ = kNone;
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_WAKEUP_HEAP_H

@@ -352,8 +352,12 @@ deserializeRunResult(const std::string &text)
 bool
 identicalResults(const RunResult &a, const RunResult &b)
 {
-    // The serialization is bit-exact and covers every field, so textual
-    // equality is exactly statistic-for-statistic bit equality.
+    // The serialization is bit-exact and covers every simulated-result
+    // field, so textual equality is exactly statistic-for-statistic bit
+    // equality. RunResult::engine is deliberately outside it: the
+    // engine counters describe how the simulator ran (wall-clock
+    // diagnostics), not what it computed, and both engines must share
+    // cache entries and compare identical.
     return serializeRunResult(a) == serializeRunResult(b);
 }
 

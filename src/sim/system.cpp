@@ -282,6 +282,7 @@ System::run()
 
     res.dramStats = dram_.aggregateStats();
     res.energy = dram_.energyCounts();
+    res.engine = dram_.engineStats();
     for (std::size_t b = 0; b < res.dirtyWords.buckets(); ++b)
         res.dirtyWords.record(b, hier_->dirtyWordsHistogram().count(b));
     res.memReads = hier_->memReads();

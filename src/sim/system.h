@@ -84,6 +84,13 @@ struct RunResult
     double avgPowerMw = 0.0;
     double totalEnergyNj = 0.0;
     double edp = 0.0;
+
+    /**
+     * Event-engine counters (zero under the tick engine). Observational
+     * wall-clock diagnostics only — deliberately excluded from the
+     * result cache so both engines share cache entries.
+     */
+    dram::EngineStats engine;
 };
 
 /**

@@ -46,6 +46,8 @@ invariantMeta()
         "cycle-skip windows are command-free under slow-path replay");
     set(Invariant::ForkFingerprint, "fastpath.fork-fingerprint",
         "warm-snapshot forks replicate hierarchy state bit-exactly");
+    set(Invariant::EventWakeSound, "fastpath.event-wake-sound",
+        "heap-declared-quiet rounds do nothing when forced to run");
     return meta;
 }
 
@@ -529,6 +531,19 @@ Auditor::endQuiescentWindow()
 {
     ++stat(Invariant::SkipQuiescent).checks;
     inQuiescentWindow_ = false;
+}
+
+void
+Auditor::onEventRound(Cycle cycle, Cycle wake, bool activity)
+{
+    ++stat(Invariant::EventWakeSound).checks;
+    if (activity) {
+        std::ostringstream os;
+        os << "event engine slept toward cycle " << wake
+           << " but a forced round at cycle " << cycle
+           << " acted — the published wake-up candidate set is unsound";
+        fail(Invariant::EventWakeSound, cycle, os.str());
+    }
 }
 
 void

@@ -35,6 +35,10 @@
  *                                (PRA_AUDIT_REPLAY=1);
  *  - fastpath.fork-fingerprint   warm-snapshot exports/forks replicate
  *                                the hierarchy state bit-exactly
+ *                                (PRA_AUDIT_REPLAY=1);
+ *  - fastpath.event-wake-sound   scheduling rounds the event engine's
+ *                                wake-up heap declared quiet do nothing
+ *                                when forced to run anyway
  *                                (PRA_AUDIT_REPLAY=1).
  *
  * Attachment mirrors DramConfig::enableChecker: set
@@ -104,6 +108,7 @@ enum class Invariant
     EnergyConservation,
     SkipQuiescent,
     ForkFingerprint,
+    EventWakeSound,
     Count_,
 };
 
@@ -136,6 +141,14 @@ class Auditor
     /** A cycle-skip window [from, to) is being replayed tick-by-tick. */
     void beginQuiescentWindow(Cycle from, Cycle to);
     void endQuiescentWindow();
+    /**
+     * The event engine was forced (replay mode) to run a scheduling
+     * round at @p cycle although its published wake-up target was
+     * @p wake (> cycle); @p activity reports whether the round issued a
+     * command, retired an auto-precharge, or delivered a completion —
+     * any of which proves the published wake-up set unsound.
+     */
+    void onEventRound(Cycle cycle, Cycle wake, bool activity);
     /** Compare a snapshot/fork state fingerprint against its source. */
     void checkFingerprint(const char *what, std::uint64_t expected,
                           std::uint64_t actual);

@@ -12,10 +12,12 @@ namespace pra::dram {
 namespace {
 
 const Timing kT{};   // DDR3-1600 defaults.
+/** Bank-level gap table derived from the same defaults. */
+const BankTables kBank = TimingTables::build(DramConfig{}).bank;
 
 TEST(Bank, ActivateThenColumnAfterTrcd)
 {
-    Bank b(kT);
+    Bank b(kBank);
     EXPECT_TRUE(b.canActivate(0));
     b.activate(100, 7, WordMask::full(), false);
     EXPECT_FALSE(b.canActivate(100));   // Row open.
@@ -26,7 +28,7 @@ TEST(Bank, ActivateThenColumnAfterTrcd)
 
 TEST(Bank, PartialActivationAddsMaskCycle)
 {
-    Bank b(kT);
+    Bank b(kBank);
     b.activate(100, 7, WordMask::single(0), true);
     // Paper Fig. 7a: column command after tRCD + tCK.
     EXPECT_FALSE(b.canWrite(100 + kT.tRcd));
@@ -35,7 +37,7 @@ TEST(Bank, PartialActivationAddsMaskCycle)
 
 TEST(Bank, PrechargeGatedByTras)
 {
-    Bank b(kT);
+    Bank b(kBank);
     b.activate(50, 3, WordMask::full(), false);
     EXPECT_FALSE(b.canPrecharge(50 + kT.tRas - 1));
     EXPECT_TRUE(b.canPrecharge(50 + kT.tRas));
@@ -43,7 +45,7 @@ TEST(Bank, PrechargeGatedByTras)
 
 TEST(Bank, ReadPushesPrechargeByTrtp)
 {
-    Bank b(kT);
+    Bank b(kBank);
     b.activate(0, 3, WordMask::full(), false);
     const Cycle rd = 0 + kT.tRas - 2;   // Late read.
     b.read(rd, kT.burstCycles);
@@ -53,7 +55,7 @@ TEST(Bank, ReadPushesPrechargeByTrtp)
 
 TEST(Bank, WritePushesPrechargeByWriteRecovery)
 {
-    Bank b(kT);
+    Bank b(kBank);
     b.activate(0, 3, WordMask::full(), false);
     const Cycle wr = kT.tRcd;
     b.write(wr, kT.burstCycles);
@@ -64,7 +66,7 @@ TEST(Bank, WritePushesPrechargeByWriteRecovery)
 
 TEST(Bank, RowCycleLimitsBackToBackActivations)
 {
-    Bank b(kT);
+    Bank b(kBank);
     b.activate(0, 1, WordMask::full(), false);
     b.precharge(kT.tRas);   // Earliest legal precharge.
     // tRP after PRE would allow tRAS + tRP = tRC; also gated by tRC.
@@ -74,7 +76,7 @@ TEST(Bank, RowCycleLimitsBackToBackActivations)
 
 TEST(Bank, ColumnToColumnGapTccd)
 {
-    Bank b(kT);
+    Bank b(kBank);
     b.activate(0, 1, WordMask::full(), false);
     b.read(kT.tRcd, kT.burstCycles);
     EXPECT_FALSE(b.canRead(kT.tRcd + kT.tCcd - 1));
@@ -83,7 +85,7 @@ TEST(Bank, ColumnToColumnGapTccd)
 
 TEST(Bank, HitCountTracksColumnAccesses)
 {
-    Bank b(kT);
+    Bank b(kBank);
     b.activate(0, 1, WordMask::full(), false);
     EXPECT_EQ(b.hitCount(), 0u);
     b.recordHit();

@@ -31,7 +31,18 @@ replayText(const std::string &text, const dram::DramConfig &cfg)
     CommandScript script;
     std::string error;
     EXPECT_TRUE(CommandScript::parse(text, script, error)) << error;
-    return replayScript(script, cfg);
+    // The simulation engine is observational: a distilled script must
+    // replay to the same verdicts whether the config that produced it
+    // selects the tick or the event engine. Replay under both and
+    // require identical violation lists before returning one.
+    dram::DramConfig tick_cfg = cfg;
+    tick_cfg.engine = dram::EngineKind::Tick;
+    dram::DramConfig event_cfg = cfg;
+    event_cfg.engine = dram::EngineKind::Event;
+    const auto tick_violations = replayScript(script, tick_cfg);
+    const auto event_violations = replayScript(script, event_cfg);
+    EXPECT_EQ(tick_violations, event_violations);
+    return tick_violations;
 }
 
 bool

@@ -173,6 +173,56 @@ TEST(UnorderedIterationRule, SuppressionAndElementAccessAndScope)
     EXPECT_EQ(issues[0].file, "src/sim/iter.cpp");
 }
 
+// --- Rule: timing-locality ----------------------------------------------
+
+TEST(TimingLocalityRule, FlagsRawTimingUseInIssuePath)
+{
+    const std::vector<SourceFile> files{
+        {"src/dram/controller.cpp",
+         "void f(const DramConfig &cfg) {\n"
+         "    Cycle gap = cfg.timing.tRcd + cfg.timing.tCcd;\n"
+         "    Timing t = cfg.timing;\n"
+         "}\n"},
+        {"src/dram/sched/frfcfs.cpp",
+         "Cycle g(const Timing &t) { return t.tRrd; }\n"}};
+    const auto issues = issuesOfRule(lintSources(files), "timing-locality");
+    ASSERT_EQ(issues.size(), 3u) << joined(issues);
+    EXPECT_EQ(issues[0].file, "src/dram/controller.cpp");
+    EXPECT_EQ(issues[0].line, 2u);
+    EXPECT_EQ(issues[1].line, 3u);
+    EXPECT_EQ(issues[2].file, "src/dram/sched/frfcfs.cpp");
+    EXPECT_NE(issues[0].message.find("timing_tables.h"), std::string::npos);
+}
+
+TEST(TimingLocalityRule, ScopeSuppressionAndBoundedIdentifiers)
+{
+    const std::vector<SourceFile> files{
+        // The table builder is the one place allowed raw Timing access.
+        {"src/dram/timing_tables.cpp",
+         "BankTables b(const Timing &t) { return {t.tRcd}; }\n"},
+        // So is the independent oracle.
+        {"src/dram/checker.cpp",
+         "bool legal(const Timing &t) { return t.tCcd > 0; }\n"},
+        // Outside src/dram the rule is off entirely.
+        {"src/sim/system.cpp",
+         "void s(const DramConfig &c) { use(c.timing.tRfc); }\n"},
+        // Table-type identifiers and the include path are anchored:
+        // `Timing` inside `TimingTables` / `timing` before `_` never
+        // match word-bounded.
+        {"src/dram/controller.h",
+         "#include \"dram/timing_tables.h\"\n"
+         "// comment mentioning timing is stripped before the scan\n"
+         "struct C { TimingTables tables_; };\n"},
+        // An annotated cold-path site is accepted.
+        {"src/dram/rank.cpp",
+         "void r(const DramConfig &cfg) {\n"
+         "    // pra-lint: timing-ok (power-down exit, not issue path)\n"
+         "    wake_ = now + cfg.timing.tXp;\n"
+         "}\n"}};
+    const auto issues = issuesOfRule(lintSources(files), "timing-locality");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
 // --- Rule: config-coverage ----------------------------------------------
 
 namespace drill {

@@ -1,0 +1,289 @@
+/**
+ * @file
+ * Differential test: every precomputed command-pair gap in TimingTables
+ * (src/dram/timing_tables.h) is pinned against the independent
+ * TimingChecker oracle. For each table entry a minimal command prologue
+ * is replayed into a fresh checker and the probe command is swept
+ * forward one cycle at a time; the first cycle the oracle accepts must
+ * be exactly the prologue anchor plus the table entry. A derivation bug
+ * in the table builder (wrong parameter, missing burst term, dropped
+ * tRTRS) therefore fails here before it can mis-wake the event engine.
+ */
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "dram/checker.h"
+#include "dram/presets.h"
+#include "dram/timing_tables.h"
+
+namespace pra::dram {
+namespace {
+
+CheckedCommand
+act(Cycle c, unsigned rank, unsigned bank, bool partial = false,
+    double weight = 1.0)
+{
+    CheckedCommand cmd{};
+    cmd.kind = CheckedCommand::Kind::Activate;
+    cmd.cycle = c;
+    cmd.rank = rank;
+    cmd.bank = bank;
+    cmd.partial = partial;
+    cmd.weight = weight;
+    return cmd;
+}
+
+CheckedCommand
+column(CheckedCommand::Kind kind, Cycle c, unsigned rank, unsigned bank,
+       unsigned burst)
+{
+    CheckedCommand cmd{};
+    cmd.kind = kind;
+    cmd.cycle = c;
+    cmd.rank = rank;
+    cmd.bank = bank;
+    cmd.burstCycles = burst;
+    return cmd;
+}
+
+CheckedCommand
+rd(Cycle c, unsigned rank, unsigned bank, unsigned burst)
+{
+    return column(CheckedCommand::Kind::Read, c, rank, bank, burst);
+}
+
+CheckedCommand
+wr(Cycle c, unsigned rank, unsigned bank, unsigned burst)
+{
+    return column(CheckedCommand::Kind::Write, c, rank, bank, burst);
+}
+
+CheckedCommand
+pre(Cycle c, unsigned rank, unsigned bank)
+{
+    CheckedCommand cmd{};
+    cmd.kind = CheckedCommand::Kind::Precharge;
+    cmd.cycle = c;
+    cmd.rank = rank;
+    cmd.bank = bank;
+    return cmd;
+}
+
+CheckedCommand
+ref(Cycle c, unsigned rank)
+{
+    CheckedCommand cmd{};
+    cmd.kind = CheckedCommand::Kind::Refresh;
+    cmd.cycle = c;
+    cmd.rank = rank;
+    return cmd;
+}
+
+/**
+ * First cycle >= @p from at which the oracle accepts @p probe after a
+ * clean replay of @p prologue. Each candidate gets a fresh checker so
+ * rejected probes leave no shadow-state residue.
+ */
+Cycle
+minLegalCycle(const DramConfig &cfg,
+              const std::vector<CheckedCommand> &prologue,
+              CheckedCommand probe, Cycle from)
+{
+    {
+        TimingChecker chk(cfg);
+        for (const CheckedCommand &cmd : prologue)
+            chk.observe(cmd);
+        EXPECT_TRUE(chk.clean())
+            << "prologue is itself illegal: " << chk.violations().front();
+    }
+    for (Cycle c = from; c < from + 1024; ++c) {
+        TimingChecker chk(cfg);
+        for (const CheckedCommand &cmd : prologue)
+            chk.observe(cmd);
+        probe.cycle = c;
+        chk.observe(probe);
+        if (chk.clean())
+            return c;
+    }
+    ADD_FAILURE() << "no legal issue cycle within 1024 of " << from;
+    return ~Cycle{0};
+}
+
+const DramConfig kCfg{};   // DDR3-1600 defaults, 2 ranks x 8 banks.
+const TimingTables kTab = TimingTables::build(kCfg);
+const unsigned kBurst = kCfg.timing.burstCycles;
+
+// --- Bank-scope entries -------------------------------------------------
+
+TEST(BankTablesVsOracle, ActToColumn)
+{
+    EXPECT_EQ(minLegalCycle(kCfg, {act(100, 0, 0)}, rd(0, 0, 0, kBurst),
+                            100),
+              100 + kTab.bank.actToColumn);
+}
+
+TEST(BankTablesVsOracle, PartialActAddsMaskDelay)
+{
+    EXPECT_EQ(minLegalCycle(kCfg, {act(100, 0, 0, true, 0.5)},
+                            rd(0, 0, 0, kBurst), 100),
+              100 + kTab.bank.actToColumn + kTab.bank.maskDelay);
+}
+
+TEST(BankTablesVsOracle, ColumnToColumn)
+{
+    EXPECT_EQ(minLegalCycle(kCfg, {act(0, 0, 0), rd(11, 0, 0, kBurst)},
+                            rd(0, 0, 0, kBurst), 12),
+              11 + kTab.bank.columnToColumn);
+}
+
+TEST(BankTablesVsOracle, ReadToPrecharge)
+{
+    // The read lands after tRAS has elapsed so tRTP alone gates the PRE.
+    EXPECT_EQ(minLegalCycle(kCfg, {act(0, 0, 0), rd(40, 0, 0, kBurst)},
+                            pre(0, 0, 0), 41),
+              40 + kTab.bank.readToPrecharge);
+}
+
+TEST(BankTablesVsOracle, WriteToPrechargeAddsBurst)
+{
+    // The table holds WL + tWR; the data burst is added per command.
+    EXPECT_EQ(minLegalCycle(kCfg, {act(0, 0, 0), wr(40, 0, 0, kBurst)},
+                            pre(0, 0, 0), 41),
+              40 + kTab.bank.writeToPrecharge + kTab.channel.burst);
+}
+
+TEST(BankTablesVsOracle, PrechargeToAct)
+{
+    // PRE late enough (cycle 35 > tRC - tRP) that tRP alone gates.
+    EXPECT_EQ(minLegalCycle(kCfg, {act(0, 0, 0), pre(35, 0, 0)},
+                            act(0, 0, 0), 36),
+              35 + kTab.bank.prechargeToAct);
+}
+
+TEST(BankTablesVsOracle, ActToActRowCycle)
+{
+    // Shrink tRP so tRAS + tRP < tRC and the row-cycle gate is the one
+    // isolated (with the defaults tRAS + tRP == tRC, masking it).
+    DramConfig cfg = kCfg;
+    cfg.timing.tRp = 5;
+    const TimingTables tab = TimingTables::build(cfg);
+    EXPECT_EQ(minLegalCycle(cfg, {act(0, 0, 0), pre(28, 0, 0)},
+                            act(0, 0, 0), 29),
+              0 + tab.bank.actToAct);
+}
+
+// --- Rank-scope entries -------------------------------------------------
+
+TEST(RankTablesVsOracle, ActToActFullWeight)
+{
+    EXPECT_EQ(minLegalCycle(kCfg, {act(100, 0, 0)}, act(0, 0, 1), 101),
+              100 + kTab.rank.actGap(1.0));
+}
+
+TEST(RankTablesVsOracle, ActToActWeightedByPreviousAct)
+{
+    // The oracle scales tRRD by the *previous* activation's weight
+    // (round(5 * 0.5) = 3 with the defaults), floored at 2 cycles.
+    EXPECT_EQ(minLegalCycle(kCfg, {act(100, 0, 0, true, 0.5)},
+                            act(0, 0, 1), 101),
+              100 + kTab.rank.actGap(0.5));
+    EXPECT_GT(kTab.rank.actGap(1.0), kTab.rank.actGap(0.5));
+    EXPECT_EQ(kTab.rank.actGap(0.01), 2u);   // Command-bus floor.
+}
+
+TEST(RankTablesVsOracle, FawWindowBoundsFifthActivation)
+{
+    // Four full-weight activations at tRRD-legal spacing starting at
+    // cycle 0: the fifth becomes legal exactly when the first leaves
+    // the rolling window.
+    const std::vector<CheckedCommand> prologue{
+        act(0, 0, 0), act(6, 0, 1), act(12, 0, 2), act(18, 0, 3)};
+    EXPECT_EQ(minLegalCycle(kCfg, prologue, act(0, 0, 4), 19),
+              0 + kTab.rank.fawWindow);
+}
+
+TEST(RankTablesVsOracle, RefreshCycleGatesNextAct)
+{
+    EXPECT_EQ(minLegalCycle(kCfg, {ref(1000, 0)}, act(0, 0, 0), 1001),
+              1000 + kTab.rank.refreshCycle);
+}
+
+// --- Channel-scope entries ----------------------------------------------
+
+TEST(ChannelTablesVsOracle, WriteToReadAddsBurst)
+{
+    // Same-rank write-to-read turnaround: WL + burst + tWTR; the table
+    // holds WL + tWTR and the burst is added per command.
+    EXPECT_EQ(minLegalCycle(kCfg, {act(0, 0, 0), wr(11, 0, 0, kBurst)},
+                            rd(0, 0, 0, kBurst), 12),
+              11 + kTab.channel.writeToRead + kTab.channel.burst);
+}
+
+TEST(ChannelTablesVsOracle, CrossRankReadToWrite)
+{
+    // The off-by-tRTRS trap this table exists for: a cross-rank RD->WR
+    // pays RL + burst + tRTRS - WL command-to-command. Same-rank RD->WR
+    // omits the tRTRS term, so the prologue reads rank 0 and the probe
+    // writes rank 1.
+    const std::vector<CheckedCommand> prologue{
+        act(0, 0, 0), act(5, 1, 0), rd(11, 0, 0, kBurst)};
+    EXPECT_EQ(minLegalCycle(kCfg, prologue, wr(0, 1, 0, kBurst), 12),
+              11 + kTab.channel.readToWrite);
+}
+
+TEST(ChannelTablesVsOracle, CrossRankReadToRead)
+{
+    // Same-direction rank switch: burst drain plus the tRTRS bubble.
+    const std::vector<CheckedCommand> prologue{
+        act(0, 0, 0), act(5, 1, 0), rd(11, 0, 0, kBurst)};
+    EXPECT_EQ(minLegalCycle(kCfg, prologue, rd(0, 1, 0, kBurst), 12),
+              11 + kTab.channel.burst + kTab.channel.rankSwitch);
+}
+
+TEST(ChannelTablesVsOracle, Ddr4SameGroupColumnGap)
+{
+    // DDR4-2400: 16 banks in 4 groups, tCCD_L = 6 > per-bank tCCD = 4,
+    // so the channel-level same-group gate is the binding one.
+    const DramConfig cfg = ddr4_2400();
+    const TimingTables tab = TimingTables::build(cfg);
+    const unsigned burst = cfg.timing.burstCycles;
+    EXPECT_EQ(minLegalCycle(cfg, {act(0, 0, 0), rd(16, 0, 0, burst)},
+                            rd(0, 0, 0, burst), 17),
+              16 + tab.channel.columnSameGroup);
+}
+
+TEST(ChannelTablesVsOracle, Ddr4CrossGroupColumnGap)
+{
+    // Bank 4 sits in the second group (16 banks / 4 groups). The late
+    // read at cycle 20 makes the channel tCCD_S gate (20 + 4) bind over
+    // bank 4's own tRCD gate (4 + 16).
+    const DramConfig cfg = ddr4_2400();
+    const TimingTables tab = TimingTables::build(cfg);
+    const unsigned burst = cfg.timing.burstCycles;
+    const std::vector<CheckedCommand> prologue{
+        act(0, 0, 0), act(4, 0, 4), rd(20, 0, 0, burst)};
+    EXPECT_EQ(minLegalCycle(cfg, prologue, rd(0, 0, 4, burst), 21),
+              20 + tab.channel.columnCrossGroup);
+}
+
+// --- Entries with no oracle rule pin directly to the raw parameters -----
+
+TEST(TimingTablesBuild, UncheckedEntriesMatchRawParameters)
+{
+    // The checker has no rules for refresh cadence, power-up exit, or
+    // the data-latency constants (they gate scheduling, not protocol
+    // legality), so these pin straight to the config they derive from.
+    const Timing &t = kCfg.timing;
+    EXPECT_EQ(kTab.rank.refreshInterval, t.tRefi);
+    EXPECT_EQ(kTab.rank.powerUp, t.tXp);
+    EXPECT_EQ(kTab.channel.readLatency, t.rl());
+    EXPECT_EQ(kTab.channel.writeLatency, t.wl);
+    EXPECT_EQ(kTab.channel.burst, t.burstCycles);
+    EXPECT_EQ(kTab.channel.maskCycles, t.praMaskCycles);
+    EXPECT_EQ(kTab.channel.bankGroups, t.bankGroups);
+    EXPECT_EQ(kTab.bank.maskDelay, t.praMaskCycles);
+}
+
+} // namespace
+} // namespace pra::dram
