@@ -239,4 +239,41 @@ replayScript(const CommandScript &script, const dram::DramConfig &cfg)
     return violations;
 }
 
+CommandScript
+shrinkScript(const CommandScript &script, const dram::DramConfig &cfg)
+{
+    const auto base = replayScript(script, cfg);
+    if (base.empty())
+        return script;
+    // The reproduction target is the script's first violation: dropping
+    // a command may only stand if the exact same message survives (a
+    // removal that merely provokes a *different* breach is not a
+    // smaller witness of this one).
+    const std::string &target = base.front();
+    auto reproduces = [&](const CommandScript &trial) {
+        for (const std::string &v : replayScript(trial, cfg)) {
+            if (v == target)
+                return true;
+        }
+        return false;
+    };
+
+    CommandScript current = script;
+    bool progressed = true;
+    while (progressed) {
+        progressed = false;
+        for (std::size_t i = 0; i < current.commands.size(); ++i) {
+            CommandScript trial = current;
+            trial.commands.erase(
+                trial.commands.begin() + static_cast<std::ptrdiff_t>(i));
+            if (reproduces(trial)) {
+                current = std::move(trial);
+                progressed = true;
+                --i;   // Re-test the command that slid into slot i.
+            }
+        }
+    }
+    return current;
+}
+
 } // namespace pra::analysis

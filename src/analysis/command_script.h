@@ -80,6 +80,16 @@ struct CommandScript
 std::vector<std::string> replayScript(const CommandScript &script,
                                       const dram::DramConfig &cfg);
 
+/**
+ * Delta-debug @p script down to a minimal reproducer: greedily drop
+ * single commands (to a fixpoint) while replayScript() still reports
+ * the original script's first violation. Scripts that replay clean —
+ * liveness counterexamples are violations of the *exploration*, not of
+ * the replayed command stream — are returned unchanged.
+ */
+CommandScript shrinkScript(const CommandScript &script,
+                           const dram::DramConfig &cfg);
+
 } // namespace pra::analysis
 
 #endif // PRA_ANALYSIS_COMMAND_SCRIPT_H

@@ -255,6 +255,67 @@ structFieldDecls(const std::string &text, const std::string &struct_name)
     return fields;
 }
 
+/** Enumerator declarations of `enum [class] Name` with source lines. */
+std::vector<FieldDecl>
+enumMemberDecls(const std::string &text, const std::string &enum_name)
+{
+    const std::string stripped = stripComments(text);
+    std::vector<FieldDecl> members;
+
+    // Locate the definition: the name, preceded by the `enum` keyword
+    // (directly or through `class`/`struct`), followed by `{` (possibly
+    // through an underlying-type clause). Forward declarations end in
+    // ';' and are skipped.
+    std::size_t open = std::string::npos;
+    for (std::size_t pos = findIdentifier(stripped, enum_name);
+         pos != std::string::npos;
+         pos = findIdentifier(stripped, enum_name, pos + 1)) {
+        const std::size_t window = pos > 24 ? pos - 24 : 0;
+        const std::string before = stripped.substr(window, pos - window);
+        if (findIdentifier(before, "enum") == std::string::npos)
+            continue;
+        const auto stop = stripped.find_first_of(";{", pos);
+        if (stop != std::string::npos && stripped[stop] == '{') {
+            open = stop;
+            break;
+        }
+    }
+    if (open == std::string::npos)
+        return members;
+
+    unsigned line = 1 + static_cast<unsigned>(
+                        std::count(stripped.begin(),
+                                   stripped.begin() +
+                                       static_cast<std::ptrdiff_t>(open),
+                                   '\n'));
+    bool expectName = true;
+    for (std::size_t i = open + 1; i < stripped.size(); ++i) {
+        const char c = stripped[i];
+        if (c == '\n') {
+            ++line;
+            continue;
+        }
+        if (c == '}')
+            break;
+        if (c == ',') {
+            expectName = true;
+            continue;
+        }
+        if (expectName && identChar(c)) {
+            std::string name;
+            while (i < stripped.size() && identChar(stripped[i]))
+                name += stripped[i++];
+            --i;
+            if (validIdentifier(name))
+                members.push_back({name, line});
+            // Anything until the next ',' (an `= expr` initializer)
+            // belongs to this enumerator.
+            expectName = false;
+        }
+    }
+    return members;
+}
+
 // --- Rule: entropy ------------------------------------------------------
 
 const std::string kCallPatterns[] = {
@@ -281,6 +342,11 @@ void
 lintEntropy(const SourceFile &f, const std::vector<std::string> &lines,
             std::vector<LintIssue> &issues)
 {
+    // Scoped to src/: tests/ files enter the scan only as the
+    // fault-coverage reference corpus and legitimately spell forbidden
+    // patterns inside drill inputs.
+    if (f.path.find("src/") == std::string::npos)
+        return;
     if (f.path.size() >= 12 &&
         f.path.compare(f.path.size() - 12, 12, "common/rng.h") == 0)
         return;
@@ -613,6 +679,57 @@ lintEnergyCoverage(const std::vector<SourceFile> &files,
     }
 }
 
+// --- Rule: fault-coverage -----------------------------------------------
+
+/**
+ * Every deliberate fault hook — analysis::Fault enum members and the
+ * auditFault-/fault-prefixed DramConfig fields they arm — must be
+ * referenced
+ * from at least one file under tests/: an undrilled hook is a
+ * model-checker property nothing proves can fire. The rule runs only
+ * when the input actually contains tests/ files (a src-only scan has
+ * no corpus to check against, not a coverage hole).
+ */
+void
+lintFaultCoverage(const std::vector<SourceFile> &files,
+                  std::vector<LintIssue> &issues)
+{
+    std::string corpus;
+    for (const SourceFile &f : files) {
+        if (f.path.find("tests/") == std::string::npos)
+            continue;
+        corpus += stripComments(f.text);
+        corpus += '\n';
+    }
+    if (corpus.empty())
+        return;
+
+    auto require = [&](const SourceFile *hdr, const FieldDecl &fd,
+                       const std::string &qualified) {
+        if (findIdentifier(corpus, fd.name) != std::string::npos)
+            return;
+        issues.push_back(
+            {hdr->path, fd.line, "fault-coverage",
+             qualified + " is not referenced by any file under tests/ — "
+                         "an undrilled fault hook is a model-checker "
+                         "property nothing proves can fire; drill it in "
+                         "tests/test_modelcheck_regressions.cpp"});
+    };
+
+    if (const SourceFile *mc = findFile(files, "analysis/model_checker.h")) {
+        for (const FieldDecl &fd : enumMemberDecls(mc->text, "Fault"))
+            require(mc, fd, "analysis::Fault::" + fd.name);
+    }
+    if (const SourceFile *cfg = findFile(files, "dram/config.h")) {
+        for (const FieldDecl &fd : structFieldDecls(cfg->text,
+                                                    "DramConfig")) {
+            if (fd.name.rfind("auditFault", 0) == 0 ||
+                fd.name.rfind("fault", 0) == 0)
+                require(cfg, fd, "DramConfig::" + fd.name);
+        }
+    }
+}
+
 } // namespace
 
 std::string
@@ -711,7 +828,17 @@ lintSources(const std::vector<SourceFile> &files)
     }
     lintConfigCoverage(files, issues);
     lintEnergyCoverage(files, issues);
+    lintFaultCoverage(files, issues);
     return issues;
+}
+
+std::vector<std::string>
+enumMembers(const std::string &text, const std::string &enum_name)
+{
+    std::vector<std::string> names;
+    for (const FieldDecl &fd : enumMemberDecls(text, enum_name))
+        names.push_back(fd.name);
+    return names;
 }
 
 } // namespace pra::analysis

@@ -2,13 +2,16 @@
  * @file
  * Repo-specific determinism and configuration lint (DESIGN.md §10).
  *
- * Five rules, each encoding an invariant this repository depends on but
+ * Six rules, each encoding an invariant this repository depends on but
  * a generic linter cannot know:
  *
- *  - entropy: no ambient randomness or wall-clock access outside
- *    common/rng.h — the simulator must be bit-reproducible, so all
- *    randomness flows through the seeded PRNG and all time is simulated
- *    Cycle time (the compiled port of tools/check_determinism.sh);
+ *  - entropy: no ambient randomness or wall-clock access in src/
+ *    outside common/rng.h — the simulator must be bit-reproducible, so
+ *    all randomness flows through the seeded PRNG and all time is
+ *    simulated Cycle time (the compiled port of
+ *    tools/check_determinism.sh). Files under tests/ are scanned only
+ *    as the fault-coverage reference corpus, never for entropy (test
+ *    drills legitimately spell forbidden patterns);
  *  - unordered-iteration: no iteration over std::unordered_map/
  *    unordered_set in result-affecting code (src/dram, src/sim,
  *    src/cache) — hash-order iteration silently varies across library
@@ -33,7 +36,14 @@
  *  - energy-coverage: every power::EnergyCounts member must be
  *    consumed by the PowerModel aggregation and the auditor's energy
  *    conservation check — an unconsumed counter means silently dropped
- *    energy.
+ *    energy;
+ *  - fault-coverage: every analysis::Fault enum member
+ *    (analysis/model_checker.h) and every DramConfig deliberate fault
+ *    hook (auditFault-/fault-prefixed fields in dram/config.h) must be
+ *    referenced from at least one file under tests/ — an undrilled
+ *    fault hook is a model-checker property nothing proves can fire.
+ *    Active only when the scanned input includes tests/ files, so
+ *    src-only scans stay meaningful.
  *
  * The engine operates on in-memory sources so tests can drill it with
  * synthetic inputs (tests/test_pra_lint.cpp); tools/pra_lint.cpp feeds
@@ -88,6 +98,13 @@ std::string functionBody(const std::string &text,
 /** True when @p identifier occurs word-bounded in @p text. */
 bool containsIdentifier(const std::string &text,
                         const std::string &identifier);
+
+/**
+ * Enumerator names of `enum [class] EnumName` declared in @p text, in
+ * declaration order; initializer expressions and comments are skipped.
+ */
+std::vector<std::string> enumMembers(const std::string &text,
+                                     const std::string &enum_name);
 
 } // namespace pra::analysis
 

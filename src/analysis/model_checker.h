@@ -18,20 +18,39 @@
  *  - an activation opens exactly the scheme-derived mask (the union of
  *    the queued same-row writes' dirty MAT groups for PRA writes).
  *
+ * On top of safety, the checker verifies *liveness* (bounded progress)
+ * under work-conserving exploration (a cycle may pass unused only when
+ * no command is legal — the over-approximation of every real policy,
+ * since the controller always issues when something is legal):
+ *
+ *  - every queued request is serviced within Options::livenessBound
+ *    cycles of its arrival;
+ *  - refresh never overruns its deadline by more than
+ *    Options::refreshSlack cycles past tREFI;
+ *  - a rank with queued work is granted some command within the bound;
+ *  - wakeup soundness: at every quiet state (nothing legal), the wake
+ *    bound the event engine would publish (DESIGN.md §11.2) is no later
+ *    than the first cycle at which idling actually changes the legal
+ *    command set — a statically explored "no lost wakeup" proof.
+ *
  * Exploration is depth-first over a reduced-timing model configuration
  * (small tRCD/tRAS/tREFI so refresh and every turnaround rule fire
  * within a shallow horizon), with visited-state deduplication keyed on
  * the engines' fingerprint() seams: all timing registers are hashed as
  * now-relative saturated deltas, so time-shifted but future-equivalent
- * states merge. Dedup only prunes re-exploration — every reported
- * violation lies on a concretely simulated path and is emitted as a
- * replayable CommandScript.
+ * states merge. Options::reduction additionally collapses forced-idle
+ * stretches into one time leap, canonicalizes bank/rank permutation
+ * symmetry in the fingerprint, and prunes commutative command
+ * interleavings with sleep sets (DESIGN.md §10.1). Dedup only prunes
+ * re-exploration — every reported violation lies on a concretely
+ * simulated path and is emitted as a replayable CommandScript.
  *
- * The three deliberate fault hooks (DramConfig::auditFaultWidenAct,
- * faultIgnoreTccdL, faultIgnoreTwtr) weaken controller-side gates
- * without touching the checker; the default depth budget must find a
- * counterexample for each (tests/test_modelcheck_regressions.cpp pins
- * this), and must find none with no fault armed.
+ * The five deliberate fault hooks (DramConfig::auditFaultWidenAct,
+ * faultIgnoreTccdL, faultIgnoreTwtr, faultSuppressWakeTwtr,
+ * faultStarveAgedCycles) weaken controller-side gates without touching
+ * the checker; the default budgets must find a counterexample for each
+ * (tests/test_modelcheck_regressions.cpp pins this), and must find none
+ * with no fault armed.
  */
 #ifndef PRA_ANALYSIS_MODEL_CHECKER_H
 #define PRA_ANALYSIS_MODEL_CHECKER_H
@@ -48,10 +67,12 @@ namespace pra::analysis {
 /** Which deliberate fault hook the explored configuration arms. */
 enum class Fault
 {
-    None,        //!< Unfaulted build: exploration must stay clean.
-    WidenAct,    //!< auditFaultWidenAct: ACT masks widened covertly.
-    IgnoreTccdL, //!< faultIgnoreTccdL: same-group tCCD_L gate dropped.
-    IgnoreTwtr,  //!< faultIgnoreTwtr: write-to-read tWTR gate dropped.
+    None,         //!< Unfaulted build: exploration must stay clean.
+    WidenAct,     //!< auditFaultWidenAct: ACT masks widened covertly.
+    IgnoreTccdL,  //!< faultIgnoreTccdL: same-group tCCD_L gate dropped.
+    IgnoreTwtr,   //!< faultIgnoreTwtr: write-to-read tWTR gate dropped.
+    SuppressWake, //!< faultSuppressWakeTwtr: tWTR wake bound suppressed.
+    StarveAged,   //!< faultStarveAgedCycles: aged requests never issue.
 };
 
 /** Config-flag spelling of @p f (none, widen_act, ...). */
@@ -76,7 +97,7 @@ struct ModelRequest
 struct ModelCheckResult
 {
     bool violationFound = false;
-    /** First violation message (checker rule or mask invariant). */
+    /** First violation message (checker rule, mask or liveness). */
     std::string violation;
     /** Replayable path ending in the violating command. */
     CommandScript counterexample;
@@ -87,6 +108,15 @@ struct ModelCheckResult
     std::uint64_t commandsIssued = 0;
     Cycle deepestCycle = 0;
     bool budgetExhausted = false;  //!< maxStates hit before completion.
+    /** Reduction diagnostics: forced-idle stretches collapsed and
+     *  sleep-set-pruned command interleavings. */
+    std::uint64_t idleLeaps = 0;
+    std::uint64_t interleavingsPruned = 0;
+    /** Liveness headroom actually observed on clean runs: the longest
+     *  any request waited and the furthest any refresh ran past its
+     *  tREFI deadline. Used to tune the default bounds. */
+    Cycle maxRequestWait = 0;
+    Cycle maxRefreshOverrun = 0;
 };
 
 /** Bounded exhaustive explorer (see file header). */
@@ -99,10 +129,49 @@ class ModelChecker
         std::uint64_t maxStates = kDefaultMaxStates;
         dram::SchedulerKind scheduler = dram::SchedulerKind::FrFcfs;
         Fault fault = Fault::None;
+        /**
+         * Bounded-progress horizon: a queued request older than this
+         * (or a rank with queued work granted nothing for this long)
+         * is a liveness violation. 0 disables the liveness properties
+         * *and* work-conserving exploration (an Idle edge is then
+         * enumerated beside every command, the pre-liveness semantics).
+         */
+        Cycle livenessBound = kDefaultLivenessBound;
+        /** Refresh may run at most this far past its tREFI deadline. */
+        Cycle refreshSlack = kDefaultRefreshSlack;
+        /** Check the published-wake-bound contract at quiet states. */
+        bool wakeupSoundness = true;
+        /** Idle time-leap + symmetry canonicalization + sleep sets. */
+        bool reduction = true;
+        /**
+         * Geometry overrides for degenerate-edge coverage (0 = keep
+         * the model default). The workload is folded modulo the
+         * overridden geometry; bank groups are reduced to 1 when they
+         * no longer divide the bank count.
+         */
+        unsigned overrideRanks = 0;
+        unsigned overrideBanks = 0;
+        unsigned overrideBankGroups = 0;
     };
 
-    static constexpr Cycle kDefaultDepth = 56;
-    static constexpr std::uint64_t kDefaultMaxStates = 300000;
+    static constexpr Cycle kDefaultDepth = 96;
+    /** The unfaulted default-workload space converges at ~515k states
+     *  (depth-independent past ~32 — the interleaving breadth, not the
+     *  horizon, dominates); the budget leaves ~2x headroom. */
+    static constexpr std::uint64_t kDefaultMaxStates = 1000000;
+    /**
+     * Default liveness bound, tuned above the longest wait any request
+     * experiences on clean work-conserving paths (measured: 81 cycles,
+     * stable from depth 96 through 130 — ModelCheckResult::
+     * maxRequestWait pins the headroom in
+     * tests/test_modelcheck_regressions.cpp) yet low enough that the
+     * starve-aged fault's progress deadline (arrival + bound + 1)
+     * lands inside the default depth.
+     */
+    static constexpr Cycle kDefaultLivenessBound = 88;
+    /** Default refresh slack past tREFI (measured clean-run maximum
+     *  overrun: 21 cycles), tuned the same way. */
+    static constexpr Cycle kDefaultRefreshSlack = 32;
 
     explicit ModelChecker(const Options &opts);
 

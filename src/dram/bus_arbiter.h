@@ -20,6 +20,7 @@
 #define PRA_DRAM_BUS_ARBITER_H
 
 #include <algorithm>
+#include <vector>
 
 #include "common/hash.h"
 #include "dram/config.h"
@@ -66,7 +67,18 @@ class BusArbiter
     }
 
     /** Cycle the tWTR gate releases (exact wake bound when blocked). */
-    Cycle readBlockedUntil() const { return readCmdBlockedUntil_; }
+    Cycle
+    readBlockedUntil() const
+    {
+        // Test-only fault: report a stale (cycle-0) bound while
+        // readBlocked() keeps gating. The wake heap's c > now rule
+        // drops stale bounds, so the event engine loses the tWTR
+        // release wakeup — the model checker's wakeup-soundness
+        // property must catch this.
+        if (cfg_->faultSuppressWakeTwtr)
+            return 0;
+        return readCmdBlockedUntil_;
+    }
 
     // --- Data bus ---------------------------------------------------------
 
@@ -152,7 +164,7 @@ class BusArbiter
         if (!any_queued)
             return;
         if (reads_queued)
-            consider(readCmdBlockedUntil_);   // tWTR release.
+            consider(readBlockedUntil());   // tWTR release (faultable).
         if (t_.bankGroups > 1 && anyColumnIssued_) {
             consider(lastColumnCycle_ + t_.columnCrossGroup);
             consider(lastColumnCycle_ + t_.columnSameGroup);
@@ -178,16 +190,23 @@ class BusArbiter
      * The tCCD_S/L reference point is hashed as the two release cycles
      * it implies rather than the raw command cycle, so long-expired
      * column history does not keep otherwise-identical states apart.
+     * When @p rank_rename is non-null it maps rank ids to canonical
+     * positions (the model checker's symmetry reduction) before the
+     * live data-bus rank is hashed.
      */
     void
-    fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const
+    fingerprint(Fnv1a &h, Cycle now, Cycle horizon,
+                const std::vector<unsigned> *rank_rename = nullptr) const
     {
         auto delta = [&](Cycle reg) {
             h.add(reg <= now ? Cycle{0} : std::min(reg - now, horizon));
         };
         delta(cmdBusFree_);
         delta(dataBusFree_);
-        h.add(dataBusFree_ > now ? lastBusRank_ : 0u);
+        unsigned bus_rank = lastBusRank_;
+        if (rank_rename && bus_rank < rank_rename->size())
+            bus_rank = (*rank_rename)[bus_rank];
+        h.add(dataBusFree_ > now ? bus_rank : 0u);
         delta(readCmdBlockedUntil_);
         if (t_.bankGroups > 1 && anyColumnIssued_) {
             delta(lastColumnCycle_ + t_.columnCrossGroup);

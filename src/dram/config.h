@@ -130,6 +130,32 @@ struct DramConfig
      */
     bool faultIgnoreTccdL = false;
     bool faultIgnoreTwtr = false;
+    /**
+     * Test-only liveness fault hooks, drilled by the model checker's
+     * progress properties (src/analysis, DESIGN.md §10.1). The first
+     * makes BusArbiter::readBlockedUntil() report a stale (cycle-0)
+     * bound while readBlocked() keeps gating reads: the event engine's
+     * stale-bound rule drops it, losing the tWTR release wake-up — the
+     * checker's wakeup-soundness property must catch the lost wakeup.
+     * The second (non-zero = age threshold in cycles) makes both
+     * scheduling scans skip any request older than the threshold,
+     * modelling a saturating age-priority counter that inverts — the
+     * checker's bounded-progress property must catch the starved
+     * request. Both affect simulated behaviour, so they participate in
+     * the canonical config / result-cache key.
+     */
+    bool faultSuppressWakeTwtr = false;
+    Cycle faultStarveAgedCycles = 0;
+
+    /** The starve-aged fault's admission predicate, shared by the live
+     *  controller's scans and the model checker's enumeration so both
+     *  see the identical (faulted) behaviour. */
+    bool
+    faultStarvesRequest(Cycle now, Cycle arrival) const
+    {
+        return faultStarveAgedCycles != 0 &&
+               now - arrival >= faultStarveAgedCycles;
+    }
 
     // PRA design-space ablation knobs (DESIGN.md "ablations").
     /** OR the masks of queued same-row writes into one activation. */

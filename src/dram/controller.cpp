@@ -437,6 +437,11 @@ MemoryController::tryColumnAccess(std::deque<Request> &queue, bool is_write,
     const std::size_t window = sched_->columnWindow(queue.size());
     for (std::size_t i = 0; i < window; ++i) {
         Request &req = queue[i];
+        // Test-only fault: a saturating age-priority counter inverts,
+        // so the scan skips requests past the age threshold forever.
+        // The model checker's bounded-progress property catches this.
+        if (cfg_->faultStarvesRequest(now, req.arrival))
+            continue;
         Bank &bank = banks_.bank(req.loc.rank, req.loc.bank);
         // State-gated rejections (row miss, pending auto-precharge,
         // unclassified, exhausted hit budget) need no retry bound: the
@@ -494,6 +499,9 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
     const std::size_t window = sched_->prepareWindow(queue.size());
     for (std::size_t i = 0; i < window; ++i) {
         Request &req = queue[i];
+        // Same test-only aged-request fault as the column scan.
+        if (cfg_->faultStarvesRequest(now, req.arrival))
+            continue;
         Rank &rank = banks_.rank(req.loc.rank);
         Bank &bank = rank.bank(req.loc.bank);
         const RowProbe probe = banks_.probe(req);

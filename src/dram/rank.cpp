@@ -116,11 +116,17 @@ Rank::wake(Cycle now)
 void
 Rank::fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const
 {
+    for (const Bank &b : banks_)
+        b.fingerprint(h, now, horizon);
+    fingerprintRankLevel(h, now, horizon);
+}
+
+void
+Rank::fingerprintRankLevel(Fnv1a &h, Cycle now, Cycle horizon) const
+{
     auto delta = [&](Cycle reg) {
         h.add(reg <= now ? Cycle{0} : std::min(reg - now, horizon));
     };
-    for (const Bank &b : banks_)
-        b.fingerprint(h, now, horizon);
     // Only window entries still inside tFAW can gate a future ACT; the
     // expired ones are popped lazily, so skip them for normalization.
     for (const auto &[cycle, weight] : actWindow_) {

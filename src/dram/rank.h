@@ -146,6 +146,15 @@ class Rank
      */
     void fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const;
 
+    /**
+     * The rank-level registers alone (weighted tFAW window, tRRD gate,
+     * refresh schedule, power-down) without the per-bank FSMs. The
+     * model checker's symmetry reduction hashes banks separately so it
+     * can canonicalize their order within a bank group; fingerprint()
+     * composes this with every Bank::fingerprint in index order.
+     */
+    void fingerprintRankLevel(Fnv1a &h, Cycle now, Cycle horizon) const;
+
   private:
     const DramConfig *cfg_;   //!< Power-down policy knobs only.
     RankTables t_;

@@ -201,6 +201,14 @@ constexpr KeyHandler kKeyHandlers[] = {
      [](const std::string &v, SystemConfig &c) {
          c.dram.faultIgnoreTwtr = parseBool(v);
      }},
+    {"fault_suppress_wake_twtr",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.faultSuppressWakeTwtr = parseBool(v);
+     }},
+    {"fault_starve_aged_cycles",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.faultStarveAgedCycles = asUnsigned(v);
+     }},
     {"checker",
      [](const std::string &v, SystemConfig &c) {
          c.dram.enableChecker = parseBool(v);
@@ -387,7 +395,14 @@ canonicalConfig(const SystemConfig &cfg)
        // The timing fault hooks change which commands issue when, so
        // they are behavioural and must key the result cache too.
        << "fault_ignore_tccd_l = " << d.faultIgnoreTccdL << '\n'
-       << "fault_ignore_twtr = " << d.faultIgnoreTwtr << '\n';
+       << "fault_ignore_twtr = " << d.faultIgnoreTwtr << '\n'
+       // The liveness fault hooks change which commands issue when (a
+       // suppressed wake bound stalls the event engine; a starved
+       // request never drains), so they are behavioural too.
+       << "fault_suppress_wake_twtr = " << d.faultSuppressWakeTwtr
+       << '\n'
+       << "fault_starve_aged_cycles = " << d.faultStarveAgedCycles
+       << '\n';
 
     const dram::Timing &t = d.timing;
     os << "trcd = " << t.tRcd << '\n'

@@ -3,10 +3,15 @@
  * Regression tests for the bounded protocol model checker
  * (src/analysis/model_checker.h) and its command-script replay format.
  *
- * Two layers:
+ * Three layers:
  *  - live exploration: each deliberate fault hook must be caught within
  *    the default depth budget (for every scheduler policy), and the
- *    unfaulted model must explore clean;
+ *    unfaulted model must explore clean — with the liveness properties
+ *    and wakeup-soundness checking on, and with the measured reduction
+ *    ratio and liveness headroom pinned;
+ *  - fault hooks: the config-level seams the liveness faults arm are
+ *    unit-tested directly (a suppressed-but-still-gating tWTR bound, an
+ *    age threshold past which requests never issue);
  *  - distilled counterexamples: command scripts pinned here replay
  *    specific protocol rules (weighted tFAW bursts, DDR4 bank-group
  *    tCCD_S/tCCD_L, refresh/close collisions) straight through the
@@ -20,6 +25,7 @@
 
 #include "analysis/command_script.h"
 #include "analysis/model_checker.h"
+#include "dram/bus_arbiter.h"
 #include "dram/sched/scheduler_policy.h"
 
 namespace pra::analysis {
@@ -107,10 +113,213 @@ TEST(ModelCheck, UnfaultedExplorationIsClean)
             << "under " << dram::schedulerKindName(sched) << ": "
             << res.violation << "\n"
             << res.counterexample.serialize();
-        // The exploration must be substantial, not vacuous.
-        EXPECT_GT(res.statesExplored, 10000u);
-        EXPECT_GT(res.commandsIssued, 10000u);
+        // The space must converge inside the default budget — a clean
+        // verdict on an exhausted budget proves nothing.
+        EXPECT_FALSE(res.budgetExhausted);
+        // Liveness headroom below the default bounds, with enough slack
+        // that the properties are genuinely armed (not trivially tight).
+        EXPECT_LE(res.maxRequestWait, ModelChecker::kDefaultLivenessBound);
+        EXPECT_LE(res.maxRefreshOverrun, ModelChecker::kDefaultRefreshSlack);
+        if (sched == dram::SchedulerKind::FrFcfs) {
+            // Measured pins for the reordering policy (the exploration
+            // is deterministic): re-pin deliberately when the model,
+            // workload, or reduction changes.
+            EXPECT_EQ(res.statesExplored, 514742u);
+            EXPECT_EQ(res.maxRequestWait, 81u);
+            EXPECT_EQ(res.maxRefreshOverrun, 21u);
+            EXPECT_GT(res.idleLeaps, 0u);
+            EXPECT_GT(res.interleavingsPruned, 0u);
+        }
+        // The exploration must be substantial, not vacuous: even the
+        // non-reordering FCFS policy issues the full workload.
+        EXPECT_GT(res.statesExplored, 100u);
+        EXPECT_GT(res.commandsIssued, 100u);
     }
+}
+
+TEST(ModelCheck, SuppressedWakeBoundCaughtBySoundnessProperty)
+{
+    // faultSuppressWakeTwtr reports a stale tWTR release bound while the
+    // gate keeps blocking reads: the event engine would sleep through the
+    // release. The wakeup-soundness property must see, at some explored
+    // quiet state, that the legal set changes before any published bound.
+    for (dram::SchedulerKind sched : dram::kAllSchedulerKinds) {
+        ModelChecker::Options opts;
+        opts.fault = Fault::SuppressWake;
+        opts.scheduler = sched;
+        const ModelCheckResult res = ModelChecker(opts).run();
+        ASSERT_TRUE(res.violationFound)
+            << "suppress_wake not caught under "
+            << dram::schedulerKindName(sched);
+        EXPECT_NE(res.violation.find("lost wakeup"), std::string::npos)
+            << res.violation;
+        EXPECT_FALSE(res.budgetExhausted);
+    }
+}
+
+TEST(ModelCheck, StarvedAgedRequestCaughtByBoundedProgress)
+{
+    // faultStarveAgedCycles makes the controller skip any request older
+    // than the threshold — it stalls forever without ever issuing an
+    // illegal command, invisible to the safety layer. Bounded progress
+    // must flag it once the request outlives the liveness bound.
+    for (dram::SchedulerKind sched : dram::kAllSchedulerKinds) {
+        ModelChecker::Options opts;
+        opts.fault = Fault::StarveAged;
+        opts.scheduler = sched;
+        const ModelCheckResult res = ModelChecker(opts).run();
+        ASSERT_TRUE(res.violationFound)
+            << "starve_aged not caught under "
+            << dram::schedulerKindName(sched);
+        EXPECT_NE(res.violation.find("request starved"), std::string::npos)
+            << res.violation;
+        EXPECT_FALSE(res.budgetExhausted);
+    }
+}
+
+TEST(ModelCheck, ReductionExploresAtLeastFourTimesFewerStates)
+{
+    // Symmetry canonicalization + sleep sets + idle time-leaps against
+    // the same exploration with reduction off, at equal depth and equal
+    // findings (both clean). The interleaving breadth dominates this
+    // space, so a shallow depth keeps the unreduced run affordable
+    // without weakening the comparison.
+    ModelChecker::Options on;
+    on.depth = 16;
+    ModelChecker::Options off = on;
+    off.reduction = false;
+    off.maxStates = 2000000;
+    const ModelCheckResult res_on = ModelChecker(on).run();
+    const ModelCheckResult res_off = ModelChecker(off).run();
+    ASSERT_FALSE(res_on.violationFound) << res_on.violation;
+    ASSERT_FALSE(res_off.violationFound) << res_off.violation;
+    ASSERT_FALSE(res_on.budgetExhausted);
+    ASSERT_FALSE(res_off.budgetExhausted);
+    EXPECT_GE(res_off.statesExplored, 4 * res_on.statesExplored)
+        << "reduction ratio regressed: " << res_off.statesExplored
+        << " unreduced vs " << res_on.statesExplored << " reduced";
+    // The reduced run actually used its machinery; the unreduced run
+    // really ran bare.
+    EXPECT_GT(res_on.idleLeaps, 0u);
+    EXPECT_GT(res_on.interleavingsPruned, 0u);
+    EXPECT_EQ(res_off.idleLeaps, 0u);
+    EXPECT_EQ(res_off.interleavingsPruned, 0u);
+}
+
+TEST(ModelCheck, DegenerateGeometriesExploreClean)
+{
+    // Geometry overrides fold the workload onto the reduced shape; the
+    // symmetry canonicalizer must stay sound when a bank group spans
+    // every bank (groups off), when there is no rank symmetry to find,
+    // and when per_group collapses to a single bank.
+    struct Geometry
+    {
+        const char *name;
+        unsigned ranks, banks, groups;
+        std::uint64_t maxStates;
+    };
+    const Geometry geometries[] = {
+        // Dropping the group wall removes the tCCD_L gate, so this space
+        // is larger than the default geometry's.
+        {"bank-groups-off", 0, 0, 1, 2000000},
+        {"single-rank", 1, 0, 0, 1000000},
+        {"single-bank", 0, 1, 0, 1000000},
+    };
+    for (const Geometry &g : geometries) {
+        ModelChecker::Options opts;
+        opts.overrideRanks = g.ranks;
+        opts.overrideBanks = g.banks;
+        opts.overrideBankGroups = g.groups;
+        opts.maxStates = g.maxStates;
+        const ModelCheckResult res = ModelChecker(opts).run();
+        EXPECT_FALSE(res.violationFound)
+            << g.name << ": " << res.violation << "\n"
+            << res.counterexample.serialize();
+        EXPECT_FALSE(res.budgetExhausted) << g.name;
+        EXPECT_GT(res.statesExplored, 100u) << g.name;
+    }
+}
+
+TEST(ModelCheck, ShrinkingMinimizesSafetyCounterexamples)
+{
+    ModelChecker::Options opts;
+    opts.fault = Fault::IgnoreTwtr;
+    const ModelCheckResult res = ModelChecker(opts).run();
+    ASSERT_TRUE(res.violationFound);
+    const dram::DramConfig cfg = ModelChecker::modelConfig(Fault::IgnoreTwtr);
+    const auto base = replayScript(res.counterexample, cfg);
+    ASSERT_FALSE(base.empty());
+
+    const CommandScript shrunk = shrinkScript(res.counterexample, cfg);
+    EXPECT_LT(shrunk.commands.size(), res.counterexample.commands.size());
+    // The minimized script still reproduces the original first violation
+    // verbatim, and dropping any single remaining command loses it (the
+    // greedy pass ran to a fixpoint).
+    const std::string &target = base.front();
+    const auto shrunk_violations = replayScript(shrunk, cfg);
+    EXPECT_TRUE(anyContains(shrunk_violations, target.c_str()));
+    for (std::size_t i = 0; i < shrunk.commands.size(); ++i) {
+        CommandScript trial = shrunk;
+        trial.commands.erase(trial.commands.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+        bool still = false;
+        for (const std::string &v : replayScript(trial, cfg))
+            still |= v == target;
+        EXPECT_FALSE(still) << "command " << i << " was droppable";
+    }
+}
+
+TEST(ModelCheck, ShrinkingLeavesLivenessCounterexamplesIntact)
+{
+    // A liveness counterexample indicts the exploration (a request that
+    // never completes), not the replayed command stream — it replays
+    // clean, and the shrinker must hand it back unchanged rather than
+    // delete it down to nothing.
+    ModelChecker::Options opts;
+    opts.fault = Fault::StarveAged;
+    const ModelCheckResult res = ModelChecker(opts).run();
+    ASSERT_TRUE(res.violationFound);
+    const dram::DramConfig cfg = ModelChecker::modelConfig(Fault::StarveAged);
+    ASSERT_TRUE(replayScript(res.counterexample, cfg).empty());
+    const CommandScript shrunk = shrinkScript(res.counterexample, cfg);
+    EXPECT_EQ(shrunk.commands.size(), res.counterexample.commands.size());
+}
+
+// --- Fault hooks --------------------------------------------------------
+
+TEST(FaultHooks, SuppressWakeHidesTheBoundButKeepsTheGate)
+{
+    // The faulted arbiter still blocks reads for the full tWTR window
+    // but reports a stale (cycle-0) release bound — exactly the shape
+    // of wake bug the soundness property exists to catch.
+    const dram::DramConfig faulted =
+        ModelChecker::modelConfig(Fault::SuppressWake);
+    ASSERT_TRUE(faulted.faultSuppressWakeTwtr);
+    dram::BusArbiter bus(faulted);
+    bus.noteWriteIssued(10, 2);
+    EXPECT_TRUE(bus.readBlocked(11));
+    EXPECT_EQ(bus.readBlockedUntil(), 0u);
+
+    const dram::DramConfig clean = ModelChecker::modelConfig(Fault::None);
+    dram::BusArbiter honest(clean);
+    honest.noteWriteIssued(10, 2);
+    EXPECT_TRUE(honest.readBlocked(11));
+    // WL + tWTR + burst past the issue cycle.
+    EXPECT_EQ(honest.readBlockedUntil(),
+              10 + clean.timing.wl + clean.timing.tWtr + 2);
+}
+
+TEST(FaultHooks, StarveAgedDefersRequestsPastTheThreshold)
+{
+    const dram::DramConfig faulted =
+        ModelChecker::modelConfig(Fault::StarveAged);
+    ASSERT_EQ(faulted.faultStarveAgedCycles, 8u);
+    EXPECT_FALSE(faulted.faultStarvesRequest(7, 0));
+    EXPECT_TRUE(faulted.faultStarvesRequest(8, 0));
+    EXPECT_TRUE(faulted.faultStarvesRequest(100, 0));
+
+    const dram::DramConfig clean = ModelChecker::modelConfig(Fault::None);
+    EXPECT_FALSE(clean.faultStarvesRequest(1000, 0));
 }
 
 TEST(ModelCheck, CleanRunDeepestPathReplaysClean)
@@ -134,13 +343,22 @@ TEST(ModelCheck, WorkloadExercisesBothRanksAndMaskMerging)
 {
     const auto workload = ModelChecker::defaultWorkload();
     ASSERT_FALSE(workload.empty());
-    bool rank1 = false, partialWrite = false;
+    bool rank1 = false, partialWrite = false, twins = false;
     for (const ModelRequest &r : workload) {
         rank1 |= r.rank == 1;
         partialWrite |= r.isWrite && r.mask != 0xff;
+        // The symmetry canonicalizer needs at least one pair of requests
+        // identical up to a bank rename within one bank group.
+        for (const ModelRequest &o : workload) {
+            twins |= &r != &o && r.rank == o.rank && r.bank != o.bank &&
+                     r.bank / 2 == o.bank / 2 && r.row == o.row &&
+                     r.col == o.col && r.arrival == o.arrival &&
+                     r.isWrite == o.isWrite && r.mask == o.mask;
+        }
     }
     EXPECT_TRUE(rank1);
     EXPECT_TRUE(partialWrite);
+    EXPECT_TRUE(twins);
 }
 
 // --- Distilled counterexamples ------------------------------------------

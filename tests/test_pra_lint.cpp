@@ -6,8 +6,10 @@
  * to catch), and the real tree under PRA_SOURCE_DIR must scan clean.
  *
  * Note: this file spells forbidden entropy patterns (rand(), ...)
- * inside drill inputs. That is safe because neither pra_lint nor
- * tools/check_determinism.sh scans tests/ — both cover src/ only.
+ * inside drill inputs. That is safe because the determinism rules
+ * scope themselves to src/ paths: pra_lint loads tests/ only as the
+ * fault-coverage reference corpus, and tools/check_determinism.sh
+ * covers src/ only.
  */
 #include <gtest/gtest.h>
 
@@ -71,6 +73,26 @@ TEST(StructFields, ExtractsDataMembersOnly)
     EXPECT_EQ(structFields(text, "Other"),
               std::vector<std::string>{"unrelated"});
     EXPECT_TRUE(structFields(text, "Missing").empty());
+}
+
+TEST(EnumMembers, ExtractsEnumeratorsSkippingInitializers)
+{
+    const std::string text = R"(
+        enum Fault;   // forward declaration is skipped
+        /** Doc mentioning FakeMember. */
+        enum class Fault : unsigned
+        {
+            None,         //!< comment
+            WidenAct = 3,
+            StarveAged,
+        };
+        enum Plain { A, B };
+    )";
+    EXPECT_EQ(enumMembers(text, "Fault"),
+              (std::vector<std::string>{"None", "WidenAct", "StarveAged"}));
+    EXPECT_EQ(enumMembers(text, "Plain"),
+              (std::vector<std::string>{"A", "B"}));
+    EXPECT_TRUE(enumMembers(text, "Missing").empty());
 }
 
 TEST(FunctionBody, ExtractsDefinitionNotDeclaration)
@@ -340,6 +362,96 @@ TEST(EnergyCoverageRule, UnconsumedCounterFails)
     EXPECT_NE(issues[0].message.find("power_model.cpp"), std::string::npos);
 }
 
+// --- Rule: fault-coverage -----------------------------------------------
+
+namespace faultdrill {
+
+const char *const kCheckerHeader =
+    "enum class Fault\n"
+    "{\n"
+    "    None,\n"
+    "    WidenAct,\n"
+    "    StarveAged,\n"
+    "};\n";
+
+const char *const kConfigHeader =
+    "struct DramConfig\n"
+    "{\n"
+    "    unsigned channels = 2;\n"
+    "    std::uint8_t auditFaultWidenAct = 0;\n"
+    "    Cycle faultStarveAgedCycles = 0;\n"
+    "    bool faultStarvesRequest(Cycle now) const { return false; }\n"
+    "};\n";
+
+std::vector<SourceFile>
+files(const std::string &test_text)
+{
+    std::vector<SourceFile> out{
+        {"src/analysis/model_checker.h", kCheckerHeader},
+        {"src/dram/config.h", kConfigHeader}};
+    if (!test_text.empty())
+        out.push_back({"tests/test_drill.cpp", test_text});
+    return out;
+}
+
+} // namespace faultdrill
+
+TEST(FaultCoverageRule, UndrilledHookAndEnumMemberFail)
+{
+    // The tests corpus exercises WidenAct and its config hook but never
+    // mentions StarveAged or its cycle threshold: both must be flagged,
+    // at their declaration sites.
+    const auto issues = issuesOfRule(
+        lintSources(faultdrill::files(
+            "TEST(X, Y) { o.fault = Fault::WidenAct;\n"
+            "  cfg.auditFaultWidenAct = 0x80; use(Fault::None); }\n")),
+        "fault-coverage");
+    ASSERT_EQ(issues.size(), 2u) << joined(issues);
+    EXPECT_EQ(issues[0].file, "src/analysis/model_checker.h");
+    EXPECT_NE(issues[0].message.find("Fault::StarveAged"),
+              std::string::npos);
+    EXPECT_EQ(issues[1].file, "src/dram/config.h");
+    EXPECT_NE(issues[1].message.find("faultStarveAgedCycles"),
+              std::string::npos);
+    EXPECT_NE(issues[1].message.find("tests/"), std::string::npos);
+}
+
+TEST(FaultCoverageRule, FullCoveragePasses)
+{
+    const auto issues = issuesOfRule(
+        lintSources(faultdrill::files(
+            "TEST(X, Y) { use(Fault::None, Fault::WidenAct,\n"
+            "  Fault::StarveAged);\n"
+            "  cfg.auditFaultWidenAct = 0x80;\n"
+            "  cfg.faultStarveAgedCycles = 8; }\n")),
+        "fault-coverage");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
+TEST(FaultCoverageRule, InactiveWithoutTestsCorpus)
+{
+    // A src-only scan has no corpus to check against — the rule must
+    // stay silent rather than flag every hook.
+    const auto issues = issuesOfRule(lintSources(faultdrill::files("")),
+                                     "fault-coverage");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
+TEST(FaultCoverageRule, NonHookFieldsAreOutOfScope)
+{
+    // `channels` is uncovered by the drill corpus but is not a fault
+    // hook; a mention inside a comment must not count as coverage.
+    const auto issues = issuesOfRule(
+        lintSources(faultdrill::files(
+            "// auditFaultWidenAct faultStarveAgedCycles StarveAged\n"
+            "TEST(X, Y) { use(Fault::None, Fault::WidenAct); }\n")),
+        "fault-coverage");
+    ASSERT_EQ(issues.size(), 3u) << joined(issues);
+    for (const LintIssue &i : issues)
+        EXPECT_EQ(i.message.find("channels"), std::string::npos)
+            << i.message;
+}
+
 // --- The real tree must be clean ----------------------------------------
 
 TEST(RepoScan, SourceTreeIsLintClean)
@@ -351,14 +463,21 @@ TEST(RepoScan, SourceTreeIsLintClean)
     const fs::path src = fs::path(PRA_SOURCE_DIR) / "src";
     ASSERT_TRUE(fs::is_directory(src)) << src;
 
+    // tests/ joins the scan as the fault-coverage corpus, mirroring
+    // tools/pra_lint.cpp.
     std::vector<fs::path> paths;
-    for (const fs::directory_entry &e :
-         fs::recursive_directory_iterator(src)) {
-        if (!e.is_regular_file())
+    for (const fs::path &dir :
+         {src, fs::path(PRA_SOURCE_DIR) / "tests"}) {
+        if (!fs::is_directory(dir))
             continue;
-        const std::string ext = e.path().extension().string();
-        if (ext == ".h" || ext == ".cpp")
-            paths.push_back(e.path());
+        for (const fs::directory_entry &e :
+             fs::recursive_directory_iterator(dir)) {
+            if (!e.is_regular_file())
+                continue;
+            const std::string ext = e.path().extension().string();
+            if (ext == ".h" || ext == ".cpp")
+                paths.push_back(e.path());
+        }
     }
     std::sort(paths.begin(), paths.end());
     ASSERT_GT(paths.size(), 50u);   // Sanity: the tree was actually found.
@@ -378,15 +497,17 @@ TEST(RepoScan, SourceTreeIsLintClean)
     const auto issues = lintSources(files);
     EXPECT_TRUE(issues.empty()) << joined(issues);
 
-    // The scan must have really exercised the coverage rules: the config
-    // and energy anchors exist in the tree.
-    bool sawConfig = false, sawPower = false;
+    // The scan must have really exercised the coverage rules: the
+    // config, energy, and fault-coverage anchors exist in the tree.
+    bool sawConfig = false, sawPower = false, sawTests = false;
     for (const SourceFile &f : files) {
         sawConfig |= f.path == "src/sim/config_io.cpp";
         sawPower |= f.path == "src/power/power_model.cpp";
+        sawTests |= f.path.rfind("tests/", 0) == 0;
     }
     EXPECT_TRUE(sawConfig);
     EXPECT_TRUE(sawPower);
+    EXPECT_TRUE(sawTests);
 #endif
 }
 

@@ -267,6 +267,86 @@ TEST(ChannelTablesVsOracle, Ddr4CrossGroupColumnGap)
               20 + tab.channel.columnCrossGroup);
 }
 
+// --- Degenerate geometries ----------------------------------------------
+//
+// The table builder and the oracle must agree at the geometry edges the
+// model checker's symmetry canonicalizer also explores (tests/
+// test_modelcheck_regressions.cpp, DegenerateGeometriesExploreClean):
+// bank groups disabled, a single rank, and a single bank. Each edge
+// removes a rule family, and the pin below shows which remaining gate
+// becomes the binding one.
+
+TEST(DegenerateGeometries, BankGroupsOffFallsBackToPerBankCcd)
+{
+    // DDR4 device with grouping switched off: the channel-level tCCD_L
+    // gate disappears from table and oracle alike, and the per-bank
+    // tCCD becomes the binding column gap — two cycles sooner than the
+    // same prologue allows on the grouped device (Ddr4SameGroupColumnGap
+    // above).
+    DramConfig cfg = ddr4_2400();
+    cfg.timing.bankGroups = 1;
+    const TimingTables tab = TimingTables::build(cfg);
+    const unsigned burst = cfg.timing.burstCycles;
+    EXPECT_EQ(tab.channel.bankGroups, 1u);
+    const Cycle legal =
+        minLegalCycle(cfg, {act(0, 0, 0), rd(16, 0, 0, burst)},
+                      rd(0, 0, 0, burst), 17);
+    EXPECT_EQ(legal, 16 + tab.bank.columnToColumn);
+    EXPECT_LT(legal, 16 + TimingTables::build(ddr4_2400())
+                               .channel.columnSameGroup);
+}
+
+TEST(DegenerateGeometries, SingleRankPaysNoRankSwitchBubble)
+{
+    // One rank per channel: consecutive reads to different banks are
+    // gated by data-bus occupancy alone — the tRTRS bubble the two-rank
+    // CrossRankReadToRead pin pays can never apply.
+    DramConfig cfg = ddr3_1600();
+    cfg.ranksPerChannel = 1;
+    const TimingTables tab = TimingTables::build(cfg);
+    const std::vector<CheckedCommand> prologue{
+        act(0, 0, 0), act(6, 0, 1), rd(20, 0, 0, kBurst)};
+    EXPECT_EQ(minLegalCycle(cfg, prologue, rd(0, 0, 1, kBurst), 21),
+              20 + tab.channel.burst);
+}
+
+TEST(DegenerateGeometries, SingleRankFawWindowStillBinds)
+{
+    // The rolling four-activate window is a rank-local rule and must
+    // survive the single-rank shadow-state sizing.
+    DramConfig cfg = ddr3_1600();
+    cfg.ranksPerChannel = 1;
+    const TimingTables tab = TimingTables::build(cfg);
+    const std::vector<CheckedCommand> prologue{
+        act(0, 0, 0), act(6, 0, 1), act(12, 0, 2), act(18, 0, 3)};
+    EXPECT_EQ(minLegalCycle(cfg, prologue, act(0, 0, 4), 19),
+              0 + tab.rank.fawWindow);
+}
+
+TEST(DegenerateGeometries, SingleBankPrechargeToActMatchesTable)
+{
+    // One bank per rank: the inter-bank rank rules degenerate and the
+    // bank FSM alone sequences the command stream.
+    DramConfig cfg = ddr3_1600();
+    cfg.banksPerRank = 1;
+    const TimingTables tab = TimingTables::build(cfg);
+    EXPECT_EQ(minLegalCycle(cfg, {act(0, 0, 0), pre(35, 0, 0)},
+                            act(0, 0, 0), 36),
+              35 + tab.bank.prechargeToAct);
+    // With one bank, activations are tRC-spaced, so the four-activate
+    // window can never accumulate enough weight to bind.
+    EXPECT_GE(3 * tab.bank.actToAct, tab.rank.fawWindow);
+}
+
+TEST(DegenerateGeometries, SingleBankRefreshCycleGatesNextAct)
+{
+    DramConfig cfg = ddr3_1600();
+    cfg.banksPerRank = 1;
+    const TimingTables tab = TimingTables::build(cfg);
+    EXPECT_EQ(minLegalCycle(cfg, {ref(1000, 0)}, act(0, 0, 0), 1001),
+              1000 + tab.rank.refreshCycle);
+}
+
 // --- Entries with no oracle rule pin directly to the raw parameters -----
 
 TEST(TimingTablesBuild, UncheckedEntriesMatchRawParameters)

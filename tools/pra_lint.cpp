@@ -1,9 +1,11 @@
 /**
  * @file
  * CLI front end of the repo-specific lint (src/analysis/lint.h,
- * DESIGN.md §10): loads every .h/.cpp under <root>/src and runs the
- * determinism and coverage rules. Exit 0 when clean, 1 when any rule
- * fired, 2 on usage/IO errors.
+ * DESIGN.md §10): loads every .h/.cpp under <root>/src plus — as the
+ * fault-coverage reference corpus — <root>/tests, and runs the
+ * determinism and coverage rules (the determinism rules scope
+ * themselves to src/). Exit 0 when clean, 1 when any rule fired, 2 on
+ * usage/IO errors.
  *
  * usage: pra_lint [--root DIR]
  *
@@ -43,16 +45,24 @@ main(int argc, char **argv)
     }
 
     // Collect repo-relative paths in sorted order so output (and any
-    // future baseline diffing) is deterministic.
+    // future baseline diffing) is deterministic. tests/ joins the scan
+    // as the fault-coverage corpus; a tree without one simply skips
+    // that rule.
     std::vector<fs::path> paths;
-    for (const fs::directory_entry &e :
-         fs::recursive_directory_iterator(src)) {
-        if (!e.is_regular_file())
-            continue;
-        const std::string ext = e.path().extension().string();
-        if (ext == ".h" || ext == ".cpp")
-            paths.push_back(e.path());
-    }
+    auto collect = [&](const fs::path &dir) {
+        if (!fs::is_directory(dir, ec))
+            return;
+        for (const fs::directory_entry &e :
+             fs::recursive_directory_iterator(dir)) {
+            if (!e.is_regular_file())
+                continue;
+            const std::string ext = e.path().extension().string();
+            if (ext == ".h" || ext == ".cpp")
+                paths.push_back(e.path());
+        }
+    };
+    collect(src);
+    collect(fs::path(root) / "tests");
     std::sort(paths.begin(), paths.end());
 
     std::vector<pra::analysis::SourceFile> files;

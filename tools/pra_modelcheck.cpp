@@ -49,16 +49,30 @@ usage(const char *argv0)
         "  --scheduler NAME     frfcfs | fcfs | frfcfs_wage | all\n"
         "                       (default: all)\n"
         "  --fault NAME         none | widen_act | ignore_tccd_l |\n"
-        "                       ignore_twtr | all (default: none;\n"
-        "                       env PRA_MC_SEED_FAULT)\n"
+        "                       ignore_twtr | suppress_wake | starve_aged\n"
+        "                       | all (default: none; env PRA_MC_SEED_FAULT)\n"
+        "  --liveness-bound N   bounded-progress horizon in cycles\n"
+        "                       (default %llu; 0 disables liveness and\n"
+        "                       work-conserving exploration)\n"
+        "  --refresh-slack N    allowed refresh overrun past tREFI\n"
+        "                       (default %llu)\n"
+        "  --reduction on|off   idle time-leap + symmetry + sleep sets\n"
+        "                       (default: on)\n"
+        "  --strict-budget      exit 3 when any run exhausts the state\n"
+        "                       budget before completing\n"
         "  --expect-violation   exit 0 iff every run finds a violation\n"
-        "  --emit-test FILE     write counterexample (or deepest clean\n"
-        "                       path) as a replayable command script\n"
+        "  --emit-test FILE     write counterexample (shrunk to a\n"
+        "                       minimal reproducer) or deepest clean\n"
+        "                       path as a replayable command script\n"
         "  --replay FILE        re-validate an emitted command script\n"
         "  --quiet              suppress per-run statistics\n",
         argv0,
         static_cast<unsigned>(ModelChecker::kDefaultDepth),
-        static_cast<unsigned long long>(ModelChecker::kDefaultMaxStates));
+        static_cast<unsigned long long>(ModelChecker::kDefaultMaxStates),
+        static_cast<unsigned long long>(
+            ModelChecker::kDefaultLivenessBound),
+        static_cast<unsigned long long>(
+            ModelChecker::kDefaultRefreshSlack));
     return 2;
 }
 
@@ -119,6 +133,7 @@ main(int argc, char **argv)
     ModelChecker::Options opts;
     bool allSchedulers = true;
     bool expectViolation = false;
+    bool strictBudget = false;
     bool quiet = false;
     std::string emitPath;
     std::vector<Fault> faults{Fault::None};
@@ -170,7 +185,8 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             if (std::strcmp(v, "all") == 0) {
                 faults = {Fault::WidenAct, Fault::IgnoreTccdL,
-                          Fault::IgnoreTwtr};
+                          Fault::IgnoreTwtr, Fault::SuppressWake,
+                          Fault::StarveAged};
             } else {
                 Fault f = Fault::None;
                 if (!pra::analysis::parseFault(v, f)) {
@@ -180,6 +196,27 @@ main(int argc, char **argv)
                 }
                 faults = {f};
             }
+        } else if (arg == "--liveness-bound") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opts.livenessBound = static_cast<pra::Cycle>(
+                std::strtoull(v, nullptr, 10));
+        } else if (arg == "--refresh-slack") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opts.refreshSlack = static_cast<pra::Cycle>(
+                std::strtoull(v, nullptr, 10));
+        } else if (arg == "--reduction") {
+            const char *v = value();
+            if (!v || (std::strcmp(v, "on") != 0 &&
+                       std::strcmp(v, "off") != 0)) {
+                return usage(argv[0]);
+            }
+            opts.reduction = std::strcmp(v, "on") == 0;
+        } else if (arg == "--strict-budget") {
+            strictBudget = true;
         } else if (arg == "--expect-violation") {
             expectViolation = true;
         } else if (arg == "--emit-test") {
@@ -209,6 +246,7 @@ main(int argc, char **argv)
 
     bool anyClean = false;
     bool anyViolation = false;
+    bool anyExhausted = false;
     bool emitted = false;
     CommandScript deepest;
     for (Fault fault : faults) {
@@ -217,18 +255,41 @@ main(int argc, char **argv)
             run.fault = fault;
             run.scheduler = sched;
             const ModelCheckResult res = ModelChecker(run).run();
+            anyExhausted = anyExhausted || res.budgetExhausted;
             if (!quiet) {
+                // The explored-vs-budget ratio is printed on every run
+                // so a budget-exhausted "clean" cannot silently pass
+                // for a completed exploration.
                 std::printf(
                     "fault=%-13s scheduler=%-12s depth=%-3llu "
-                    "states=%llu deduped=%llu commands=%llu%s: %s\n",
+                    "states=%llu/%llu deduped=%llu commands=%llu "
+                    "leaps=%llu pruned=%llu%s: %s\n",
                     pra::analysis::faultName(fault),
                     pra::dram::schedulerKindName(sched),
                     static_cast<unsigned long long>(run.depth),
                     static_cast<unsigned long long>(res.statesExplored),
+                    static_cast<unsigned long long>(run.maxStates),
                     static_cast<unsigned long long>(res.statesDeduped),
                     static_cast<unsigned long long>(res.commandsIssued),
+                    static_cast<unsigned long long>(res.idleLeaps),
+                    static_cast<unsigned long long>(
+                        res.interleavingsPruned),
                     res.budgetExhausted ? " (budget exhausted)" : "",
                     res.violationFound ? "VIOLATION" : "clean");
+                if (run.livenessBound > 0) {
+                    std::printf(
+                        "  liveness headroom: max request wait %llu "
+                        "(bound %llu), max refresh overrun %llu "
+                        "(slack %llu)\n",
+                        static_cast<unsigned long long>(
+                            res.maxRequestWait),
+                        static_cast<unsigned long long>(
+                            run.livenessBound),
+                        static_cast<unsigned long long>(
+                            res.maxRefreshOverrun),
+                        static_cast<unsigned long long>(
+                            run.refreshSlack));
+                }
             }
             if (res.violationFound) {
                 anyViolation = true;
@@ -238,11 +299,20 @@ main(int argc, char **argv)
                             res.violation.c_str());
                 std::printf("%s", res.counterexample.serialize().c_str());
                 if (!emitPath.empty() && !emitted) {
+                    // Delta-debug the counterexample first: the emitted
+                    // reproducer keeps only the commands needed to
+                    // reproduce the original violation under replay.
+                    const CommandScript shrunk = pra::analysis::shrinkScript(
+                        res.counterexample,
+                        ModelChecker::modelConfig(fault));
                     std::ofstream out(emitPath);
-                    out << res.counterexample.serialize();
+                    out << shrunk.serialize();
                     emitted = true;
-                    std::printf("counterexample written to %s\n",
-                                emitPath.c_str());
+                    std::printf(
+                        "counterexample written to %s "
+                        "(%zu of %zu commands after shrinking)\n",
+                        emitPath.c_str(), shrunk.commands.size(),
+                        res.counterexample.commands.size());
                 }
             } else {
                 anyClean = true;
@@ -261,6 +331,16 @@ main(int argc, char **argv)
                     deepest.commands.size(), emitPath.c_str());
     }
 
+    // A drained state budget means the exploration is incomplete: a
+    // "clean" verdict proves nothing about the unexplored remainder.
+    // Under --strict-budget that is its own failure mode (exit 3),
+    // distinct from a violation (1) and a usage error (2).
+    if (strictBudget && anyExhausted) {
+        std::fprintf(stderr,
+                     "pra_modelcheck: state budget exhausted before "
+                     "exploration completed (--strict-budget)\n");
+        return 3;
+    }
     if (expectViolation)
         return anyClean ? 1 : 0;   // Every run must have been caught.
     return anyViolation ? 1 : 0;
