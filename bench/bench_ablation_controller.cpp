@@ -21,7 +21,7 @@ sim::SystemConfig
 baselineCfg()
 {
     return benchConfig(
-        {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
+        {&schemeByName("baseline"), dram::PagePolicy::RelaxedClose, false},
         500'000);
 }
 

@@ -58,7 +58,7 @@ void
 buildJobs(const workloads::Mix &mix, std::vector<sim::SweepJob> &jobs)
 {
     const sim::SystemConfig base_cfg =
-        benchConfig({Scheme::Baseline, dram::PagePolicy::RelaxedClose,
+        benchConfig({&schemeByName("baseline"), dram::PagePolicy::RelaxedClose,
                      false},
                     500'000);
     jobs.push_back({mix, {}, 0, base_cfg});
@@ -69,7 +69,7 @@ buildJobs(const workloads::Mix &mix, std::vector<sim::SweepJob> &jobs)
 
     for (const Variant &v : kVariants) {
         sim::SystemConfig cfg = benchConfig(
-            {Scheme::Pra, dram::PagePolicy::RelaxedClose, false},
+            {&schemeByName("pra"), dram::PagePolicy::RelaxedClose, false},
             500'000);
         v.tweak(cfg);
         jobs.push_back({mix, {}, 0, cfg});

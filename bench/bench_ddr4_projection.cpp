@@ -30,7 +30,7 @@ buildJobs(const dram::DramConfig &preset,
         base_cfg.dram = preset;
         base_cfg.targetInstructions = 500'000;
         sim::SystemConfig pra_cfg = base_cfg;
-        pra_cfg.dram.scheme = Scheme::Pra;
+        pra_cfg.dram.scheme = &schemeByName("pra");
         jobs.push_back({rate, {}, 0, base_cfg});
         jobs.push_back({rate, {}, 0, pra_cfg});
     }

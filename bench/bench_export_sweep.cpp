@@ -96,7 +96,7 @@ constexpr Geometry kScaleGeometry{32, 2};
 /** The workload x scheme job list; @p engine forces one engine kind. */
 std::vector<sim::SweepJob>
 buildJobs(const std::vector<std::string> &names,
-          const std::vector<Scheme> &schemes, std::uint64_t target,
+          const std::vector<const SchemeModel *> &schemes, std::uint64_t target,
           std::vector<std::pair<std::string, sim::ConfigPoint>> *labels,
           std::optional<dram::EngineKind> engine = std::nullopt,
           Geometry geom = {})
@@ -104,7 +104,7 @@ buildJobs(const std::vector<std::string> &names,
     std::vector<sim::SweepJob> jobs;
     for (const auto &name : names) {
         const workloads::Mix rate{name, {name, name, name, name}};
-        for (Scheme scheme : schemes) {
+        for (const SchemeModel *scheme : schemes) {
             const sim::ConfigPoint point{
                 scheme, dram::PagePolicy::RelaxedClose, false};
             sim::SweepJob job{rate, point, target, {}};
@@ -162,7 +162,7 @@ jsonHeader(std::ostream &os, const char *mode, bool smoke,
 
 int
 assertEventSpeedup(const std::vector<std::string> &names,
-                   const std::vector<Scheme> &schemes, std::uint64_t target,
+                   const std::vector<const SchemeModel *> &schemes, std::uint64_t target,
                    bool smoke)
 {
     setenv("PRA_NO_CACHE", "1", 1);   // See file header: keys ignore engine.
@@ -228,15 +228,15 @@ main(int argc, char **argv)
         argc > 1 && std::string(argv[1]) == "--assert-event-speedup";
     const bool smoke = smokeMode();
 
-    std::vector<Scheme> schemes = {Scheme::Baseline, Scheme::Fga,
-                                   Scheme::HalfDram, Scheme::Sds,
-                                   Scheme::Pra, Scheme::HalfDramPra};
+    std::vector<const SchemeModel *> schemes = {&schemeByName("baseline"), &schemeByName("fga"),
+                                   &schemeByName("halfdram"), &schemeByName("sds"),
+                                   &schemeByName("pra"), &schemeByName("halfdram+pra")};
     // The eight rate-mode workloads; mixes are covered by the figure
     // benches and make this export twice as slow.
     std::vector<std::string> names = workloads::benchmarkNames();
     std::uint64_t target = 400'000;
     if (smoke) {
-        schemes = {Scheme::Baseline, Scheme::Pra};
+        schemes = {&schemeByName("baseline"), &schemeByName("pra")};
         names.resize(std::min<std::size_t>(names.size(), 3));
         target = 120'000;
     }

@@ -15,9 +15,9 @@ using namespace pra::bench;
 int
 main()
 {
-    const sim::ConfigPoint base{Scheme::Baseline,
+    const sim::ConfigPoint base{&schemeByName("baseline"),
                                 dram::PagePolicy::RelaxedClose, false};
-    const sim::ConfigPoint pra{Scheme::Pra,
+    const sim::ConfigPoint pra{&schemeByName("pra"),
                                dram::PagePolicy::RelaxedClose, false};
 
     Table t("Figure 10: row-buffer hit rates, Baseline -> PRA");

@@ -34,8 +34,8 @@ int
 main()
 {
     const dram::PagePolicy policy = dram::PagePolicy::RelaxedClose;
-    const std::vector<Scheme> schemes = {Scheme::Fga, Scheme::HalfDram,
-                                         Scheme::Pra};
+    const std::vector<const SchemeModel *> schemes = {&schemeByName("fga"), &schemeByName("halfdram"),
+                                         &schemeByName("pra")};
 
     Table ta("Figure 12a: normalized row-activation power");
     Table ti("Figure 12b: normalized I/O power");
@@ -51,9 +51,9 @@ main()
     timer.attach(runner);
     std::vector<sim::SweepJob> jobs;
     for (const auto &mix : mixes) {
-        jobs.push_back({mix, {Scheme::Baseline, policy, false},
+        jobs.push_back({mix, {&schemeByName("baseline"), policy, false},
                         kBenchTargetInstructions, {}});
-        for (const Scheme s : schemes)
+        for (const SchemeModel *s : schemes)
             jobs.push_back({mix, {s, policy, false},
                             kBenchTargetInstructions, {}});
     }

@@ -18,8 +18,8 @@ int
 main()
 {
     const dram::PagePolicy policy = dram::PagePolicy::RelaxedClose;
-    const std::vector<Scheme> schemes = {Scheme::Fga, Scheme::HalfDram,
-                                         Scheme::Pra};
+    const std::vector<const SchemeModel *> schemes = {&schemeByName("fga"), &schemeByName("halfdram"),
+                                         &schemeByName("pra")};
 
     Table tp("Figure 13a: normalized performance (weighted speedup)");
     Table te("Figure 13b: normalized DRAM energy");
@@ -28,9 +28,9 @@ main()
         t->header({"Workload", "FGA", "Half-DRAM", "PRA"});
 
     const auto mixes = workloads::allWorkloads();
-    const sim::ConfigPoint base_pt{Scheme::Baseline, policy, false};
+    const sim::ConfigPoint base_pt{&schemeByName("baseline"), policy, false};
     std::vector<sim::ConfigPoint> points{base_pt};
-    for (const Scheme s : schemes)
+    for (const SchemeModel *s : schemes)
         points.push_back({s, policy, false});
 
     sim::Runner runner;

@@ -3,7 +3,9 @@
  * Figure 14 — case study of PRA combined with Half-DRAM under the
  * restricted close-page policy (where relaxed tRRD/tFAW matter most):
  * average DRAM power, normalized performance, DRAM energy, and EDP of
- * Half-DRAM, PRA, and the combined scheme over all 14 workloads.
+ * Half-DRAM, PRA, and the combined scheme over all 14 workloads. The
+ * comparator plugins (Sectored DRAM and PRA+SpecRead) ride along as
+ * extra columns under the same normalization.
  */
 #include <algorithm>
 #include <iostream>
@@ -18,13 +20,15 @@ int
 main()
 {
     const dram::PagePolicy policy = dram::PagePolicy::RestrictedClose;
-    const std::vector<Scheme> schemes = {Scheme::HalfDram, Scheme::Pra,
-                                         Scheme::HalfDramPra};
+    const std::vector<const SchemeModel *> schemes = {
+        &schemeByName("halfdram"),      &schemeByName("pra"),
+        &schemeByName("halfdram+pra"),  &schemeByName("sectored"),
+        &schemeByName("pra_spec_read")};
 
     const auto mixes = workloads::allWorkloads();
-    const sim::ConfigPoint base_pt{Scheme::Baseline, policy, false};
+    const sim::ConfigPoint base_pt{&schemeByName("baseline"), policy, false};
     std::vector<sim::ConfigPoint> points{base_pt};
-    for (const Scheme s : schemes)
+    for (const SchemeModel *s : schemes)
         points.push_back({s, policy, false});
 
     sim::Runner runner;
@@ -47,14 +51,15 @@ main()
                               points[i / apps.size()]);
     });
 
-    double power_sum[3] = {}, perf_sum[3] = {}, energy_sum[3] = {},
-           edp_sum[3] = {};
+    const std::size_t ns = schemes.size();
+    std::vector<double> power_sum(ns), perf_sum(ns), energy_sum(ns),
+        edp_sum(ns);
     double n = 0;
     std::size_t job = 0;
     for (const auto &mix : mixes) {
         const sim::RunResult &base = results[job++];
         const double base_ws = runner.weightedSpeedup(mix, base, base_pt);
-        for (std::size_t s = 0; s < schemes.size(); ++s) {
+        for (std::size_t s = 0; s < ns; ++s) {
             const sim::ConfigPoint &pt = points[s + 1];
             const sim::RunResult &r = results[job++];
             power_sum[s] += r.avgPowerMw / base.avgPowerMw;
@@ -65,12 +70,17 @@ main()
         n += 1;
     }
 
-    Table t("Figure 14: Half-DRAM vs PRA vs combined "
-            "(restricted close-page, average of 14 workloads)");
-    t.header({"Metric", "Half-DRAM", "PRA", "Half-DRAM+PRA"});
-    auto row = [&](const char *name, const double *vals) {
-        t.addRow({name, Table::fmt(vals[0] / n, 3),
-                  Table::fmt(vals[1] / n, 3), Table::fmt(vals[2] / n, 3)});
+    Table t("Figure 14: Half-DRAM vs PRA vs combined, with comparator "
+            "plugins (restricted close-page, average of 14 workloads)");
+    std::vector<std::string> header{"Metric"};
+    for (const SchemeModel *s : schemes)
+        header.push_back(s->displayName());
+    t.header(header);
+    auto row = [&](const char *name, const std::vector<double> &vals) {
+        std::vector<std::string> cells{name};
+        for (double v : vals)
+            cells.push_back(Table::fmt(v / n, 3));
+        t.addRow(cells);
     };
     row("DRAM power (norm.)", power_sum);
     row("Performance (norm.)", perf_sum);

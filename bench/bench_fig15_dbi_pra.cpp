@@ -30,12 +30,12 @@ main()
     struct Config
     {
         const char *name;
-        Scheme scheme;
+        const SchemeModel *scheme;
         bool dbi;
     };
-    const Config configs[3] = {{"DBI", Scheme::Baseline, true},
-                               {"PRA", Scheme::Pra, false},
-                               {"DBI+PRA", Scheme::Pra, true}};
+    const Config configs[3] = {{"DBI", &schemeByName("baseline"), true},
+                               {"PRA", &schemeByName("pra"), false},
+                               {"DBI+PRA", &schemeByName("pra"), true}};
 
     const std::vector<std::string> featured = {"bzip2", "GUPS", "em3d"};
 
@@ -44,7 +44,7 @@ main()
     t.header({"Workload", "DBI", "PRA", "DBI+PRA"});
 
     const auto mixes = workloads::allWorkloads();
-    const sim::ConfigPoint base_pt{Scheme::Baseline, policy, false};
+    const sim::ConfigPoint base_pt{&schemeByName("baseline"), policy, false};
     std::vector<sim::ConfigPoint> points{base_pt};
     for (const Config &c : configs)
         points.push_back({c.scheme, policy, c.dbi});

@@ -17,7 +17,7 @@ using namespace pra::bench;
 int
 main()
 {
-    const sim::ConfigPoint base{Scheme::Baseline,
+    const sim::ConfigPoint base{&schemeByName("baseline"),
                                 dram::PagePolicy::RelaxedClose, false};
 
     Table t("Figure 2: baseline DRAM power breakdown (single core)");

@@ -15,7 +15,7 @@ using namespace pra::bench;
 int
 main()
 {
-    const sim::ConfigPoint base{Scheme::Baseline,
+    const sim::ConfigPoint base{&schemeByName("baseline"),
                                 dram::PagePolicy::RelaxedClose, false};
 
     Table t("Figure 3: dirty words per LLC-evicted line");

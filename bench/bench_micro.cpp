@@ -62,7 +62,8 @@ void
 BM_DramSystemTick(benchmark::State &state)
 {
     dram::DramConfig cfg;
-    cfg.scheme = static_cast<Scheme>(state.range(0));
+    // The benchmark arg indexes the scheme registry (registration order).
+    cfg.scheme = allSchemes()[static_cast<std::size_t>(state.range(0))];
     dram::DramSystem sys(cfg);
     Rng rng(4);
     std::uint64_t tag = 0;
@@ -78,8 +79,8 @@ BM_DramSystemTick(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_DramSystemTick)
-    ->Arg(static_cast<int>(Scheme::Baseline))
-    ->Arg(static_cast<int>(Scheme::Pra));
+    ->Arg(0)    // baseline (registry slot 0)
+    ->Arg(3);   // pra (registry slot 3)
 
 void
 BM_WorkloadGenerator(benchmark::State &state)

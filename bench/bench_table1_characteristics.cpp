@@ -36,7 +36,7 @@ constexpr PaperRow kPaper[] = {
 int
 main()
 {
-    sim::ConfigPoint base{Scheme::Baseline,
+    sim::ConfigPoint base{&schemeByName("baseline"),
                           dram::PagePolicy::RelaxedClose, false};
 
     Table table("Table 1: memory characteristics (measured | paper)");

@@ -64,7 +64,7 @@ class LogAppend : public cpu::Generator
 };
 
 sim::RunResult
-runUnder(Scheme scheme)
+runUnder(const SchemeModel *scheme)
 {
     sim::SystemConfig cfg = sim::makeConfig(
         {scheme, dram::PagePolicy::RelaxedClose, false});
@@ -83,8 +83,8 @@ main()
     std::cout << "Custom workload: log-structured append "
                  "(75% 1-word appends, 25% random lookups)\n\n";
 
-    const sim::RunResult base = runUnder(Scheme::Baseline);
-    const sim::RunResult pra = runUnder(Scheme::Pra);
+    const sim::RunResult base = runUnder(&schemeByName("baseline"));
+    const sim::RunResult pra = runUnder(&schemeByName("pra"));
 
     Table t("Baseline vs PRA on the custom workload");
     t.header({"Metric", "Baseline", "PRA"});

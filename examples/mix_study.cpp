@@ -41,11 +41,11 @@ main(int argc, char **argv)
     t.header({"Scheme", "WS", "norm WS", "power mW", "norm power",
               "norm energy", "norm EDP", "falseHit r/w"});
 
-    const std::vector<Scheme> schemes = {Scheme::Baseline, Scheme::Fga,
-                                         Scheme::HalfDram, Scheme::Sds,
-                                         Scheme::Pra, Scheme::HalfDramPra};
+    const std::vector<const SchemeModel *> schemes = {&schemeByName("baseline"), &schemeByName("fga"),
+                                         &schemeByName("halfdram"), &schemeByName("sds"),
+                                         &schemeByName("pra"), &schemeByName("halfdram+pra")};
     std::vector<sim::ConfigPoint> points;
-    for (Scheme scheme : schemes)
+    for (const SchemeModel *scheme : schemes)
         points.push_back({scheme, dram::PagePolicy::RelaxedClose, false});
 
     sim::Runner runner;
@@ -66,17 +66,17 @@ main(int argc, char **argv)
 
     double base_ws = 0, base_power = 0, base_energy = 0, base_edp = 0;
     for (std::size_t s = 0; s < schemes.size(); ++s) {
-        const Scheme scheme = schemes[s];
+        const SchemeModel *scheme = schemes[s];
         const sim::ConfigPoint &point = points[s];
         const sim::RunResult &r = results[s];
         const double ws = runner.weightedSpeedup(mix, r, point);
-        if (scheme == Scheme::Baseline) {
+        if (scheme == &schemeByName("baseline")) {
             base_ws = ws;
             base_power = r.avgPowerMw;
             base_energy = r.totalEnergyNj;
             base_edp = r.edp;
         }
-        t.addRow({schemeName(scheme), Table::fmt(ws, 3),
+        t.addRow({std::string(scheme->displayName()), Table::fmt(ws, 3),
                   Table::fmt(ws / base_ws, 3), Table::fmt(r.avgPowerMw, 0),
                   Table::fmt(r.avgPowerMw / base_power, 3),
                   Table::fmt(r.totalEnergyNj / base_energy, 3),

@@ -55,9 +55,9 @@ main(int argc, char **argv)
     std::cout << "PRA quickstart — benchmark: " << bench
               << " (4 identical instances)\n\n";
 
-    sim::ConfigPoint base{Scheme::Baseline,
+    sim::ConfigPoint base{&schemeByName("baseline"),
                           dram::PagePolicy::RelaxedClose, false};
-    sim::ConfigPoint pra{Scheme::Pra, dram::PagePolicy::RelaxedClose,
+    sim::ConfigPoint pra{&schemeByName("pra"), dram::PagePolicy::RelaxedClose,
                          false};
 
     // Both points run concurrently on the sweep engine (PRA_JOBS to

@@ -16,8 +16,8 @@ using namespace pra;
 
 namespace {
 
-constexpr Scheme kSchemes[] = {Scheme::Baseline, Scheme::HalfDram,
-                               Scheme::Pra};
+const SchemeModel *const kSchemes[] = {&schemeByName("baseline"), &schemeByName("halfdram"),
+                               &schemeByName("pra")};
 
 void
 study(sim::Runner &runner, const workloads::Mix &mix)
@@ -27,7 +27,7 @@ study(sim::Runner &runner, const workloads::Mix &mix)
               "mean ACT gran", "wr words/line"});
 
     std::vector<sim::SweepJob> jobs;
-    for (Scheme scheme : kSchemes)
+    for (const SchemeModel *scheme : kSchemes)
         jobs.push_back({mix,
                         {scheme, dram::PagePolicy::RelaxedClose, false},
                         600'000,
@@ -36,9 +36,9 @@ study(sim::Runner &runner, const workloads::Mix &mix)
 
     double base_power = 0, base_energy = 0;
     for (std::size_t s = 0; s < std::size(kSchemes); ++s) {
-        const Scheme scheme = kSchemes[s];
+        const SchemeModel *scheme = kSchemes[s];
         const sim::RunResult &r = results[s];
-        if (scheme == Scheme::Baseline) {
+        if (scheme == &schemeByName("baseline")) {
             base_power = r.avgPowerMw;
             base_energy = r.totalEnergyNj;
         }
@@ -47,7 +47,7 @@ study(sim::Runner &runner, const workloads::Mix &mix)
                 ? static_cast<double>(r.energy.writeWordsDriven) /
                       static_cast<double>(r.energy.writeLines)
                 : 0.0;
-        t.addRow({schemeName(scheme), Table::fmt(r.avgPowerMw, 0),
+        t.addRow({std::string(scheme->displayName()), Table::fmt(r.avgPowerMw, 0),
                   Table::fmt(r.avgPowerMw / base_power, 3),
                   Table::fmt(r.totalEnergyNj / base_energy, 3),
                   Table::fmt(r.ipc[0], 3),

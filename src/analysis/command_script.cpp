@@ -58,7 +58,11 @@ CommandScript::serialize() const
 {
     std::ostringstream os;
     os << "# pra-modelcheck command script v1\n";
-    os << "# scheduler=" << scheduler << " fault=" << fault << "\n";
+    os << "# scheduler=" << scheduler << " fault=" << fault;
+    // Serialization-compat default, not dispatch. pra-lint: scheme-ok
+    if (scheme != "pra")
+        os << " scheme=" << scheme;
+    os << "\n";
     for (const ScriptCommand &c : commands) {
         os << kindName(c.kind) << " " << c.cycle << " " << c.rank;
         switch (c.kind) {
@@ -109,6 +113,8 @@ CommandScript::parse(const std::string &text, CommandScript &out,
                     out.scheduler = value;
                 else if (keyValue(tok, "fault", value))
                     out.fault = value;
+                else if (keyValue(tok, "scheme", value))
+                    out.scheme = value;
             }
             continue;
         }
@@ -214,10 +220,10 @@ replayScript(const CommandScript &script, const dram::DramConfig &cfg)
             at(c) = WordMask{c.mask};
             break;
           case CheckedCommand::Kind::Read:
-            // Reads always consume the full row (PRA's asymmetric design
-            // point): a read served by a partially open row is a protocol
-            // violation even if the recorded need were narrower.
-            if (!at(c).isFull())
+            // Reads consume the full row (PRA's asymmetric design point)
+            // unless the scheme activates read sectors too; then the
+            // within-open-mask check below is the whole invariant.
+            if (!cfg.scheme->partialReads() && !at(c).isFull())
                 fail(c, "READ from a partially open row (mask " +
                             hex(at(c).bits()) + ")");
             [[fallthrough]];

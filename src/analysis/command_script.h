@@ -58,6 +58,13 @@ struct CommandScript
     std::vector<ScriptCommand> commands;
     std::string scheduler = "frfcfs";  //!< Policy the path was found under.
     std::string fault = "none";        //!< Fault hook active when found.
+    /**
+     * Registered scheme the path was explored under. Serialized only
+     * when it differs from the model default ("pra"), so every script
+     * distilled before schemes became pluggable round-trips
+     * byte-identically.
+     */
+    std::string scheme = "pra";
 
     /** Render as the text format above (parse() round-trips it). */
     std::string serialize() const;

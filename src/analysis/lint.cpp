@@ -4,6 +4,8 @@
 #include <cctype>
 #include <cstddef>
 
+#include "core/scheme.h"
+
 namespace pra::analysis {
 
 namespace {
@@ -567,6 +569,127 @@ lintTimingLocality(const SourceFile &f, const std::vector<std::string> &raw,
     }
 }
 
+// --- Rule: scheme-locality ----------------------------------------------
+
+/**
+ * Scheme behaviour is owned by the SchemeModel plugins; only the
+ * registry TU (src/core/scheme.{h,cpp}) may enumerate the scheme
+ * world. Everything else under src/ is in scope.
+ */
+bool
+schemeLocalityScoped(const std::string &path)
+{
+    if (path.find("src/") == std::string::npos)
+        return false;
+    return path.find("core/scheme.h") == std::string::npos &&
+           path.find("core/scheme.cpp") == std::string::npos;
+}
+
+std::string
+lowercased(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+/** Registered scheme names/spellings, lowercased (computed once). */
+const std::vector<std::string> &
+registeredSchemeSpellings()
+{
+    static const std::vector<std::string> spellings = [] {
+        std::vector<std::string> out;
+        auto add = [&](const std::string &s) {
+            const std::string low = lowercased(s);
+            if (std::find(out.begin(), out.end(), low) == out.end())
+                out.push_back(low);
+        };
+        for (const SchemeModel *s : pra::allSchemes()) {
+            add(s->name());
+            add(s->displayName());
+            for (const std::string &a : s->aliases())
+                add(a);
+        }
+        return out;
+    }();
+    return spellings;
+}
+
+/**
+ * True when the string literal spanning [q1, q2] (quote positions) in
+ * @p line sits beside an ==/!= comparison operator.
+ */
+bool
+literalComparedAt(const std::string &line, std::size_t q1, std::size_t q2)
+{
+    std::size_t before = q1;
+    while (before > 0 && line[before - 1] == ' ')
+        --before;
+    if (before >= 2 && line[before - 1] == '=' &&
+        (line[before - 2] == '=' || line[before - 2] == '!'))
+        return true;
+    std::size_t after = q2 + 1;
+    while (after < line.size() && line[after] == ' ')
+        ++after;
+    return after + 1 < line.size() &&
+           (line[after] == '=' || line[after] == '!') &&
+           line[after + 1] == '=';
+}
+
+void
+lintSchemeLocality(const SourceFile &f, const std::vector<std::string> &raw,
+                   const std::vector<std::string> &stripped,
+                   std::vector<LintIssue> &issues)
+{
+    if (!schemeLocalityScoped(f.path))
+        return;
+    for (std::size_t li = 0; li < stripped.size(); ++li) {
+        const std::string &line = stripped[li];
+        auto report = [&](const std::string &what) {
+            issues.push_back(
+                {f.path, static_cast<unsigned>(li + 1), "scheme-locality",
+                 what + " — scheme behaviour belongs to the SchemeModel "
+                        "plugins (src/core/scheme.h); dispatch through "
+                        "the interface (or select via findScheme/"
+                        "schemeByName), or annotate a vetted site with "
+                        "`pra-lint: scheme-ok`"});
+        };
+        if (suppressed(raw, li, "pra-lint: scheme-ok"))
+            continue;
+        // The legacy closed-enum idioms.
+        for (std::size_t pos = findIdentifier(line, "Scheme");
+             pos != std::string::npos;
+             pos = findIdentifier(line, "Scheme", pos + 1)) {
+            if (line.compare(pos + 6, 2, "::") == 0) {
+                report("legacy `Scheme::` enum dispatch"); // pra-lint: scheme-ok
+                break;
+            }
+        }
+        if (findIdentifier(line, "SchemeTraits") != // pra-lint: scheme-ok
+            std::string::npos)
+            report("use of the retired SchemeTraits struct"); // pra-lint: scheme-ok
+        // A registered scheme-name literal beside ==/!= is a by-name
+        // switch on the closed scheme world.
+        for (std::size_t q1 = line.find('"'); q1 != std::string::npos;
+             q1 = line.find('"', q1 + 1)) {
+            const std::size_t q2 = line.find('"', q1 + 1);
+            if (q2 == std::string::npos)
+                break;
+            const std::string content =
+                lowercased(line.substr(q1 + 1, q2 - q1 - 1));
+            const auto &names = registeredSchemeSpellings();
+            if (std::find(names.begin(), names.end(), content) !=
+                    names.end() &&
+                literalComparedAt(line, q1, q2)) {
+                report("comparison against scheme-name literal \"" +
+                       content + "\"");
+            }
+            q1 = q2;
+        }
+    }
+}
+
 // --- Rules: config-coverage / energy-coverage ---------------------------
 
 const SourceFile *
@@ -825,6 +948,7 @@ lintSources(const std::vector<SourceFile> &files)
         lintEntropy(f, stripped, issues);
         lintUnorderedIteration(f, raw, stripped, unordered, issues);
         lintTimingLocality(f, raw, stripped, issues);
+        lintSchemeLocality(f, raw, stripped, issues);
     }
     lintConfigCoverage(files, issues);
     lintEnergyCoverage(files, issues);

@@ -2,8 +2,8 @@
  * @file
  * Repo-specific determinism and configuration lint (DESIGN.md §10).
  *
- * Six rules, each encoding an invariant this repository depends on but
- * a generic linter cannot know:
+ * Seven rules, each encoding an invariant this repository depends on
+ * but a generic linter cannot know:
  *
  *  - entropy: no ambient randomness or wall-clock access in src/
  *    outside common/rng.h — the simulator must be bit-reproducible, so
@@ -37,6 +37,16 @@
  *    consumed by the PowerModel aggregation and the auditor's energy
  *    conservation check — an unconsumed counter means silently dropped
  *    energy;
+ *  - scheme-locality: no scheme dispatch outside the registry TU —
+ *    scheme behaviour lives in the SchemeModel plugins
+ *    (src/core/scheme.{h,cpp}); any other file under src/ spelling the
+ *    legacy `Scheme::` enum idiom, the retired `SchemeTraits` struct,
+ *    or comparing (==/!=) against a registered scheme-name string
+ *    literal is reintroducing a closed-world switch that new plugins
+ *    would silently miss. Selection by name (findScheme/schemeByName)
+ *    is fine — the literal sits in a call, not beside a comparison.
+ *    Suppress a vetted site (e.g. a serialization-compat default)
+ *    with `// pra-lint: scheme-ok`;
  *  - fault-coverage: every analysis::Fault enum member
  *    (analysis/model_checker.h) and every DramConfig deliberate fault
  *    hook (auditFault-/fault-prefixed fields in dram/config.h) must be

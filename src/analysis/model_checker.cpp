@@ -154,10 +154,14 @@ class Explorer
   public:
     Explorer(const ModelChecker::Options &opts)
         : opts_(opts), cfg_(ModelChecker::modelConfig(opts.fault)),
-          traits_(cfg_.traits()),
           workload_(ModelChecker::defaultWorkload())
     {
         cfg_.scheduler = opts.scheduler;
+        // Scheme override: the model is checked against any registered
+        // scheme plugin; the default stays the paper's PRA model.
+        if (!opts_.scheme.empty())
+            cfg_.scheme = &schemeByName(opts_.scheme);
+        scheme_ = cfg_.scheme;
         // Degenerate-geometry overrides: fold the workload onto the
         // overridden shape and drop bank grouping when it no longer
         // divides the bank count (single-bank ranks, odd counts).
@@ -189,9 +193,9 @@ class Explorer
     WordMask
     needOf(const Request &req) const
     {
-        if (!req.isWrite || !traits_.partialWrites)
-            return WordMask::full();
-        return req.mask.empty() ? WordMask::full() : req.mask;
+        if (!req.isWrite)
+            return scheme_->readNeed(req.addr);
+        return scheme_->writeNeed(req.mask, req.chipMask);
     }
 
     void
@@ -235,7 +239,7 @@ class Explorer
                     forwarded = forwarded || w.addr == req.addr;
                 if (forwarded)
                     continue;
-                req.need = WordMask::full();
+                req.need = needOf(req);
                 s.readQ.push_back(req);
                 s.banks.onEnqueue(s.readQ.back());
             }
@@ -262,7 +266,7 @@ class Explorer
         for (const Request &w : s.writeQ) {
             if (!w.loc.sameRow(req.loc))
                 continue;
-            merged |= w.mask;
+            merged |= scheme_->writeMask(w.mask, w.chipMask);
             if (!cfg_.mergeWriteMasks)
                 break;
         }
@@ -291,14 +295,16 @@ class Explorer
         dram::Bank &bank = rank.bank(req.loc.bank);
 
         const WordMask dirty =
-            is_write ? mergedWriteMask(s, req) : WordMask::full();
-        unsigned gran = traits_.actGranularity(is_write, dirty);
-        WordMask open_mask = traits_.actMask(is_write, dirty);
-        const bool partial = traits_.needsMaskCycle(is_write, dirty);
+            is_write ? mergedWriteMask(s, req)
+            : req.fullRowFallback ? WordMask::full()
+                                  : scheme_->readActMask(req.addr);
+        unsigned gran = scheme_->actGranularity(is_write, dirty);
+        WordMask open_mask = scheme_->actMask(is_write, dirty);
+        const bool partial = scheme_->needsMaskCycle(is_write, dirty);
         if (partial && gran < cfg_.minActGranularity)
             gran = std::min(cfg_.minActGranularity, kMatGroups);
         const double weight = cfg_.weightedActWindow
-                                  ? traits_.actWeight(gran, cfg_.power)
+                                  ? scheme_->actWeight(gran, cfg_.power)
                                   : 1.0;
         // The scheme-derived mask is the invariant; the fault hook (when
         // armed) widens the issued mask behind its back, exactly like the
@@ -343,8 +349,10 @@ class Explorer
         q.erase(q.begin() + static_cast<std::ptrdiff_t>(idx));
 
         dram::Bank &bank = s.banks.bank(req.loc.rank, req.loc.bank);
-        const unsigned burst =
-            traits_.burstCycles(cfg_.timing.burstCycles);
+        const unsigned burst = scheme_->columnBurstCycles(
+            is_write,
+            is_write ? scheme_->writeMask(req.mask, req.chipMask) : req.need,
+            static_cast<unsigned>(cfg_.timing.burstCycles));
         const WordMask open_mask = bank.rowBuffer().openMask();
 
         ScriptCommand sc;
@@ -362,7 +370,8 @@ class Explorer
         // PRA mask invariants, independent of the probe that admitted
         // the access: reads consume the full row, and any column access
         // must fall inside the open (possibly partial) mask.
-        if (v.empty() && !is_write && !open_mask.isFull()) {
+        if (v.empty() && !is_write && !scheme_->partialReads() &&
+            !open_mask.isFull()) {
             v = "cycle " + std::to_string(s.now) +
                 ": READ served by a partially open row";
         }
@@ -691,18 +700,19 @@ class Explorer
                     break;
                 if (!bank.canActivate(s.now))
                     break;
-                const WordMask dirty = is_write
-                                           ? mergedWriteMask(s, req)
-                                           : WordMask::full();
+                const WordMask dirty =
+                    is_write            ? mergedWriteMask(s, req)
+                    : req.fullRowFallback ? WordMask::full()
+                                          : scheme_->readActMask(req.addr);
                 unsigned gran =
-                    traits_.actGranularity(is_write, dirty);
-                if (traits_.needsMaskCycle(is_write, dirty) &&
+                    scheme_->actGranularity(is_write, dirty);
+                if (scheme_->needsMaskCycle(is_write, dirty) &&
                     gran < cfg_.minActGranularity) {
                     gran = std::min(cfg_.minActGranularity, kMatGroups);
                 }
                 const double weight =
                     cfg_.weightedActWindow
-                        ? traits_.actWeight(gran, cfg_.power)
+                        ? scheme_->actWeight(gran, cfg_.power)
                         : 1.0;
                 if (!rank.canActivate(s.now, weight))
                     break;
@@ -712,7 +722,7 @@ class Explorer
                     (static_cast<std::uint64_t>(req.loc.rank) << 48) |
                     (static_cast<std::uint64_t>(req.loc.bank) << 40) |
                     (static_cast<std::uint64_t>(req.loc.row) << 8) |
-                    traits_.actMask(is_write, dirty).bits();
+                    scheme_->actMask(is_write, dirty).bits();
                 if (!actSeen.insert(key).second)
                     break;
                 Choice c;
@@ -722,7 +732,7 @@ class Explorer
                 c.rank = req.loc.rank;
                 c.bank = req.loc.bank;
                 c.row = req.loc.row;
-                c.partial = traits_.needsMaskCycle(is_write, dirty);
+                c.partial = scheme_->needsMaskCycle(is_write, dirty);
                 out.push_back(c);
                 break;
               }
@@ -1130,7 +1140,11 @@ class Explorer
                 h.add(r.loc.col);
                 h.add(r.isWrite);
                 h.add(r.mask.bits());
-                h.add(r.need.bits());
+                // The fallback flag changes the demand of the next ACT,
+                // so it is state; packed above the 8 need bits to keep
+                // every pre-existing fingerprint byte-identical.
+                h.add(r.need.bits() |
+                      (r.fullRowFallback ? 0x100u : 0u));
                 // Ages feed the bounded-progress properties, so two
                 // states are future-equivalent only when they agree.
                 if (livenessOn())
@@ -1194,7 +1208,8 @@ class Explorer
                         hb.add(req.loc.col);
                         hb.add(req.isWrite);
                         hb.add(req.mask.bits());
-                        hb.add(req.need.bits());
+                        hb.add(req.need.bits() |
+                               (req.fullRowFallback ? 0x100u : 0u));
                         if (livenessOn())
                             hb.add(ageOf(s, req));
                     }
@@ -1283,7 +1298,8 @@ class Explorer
                 h.add(req.loc.col);
                 h.add(req.isWrite);
                 h.add(req.mask.bits());
-                h.add(req.need.bits());
+                h.add(req.need.bits() |
+                      (req.fullRowFallback ? 0x100u : 0u));
                 if (livenessOn())
                     h.add(ageOf(s, req));
             }
@@ -1306,7 +1322,7 @@ class Explorer
 
     ModelChecker::Options opts_;
     DramConfig cfg_;
-    SchemeTraits traits_;
+    const SchemeModel *scheme_ = nullptr;
     std::vector<ModelRequest> workload_;
     std::unique_ptr<dram::SchedulerPolicy> sched_;
 };
@@ -1334,6 +1350,7 @@ Explorer::run()
         out.commands = path;
         out.scheduler = sched_->name();
         out.fault = faultName(opts_.fault);
+        out.scheme = scheme_->name();
     };
     auto noteDepth = [&](const ModelState &s) {
         res.deepestCycle = std::max(res.deepestCycle, s.now);
@@ -1516,7 +1533,7 @@ ModelChecker::modelConfig(Fault fault)
     // replays every distilled script under both engine kinds and
     // requires identical verdicts.
     cfg.engine = dram::EngineKind::Event;
-    cfg.scheme = Scheme::Pra;
+    cfg.scheme = &schemeByName("pra");
 
     // Reduced timing: every rule (refresh included) fires inside the
     // default depth budget; tCCD_L > tCCD so the bank-group rule is

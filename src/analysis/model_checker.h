@@ -130,6 +130,12 @@ class ModelChecker
         dram::SchedulerKind scheduler = dram::SchedulerKind::FrFcfs;
         Fault fault = Fault::None;
         /**
+         * Registered scheme name to explore under (see core/scheme.h);
+         * empty keeps the model default ("pra"). schemeByName() rejects
+         * unknown spellings up front.
+         */
+        std::string scheme;
+        /**
          * Bounded-progress horizon: a queued request older than this
          * (or a rank with queued work granted nothing for this long)
          * is a liveness violation. 0 disables the liveness properties

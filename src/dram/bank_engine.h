@@ -53,6 +53,12 @@ class BankEngine
         if (req.probeEpoch != bank.stateEpoch()) {
             req.cachedProbe = bank.probe(req.loc.row, req.need);
             req.probeEpoch = bank.stateEpoch();
+            // A read that false-hits a speculatively opened row has
+            // outlived its prediction: pin the full-row fallback so the
+            // re-activation after the precharge covers the demand (one
+            // seam shared by the live controller and the model checker).
+            if (req.cachedProbe == RowProbe::FalseHit && !req.isWrite)
+                req.fullRowFallback = true;
         }
         return req.cachedProbe;
     }

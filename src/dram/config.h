@@ -178,14 +178,14 @@ struct DramConfig
      */
     EngineKind engine = EngineKind::Event;   // pra-lint: observational
 
-    // Scheme under evaluation.
-    Scheme scheme = Scheme::Baseline;
+    /**
+     * Scheme under evaluation: an immutable registry singleton
+     * (core/scheme.h). Never null; pointer equality is scheme identity.
+     */
+    const SchemeModel *scheme = &baselineScheme();
 
     Timing timing{};
     power::PowerParams power{};
-
-    /** Traits derived from the configured scheme. */
-    SchemeTraits traits() const { return SchemeTraits::of(scheme); }
 
     /** Apply the paper's restricted close-page study configuration. */
     void

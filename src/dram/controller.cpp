@@ -57,7 +57,7 @@ eventEngineSelected(const DramConfig &cfg)
 
 MemoryController::MemoryController(const DramConfig &cfg,
                                    unsigned channel_id)
-    : cfg_(&cfg), traits_(cfg.traits()), channelId_(channel_id),
+    : cfg_(&cfg), scheme_(cfg.scheme), channelId_(channel_id),
       banks_(cfg), bus_(cfg), sched_(makeSchedulerPolicy(cfg)),
       maint_(cfg, banks_, *this), tables_(TimingTables::build(cfg)),
       eventMode_(eventEngineSelected(cfg)),
@@ -77,18 +77,14 @@ MemoryController::canAccept(bool is_write) const
 WordMask
 MemoryController::needOf(const Request &req) const
 {
-    // Reads always need the full row (full bandwidth on reads is the
-    // asymmetric design point of PRA); writes need their dirty words.
-    // Under SDS the same algebra runs at chip granularity.
+    // Writes need their dirty words (chip granularity under SDS). Reads
+    // need whatever the scheme says the line demands: the full row for
+    // the paper's schemes (full bandwidth on reads is PRA's asymmetric
+    // design point), the demanded sectors under read-side partial
+    // activation.
     if (!req.isWrite)
-        return WordMask::full();
-    if (traits_.chipSelect) {
-        const WordMask chips{req.chipMask};
-        return chips.empty() ? WordMask::full() : chips;
-    }
-    if (!traits_.partialWrites)
-        return WordMask::full();
-    return req.mask.empty() ? WordMask::full() : req.mask;
+        return scheme_->readNeed(req.addr);
+    return scheme_->writeNeed(req.mask, req.chipMask);
 }
 
 void
@@ -211,7 +207,7 @@ MemoryController::mergedWriteMask(Request &req) const
     for (const auto &w : writeQ_) {
         if (!w.loc.sameRow(req.loc))
             continue;
-        merged |= traits_.chipSelect ? WordMask{w.chipMask} : w.mask;
+        merged |= scheme_->writeMask(w.mask, w.chipMask);
         if (!cfg_->mergeWriteMasks)
             break;   // Ablation: only the oldest same-row write's mask.
     }
@@ -240,14 +236,20 @@ MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
     Rank &rank = banks_.rank(req.loc.rank);
     Bank &bank = rank.bank(req.loc.bank);
 
-    WordMask dirty = is_write ? mergedWriteMask(req) : WordMask::full();
-    unsigned gran = traits_.actGranularity(is_write, dirty);
-    WordMask open_mask = traits_.actMask(is_write, dirty);
-    const bool partial = traits_.needsMaskCycle(is_write, dirty);
+    // Demand driving this activation: the merged dirty-word mask for
+    // writes, the scheme's (speculative) read mask — or the full row
+    // once a false hit burned the prediction — for reads.
+    WordMask demand = is_write ? mergedWriteMask(req)
+                      : req.fullRowFallback
+                          ? WordMask::full()
+                          : scheme_->readActMask(req.addr);
+    unsigned gran = scheme_->actGranularity(is_write, demand);
+    WordMask open_mask = scheme_->actMask(is_write, demand);
+    const bool partial = scheme_->needsMaskCycle(is_write, demand);
     if (partial && gran < cfg_->minActGranularity)
         gran = std::min(cfg_->minActGranularity, kMatGroups);
     const double weight = cfg_->weightedActWindow
-                              ? traits_.actWeight(gran, cfg_->power)
+                              ? scheme_->actWeight(gran, cfg_->power)
                               : 1.0;
     // Deliberate fault injection (tests only): widen the opened mask
     // behind the scheme's back so the auditor must catch the mismatch.
@@ -277,21 +279,14 @@ MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
 
     trace(now, channelId_, "ACT", req.loc.rank, req.loc.bank, req.loc.row,
           gran);
-    if (traits_.chipSelect && is_write) {
-        // SDS: per-chip full-row activations; energy is linear in the
-        // number of selected chips.
-        ++energy_.sdsActs;
-        energy_.sdsChipsActivated += gran;
-    } else if (traits_.halfHeight) {
-        ++energy_.actsHalfHeight[gran - 1];
-    } else {
-        ++energy_.acts[gran - 1];
-    }
+    scheme_->accountActivate(energy_, gran, is_write);
     stats_.actGranularity.record(gran);
-    if (is_write)
+    if (is_write) {
         ++stats_.actsForWrites;
-    else
+    } else {
         ++stats_.actsForReads;
+        stats_.readActGranularity.record(gran);
+    }
 
     banks_.recountOpenRowMatches(req.loc.rank, req.loc.bank, readQ_,
                                  writeQ_);
@@ -311,8 +306,10 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
 
     Rank &rank = banks_.rank(req.loc.rank);
     Bank &bank = rank.bank(req.loc.bank);
-    const unsigned burst =
-        traits_.burstCycles(static_cast<unsigned>(tables_.channel.burst));
+    const unsigned burst = scheme_->columnBurstCycles(
+        is_write,
+        is_write ? scheme_->writeMask(req.mask, req.chipMask) : req.need,
+        static_cast<unsigned>(tables_.channel.burst));
 
     bus_.noteColumnIssued(req.loc.bank, now);
     trace(now, channelId_, is_write ? "WR" : "RD", req.loc.rank,
@@ -325,8 +322,7 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
     }
     if (audit_) {
         const WordMask drive =
-            is_write ? (traits_.chipSelect ? WordMask{req.chipMask}
-                                           : req.mask)
+            is_write ? scheme_->writeMask(req.mask, req.chipMask)
                      : WordMask::full();
         audit_->onCommand({is_write ? verify::DramCommandEvent::Kind::Write
                                     : verify::DramCommandEvent::Kind::Read,
@@ -345,14 +341,15 @@ MemoryController::issueColumn(std::deque<Request> &queue, std::size_t idx,
                             req.loc.rank);
         bus_.noteWriteIssued(now, burst);
         ++energy_.writeLines;
-        energy_.writeWordsDriven += traits_.wordsDriven(
-            traits_.chipSelect ? WordMask{req.chipMask} : req.mask);
+        energy_.writeWordsDriven += scheme_->wordsDriven(
+            scheme_->writeMask(req.mask, req.chipMask));
     } else {
         bank.read(now, burst);
         const Cycle finish = now + tables_.channel.readLatency + burst;
         bus_.reserveDataBus(now + tables_.channel.readLatency, burst,
                             req.loc.rank);
         ++energy_.readLines;
+        energy_.readWordsDriven += scheme_->readWordsDriven(req.need);
         inflight_.push_back({req.tag, req.coreId, req.addr, finish,
                              finish - req.arrival});
         stats_.readLatency.record(
@@ -521,16 +518,18 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
                 noteWake(bank.earliestActivate(), now);
                 break;
             }
-            WordMask dirty =
-                is_write ? mergedWriteMask(req) : WordMask::full();
-            unsigned gran = traits_.actGranularity(is_write, dirty);
-            if (traits_.needsMaskCycle(is_write, dirty) &&
+            WordMask demand = is_write ? mergedWriteMask(req)
+                              : req.fullRowFallback
+                                  ? WordMask::full()
+                                  : scheme_->readActMask(req.addr);
+            unsigned gran = scheme_->actGranularity(is_write, demand);
+            if (scheme_->needsMaskCycle(is_write, demand) &&
                 gran < cfg_->minActGranularity) {
                 gran = std::min(cfg_->minActGranularity, kMatGroups);
             }
             const double weight =
                 cfg_->weightedActWindow
-                    ? traits_.actWeight(gran, cfg_->power)
+                    ? scheme_->actWeight(gran, cfg_->power)
                     : 1.0;
             if (rank.canActivate(now, weight)) {
                 classify(req, probe);

@@ -95,6 +95,14 @@ struct ControllerStats
     /** Activation counts by granularity (bucket g = 1..8). */
     Histogram actGranularity{9};
 
+    /**
+     * Read-only slice of actGranularity: activations issued to serve
+     * reads, by granularity. Degenerate (all 8/8) for every scheme
+     * without partial reads; the read-granularity sweep in bench_fig11
+     * compares speculative-read schemes through it.
+     */
+    Histogram readActGranularity{9};
+
     Summary readLatency;
 
     double
@@ -350,7 +358,7 @@ class MemoryController : private MaintenanceHooks
     static constexpr Cycle kNever = ~Cycle{0};
 
     const DramConfig *cfg_;
-    SchemeTraits traits_;
+    const SchemeModel *scheme_;
     unsigned channelId_;
 
     BankEngine banks_;

@@ -123,6 +123,8 @@ DramSystem::aggregateStats() const
         agg.forwardedReads += s.forwardedReads;
         for (std::size_t g = 0; g < s.actGranularity.buckets(); ++g)
             agg.actGranularity.record(g, s.actGranularity.count(g));
+        for (std::size_t g = 0; g < s.readActGranularity.buckets(); ++g)
+            agg.readActGranularity.record(g, s.readActGranularity.count(g));
         agg.readLatency.merge(s.readLatency);
     }
     return agg;

@@ -53,6 +53,16 @@ struct Request
 
     // Controller bookkeeping.
     bool classified = false; //!< Row-hit accounting done.
+    /**
+     * Read-side partial activation fallback (DESIGN.md §12.4): set when
+     * a probe for this read observed a row-buffer false hit — the open
+     * (speculative) mask missed part of the demand. The next activation
+     * for this request then opens the full row instead of re-trusting
+     * the predictor, bounding the misprediction penalty at one extra
+     * PRE + ACT. Never set for schemes without partial reads (their
+     * reads always demand — and reopen — full rows anyway).
+     */
+    bool fullRowFallback = false;
 
     /**
      * Cached needOf() footprint: recomputed only when the masks change

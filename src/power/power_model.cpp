@@ -14,6 +14,7 @@ EnergyCounts::operator+=(const EnergyCounts &o)
     readLines += o.readLines;
     writeLines += o.writeLines;
     writeWordsDriven += o.writeWordsDriven;
+    readWordsDriven += o.readWordsDriven;
     actStandbyCycles += o.actStandbyCycles;
     preStandbyCycles += o.preStandbyCycles;
     powerDownCycles += o.powerDownCycles;
@@ -96,8 +97,13 @@ PowerModel::energy(const EnergyCounts &c) const
     e.write = writes * p.write * burst_ns * chips * kPjToNj;
     // I/O powers are per pin (TN-41-01): scale by the device's data-pin
     // count. PRA drives (and the peer rank terminates) only the dirty
-    // words of a write burst.
-    e.readIo = reads * (p.readIo + p.readTerm * peer_ranks) *
+    // words of a write burst; sectored reads drive only the demanded
+    // sectors (read_words == kWordsPerLine * readLines — and therefore
+    // the paper's unscaled read I/O, bit-exactly — for every scheme
+    // without fine-grained read I/O).
+    const double read_words = static_cast<double>(c.readWordsDriven);
+    e.readIo = (read_words / kWordsPerLine) *
+               (p.readIo + p.readTerm * peer_ranks) *
                p.readIoPins * burst_ns * chips * kPjToNj;
     e.writeIo = (words / kWordsPerLine) *
                 (p.writeOdt + p.writeTerm * peer_ranks) * p.writeIoPins *

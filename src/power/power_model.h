@@ -18,7 +18,9 @@
  *    FGA's apparent I/O "saving".
  *  - Write I/O (ODT on the target rank plus termination on peer ranks) is
  *    scaled by the fraction of words actually driven, which is PRA's
- *    write-I/O saving; read I/O is never scaled.
+ *    write-I/O saving; read I/O is scaled the same way, but only
+ *    fine-grained-I/O schemes (sectored) ever drive fewer than all the
+ *    words of a read, so every paper scheme charges full read I/O.
  *  - Background energy integrates per-rank state residency; refresh is
  *    charged per REF operation over tRFC.
  */
@@ -49,6 +51,10 @@ struct EnergyCounts
     std::uint64_t readLines = 0;       //!< 64 B lines read.
     std::uint64_t writeLines = 0;      //!< 64 B line write transactions.
     std::uint64_t writeWordsDriven = 0; //!< Words actually driven on DQ.
+    /** Words actually driven on DQ for reads: kWordsPerLine per line
+     *  except under fine-grained-I/O schemes (sectored reads move only
+     *  the demanded sectors). */
+    std::uint64_t readWordsDriven = 0;
 
     std::uint64_t actStandbyCycles = 0; //!< Rank-cycles with a bank open.
     std::uint64_t preStandbyCycles = 0; //!< Rank-cycles idle, not PDN.

@@ -41,23 +41,6 @@ parseBool(const std::string &v)
     throw std::runtime_error("bad boolean '" + v + "'");
 }
 
-Scheme
-parseScheme(const std::string &v)
-{
-    const std::string s = lower(v);
-    if (s == "baseline")
-        return Scheme::Baseline;
-    if (s == "fga")
-        return Scheme::Fga;
-    if (s == "halfdram" || s == "half-dram")
-        return Scheme::HalfDram;
-    if (s == "pra")
-        return Scheme::Pra;
-    if (s == "halfdram+pra" || s == "half-dram+pra" || s == "combined")
-        return Scheme::HalfDramPra;
-    throw std::runtime_error("unknown scheme '" + v + "'");
-}
-
 dram::SchedulerKind
 parseScheduler(const std::string &v)
 {
@@ -91,7 +74,8 @@ struct KeyHandler
 constexpr KeyHandler kKeyHandlers[] = {
     {"scheme",
      [](const std::string &v, SystemConfig &c) {
-         c.dram.scheme = parseScheme(v);
+         // Registry lookup; throws listing every registered name.
+         c.dram.scheme = &schemeByName(v);
      }},
     {"policy",
      [](const std::string &v, SystemConfig &c) {
@@ -364,7 +348,7 @@ canonicalConfig(const SystemConfig &cfg)
     };
 
     const dram::DramConfig &d = cfg.dram;
-    os << "scheme = " << schemeName(d.scheme) << '\n'
+    os << "scheme = " << d.scheme->displayName() << '\n'
        << "scheduler = " << dram::schedulerKindName(d.scheduler) << '\n'
        << "write_age_promotion = " << d.writeAgePromotionCycles << '\n'
        << "policy = " << static_cast<int>(d.policy) << '\n'
@@ -475,7 +459,7 @@ std::string
 dumpConfig(const SystemConfig &cfg)
 {
     std::ostringstream os;
-    os << "scheme = " << schemeName(cfg.dram.scheme) << '\n'
+    os << "scheme = " << cfg.dram.scheme->displayName() << '\n'
        << "scheduler = " << dram::schedulerKindName(cfg.dram.scheduler)
        << '\n'
        << "policy = "

@@ -26,14 +26,14 @@ class ResultCache;
 /** One evaluated configuration point. */
 struct ConfigPoint
 {
-    Scheme scheme = Scheme::Baseline;
+    const SchemeModel *scheme = &baselineScheme();
     dram::PagePolicy policy = dram::PagePolicy::RelaxedClose;
     bool dbi = false;
 
     std::string
     key() const
     {
-        return schemeName(scheme) +
+        return std::string(scheme->displayName()) +
                (policy == dram::PagePolicy::RelaxedClose ? "/relaxed"
                                                          : "/restricted") +
                (dbi ? "/dbi" : "");

@@ -212,6 +212,9 @@ serializeRunResult(const RunResult &res)
     os << "act_granularity " << s.actGranularity.buckets();
     for (std::size_t b = 0; b < s.actGranularity.buckets(); ++b)
         os << ' ' << s.actGranularity.count(b);
+    os << "\nread_act_granularity " << s.readActGranularity.buckets();
+    for (std::size_t b = 0; b < s.readActGranularity.buckets(); ++b)
+        os << ' ' << s.readActGranularity.count(b);
     os << "\nread_latency " << s.readLatency.samples() << ' ';
     putDouble(os, s.readLatency.sum());
     os << ' ';
@@ -232,6 +235,7 @@ serializeRunResult(const RunResult &res)
        << "read_lines " << e.readLines << '\n'
        << "write_lines " << e.writeLines << '\n'
        << "write_words_driven " << e.writeWordsDriven << '\n'
+       << "read_words_driven " << e.readWordsDriven << '\n'
        << "act_standby_cycles " << e.actStandbyCycles << '\n'
        << "pre_standby_cycles " << e.preStandbyCycles << '\n'
        << "power_down_cycles " << e.powerDownCycles << '\n'
@@ -299,6 +303,10 @@ deserializeRunResult(const std::string &text)
              [&](std::size_t b, std::uint64_t v) {
                  s.actGranularity.record(b, v);
              });
+    r.u64Seq("read_act_granularity", s.readActGranularity.buckets(),
+             [&](std::size_t b, std::uint64_t v) {
+                 s.readActGranularity.record(b, v);
+             });
     {
         const std::uint64_t n = r.u64("read_latency");
         const double sum = r.f64(nullptr);
@@ -317,6 +325,7 @@ deserializeRunResult(const std::string &text)
     e.readLines = r.u64("read_lines");
     e.writeLines = r.u64("write_lines");
     e.writeWordsDriven = r.u64("write_words_driven");
+    e.readWordsDriven = r.u64("read_words_driven");
     e.actStandbyCycles = r.u64("act_standby_cycles");
     e.preStandbyCycles = r.u64("pre_standby_cycles");
     e.powerDownCycles = r.u64("power_down_cycles");

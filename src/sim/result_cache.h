@@ -47,7 +47,8 @@ namespace pra::sim {
  * never be replayed across behavioural revisions.
  */
 inline constexpr std::string_view kResultCacheSalt =
-    "pra-result-cache-v2";   // v2: scheduler policies joined the config.
+    "pra-result-cache-v3";   // v3: scheme plugins, read-words counter,
+                             // and the read-activation histogram.
 
 /** 64-bit FNV-1a hash of @p data. */
 std::uint64_t fnv1a(std::string_view data);

@@ -75,7 +75,7 @@ System::setupAudit()
         return;
 
     verify::AuditConfig ac;
-    ac.traits = cfg_.dram.traits();
+    ac.scheme = cfg_.dram.scheme;
     ac.mergeWriteMasks = cfg_.dram.mergeWriteMasks;
     ac.weightedActWindow = cfg_.dram.weightedActWindow;
     ac.minActGranularity = cfg_.dram.minActGranularity;

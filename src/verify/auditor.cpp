@@ -198,33 +198,38 @@ Auditor::checkActivate(const DramCommandEvent &ev, ShadowChannel &ch)
     // Independently re-derive what the activation should have been from
     // the shadow write queue (paper Section 5.2.1: the PRA masks of all
     // queued same-row writes are ORed into one activation).
+    const SchemeModel &scheme = *cfg_.scheme;
     WordMask merged = WordMask::none();
     if (ev.forWrite) {
         for (const auto &w : ch.writes) {
             if (w.rank != ev.rank || w.bank != ev.bank || w.row != ev.row)
                 continue;
-            merged |= cfg_.traits.chipSelect ? WordMask{w.chipMask}
-                                             : w.mask;
+            merged |= scheme.writeMask(w.mask, w.chipMask);
             if (!cfg_.mergeWriteMasks)
                 break;   // Ablation: only the oldest same-row write.
         }
     }
-    const WordMask dirty =
-        ev.forWrite ? (merged.empty() ? WordMask::full() : merged)
-                    : WordMask::full();
 
-    const WordMask expect_mask = cfg_.traits.actMask(ev.forWrite, dirty);
-    const bool expect_partial =
-        cfg_.traits.needsMaskCycle(ev.forWrite, dirty);
-    unsigned expect_gran = cfg_.traits.actGranularity(ev.forWrite, dirty);
-    if (expect_partial && expect_gran < cfg_.minActGranularity)
-        expect_gran = std::min(cfg_.minActGranularity, kMatGroups);
-    const double expect_weight =
-        cfg_.weightedActWindow
-            ? cfg_.traits.actWeight(expect_gran, cfg_.power)
-            : 1.0;
-
-    if (!ev.forWrite) {
+    // The demand the activation should answer. Writes: the merged shadow
+    // dirty mask. Reads: the scheme's speculative read mask — except that
+    // the controller may legitimately fall back to the full row after a
+    // misprediction (a false hit the auditor cannot observe), so a read
+    // ACT's demand is whichever of {predicted, full} it actually opened,
+    // and anything else is a violation.
+    WordMask demand = WordMask::full();
+    if (ev.forWrite) {
+        demand = merged.empty() ? WordMask::full() : merged;
+    } else if (scheme.partialReads()) {
+        const WordMask predicted = scheme.readActMask(ev.addr);
+        ++stat(Invariant::ReadFullRow).checks;
+        if (ev.mask != predicted && !ev.mask.isFull()) {
+            fail(Invariant::ReadFullRow, ev.cycle,
+                 "read activation opened " + maskStr(ev.mask) +
+                     " instead of the speculative read mask " +
+                     maskStr(predicted) + " or the full-row fallback");
+        }
+        demand = ev.mask.isFull() ? WordMask::full() : predicted;
+    } else {
         ++stat(Invariant::ReadFullRow).checks;
         if (!ev.mask.isFull()) {
             fail(Invariant::ReadFullRow, ev.cycle,
@@ -233,12 +238,23 @@ Auditor::checkActivate(const DramCommandEvent &ev, ShadowChannel &ch)
         }
     }
 
+    const WordMask expect_mask = scheme.actMask(ev.forWrite, demand);
+    const bool expect_partial =
+        scheme.needsMaskCycle(ev.forWrite, demand);
+    unsigned expect_gran = scheme.actGranularity(ev.forWrite, demand);
+    if (expect_partial && expect_gran < cfg_.minActGranularity)
+        expect_gran = std::min(cfg_.minActGranularity, kMatGroups);
+    const double expect_weight =
+        cfg_.weightedActWindow
+            ? scheme.actWeight(expect_gran, cfg_.power)
+            : 1.0;
+
     ++stat(Invariant::ActMaskConformance).checks;
     if (ev.mask != expect_mask) {
         fail(Invariant::ActMaskConformance, ev.cycle,
              "ACT opened " + maskStr(ev.mask) + " but the served writes " +
                  "require exactly " + maskStr(expect_mask) +
-                 " (merged dirty " + maskStr(dirty) + ")");
+                 " (merged dirty " + maskStr(demand) + ")");
     }
     if (ev.partial != expect_partial) {
         fail(Invariant::ActMaskConformance, ev.cycle,
@@ -368,21 +384,15 @@ Auditor::accountCommandEnergy(const DramCommandEvent &ev)
     auto charge = [&](power::EnergyCounts &c) {
         switch (ev.kind) {
           case DramCommandEvent::Kind::Activate:
-            if (cfg_.traits.chipSelect && ev.forWrite) {
-                ++c.sdsActs;
-                c.sdsChipsActivated += ev.granularity;
-            } else if (cfg_.traits.halfHeight) {
-                ++c.actsHalfHeight[ev.granularity - 1];
-            } else {
-                ++c.acts[ev.granularity - 1];
-            }
+            cfg_.scheme->accountActivate(c, ev.granularity, ev.forWrite);
             break;
           case DramCommandEvent::Kind::Read:
             ++c.readLines;
+            c.readWordsDriven += cfg_.scheme->readWordsDriven(ev.need);
             break;
           case DramCommandEvent::Kind::Write:
             ++c.writeLines;
-            c.writeWordsDriven += cfg_.traits.wordsDriven(ev.mask);
+            c.writeWordsDriven += cfg_.scheme->wordsDriven(ev.mask);
             break;
           case DramCommandEvent::Kind::Precharge:
             break;

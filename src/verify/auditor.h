@@ -77,7 +77,8 @@ namespace pra::verify {
  */
 struct AuditConfig
 {
-    SchemeTraits traits{};
+    /** Scheme under audit (registry singleton; never null once set). */
+    const SchemeModel *scheme = &baselineScheme();
     bool mergeWriteMasks = true;
     bool weightedActWindow = true;
     unsigned minActGranularity = 1;

@@ -24,9 +24,9 @@ AuditConfig
 praAuditConfig()
 {
     dram::DramConfig d;
-    d.scheme = Scheme::Pra;
+    d.scheme = &schemeByName("pra");
     AuditConfig ac;
-    ac.traits = d.traits();
+    ac.scheme = d.scheme;
     ac.channels = 1;
     ac.ranksPerChannel = d.ranksPerChannel;
     ac.banksPerRank = d.banksPerRank;
@@ -46,10 +46,10 @@ actEvent(const AuditConfig &ac, bool for_write, WordMask dirty)
     ev.row = 7;
     ev.addr = 0x1000;
     ev.forWrite = for_write;
-    ev.mask = ac.traits.actMask(for_write, dirty);
-    ev.partial = ac.traits.needsMaskCycle(for_write, dirty);
-    ev.granularity = ac.traits.actGranularity(for_write, dirty);
-    ev.weight = ac.traits.actWeight(ev.granularity, ac.power);
+    ev.mask = ac.scheme->actMask(for_write, dirty);
+    ev.partial = ac.scheme->needsMaskCycle(for_write, dirty);
+    ev.granularity = ac.scheme->actGranularity(for_write, dirty);
+    ev.weight = ac.scheme->actWeight(ev.granularity, ac.power);
     return ev;
 }
 
@@ -177,7 +177,7 @@ TEST(Auditor, FingerprintMismatchFlagged)
 // --- End-to-end -------------------------------------------------------
 
 sim::SystemConfig
-smallConfig(Scheme scheme, bool dbi)
+smallConfig(const SchemeModel *scheme, bool dbi)
 {
     sim::SystemConfig cfg =
         sim::makeConfig({scheme, dram::PagePolicy::RelaxedClose, dbi});
@@ -208,16 +208,18 @@ TEST(AuditorEndToEnd, AuditedRunsAreCleanAcrossSchemes)
 {
     const struct
     {
-        Scheme scheme;
+        const SchemeModel *scheme;
         bool dbi;
     } points[] = {
-        {Scheme::Baseline, false}, {Scheme::Fga, false},
-        {Scheme::HalfDram, false}, {Scheme::Pra, false},
-        {Scheme::Pra, true},       {Scheme::HalfDramPra, true},
-        {Scheme::Sds, false},
+        {&schemeByName("baseline"), false}, {&schemeByName("fga"), false},
+        {&schemeByName("halfdram"), false}, {&schemeByName("pra"), false},
+        {&schemeByName("pra"), true},       {&schemeByName("halfdram+pra"), true},
+        {&schemeByName("sds"), false},      {&schemeByName("sectored"), false},
+        {&schemeByName("pra_spec_read"), false},
+        {&schemeByName("pra_spec_read"), true},
     };
     for (const auto &p : points) {
-        SCOPED_TRACE(schemeName(p.scheme) + std::string(p.dbi ? "/dbi"
+        SCOPED_TRACE(std::string(p.scheme->displayName()) + std::string(p.dbi ? "/dbi"
                                                               : ""));
         std::unique_ptr<sim::System> sys;
         const sim::System *view = nullptr;
@@ -234,7 +236,7 @@ TEST(AuditorEndToEnd, InjectedMaskWideningIsCaught)
     // The acceptance-criteria fault drill: a controller bug that widens
     // every partial activation by one MAT group must be caught by the
     // PRA mask-conformance invariant, with the ring-buffer report.
-    sim::SystemConfig cfg = smallConfig(Scheme::Pra, false);
+    sim::SystemConfig cfg = smallConfig(&schemeByName("pra"), false);
     cfg.dram.auditFaultWidenAct = 0x80;
 
     std::unique_ptr<sim::System> sys;
@@ -252,6 +254,28 @@ TEST(AuditorEndToEnd, InjectedMaskWideningIsCaught)
     EXPECT_NE(report.find("dram.act.mask-conformance"), std::string::npos);
     EXPECT_NE(report.find("ring buffer"), std::string::npos);
     EXPECT_NE(report.find("config fingerprint"), std::string::npos);
+}
+
+TEST(AuditorEndToEnd, WidenedReadActivationCaughtUnderSpeculativeReads)
+{
+    // Read-side drill for the same fault hook: under a partial-reads
+    // scheme a covertly widened read ACT is neither the speculative
+    // read mask nor the full-row fallback, so the repurposed
+    // read-activation invariant must flag it.
+    sim::SystemConfig cfg = smallConfig(&schemeByName("pra_spec_read"), false);
+    cfg.dram.auditFaultWidenAct = 0x80;
+
+    std::unique_ptr<sim::System> sys;
+    const sim::System *view = nullptr;
+    runAudited(cfg, &view, sys);
+
+    ASSERT_NE(view->auditor(), nullptr);
+    ASSERT_FALSE(view->auditor()->clean());
+    const auto &read_stat = view->auditor()->invariants()
+        [static_cast<std::size_t>(Invariant::ReadFullRow)];
+    EXPECT_GT(read_stat.violations, 0u);
+    EXPECT_NE(view->auditor()->report().find("speculative read mask"),
+              std::string::npos);
 }
 
 /** Scoped environment override (tests are single-threaded). */
@@ -283,7 +307,7 @@ class EnvGuard
 
 TEST(AuditorEndToEnd, ReplayModeMatchesFastPathBitExactly)
 {
-    const sim::SystemConfig cfg = smallConfig(Scheme::Pra, true);
+    const sim::SystemConfig cfg = smallConfig(&schemeByName("pra"), true);
 
     std::unique_ptr<sim::System> fast_sys;
     const sim::RunResult fast = runAudited(cfg, nullptr, fast_sys);
@@ -314,7 +338,7 @@ TEST(AuditorEndToEnd, ReplayModeMatchesFastPathBitExactly)
 TEST(AuditorEndToEnd, ForkFingerprintAudited)
 {
     EnvGuard replay("PRA_AUDIT_REPLAY", "1");
-    const sim::SystemConfig cfg = smallConfig(Scheme::Pra, false);
+    const sim::SystemConfig cfg = smallConfig(&schemeByName("pra"), false);
 
     const workloads::Mix mix{"mix", {"GUPS", "lbm", "em3d", "mcf"}};
     std::vector<std::unique_ptr<cpu::Generator>> gens;

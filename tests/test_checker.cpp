@@ -248,7 +248,7 @@ TEST(Checker, CommandDuringRefreshFlagged)
  * free.
  */
 class CheckerEndToEnd
-    : public ::testing::TestWithParam<std::tuple<Scheme, PagePolicy>>
+    : public ::testing::TestWithParam<std::tuple<const SchemeModel *, PagePolicy>>
 {
 };
 
@@ -284,8 +284,8 @@ TEST_P(CheckerEndToEnd, FullSimulationIsProtocolClean)
 INSTANTIATE_TEST_SUITE_P(
     Matrix, CheckerEndToEnd,
     ::testing::Combine(
-        ::testing::Values(Scheme::Baseline, Scheme::Fga, Scheme::HalfDram,
-                          Scheme::Pra, Scheme::HalfDramPra),
+        ::testing::Values(&schemeByName("baseline"), &schemeByName("fga"), &schemeByName("halfdram"),
+                          &schemeByName("pra"), &schemeByName("halfdram+pra")),
         ::testing::Values(PagePolicy::RelaxedClose,
                           PagePolicy::RestrictedClose)));
 

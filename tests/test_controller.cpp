@@ -17,7 +17,7 @@ namespace {
 class Harness
 {
   public:
-    explicit Harness(Scheme scheme = Scheme::Baseline,
+    explicit Harness(const SchemeModel *scheme = &schemeByName("baseline"),
                      PagePolicy policy = PagePolicy::RelaxedClose)
     {
         cfg.channels = 1;
@@ -150,7 +150,7 @@ TEST(Controller, WritesServicedWhenReadQueueEmpty)
 
 TEST(Controller, WriteCombiningCoalescesSameLine)
 {
-    Harness h(Scheme::Pra);
+    Harness h(&schemeByName("pra"));
     h.mc->enqueue(h.make(3, 0, 0, true, WordMask::single(0)), 0);
     h.mc->enqueue(h.make(3, 0, 0, true, WordMask::single(5)), 0);
     EXPECT_EQ(h.mc->writeQueueSize(), 1u);
@@ -176,7 +176,7 @@ TEST(Controller, ReadForwardedFromWriteQueue)
 
 TEST(Controller, PraWriteActivationUsesMergedMask)
 {
-    Harness h(Scheme::Pra);
+    Harness h(&schemeByName("pra"));
     // Two queued writes to the same row, different words: one partial
     // activation of granularity 2 serves both (Section 5.2.1).
     h.mc->enqueue(h.make(3, 0, 0, true, WordMask::single(0)), 0);
@@ -191,7 +191,7 @@ TEST(Controller, PraWriteActivationUsesMergedMask)
 
 TEST(Controller, PraWriteFalseHitPrechargesAndReactivates)
 {
-    Harness h(Scheme::Pra);
+    Harness h(&schemeByName("pra"));
     h.mc->enqueue(h.make(3, 0, 0, true, WordMask::single(0)), 0);
     // Wait until the partial activation happened.
     while (h.now < 2000 && h.mc->stats().actsForWrites == 0)
@@ -208,7 +208,7 @@ TEST(Controller, PraWriteFalseHitPrechargesAndReactivates)
 
 TEST(Controller, PraReadFalseHitOnPartialRow)
 {
-    Harness h(Scheme::Pra);
+    Harness h(&schemeByName("pra"));
     h.mc->enqueue(h.make(3, 0, 0, true, WordMask::single(0)), 0);
     while (h.now < 2000 && h.mc->stats().actsForWrites == 0)
         h.mc->tick(h.now++);
@@ -225,7 +225,7 @@ TEST(Controller, PraReadHitOnPartialRowWithinFootprintStillFalse)
 {
     // Reads need the full row (n-bit prefetch over all MAT groups), so
     // even a read "inside" the open footprint is a false hit.
-    Harness h(Scheme::Pra);
+    Harness h(&schemeByName("pra"));
     h.mc->enqueue(h.make(3, 0, 0, true, WordMask::full()), 0);
     while (h.now < 2000 && h.mc->stats().actsForWrites == 0)
         h.mc->tick(h.now++);
@@ -238,7 +238,7 @@ TEST(Controller, PraReadHitOnPartialRowWithinFootprintStillFalse)
 
 TEST(Controller, RestrictedClosePageAutoPrecharges)
 {
-    Harness h(Scheme::Baseline, PagePolicy::RestrictedClose);
+    Harness h(&schemeByName("baseline"), PagePolicy::RestrictedClose);
     h.mc->enqueue(h.make(5, 0, 0, false), 0);
     h.mc->enqueue(h.make(5, 0, 1, false), 0);
     h.settle();
@@ -250,10 +250,10 @@ TEST(Controller, RestrictedClosePageAutoPrecharges)
 
 TEST(Controller, FgaDoublesTransferTime)
 {
-    Harness base(Scheme::Baseline);
+    Harness base(&schemeByName("baseline"));
     base.mc->enqueue(base.make(5, 0, 0, false), 0);
     base.settle();
-    Harness fga(Scheme::Fga);
+    Harness fga(&schemeByName("fga"));
     fga.mc->enqueue(fga.make(5, 0, 0, false), 0);
     fga.settle();
     ASSERT_EQ(base.mc->completions().size(), 1u);
@@ -267,7 +267,7 @@ TEST(Controller, FgaDoublesTransferTime)
 
 TEST(Controller, HalfDramRecordsHalfHeightActs)
 {
-    Harness h(Scheme::HalfDram);
+    Harness h(&schemeByName("halfdram"));
     h.mc->enqueue(h.make(5, 0, 0, false), 0);
     h.mc->enqueue(h.make(6, 1, 0, true, WordMask::single(0)), 0);
     h.settle();
@@ -351,7 +351,7 @@ TEST(Controller, BusyReflectsOutstandingWork)
 }
 
 /** Property: under every scheme, N random requests all complete. */
-class ControllerSchemeSweep : public ::testing::TestWithParam<Scheme>
+class ControllerSchemeSweep : public ::testing::TestWithParam<const SchemeModel *>
 {
 };
 
@@ -393,9 +393,9 @@ TEST_P(ControllerSchemeSweep, AllRequestsServiced)
 }
 
 INSTANTIATE_TEST_SUITE_P(AllSchemes, ControllerSchemeSweep,
-                         ::testing::Values(Scheme::Baseline, Scheme::Fga,
-                                           Scheme::HalfDram, Scheme::Pra,
-                                           Scheme::HalfDramPra));
+                         ::testing::Values(&schemeByName("baseline"), &schemeByName("fga"),
+                                           &schemeByName("halfdram"), &schemeByName("pra"),
+                                           &schemeByName("halfdram+pra")));
 
 } // namespace
 } // namespace pra::dram

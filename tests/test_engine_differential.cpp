@@ -212,16 +212,16 @@ TEST(EngineDifferential, AllSchedulersSchemesAndPresetsAgree)
         const char *name;
         bool ddr4;
         bool restricted;
-        Scheme scheme;
+        const SchemeModel *scheme;
     };
     // The golden-equivalence grid (DDR4 ships relaxed-close only).
     const Cell cells[] = {
-        {"baseline-ddr3-relaxed", false, false, Scheme::Baseline},
-        {"pra-ddr3-relaxed", false, false, Scheme::Pra},
-        {"baseline-ddr3-restricted", false, true, Scheme::Baseline},
-        {"pra-ddr3-restricted", false, true, Scheme::Pra},
-        {"baseline-ddr4-relaxed", true, false, Scheme::Baseline},
-        {"pra-ddr4-relaxed", true, false, Scheme::Pra},
+        {"baseline-ddr3-relaxed", false, false, &schemeByName("baseline")},
+        {"pra-ddr3-relaxed", false, false, &schemeByName("pra")},
+        {"baseline-ddr3-restricted", false, true, &schemeByName("baseline")},
+        {"pra-ddr3-restricted", false, true, &schemeByName("pra")},
+        {"baseline-ddr4-relaxed", true, false, &schemeByName("baseline")},
+        {"pra-ddr4-relaxed", true, false, &schemeByName("pra")},
     };
     for (const Cell &cell : cells) {
         for (SchedulerKind sched : kAllSchedulerKinds) {
@@ -241,7 +241,7 @@ TEST(EngineDifferential, PowerDownDisabledStillAgrees)
     // Without power-down the idle stretches are pure standby — a
     // different wake-candidate mix (no threshold crossings).
     DramConfig cfg;
-    cfg.scheme = Scheme::Pra;
+    cfg.scheme = &schemeByName("pra");
     cfg.powerDownEnabled = false;
     expectEnginesAgree(cfg, "pra-ddr3-no-powerdown");
 }
@@ -254,13 +254,13 @@ TEST(EngineDifferential, FaultWindowsAreNotSkippedPast)
     // faults must yield identical, non-empty checker violation lists.
     {
         DramConfig cfg;
-        cfg.scheme = Scheme::Pra;
+        cfg.scheme = &schemeByName("pra");
         cfg.faultIgnoreTwtr = true;
         expectEnginesAgree(cfg, "fault-ignore-twtr", true);
     }
     {
         DramConfig cfg = ddr4_2400();
-        cfg.scheme = Scheme::Pra;
+        cfg.scheme = &schemeByName("pra");
         cfg.faultIgnoreTccdL = true;
         expectEnginesAgree(cfg, "fault-ignore-tccdl", true);
     }

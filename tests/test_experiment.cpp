@@ -12,11 +12,11 @@ namespace {
 
 TEST(ConfigPoint, KeysDistinguishConfigurations)
 {
-    const ConfigPoint a{Scheme::Pra, dram::PagePolicy::RelaxedClose,
+    const ConfigPoint a{&schemeByName("pra"), dram::PagePolicy::RelaxedClose,
                         false};
-    const ConfigPoint b{Scheme::Pra, dram::PagePolicy::RestrictedClose,
+    const ConfigPoint b{&schemeByName("pra"), dram::PagePolicy::RestrictedClose,
                         false};
-    const ConfigPoint c{Scheme::Pra, dram::PagePolicy::RelaxedClose,
+    const ConfigPoint c{&schemeByName("pra"), dram::PagePolicy::RelaxedClose,
                         true};
     EXPECT_NE(a.key(), b.key());
     EXPECT_NE(a.key(), c.key());
@@ -26,15 +26,15 @@ TEST(ConfigPoint, KeysDistinguishConfigurations)
 TEST(MakeConfig, AppliesSchemeAndPolicy)
 {
     const SystemConfig cfg = makeConfig(
-        ConfigPoint{Scheme::HalfDram, dram::PagePolicy::RestrictedClose,
+        ConfigPoint{&schemeByName("halfdram"), dram::PagePolicy::RestrictedClose,
                     true});
-    EXPECT_EQ(cfg.dram.scheme, Scheme::HalfDram);
+    EXPECT_EQ(cfg.dram.scheme, &schemeByName("halfdram"));
     EXPECT_EQ(cfg.dram.policy, dram::PagePolicy::RestrictedClose);
     EXPECT_EQ(cfg.dram.mapping, dram::AddrMapping::LineInterleaved);
     EXPECT_TRUE(cfg.enableDbi);
 
     const SystemConfig relaxed =
-        makeConfig(ConfigPoint{Scheme::Baseline,
+        makeConfig(ConfigPoint{&schemeByName("baseline"),
                                dram::PagePolicy::RelaxedClose, false});
     EXPECT_EQ(relaxed.dram.mapping, dram::AddrMapping::RowInterleaved);
     EXPECT_FALSE(relaxed.enableDbi);
@@ -45,7 +45,7 @@ TEST(AloneIpc, CachedAndPositive)
     // Shrink the run so the test stays fast; the cache key must make the
     // second lookup free.
     AloneIpcCache cache;
-    const ConfigPoint point{Scheme::Baseline,
+    const ConfigPoint point{&schemeByName("baseline"),
                             dram::PagePolicy::RelaxedClose, false};
     const double first = cache.get("GUPS", point);
     EXPECT_GT(first, 0.0);
@@ -57,7 +57,7 @@ TEST(WeightedSpeedup, SumsIpcRatios)
 {
     // Synthetic check of Eq. 3 with a hand-built result.
     AloneIpcCache cache;
-    const ConfigPoint point{Scheme::Baseline,
+    const ConfigPoint point{&schemeByName("baseline"),
                             dram::PagePolicy::RelaxedClose, false};
     const workloads::Mix mix{"GUPS4", {"GUPS", "GUPS", "GUPS", "GUPS"}};
     const double alone = cache.get("GUPS", point);
@@ -72,7 +72,7 @@ TEST(WeightedSpeedup, IdenticalSharedEqualsCoreCountWhenNoContention)
 {
     // If every core achieved its alone IPC, WS == 4 by construction.
     AloneIpcCache cache;
-    const ConfigPoint point{Scheme::Baseline,
+    const ConfigPoint point{&schemeByName("baseline"),
                             dram::PagePolicy::RelaxedClose, false};
     const workloads::Mix mix{"GUPS4", {"GUPS", "GUPS", "GUPS", "GUPS"}};
     const double alone = cache.get("GUPS", point);

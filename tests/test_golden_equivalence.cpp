@@ -151,7 +151,12 @@ struct GoldenCell
     std::uint64_t expected;
 };
 
-/** Fingerprints recorded against the pre-refactor monolith. */
+/**
+ * Fingerprints recorded against the pre-refactor monolith (the first
+ * six cells) and, for schemes added after the plugin registry landed,
+ * against their introducing commit. A cell's name is
+ * "<registered-scheme-name>-<preset>-<policy>".
+ */
 constexpr GoldenCell kGolden[] = {
     {"baseline-ddr3-relaxed", 0xb2432a700e84e478ull},
     {"pra-ddr3-relaxed", 0xdf2efc895924e165ull},
@@ -159,6 +164,9 @@ constexpr GoldenCell kGolden[] = {
     {"pra-ddr3-restricted", 0x2e027501f7371a6dull},
     {"baseline-ddr4-relaxed", 0x603aadb6879edd99ull},
     {"pra-ddr4-relaxed", 0xf89618ae30e8c868ull},
+    {"sectored-ddr3-relaxed", 0x50e31305dfb05b3dull},
+    {"sectored-ddr3-restricted", 0x56f42c8d8eca0726ull},
+    {"pra_spec_read-ddr3-relaxed", 0x5da6647e6b476519ull},
 };
 
 DramConfig
@@ -170,8 +178,8 @@ cellConfig(const char *name)
         cfg = ddr4_2400();
     if (n.find("restricted") != std::string::npos)
         cfg.useRestrictedClosePage();
-    cfg.scheme =
-        n.find("pra") != std::string::npos ? Scheme::Pra : Scheme::Baseline;
+    // The cell name's leading token is the registered scheme name.
+    cfg.scheme = &schemeByName(n.substr(0, n.find("-ddr")));
     return cfg;
 }
 

@@ -20,7 +20,7 @@ namespace {
 TEST(DramSystemSds, ChipMaskFlowsThroughEnqueue)
 {
     dram::DramConfig cfg;
-    cfg.scheme = Scheme::Sds;
+    cfg.scheme = &schemeByName("sds");
     cfg.powerDownEnabled = false;
     dram::DramSystem sys(cfg);
     ASSERT_TRUE(sys.enqueue(0x4000, true, WordMask::full(), 0, 1,
@@ -35,7 +35,7 @@ TEST(DramSystemSds, ChipMaskFlowsThroughEnqueue)
 TEST(DramSystemSds, ReadsIgnoreChipMask)
 {
     dram::DramConfig cfg;
-    cfg.scheme = Scheme::Sds;
+    cfg.scheme = &schemeByName("sds");
     cfg.powerDownEnabled = false;
     dram::DramSystem sys(cfg);
     ASSERT_TRUE(sys.enqueue(0x4000, false, WordMask::full(), 0, 1,

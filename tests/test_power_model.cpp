@@ -107,6 +107,7 @@ TEST(PowerModel, ReadIoIncludesPeerRankTermination)
     const PowerModel two_rank(PowerParams{}, 8, 2);
     EnergyCounts c;
     c.readLines = 100;
+    c.readWordsDriven = 100 * kWordsPerLine;   // Full-line read I/O.
     EXPECT_GT(two_rank.energy(c).readIo, one_rank.energy(c).readIo);
     const PowerParams p;
     const double expected_ratio = (p.readIo + p.readTerm) / p.readIo;

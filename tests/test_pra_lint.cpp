@@ -245,6 +245,65 @@ TEST(TimingLocalityRule, ScopeSuppressionAndBoundedIdentifiers)
     EXPECT_TRUE(issues.empty()) << joined(issues);
 }
 
+// --- Rule: scheme-locality ----------------------------------------------
+
+TEST(SchemeLocalityRule, FlagsClosedSchemeWorldIdioms)
+{
+    const std::vector<SourceFile> files{
+        {"src/dram/bad_dispatch.cpp",
+         "void f(const DramConfig &cfg) {\n"
+         "    if (cfg.scheme == Scheme::Pra) fastPath();\n"
+         "    SchemeTraits t = traitsOf(cfg);\n"
+         "    if (name == \"sectored\") sectorPath();\n"
+         "    if (std::string(s->displayName()) != \"Half-DRAM\") other();\n"
+         "}\n"}};
+    const auto issues = issuesOfRule(lintSources(files), "scheme-locality");
+    ASSERT_EQ(issues.size(), 4u) << joined(issues);
+    EXPECT_EQ(issues[0].line, 2u);
+    EXPECT_NE(issues[0].message.find("Scheme::"), std::string::npos);
+    EXPECT_EQ(issues[1].line, 3u);
+    EXPECT_NE(issues[1].message.find("SchemeTraits"), std::string::npos);
+    EXPECT_EQ(issues[2].line, 4u);
+    EXPECT_NE(issues[2].message.find("sectored"), std::string::npos);
+    EXPECT_EQ(issues[3].line, 5u);
+    // The fix-path is named in every diagnostic.
+    for (const LintIssue &i : issues)
+        EXPECT_NE(i.message.find("SchemeModel"), std::string::npos)
+            << i.message;
+}
+
+TEST(SchemeLocalityRule, ScopeSuppressionAndAllowedIdioms)
+{
+    const std::vector<SourceFile> files{
+        // The registry TU is the one place allowed to enumerate schemes.
+        {"src/core/scheme.cpp",
+         "const SchemeModel *legacy() { return map(Scheme::Pra); }\n"},
+        // Registry lookup by name is the sanctioned selection idiom.
+        {"src/sim/lookup.cpp",
+         "void g(SystemConfig &c) {\n"
+         "    c.dram.scheme = &schemeByName(\"sectored\");\n"
+         "    c.other = findScheme(\"pra\");\n"
+         "}\n"},
+        // An annotated site is accepted (marker on the line above).
+        {"src/analysis/compat.cpp",
+         "bool h(const std::string &s) {\n"
+         "    // pra-lint: scheme-ok (serialization default, not dispatch)\n"
+         "    return s != \"pra\";\n"
+         "}\n"},
+        // SchemeModel itself is word-bounded past the `Scheme` probe,
+        // and non-registered literals compare freely.
+        {"src/dram/clean.cpp",
+         "void k(const SchemeModel *m, const std::string &hdr) {\n"
+         "    if (hdr == \"pra-result-cache v1\") use(m);\n"
+         "}\n"},
+        // Outside src/ the rule is off (tests drill scheme behaviour by
+        // name on purpose).
+        {"tests/test_drill.cpp",
+         "TEST(X, Y) { EXPECT_TRUE(name == \"sectored\"); }\n"}};
+    const auto issues = issuesOfRule(lintSources(files), "scheme-locality");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
 // --- Rule: config-coverage ----------------------------------------------
 
 namespace drill {

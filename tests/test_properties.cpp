@@ -57,7 +57,7 @@ class FullLineGups : public cpu::Generator
 };
 
 sim::SystemConfig
-smallConfig(Scheme scheme)
+smallConfig(const SchemeModel *scheme)
 {
     sim::SystemConfig cfg = sim::makeConfig(
         {scheme, dram::PagePolicy::RelaxedClose, false});
@@ -68,7 +68,7 @@ smallConfig(Scheme scheme)
 }
 
 sim::RunResult
-runFullLine(Scheme scheme)
+runFullLine(const SchemeModel *scheme)
 {
     std::vector<std::unique_ptr<cpu::Generator>> gens;
     for (unsigned c = 0; c < 4; ++c)
@@ -81,8 +81,8 @@ TEST(Equivalence, PraWithFullMasksIsCycleExactBaseline)
 {
     // When no line is partially dirty, PRA must not change a single
     // cycle or picojoule relative to the conventional system.
-    const sim::RunResult base = runFullLine(Scheme::Baseline);
-    const sim::RunResult pra = runFullLine(Scheme::Pra);
+    const sim::RunResult base = runFullLine(&schemeByName("baseline"));
+    const sim::RunResult pra = runFullLine(&schemeByName("pra"));
     EXPECT_EQ(base.dramCycles, pra.dramCycles);
     EXPECT_EQ(base.ipc, pra.ipc);
     EXPECT_DOUBLE_EQ(base.totalEnergyNj, pra.totalEnergyNj);
@@ -95,8 +95,8 @@ TEST(Equivalence, PraWithFullMasksIsCycleExactBaseline)
 
 TEST(Equivalence, SdsWithAllBytesChangedIsCycleExactBaseline)
 {
-    const sim::RunResult base = runFullLine(Scheme::Baseline);
-    const sim::RunResult sds = runFullLine(Scheme::Sds);
+    const sim::RunResult base = runFullLine(&schemeByName("baseline"));
+    const sim::RunResult sds = runFullLine(&schemeByName("sds"));
     EXPECT_EQ(base.dramCycles, sds.dramCycles);
     EXPECT_DOUBLE_EQ(base.totalEnergyNj, sds.totalEnergyNj);
 }
@@ -141,7 +141,7 @@ TEST_P(TimingFuzz, CheckerCleanUnderTimingVariants)
     cfg.channels = 1;
     cfg.powerDownEnabled = false;
     cfg.enableChecker = true;
-    cfg.scheme = rng.chance(0.5) ? Scheme::Pra : Scheme::Baseline;
+    cfg.scheme = rng.chance(0.5) ? &schemeByName("pra") : &schemeByName("baseline");
 
     // Randomize timings within legal-looking envelopes; keep the
     // derived identity tRC = tRAS + tRP.
@@ -181,7 +181,7 @@ TEST_P(TimingFuzz, CheckerCleanUnderTimingVariants)
     ASSERT_NE(mc.checker(), nullptr);
     EXPECT_TRUE(mc.checker()->clean())
         << mc.checker()->violations()[0] << " (scheme "
-        << schemeName(cfg.scheme) << ")";
+        << std::string(cfg.scheme->displayName()) << ")";
     EXPECT_GT(mc.checker()->commandsChecked(), 5000u);
 }
 
@@ -194,7 +194,7 @@ TEST(Properties, EnergyMonotonicInGranularityEndToEnd)
     // energy.
     double prev = 0.0;
     for (unsigned min_gran : {1u, 2u, 4u, 8u}) {
-        sim::SystemConfig cfg = smallConfig(Scheme::Pra);
+        sim::SystemConfig cfg = smallConfig(&schemeByName("pra"));
         cfg.dram.minActGranularity = min_gran;
         std::vector<std::unique_ptr<cpu::Generator>> gens;
         for (unsigned c = 0; c < 4; ++c)

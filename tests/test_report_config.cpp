@@ -76,9 +76,9 @@ TEST(ConfigIo, AppliesSchemeAndPolicy)
 {
     SystemConfig cfg;
     applyConfigLine("scheme = pra", cfg);
-    EXPECT_EQ(cfg.dram.scheme, Scheme::Pra);
+    EXPECT_EQ(cfg.dram.scheme, &schemeByName("pra"));
     applyConfigLine("scheme = halfdram+pra", cfg);
-    EXPECT_EQ(cfg.dram.scheme, Scheme::HalfDramPra);
+    EXPECT_EQ(cfg.dram.scheme, &schemeByName("halfdram+pra"));
     applyConfigLine("policy = restricted", cfg);
     EXPECT_EQ(cfg.dram.policy, dram::PagePolicy::RestrictedClose);
     EXPECT_EQ(cfg.dram.mapping, dram::AddrMapping::LineInterleaved);
@@ -128,6 +128,38 @@ TEST(ConfigIo, ErrorsAreLoud)
     EXPECT_THROW(applyConfigLine("justakey", cfg), std::runtime_error);
 }
 
+TEST(ConfigIo, EverySchemeSpellingIsSelectableByConfigString)
+{
+    // A new comparator must be reachable from a config file with zero
+    // code edits: every registered name, display name, and alias parses
+    // straight through the registry.
+    for (const SchemeModel *s : allSchemes()) {
+        std::vector<std::string> spellings{s->name(), s->displayName()};
+        for (const std::string &a : s->aliases())
+            spellings.push_back(a);
+        for (const std::string &sp : spellings) {
+            SystemConfig cfg;
+            applyConfigLine("scheme = " + sp, cfg);
+            EXPECT_EQ(cfg.dram.scheme, s) << sp;
+        }
+    }
+}
+
+TEST(ConfigIo, UnknownSchemeErrorListsEveryRegisteredName)
+{
+    SystemConfig cfg;
+    try {
+        applyConfigLine("scheme = quantum", cfg);
+        FAIL() << "unknown scheme must throw";
+    } catch (const std::runtime_error &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("quantum"), std::string::npos) << what;
+        for (const SchemeModel *s : allSchemes())
+            EXPECT_NE(what.find(s->name()), std::string::npos)
+                << what << " is missing " << s->name();
+    }
+}
+
 TEST(ConfigIo, StreamLoadAndDumpRoundTrip)
 {
     SystemConfig cfg;
@@ -137,7 +169,7 @@ TEST(ConfigIo, StreamLoadAndDumpRoundTrip)
         "# tuned queues\n"
         "write_queue = 48\n");
     loadConfig(in, cfg);
-    EXPECT_EQ(cfg.dram.scheme, Scheme::HalfDram);
+    EXPECT_EQ(cfg.dram.scheme, &schemeByName("halfdram"));
     EXPECT_EQ(cfg.dram.writeQueueDepth, 48u);
 
     const std::string dump = dumpConfig(cfg);

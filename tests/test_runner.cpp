@@ -23,7 +23,7 @@ namespace {
 constexpr std::uint64_t kShortRun = 60'000;
 
 SweepJob
-shortJob(const std::string &bench, Scheme scheme)
+shortJob(const std::string &bench, const SchemeModel *scheme)
 {
     const workloads::Mix rate{bench, {bench, bench, bench, bench}};
     const ConfigPoint point{scheme, dram::PagePolicy::RelaxedClose,
@@ -231,10 +231,10 @@ TEST(RunnerDeterminism, SerialOneThreadAndFourThreadsAgree)
     NoCacheGuard no_cache;
     // A small but heterogeneous sweep: two schemes and two workloads.
     const std::vector<SweepJob> jobs = {
-        shortJob("GUPS", Scheme::Baseline),
-        shortJob("GUPS", Scheme::Pra),
-        shortJob("lbm", Scheme::Baseline),
-        shortJob("lbm", Scheme::Pra),
+        shortJob("GUPS", &schemeByName("baseline")),
+        shortJob("GUPS", &schemeByName("pra")),
+        shortJob("lbm", &schemeByName("baseline")),
+        shortJob("lbm", &schemeByName("pra")),
     };
 
     // Reference: the plain serial loop, no Runner involved.
@@ -260,11 +260,11 @@ TEST(RunnerDeterminism, ConfigOverrideBypassesPoint)
     // targetInstructions and equal a direct runWorkload of that config.
     const workloads::Mix rate{"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}};
     SystemConfig cfg = makeConfig(
-        {Scheme::HalfDram, dram::PagePolicy::RestrictedClose, false});
+        {&schemeByName("halfdram"), dram::PagePolicy::RestrictedClose, false});
     cfg.targetInstructions = kShortRun;
 
     SweepJob job{rate,
-                 {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
+                 {&schemeByName("baseline"), dram::PagePolicy::RelaxedClose, false},
                  999,  // Must be ignored in favour of cfg's value.
                  cfg};
     expectIdentical(runWorkload(rate, cfg), runSweepJob(job));
@@ -277,7 +277,7 @@ TEST(AloneIpcCache, ComputeOnceUnderConcurrency)
     // the bit-identical value (a single computation shared via future),
     // and a fresh cache computing the same key must agree.
     Runner runner(4);
-    const ConfigPoint point{Scheme::Baseline,
+    const ConfigPoint point{&schemeByName("baseline"),
                             dram::PagePolicy::RelaxedClose, false};
     std::vector<double> got(16, -1.0);
     runner.parallelFor(got.size(), [&](std::size_t i) {
@@ -299,10 +299,10 @@ TEST(CycleSkip, RunResultIdenticalWithFastPathDisabled)
     struct Case
     {
         const char *bench;
-        Scheme scheme;
+        const SchemeModel *scheme;
     };
-    for (const Case &c : {Case{"GUPS", Scheme::Baseline},
-                          Case{"lbm", Scheme::Pra}}) {
+    for (const Case &c : {Case{"GUPS", &schemeByName("baseline")},
+                          Case{"lbm", &schemeByName("pra")}}) {
         SCOPED_TRACE(c.bench);
         const workloads::Mix rate{c.bench,
                                   {c.bench, c.bench, c.bench, c.bench}};
@@ -327,7 +327,7 @@ TEST(CycleSkip, PowerDownAndRefreshStatisticsSurviveSkipping)
     // windows — and therefore skips — are longest.
     const workloads::Mix solo{"bzip2", {"bzip2"}};
     SystemConfig cfg =
-        makeConfig({Scheme::Baseline, dram::PagePolicy::RelaxedClose,
+        makeConfig({&schemeByName("baseline"), dram::PagePolicy::RelaxedClose,
                     false});
     cfg.targetInstructions = kShortRun;
     cfg.dram.powerDownEnabled = true;

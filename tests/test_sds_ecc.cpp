@@ -15,9 +15,9 @@ namespace {
 
 TEST(SdsTraits, ChipSelectSemantics)
 {
-    const SchemeTraits t = SchemeTraits::of(Scheme::Sds);
-    EXPECT_TRUE(t.chipSelect);
-    EXPECT_FALSE(t.partialWrites);
+    const SchemeModel &t = schemeByName("sds");
+    EXPECT_TRUE(t.chipSelect());
+    EXPECT_FALSE(t.partialWrites());
     // Chip mask with 2 chips selected → granularity 2, linear weight.
     const WordMask chips(0b00000011);
     EXPECT_EQ(t.actGranularity(true, chips), 2u);
@@ -49,7 +49,7 @@ TEST(SdsController, WriteUsesChipMask)
 {
     dram::DramConfig cfg;
     cfg.channels = 1;
-    cfg.scheme = Scheme::Sds;
+    cfg.scheme = &schemeByName("sds");
     cfg.powerDownEnabled = false;
     dram::AddressMapper mapper(cfg);
     dram::MemoryController mc(cfg, 0);
@@ -77,7 +77,7 @@ TEST(SdsController, WriteUsesChipMask)
 TEST(SdsSystem, EndToEndBeatsBaselineLosesToPra)
 {
     sim::SystemConfig base_cfg = sim::makeConfig(
-        {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false});
+        {&schemeByName("baseline"), dram::PagePolicy::RelaxedClose, false});
     auto shrink = [](sim::SystemConfig &cfg) {
         cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};
         cfg.warmupOpsPerCore = 8000;
@@ -85,9 +85,9 @@ TEST(SdsSystem, EndToEndBeatsBaselineLosesToPra)
     };
     shrink(base_cfg);
     sim::SystemConfig sds_cfg = base_cfg;
-    sds_cfg.dram.scheme = Scheme::Sds;
+    sds_cfg.dram.scheme = &schemeByName("sds");
     sim::SystemConfig pra_cfg = base_cfg;
-    pra_cfg.dram.scheme = Scheme::Pra;
+    pra_cfg.dram.scheme = &schemeByName("pra");
 
     // mcf's synthetic model has narrow stores, which SDS can exploit.
     const workloads::Mix mix{"mcf", {"mcf", "mcf", "mcf", "mcf"}};
@@ -135,7 +135,7 @@ TEST(EccPower, EccChipAddsFullRowOverhead)
 
 TEST(EccSystem, PraSavingShrinksButSurvivesWithEcc)
 {
-    auto make = [](unsigned ecc, Scheme scheme) {
+    auto make = [](unsigned ecc, const SchemeModel *scheme) {
         sim::SystemConfig cfg = sim::makeConfig(
             {scheme, dram::PagePolicy::RelaxedClose, false});
         cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};
@@ -147,11 +147,11 @@ TEST(EccSystem, PraSavingShrinksButSurvivesWithEcc)
     const workloads::Mix mix{"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}};
 
     const sim::RunResult base_ecc =
-        sim::runWorkload(mix, make(1, Scheme::Baseline));
+        sim::runWorkload(mix, make(1, &schemeByName("baseline")));
     const sim::RunResult pra_ecc =
-        sim::runWorkload(mix, make(1, Scheme::Pra));
-    const sim::RunResult base = sim::runWorkload(mix, make(0, Scheme::Baseline));
-    const sim::RunResult pra = sim::runWorkload(mix, make(0, Scheme::Pra));
+        sim::runWorkload(mix, make(1, &schemeByName("pra")));
+    const sim::RunResult base = sim::runWorkload(mix, make(0, &schemeByName("baseline")));
+    const sim::RunResult pra = sim::runWorkload(mix, make(0, &schemeByName("pra")));
 
     const double saving_no_ecc = 1.0 - pra.totalEnergyNj / base.totalEnergyNj;
     const double saving_ecc =

@@ -160,7 +160,7 @@ TEST(Ddr4, FullSimulationRunsCleanWithChecker)
 {
     sim::SystemConfig cfg;
     cfg.dram = dram::ddr4_2400();
-    cfg.dram.scheme = Scheme::Pra;
+    cfg.dram.scheme = &schemeByName("pra");
     cfg.dram.enableChecker = true;
     cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};
     cfg.warmupOpsPerCore = 5000;
@@ -211,7 +211,7 @@ TEST(OpenPage, KeepsRowsOpenPastHitCap)
 TEST(OpenPage, FullSystemRunBalances)
 {
     sim::SystemConfig cfg = sim::makeConfig(
-        {Scheme::Pra, dram::PagePolicy::RelaxedClose, false});
+        {&schemeByName("pra"), dram::PagePolicy::RelaxedClose, false});
     cfg.dram.policy = dram::PagePolicy::OpenPage;
     cfg.dram.enableChecker = true;
     cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};

@@ -28,7 +28,7 @@ namespace {
 constexpr std::uint64_t kShortRun = 50'000;
 
 SystemConfig
-shortConfig(Scheme scheme)
+shortConfig(const SchemeModel *scheme)
 {
     SystemConfig cfg = makeConfig(
         {scheme, dram::PagePolicy::RelaxedClose, false});
@@ -106,9 +106,9 @@ TEST(WarmSnapshot, ForkedRunMatchesColdRunBitExactly)
     // One warmup, three schemes forked from it — each must equal its
     // own cold run on every statistic.
     WarmupCache warm;
-    for (const Scheme scheme :
-         {Scheme::Baseline, Scheme::Pra, Scheme::HalfDramPra}) {
-        SCOPED_TRACE(schemeName(scheme));
+    for (const SchemeModel *scheme :
+         {&schemeByName("baseline"), &schemeByName("pra"), &schemeByName("halfdram+pra")}) {
+        SCOPED_TRACE(std::string(scheme->displayName()));
         const SystemConfig cfg = shortConfig(scheme);
         const RunResult cold = runWorkload(gupsRate(), cfg);
         const RunResult forked = runWorkload(gupsRate(), cfg, warm);
@@ -124,7 +124,7 @@ TEST(WarmSnapshot, ForkedRunMatchesColdWithDbiRowKeys)
     // The DBI row-key function captures the address mapper; a snapshot
     // must stay valid (and bit-identical) after its source System dies.
     WarmupCache warm;
-    SystemConfig cfg = shortConfig(Scheme::Pra);
+    SystemConfig cfg = shortConfig(&schemeByName("pra"));
     cfg.enableDbi = true;
     const RunResult forked = runWorkload(gupsRate(), cfg, warm);
     const RunResult cold = runWorkload(gupsRate(), cfg);
@@ -134,7 +134,7 @@ TEST(WarmSnapshot, ForkedRunMatchesColdWithDbiRowKeys)
 
 TEST(WarmSnapshot, SnapshotOutlivesSourceSystem)
 {
-    const SystemConfig cfg = shortConfig(Scheme::Baseline);
+    const SystemConfig cfg = shortConfig(&schemeByName("baseline"));
     WarmSnapshot snap = [&] {
         System source(cfg, mixGenerators(gupsRate()));
         return source.exportWarmSnapshot();
@@ -148,7 +148,7 @@ TEST(WarmSnapshot, SnapshotOutlivesSourceSystem)
 TEST(WarmSnapshot, DisabledWarmupFallsBackToColdPath)
 {
     WarmupCache warm;
-    SystemConfig cfg = shortConfig(Scheme::Baseline);
+    SystemConfig cfg = shortConfig(&schemeByName("baseline"));
     cfg.warmupOpsPerCore = 0;
     const RunResult a = runWorkload(gupsRate(), cfg, warm);
     const RunResult b = runWorkload(gupsRate(), cfg);
@@ -158,9 +158,9 @@ TEST(WarmSnapshot, DisabledWarmupFallsBackToColdPath)
 
 TEST(WarmupKey, SchemeInvariantButGeometrySensitive)
 {
-    const SystemConfig base = shortConfig(Scheme::Baseline);
+    const SystemConfig base = shortConfig(&schemeByName("baseline"));
     // Scheme, timing, and run-length changes must not split warmups...
-    SystemConfig pra = shortConfig(Scheme::Pra);
+    SystemConfig pra = shortConfig(&schemeByName("pra"));
     pra.targetInstructions = 123;
     pra.dram.timing.tRcd += 2;
     EXPECT_EQ(warmupKey(base, gupsRate()), warmupKey(pra, gupsRate()));
@@ -181,7 +181,7 @@ TEST(WarmupKey, SchemeInvariantButGeometrySensitive)
 TEST(RunResultSerialization, RoundTripIsBitExact)
 {
     const RunResult res = runWorkload(gupsRate(),
-                                      shortConfig(Scheme::Pra));
+                                      shortConfig(&schemeByName("pra")));
     const std::string text = serializeRunResult(res);
     const std::optional<RunResult> back = deserializeRunResult(text);
     ASSERT_TRUE(back.has_value());
@@ -192,7 +192,7 @@ TEST(RunResultSerialization, RoundTripIsBitExact)
 TEST(RunResultSerialization, RejectsCorruptedText)
 {
     const RunResult res = runWorkload(gupsRate(),
-                                      shortConfig(Scheme::Baseline));
+                                      shortConfig(&schemeByName("baseline")));
     const std::string text = serializeRunResult(res);
     EXPECT_FALSE(deserializeRunResult("").has_value());
     EXPECT_FALSE(deserializeRunResult("garbage 1 2 3").has_value());
@@ -207,7 +207,7 @@ TEST(RunResultSerialization, RejectsCorruptedText)
 
 TEST(ResultCacheKey, SensitiveToEveryInput)
 {
-    const SystemConfig base = shortConfig(Scheme::Baseline);
+    const SystemConfig base = shortConfig(&schemeByName("baseline"));
     const std::string mat = resultCacheMaterial(base, gupsRate());
 
     SystemConfig timing = base;
@@ -241,7 +241,7 @@ TEST(ResultCache, StoreThenLoadIsByteIdentical)
     ASSERT_TRUE(cache.enabled());
     EXPECT_EQ(cache.dir(), tmp.dir());
 
-    const SystemConfig cfg = shortConfig(Scheme::Pra);
+    const SystemConfig cfg = shortConfig(&schemeByName("pra"));
     const RunResult res = runWorkload(gupsRate(), cfg);
     const std::string mat = resultCacheMaterial(cfg, gupsRate());
 
@@ -262,7 +262,7 @@ TEST(ResultCache, CollidingHashWithDifferentMaterialMisses)
     const ResultCache cache(tmp.dir());
     ASSERT_TRUE(cache.enabled());
 
-    const SystemConfig cfg = shortConfig(Scheme::Baseline);
+    const SystemConfig cfg = shortConfig(&schemeByName("baseline"));
     const RunResult res = runWorkload(gupsRate(), cfg);
     const std::string mat = resultCacheMaterial(cfg, gupsRate());
     cache.store(mat, res);
@@ -294,11 +294,11 @@ TEST(ResultCache, RunnerServesSecondSweepFromCache)
     ScopedCacheDir tmp;
     const std::vector<SweepJob> jobs = {
         {gupsRate(),
-         {Scheme::Baseline, dram::PagePolicy::RelaxedClose, false},
+         {&schemeByName("baseline"), dram::PagePolicy::RelaxedClose, false},
          kShortRun,
          {}},
         {gupsRate(),
-         {Scheme::Pra, dram::PagePolicy::RelaxedClose, false},
+         {&schemeByName("pra"), dram::PagePolicy::RelaxedClose, false},
          kShortRun,
          {}},
     };
@@ -328,7 +328,7 @@ TEST(ResultCache, NoCacheEnvDisablesPersistence)
     EXPECT_FALSE(cache.enabled());
 
     // A disabled cache never loads or stores.
-    const SystemConfig cfg = shortConfig(Scheme::Baseline);
+    const SystemConfig cfg = shortConfig(&schemeByName("baseline"));
     const std::string mat = resultCacheMaterial(cfg, gupsRate());
     cache.store(mat, RunResult{});
     EXPECT_FALSE(cache.load(mat).has_value());

@@ -7,13 +7,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <string>
+
 #include "sim/experiment.h"
 
 namespace pra::sim {
 namespace {
 
 SystemConfig
-fastConfig(Scheme scheme,
+fastConfig(const SchemeModel *scheme,
            dram::PagePolicy policy = dram::PagePolicy::RelaxedClose,
            bool dbi = false)
 {
@@ -28,7 +31,7 @@ fastConfig(Scheme scheme,
 }
 
 RunResult
-runGups(Scheme scheme,
+runGups(const SchemeModel *scheme,
         dram::PagePolicy policy = dram::PagePolicy::RelaxedClose,
         bool dbi = false)
 {
@@ -38,7 +41,7 @@ runGups(Scheme scheme,
 
 TEST(SystemIntegration, BaselineRunCompletes)
 {
-    const RunResult r = runGups(Scheme::Baseline);
+    const RunResult r = runGups(&schemeByName("baseline"));
     ASSERT_EQ(r.ipc.size(), 4u);
     for (double ipc : r.ipc)
         EXPECT_GT(ipc, 0.0);
@@ -50,7 +53,7 @@ TEST(SystemIntegration, BaselineRunCompletes)
 
 TEST(SystemIntegration, RequestConservation)
 {
-    const RunResult r = runGups(Scheme::Baseline);
+    const RunResult r = runGups(&schemeByName("baseline"));
     const auto &d = r.dramStats;
     // Every DRAM read/write the hierarchy asked for was enqueued
     // (backpressure retries, never drops). Writes may still be in the
@@ -73,8 +76,8 @@ TEST(SystemIntegration, RequestConservation)
 
 TEST(SystemIntegration, DeterministicAcrossRuns)
 {
-    const RunResult a = runGups(Scheme::Pra);
-    const RunResult b = runGups(Scheme::Pra);
+    const RunResult a = runGups(&schemeByName("pra"));
+    const RunResult b = runGups(&schemeByName("pra"));
     EXPECT_EQ(a.dramCycles, b.dramCycles);
     EXPECT_EQ(a.dramStats.readReqs, b.dramStats.readReqs);
     EXPECT_EQ(a.totalEnergyNj, b.totalEnergyNj);
@@ -83,8 +86,8 @@ TEST(SystemIntegration, DeterministicAcrossRuns)
 
 TEST(SystemIntegration, PraSavesPowerWithSmallPerfImpact)
 {
-    const RunResult base = runGups(Scheme::Baseline);
-    const RunResult pra = runGups(Scheme::Pra);
+    const RunResult base = runGups(&schemeByName("baseline"));
+    const RunResult pra = runGups(&schemeByName("pra"));
     // Headline claims (paper Fig. 12/13): lower ACT-PRE energy, much
     // lower write I/O energy, lower total energy.
     EXPECT_LT(pra.breakdown.actPre, base.breakdown.actPre * 0.75);
@@ -96,7 +99,7 @@ TEST(SystemIntegration, PraSavesPowerWithSmallPerfImpact)
 
 TEST(SystemIntegration, PraWriteActivationsArePartial)
 {
-    const RunResult r = runGups(Scheme::Pra);
+    const RunResult r = runGups(&schemeByName("pra"));
     // GUPS dirties one word per line: essentially all write activations
     // are 1/8-row.
     const auto &g = r.dramStats.actGranularity;
@@ -108,8 +111,8 @@ TEST(SystemIntegration, PraWriteActivationsArePartial)
 
 TEST(SystemIntegration, FgaLosesSignificantPerformance)
 {
-    const RunResult base = runGups(Scheme::Baseline);
-    const RunResult fga = runGups(Scheme::Fga);
+    const RunResult base = runGups(&schemeByName("baseline"));
+    const RunResult fga = runGups(&schemeByName("fga"));
     // Paper Fig. 13a: FGA loses ~14% on average (bandwidth halved).
     EXPECT_LT(fga.ipc[0], base.ipc[0] * 0.97);
     // But it does save activation energy (half-row).
@@ -118,8 +121,8 @@ TEST(SystemIntegration, FgaLosesSignificantPerformance)
 
 TEST(SystemIntegration, HalfDramKeepsPerformance)
 {
-    const RunResult base = runGups(Scheme::Baseline);
-    const RunResult hd = runGups(Scheme::HalfDram);
+    const RunResult base = runGups(&schemeByName("baseline"));
+    const RunResult hd = runGups(&schemeByName("halfdram"));
     EXPECT_GT(hd.ipc[0], base.ipc[0] * 0.97);
     EXPECT_LT(hd.breakdown.actPre, base.breakdown.actPre * 0.7);
     // Half-DRAM does not reduce I/O energy (full line transferred).
@@ -130,9 +133,9 @@ TEST(SystemIntegration, HalfDramKeepsPerformance)
 
 TEST(SystemIntegration, CombinedSchemeBeatsBothOnActEnergy)
 {
-    const RunResult hd = runGups(Scheme::HalfDram);
-    const RunResult pra = runGups(Scheme::Pra);
-    const RunResult both = runGups(Scheme::HalfDramPra);
+    const RunResult hd = runGups(&schemeByName("halfdram"));
+    const RunResult pra = runGups(&schemeByName("pra"));
+    const RunResult both = runGups(&schemeByName("halfdram+pra"));
     const double hd_act = hd.breakdown.actPre / hd.energy.totalActs();
     const double pra_act = pra.breakdown.actPre / pra.energy.totalActs();
     const double both_act =
@@ -144,7 +147,7 @@ TEST(SystemIntegration, CombinedSchemeBeatsBothOnActEnergy)
 TEST(SystemIntegration, RestrictedPolicyActivatesPerAccess)
 {
     const RunResult r =
-        runGups(Scheme::Baseline, dram::PagePolicy::RestrictedClose);
+        runGups(&schemeByName("baseline"), dram::PagePolicy::RestrictedClose);
     const auto &d = r.dramStats;
     // Every column access pairs with an activation (no row hits).
     EXPECT_EQ(d.readRowHits + d.writeRowHits, 0u);
@@ -159,9 +162,9 @@ TEST(SystemIntegration, RestrictedPolicyActivatesPerAccess)
 
 TEST(SystemIntegration, DbiBatchesWritebacksByRow)
 {
-    const RunResult base = runGups(Scheme::Baseline);
+    const RunResult base = runGups(&schemeByName("baseline"));
     const RunResult dbi =
-        runGups(Scheme::Baseline, dram::PagePolicy::RelaxedClose, true);
+        runGups(&schemeByName("baseline"), dram::PagePolicy::RelaxedClose, true);
     EXPECT_GT(dbi.dbiProactive, 0u);
     // Proactive row-batched writebacks raise the write row-hit rate.
     EXPECT_GT(dbi.dramStats.writeHitRate(),
@@ -170,7 +173,7 @@ TEST(SystemIntegration, DbiBatchesWritebacksByRow)
 
 TEST(SystemIntegration, FalseHitsRareOnReads)
 {
-    const RunResult r = runGups(Scheme::Pra);
+    const RunResult r = runGups(&schemeByName("pra"));
     const auto &d = r.dramStats;
     // Paper Section 5.2.1: up to 0.26%, average 0.04% of reads.
     EXPECT_LT(static_cast<double>(d.readFalseHits) /
@@ -180,7 +183,7 @@ TEST(SystemIntegration, FalseHitsRareOnReads)
 
 TEST(SystemIntegration, EnergyBreakdownConsistent)
 {
-    const RunResult r = runGups(Scheme::Pra);
+    const RunResult r = runGups(&schemeByName("pra"));
     EXPECT_NEAR(r.breakdown.total(), r.totalEnergyNj, 1e-6);
     EXPECT_GT(r.breakdown.background, 0.0);
     EXPECT_GT(r.breakdown.refresh, 0.0);
@@ -190,7 +193,7 @@ TEST(SystemIntegration, EnergyBreakdownConsistent)
 
 TEST(SystemIntegration, SingleCoreAloneRunWorks)
 {
-    SystemConfig cfg = fastConfig(Scheme::Baseline);
+    SystemConfig cfg = fastConfig(&schemeByName("baseline"));
     std::vector<std::unique_ptr<cpu::Generator>> gens;
     gens.push_back(workloads::makeGenerator("LinkedList", 1));
     System sys(cfg, std::move(gens));
@@ -201,7 +204,7 @@ TEST(SystemIntegration, SingleCoreAloneRunWorks)
 
 TEST(SystemIntegration, Figure3HistogramPopulated)
 {
-    const RunResult r = runGups(Scheme::Baseline);
+    const RunResult r = runGups(&schemeByName("baseline"));
     // GUPS: every evicted dirty line has exactly one dirty word.
     EXPECT_GT(r.dirtyWords.total(), 1000u);
     EXPECT_GT(r.dirtyWords.fraction(1), 0.95);
@@ -209,7 +212,7 @@ TEST(SystemIntegration, Figure3HistogramPopulated)
 
 /** Every scheme x policy combination completes and accounts cleanly. */
 class SchemePolicyMatrix
-    : public ::testing::TestWithParam<std::tuple<Scheme, dram::PagePolicy>>
+    : public ::testing::TestWithParam<std::tuple<const SchemeModel *, dram::PagePolicy>>
 {
 };
 
@@ -236,10 +239,19 @@ TEST_P(SchemePolicyMatrix, RunsAndBalances)
 INSTANTIATE_TEST_SUITE_P(
     Matrix, SchemePolicyMatrix,
     ::testing::Combine(
-        ::testing::Values(Scheme::Baseline, Scheme::Fga, Scheme::HalfDram,
-                          Scheme::Pra, Scheme::HalfDramPra),
+        ::testing::ValuesIn(allSchemes()),
         ::testing::Values(dram::PagePolicy::RelaxedClose,
-                          dram::PagePolicy::RestrictedClose)));
+                          dram::PagePolicy::RestrictedClose)),
+    [](const auto &info) {
+        std::string n = std::get<0>(info.param)->name();
+        for (char &c : n)
+            if (!std::isalnum(static_cast<unsigned char>(c)))
+                c = '_';
+        return n + (std::get<1>(info.param) ==
+                            dram::PagePolicy::RestrictedClose
+                        ? "_restricted"
+                        : "_relaxed");
+    });
 
 } // namespace
 } // namespace pra::sim

@@ -124,7 +124,7 @@ TEST(Trace, ReplayMatchesLiveGeneratorInFullSystem)
     // Record GUPS, replay the recording: the simulation must be
     // cycle-identical to running the live generator.
     sim::SystemConfig cfg = sim::makeConfig(
-        {Scheme::Pra, dram::PagePolicy::RelaxedClose, false});
+        {&schemeByName("pra"), dram::PagePolicy::RelaxedClose, false});
     cfg.caches.l2 = cache::CacheParams{256 * 1024, 8, kLineBytes};
     cfg.warmupOpsPerCore = 2000;
     cfg.targetInstructions = 50'000;

@@ -28,6 +28,7 @@
 
 #include "analysis/command_script.h"
 #include "analysis/model_checker.h"
+#include "core/scheme.h"
 #include "dram/sched/scheduler_policy.h"
 
 namespace {
@@ -51,6 +52,8 @@ usage(const char *argv0)
         "  --fault NAME         none | widen_act | ignore_tccd_l |\n"
         "                       ignore_twtr | suppress_wake | starve_aged\n"
         "                       | all (default: none; env PRA_MC_SEED_FAULT)\n"
+        "  --scheme NAME        registered scheme to explore under\n"
+        "                       (default: pra; see 'scheme =' in configs)\n"
         "  --liveness-bound N   bounded-progress horizon in cycles\n"
         "                       (default %llu; 0 disables liveness and\n"
         "                       work-conserving exploration)\n"
@@ -114,12 +117,19 @@ replay(const std::string &path)
                      path.c_str(), script.fault.c_str());
         return 2;
     }
-    const auto violations = pra::analysis::replayScript(
-        script, ModelChecker::modelConfig(fault));
-    std::printf("replayed %zu commands (scheduler=%s fault=%s): "
+    const pra::SchemeModel *scheme = pra::findScheme(script.scheme);
+    if (!scheme) {
+        std::fprintf(stderr, "pra_modelcheck: %s: unknown scheme '%s'\n",
+                     path.c_str(), script.scheme.c_str());
+        return 2;
+    }
+    pra::dram::DramConfig cfg = ModelChecker::modelConfig(fault);
+    cfg.scheme = scheme;
+    const auto violations = pra::analysis::replayScript(script, cfg);
+    std::printf("replayed %zu commands (scheduler=%s fault=%s scheme=%s): "
                 "%zu violation(s)\n",
                 script.commands.size(), script.scheduler.c_str(),
-                script.fault.c_str(), violations.size());
+                script.fault.c_str(), scheme->name(), violations.size());
     for (const std::string &v : violations)
         std::printf("  %s\n", v.c_str());
     return violations.empty() ? 0 : 1;
@@ -196,6 +206,19 @@ main(int argc, char **argv)
                 }
                 faults = {f};
             }
+        } else if (arg == "--scheme") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            const pra::SchemeModel *s = pra::findScheme(v);
+            if (!s) {
+                std::fprintf(stderr,
+                             "pra_modelcheck: unknown scheme '%s' "
+                             "(registered: %s)\n",
+                             v, pra::registeredSchemeNames().c_str());
+                return 2;
+            }
+            opts.scheme = s->name();
         } else if (arg == "--liveness-bound") {
             const char *v = value();
             if (!v)
@@ -261,11 +284,12 @@ main(int argc, char **argv)
                 // so a budget-exhausted "clean" cannot silently pass
                 // for a completed exploration.
                 std::printf(
-                    "fault=%-13s scheduler=%-12s depth=%-3llu "
+                    "fault=%-13s scheduler=%-12s scheme=%-12s depth=%-3llu "
                     "states=%llu/%llu deduped=%llu commands=%llu "
                     "leaps=%llu pruned=%llu%s: %s\n",
                     pra::analysis::faultName(fault),
                     pra::dram::schedulerKindName(sched),
+                    run.scheme.empty() ? "pra" : run.scheme.c_str(),
                     static_cast<unsigned long long>(run.depth),
                     static_cast<unsigned long long>(res.statesExplored),
                     static_cast<unsigned long long>(run.maxStates),
@@ -302,9 +326,13 @@ main(int argc, char **argv)
                     // Delta-debug the counterexample first: the emitted
                     // reproducer keeps only the commands needed to
                     // reproduce the original violation under replay.
+                    pra::dram::DramConfig shrink_cfg =
+                        ModelChecker::modelConfig(fault);
+                    if (!run.scheme.empty())
+                        shrink_cfg.scheme =
+                            &pra::schemeByName(run.scheme);
                     const CommandScript shrunk = pra::analysis::shrinkScript(
-                        res.counterexample,
-                        ModelChecker::modelConfig(fault));
+                        res.counterexample, shrink_cfg);
                     std::ofstream out(emitPath);
                     out << shrunk.serialize();
                     emitted = true;
