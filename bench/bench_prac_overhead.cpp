@@ -1,0 +1,156 @@
+/**
+ * @file
+ * PRAC overhead-vs-threshold curves (DESIGN.md §13): for each scheme x
+ * workload, sweep the disturbance threshold from "PRAC off" down
+ * through increasingly paranoid settings and report what the
+ * mitigation machinery costs — RFM frequency, IPC delta, and total
+ * DRAM energy delta, each against the PRAC-off point of the same
+ * scheme. Partial activation is orthogonal to activation counting, so
+ * the interesting question the table answers is whether PRA's
+ * partial-row ACTs change the overhead slope relative to a
+ * conventional-activation scheme (`sectored`) at the same threshold.
+ *
+ * Results land on stdout and machine-readably in BENCH_prac.json
+ * (one record per cell). PRA_SMOKE=1 shrinks the grid for CI.
+ */
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sim/runner.h"
+
+using namespace pra;
+using namespace pra::bench;
+
+namespace {
+
+bool
+smokeMode()
+{
+    const char *env = std::getenv("PRA_SMOKE");
+    return env != nullptr && env[0] == '1';
+}
+
+/** 0 = PRAC off; otherwise DramConfig::disturbanceThreshold. */
+std::vector<unsigned>
+thresholds(bool smoke)
+{
+    if (smoke)
+        return {0, 64};
+    return {0, 1024, 256, 64};
+}
+
+sim::SystemConfig
+cellConfig(const SchemeModel *scheme, unsigned threshold,
+           std::uint64_t target)
+{
+    sim::SystemConfig cfg = benchConfig(
+        {scheme, dram::PagePolicy::RelaxedClose, false}, target);
+    if (threshold != 0) {
+        cfg.dram.pracEnabled = true;
+        cfg.dram.disturbanceThreshold = threshold;
+    }
+    return cfg;
+}
+
+std::string
+thresholdName(unsigned threshold)
+{
+    return threshold == 0 ? std::string("off") : std::to_string(threshold);
+}
+
+} // namespace
+
+int
+main()
+{
+    const bool smoke = smokeMode();
+    const std::uint64_t target = smoke ? 120'000 : 500'000;
+    const std::vector<workloads::Mix> mixes =
+        smoke ? std::vector<workloads::Mix>{
+                    {"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}}}
+              : std::vector<workloads::Mix>{
+                    {"GUPS", {"GUPS", "GUPS", "GUPS", "GUPS"}},
+                    {"lbm", {"lbm", "lbm", "lbm", "lbm"}}};
+    const std::vector<const SchemeModel *> schemes = {
+        &schemeByName("pra"), &schemeByName("sectored")};
+    const std::vector<unsigned> curve = thresholds(smoke);
+
+    sim::Runner runner;
+    SweepTimer timer("prac_overhead");
+    timer.attach(runner);
+    std::vector<sim::SweepJob> jobs;
+    for (const auto &mix : mixes) {
+        for (const SchemeModel *scheme : schemes) {
+            for (unsigned thr : curve)
+                jobs.push_back({mix, {}, 0, cellConfig(scheme, thr, target)});
+        }
+    }
+    const std::vector<sim::RunResult> results = runner.run(jobs);
+    timer.add(results);
+
+    Table t("PRAC overhead vs disturbance threshold"
+            " (deltas vs PRAC off, same scheme)");
+    t.header({"Workload", "Scheme", "Threshold", "RFMs", "RFM/Mcyc",
+              "IPC delta", "Energy delta"});
+
+    std::ofstream json("BENCH_prac.json");
+    json << "{\n  \"bench\": \"prac_overhead\",\n  \"smoke\": "
+         << (smoke ? "true" : "false")
+         << ",\n  \"target_instructions\": " << target
+         << ",\n  \"cells\": [\n";
+
+    std::size_t job = 0;
+    bool first = true;
+    for (const auto &mix : mixes) {
+        for (const SchemeModel *scheme : schemes) {
+            // curve[0] is the PRAC-off reference for this scheme.
+            const sim::RunResult &ref = results[job];
+            for (unsigned thr : curve) {
+                const sim::RunResult &r = results[job++];
+                const double rfm_per_mcyc =
+                    r.dramCycles != 0
+                        ? 1e6 * static_cast<double>(r.dramStats.rfms) /
+                              static_cast<double>(r.dramCycles)
+                        : 0.0;
+                const double ipc_delta = r.ipc[0] / ref.ipc[0] - 1.0;
+                const double energy_delta =
+                    r.totalEnergyNj / ref.totalEnergyNj - 1.0;
+                t.addRow({mix.name, scheme->displayName(),
+                          thresholdName(thr),
+                          std::to_string(r.dramStats.rfms),
+                          Table::fmt(rfm_per_mcyc, 1),
+                          Table::pct(ipc_delta), Table::pct(energy_delta)});
+
+                if (!first)
+                    json << ",\n";
+                first = false;
+                json << "    {\"workload\": \"" << mix.name
+                     << "\", \"scheme\": \"" << scheme->displayName()
+                     << "\", \"disturbance_threshold\": " << thr
+                     << ", \"rfms\": " << r.dramStats.rfms
+                     << ", \"rfm_ops\": " << r.energy.rfmOps
+                     << ", \"ipc\": " << r.ipc[0]
+                     << ", \"total_energy_nj\": " << r.totalEnergyNj
+                     << ", \"ipc_delta\": " << ipc_delta
+                     << ", \"energy_delta\": " << energy_delta << "}";
+            }
+        }
+    }
+    json << "\n  ]\n}\n";
+    t.print(std::cout);
+
+    std::cout
+        << "Reading the table: at JEDEC-like thresholds (>=1024) the\n"
+           "mitigation is effectively free; the overhead only becomes\n"
+           "visible at paranoid thresholds. Counting is per-ACT, not\n"
+           "per-bit, so partial activation does not amplify the hammer\n"
+           "rate — PRA's overhead curve is, if anything, slightly\n"
+           "shallower than sectored's, because the IPC it gives up to\n"
+           "RFM stalls starts from a longer-queue operating point\n"
+           "(BENCH_prac.json).\n";
+    return 0;
+}

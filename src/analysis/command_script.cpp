@@ -20,6 +20,7 @@ kindName(CheckedCommand::Kind k)
       case CheckedCommand::Kind::Write: return "WR";
       case CheckedCommand::Kind::Precharge: return "PRE";
       case CheckedCommand::Kind::Refresh: return "REF";
+      case CheckedCommand::Kind::Rfm: return "RFM";
     }
     return "?";
 }
@@ -87,6 +88,9 @@ CommandScript::serialize() const
             break;
           case CheckedCommand::Kind::Refresh:
             break;
+          case CheckedCommand::Kind::Rfm:
+            os << " " << c.bank << " " << c.row;   // Victim entry.
+            break;
         }
         os << "\n";
     }
@@ -141,6 +145,8 @@ CommandScript::parse(const std::string &text, CommandScript &out,
             cmd.kind = CheckedCommand::Kind::Precharge;
         else if (op == "REF")
             cmd.kind = CheckedCommand::Kind::Refresh;
+        else if (op == "RFM")
+            cmd.kind = CheckedCommand::Kind::Rfm;
         else
             return fail("unknown command");
 
@@ -150,7 +156,8 @@ CommandScript::parse(const std::string &text, CommandScript &out,
             return fail("missing bank");
         if (cmd.kind == CheckedCommand::Kind::Activate ||
             cmd.kind == CheckedCommand::Kind::Read ||
-            cmd.kind == CheckedCommand::Kind::Write) {
+            cmd.kind == CheckedCommand::Kind::Write ||
+            cmd.kind == CheckedCommand::Kind::Rfm) {
             if (!(ls >> cmd.row))
                 return fail("missing row");
         }
@@ -204,6 +211,24 @@ replayScript(const CommandScript &script, const dram::DramConfig &cfg)
         return std::string(buf);
     };
 
+    // Disturbance spec shadow (PRAC configs): every ACT counts against
+    // its row; an RFM line resets its named victim. Reaching the
+    // configured threshold with no intervening mitigation is the
+    // disturbance-safety violation the model checker explores for.
+    std::vector<std::uint32_t> actCounts;
+    if (cfg.pracEnabled) {
+        actCounts.assign(static_cast<std::size_t>(cfg.ranksPerChannel) *
+                             cfg.banksPerRank * cfg.rowsPerBank,
+                         0);
+    }
+    auto countAt = [&](const ScriptCommand &c) -> std::uint32_t & {
+        return actCounts[(static_cast<std::size_t>(c.rank) *
+                              cfg.banksPerRank +
+                          c.bank) *
+                             cfg.rowsPerBank +
+                         c.row];
+    };
+
     for (const ScriptCommand &c : script.commands) {
         if (c.rank >= cfg.ranksPerChannel || c.bank >= cfg.banksPerRank) {
             fail(c, "rank/bank outside configured geometry");
@@ -218,6 +243,14 @@ replayScript(const CommandScript &script, const dram::DramConfig &cfg)
                             hex(c.expect));
             }
             at(c) = WordMask{c.mask};
+            if (cfg.pracEnabled && c.row < cfg.rowsPerBank &&
+                ++countAt(c) >= cfg.disturbanceThreshold) {
+                fail(c, "row " + std::to_string(c.row) +
+                            " activation count reached the disturbance "
+                            "threshold " +
+                            std::to_string(cfg.disturbanceThreshold) +
+                            " without mitigation");
+            }
             break;
           case CheckedCommand::Kind::Read:
             // Reads consume the full row (PRA's asymmetric design point)
@@ -237,6 +270,10 @@ replayScript(const CommandScript &script, const dram::DramConfig &cfg)
             at(c) = WordMask::none();
             break;
           case CheckedCommand::Kind::Refresh:
+            break;
+          case CheckedCommand::Kind::Rfm:
+            if (cfg.pracEnabled && c.row < cfg.rowsPerBank)
+                countAt(c) = 0;
             break;
         }
     }

@@ -20,6 +20,13 @@
  *   WR  <cycle> <rank> <bank> <row> burst=<n> need=<hex>
  *   PRE <cycle> <rank> <bank>
  *   REF <cycle> <rank>
+ *   RFM <cycle> <rank> <bank> <row>
+ *
+ * An RFM line names the victim (bank, row) the mitigation cleared;
+ * replay resets that row's disturbance count in the spec shadow. Under
+ * a PRAC-enabled config the replay also counts every ACT per row and
+ * reports a violation when a count reaches the disturbance threshold
+ * with no intervening RFM.
  */
 #ifndef PRA_ANALYSIS_COMMAND_SCRIPT_H
 #define PRA_ANALYSIS_COMMAND_SCRIPT_H

@@ -853,6 +853,108 @@ lintFaultCoverage(const std::vector<SourceFile> &files,
     }
 }
 
+// --- Rule: maintop-coverage ---------------------------------------------
+
+/**
+ * Every named MaintenanceOp registered under src/ must be drilled from
+ * tests/ and named in canonicalConfig() (it changes which commands
+ * issue when); an unnamed registerOp() under src/ has no handle either
+ * requirement could key on. Call sites are recognised by the member
+ * access that precedes them (`x.registerOp(` / `x->registerOp(`), so
+ * the seam's own declarations in maintenance_engine.h do not trip the
+ * rule. The tests/ requirement is corpus-gated like fault-coverage.
+ */
+void
+lintMaintopCoverage(const std::vector<SourceFile> &files,
+                    std::vector<LintIssue> &issues)
+{
+    std::string corpus;
+    for (const SourceFile &f : files) {
+        if (f.path.find("tests/") == std::string::npos)
+            continue;
+        corpus += stripComments(f.text);
+        corpus += '\n';
+    }
+    const SourceFile *io = findFile(files, "sim/config_io.cpp");
+    const std::string canonical =
+        io ? functionBody(io->text, "canonicalConfig") : std::string();
+
+    for (const SourceFile &f : files) {
+        if (f.path.rfind("src/", 0) != 0)
+            continue;
+        const std::string stripped = stripComments(f.text);
+        const std::vector<std::string> raw = splitLines(f.text);
+        for (std::size_t pos = findIdentifier(stripped, "registerOp");
+             pos != std::string::npos;
+             pos = findIdentifier(stripped, "registerOp", pos + 1)) {
+            // A call site, not a declaration: the identifier follows a
+            // member access.
+            std::size_t before = pos;
+            while (before > 0 && std::isspace(static_cast<unsigned char>(
+                                     stripped[before - 1])))
+                --before;
+            if (before == 0 ||
+                (stripped[before - 1] != '.' && stripped[before - 1] != '>'))
+                continue;
+            std::size_t i = pos + std::string("registerOp").size();
+            while (i < stripped.size() &&
+                   std::isspace(static_cast<unsigned char>(stripped[i])))
+                ++i;
+            if (i >= stripped.size() || stripped[i] != '(')
+                continue;
+            ++i;
+            while (i < stripped.size() &&
+                   std::isspace(static_cast<unsigned char>(stripped[i])))
+                ++i;
+
+            const unsigned line = static_cast<unsigned>(
+                std::count(stripped.begin(),
+                           stripped.begin() +
+                               static_cast<std::ptrdiff_t>(pos),
+                           '\n') +
+                1);
+            const bool observational =
+                suppressed(raw, line - 1, "pra-lint: observational");
+
+            if (i >= stripped.size() || stripped[i] != '"') {
+                issues.push_back(
+                    {f.path, line, "maintop-coverage",
+                     "unnamed MaintenanceOp registration — an anonymous "
+                     "op cannot be referenced from tests/ or the "
+                     "canonical config key; use the named registerOp() "
+                     "overload"});
+                continue;
+            }
+            const std::size_t close = stripped.find('"', i + 1);
+            if (close == std::string::npos)
+                continue;
+            const std::string name = stripped.substr(i + 1, close - i - 1);
+
+            if (!corpus.empty() &&
+                findIdentifier(corpus, name) == std::string::npos) {
+                issues.push_back(
+                    {f.path, line, "maintop-coverage",
+                     "maintenance op \"" + name +
+                         "\" is not referenced by any file under tests/ "
+                         "— an undrilled op is scheduling behaviour "
+                         "nothing exercises"});
+            }
+            if (!observational && io &&
+                findIdentifier(canonical, name) == std::string::npos) {
+                issues.push_back(
+                    {f.path, line, "maintop-coverage",
+                     "maintenance op \"" + name +
+                         "\" does not appear in canonicalConfig() — two "
+                         "configs differing only in this op's presence "
+                         "would share a sweep result-cache entry; name "
+                         "it in the canonical key (or annotate the "
+                         "registration `pra-lint: observational` if it "
+                         "cannot affect results)"});
+            }
+        }
+    }
+}
+
 } // namespace
 
 std::string
@@ -953,6 +1055,7 @@ lintSources(const std::vector<SourceFile> &files)
     lintConfigCoverage(files, issues);
     lintEnergyCoverage(files, issues);
     lintFaultCoverage(files, issues);
+    lintMaintopCoverage(files, issues);
     return issues;
 }
 

@@ -2,7 +2,7 @@
  * @file
  * Repo-specific determinism and configuration lint (DESIGN.md §10).
  *
- * Seven rules, each encoding an invariant this repository depends on
+ * Eight rules, each encoding an invariant this repository depends on
  * but a generic linter cannot know:
  *
  *  - entropy: no ambient randomness or wall-clock access in src/
@@ -53,7 +53,17 @@
  *    referenced from at least one file under tests/ — an undrilled
  *    fault hook is a model-checker property nothing proves can fire.
  *    Active only when the scanned input includes tests/ files, so
- *    src-only scans stay meaningful.
+ *    src-only scans stay meaningful;
+ *  - maintop-coverage: every named MaintenanceOp registered under src/
+ *    (a `registerOp("name", ...)` call site) must be referenced from at
+ *    least one file under tests/ (same corpus gating as fault-coverage)
+ *    and must appear in canonicalConfig() — a registered op changes
+ *    which commands issue when, so two configs differing only in the
+ *    op's presence must not share a result-cache entry. An op vetted as
+ *    result-neutral opts out of the canonical-key requirement with
+ *    `// pra-lint: observational` on the registration line; an
+ *    *unnamed* registerOp() call under src/ is always flagged — an
+ *    anonymous op has no handle either requirement could key on.
  *
  * The engine operates on in-memory sources so tests can drill it with
  * synthetic inputs (tests/test_pra_lint.cpp); tools/pra_lint.cpp feeds

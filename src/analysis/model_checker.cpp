@@ -38,6 +38,34 @@ constexpr Cycle kFingerprintHorizon = 64;
 /** All-ones sentinel: no pending deadline / never woken. */
 constexpr Cycle kNever = ~Cycle{0};
 
+/**
+ * PRAC model knobs, armed for the PRAC fault drills (drop_count,
+ * late_rfm) and whenever Options::disturbanceThreshold asks for a clean
+ * PRAC exploration: a tiny threshold so the alert and both drills fire
+ * within the default depth budget, a CAM deep enough that the hammer
+ * rows never evict (eviction soundness is a unit-test concern), a short
+ * tRFM, and a recovery window comfortably above the worst clean-path
+ * drain (ModelCheckResult::maxRecoveryWait pins the headroom).
+ */
+constexpr unsigned kModelPracCam = 4;
+constexpr Cycle kModelRecoveryWindow = 48;
+constexpr unsigned kModelTrfm = 4;
+
+void
+armModelPrac(dram::DramConfig &cfg)
+{
+    cfg.pracEnabled = true;
+    cfg.disturbanceThreshold = ModelChecker::kDefaultDisturbanceThreshold;
+    cfg.pracCamEntries = kModelPracCam;
+    cfg.pracRecoveryWindow = kModelRecoveryWindow;
+    cfg.timing.tRfm = kModelTrfm;
+    // Every column access re-activates its row (a true hammer): with
+    // the default cap of 2 and only linesPerRow columns per row, no row
+    // could reach threshold - 1 activations on any explored path and
+    // the alert machinery would be vacuously clean.
+    cfg.rowHitCap = 1;
+}
+
 /** Candidate-enumeration-only hooks: the explorer issues commands on
  *  its own copied state, so the engine's issue callbacks are unused. */
 class NullHooks final : public dram::MaintenanceHooks
@@ -63,10 +91,21 @@ struct ModelState
     /** Liveness bookkeeping: last cycle each rank was granted any
      *  command while owing queued work (kNever = no queued work). */
     std::vector<Cycle> rankOwed;
+    /** PRAC implementation model (tag CAMs + alert), copied per state. */
+    dram::PracState prac;
+    /** Disturbance *spec* shadow, independent of the CAM: per
+     *  (rank, bank, row) activations since the row was last mitigated.
+     *  Empty with PRAC off. */
+    std::vector<std::uint16_t> specCounts;
 
     ModelState(const DramConfig &cfg)
         : banks(cfg), bus(cfg), checker(cfg),
-          rankOwed(cfg.ranksPerChannel, kNever)
+          rankOwed(cfg.ranksPerChannel, kNever), prac(cfg),
+          specCounts(cfg.pracEnabled
+                         ? static_cast<std::size_t>(cfg.ranksPerChannel) *
+                               cfg.banksPerRank * cfg.rowsPerBank
+                         : std::size_t{0},
+                     0)
     {
     }
 };
@@ -81,6 +120,7 @@ struct Choice
         Precharge,
         Activate,
         Column,
+        Rfm,
     };
 
     Kind kind = Kind::Idle;
@@ -114,9 +154,10 @@ struct Choice
  * choices are independent when issuing them in either order reaches
  * the same successor state and neither order disables the other:
  *
- *  - only Activate/Precharge/Column commute (Refresh and Idle restart
- *    or stall whole ranks, and a partial Activate holds the command
- *    bus for extra mask cycles, skewing every later issue cycle);
+ *  - only Activate/Precharge/Column commute (Refresh, RFM and Idle
+ *    restart or stall whole ranks, and a partial Activate holds the
+ *    command bus for extra mask cycles, skewing every later issue
+ *    cycle);
  *  - two Columns never commute (shared data bus, channel column gate,
  *    and the tWTR turnaround are order-sensitive);
  *  - same-bank pairs never commute (one bank FSM);
@@ -153,7 +194,8 @@ class Explorer
 {
   public:
     Explorer(const ModelChecker::Options &opts)
-        : opts_(opts), cfg_(ModelChecker::modelConfig(opts.fault)),
+        : opts_(opts), cfg_(ModelChecker::modelConfig(
+                           opts.fault, opts.disturbanceThreshold)),
           workload_(ModelChecker::defaultWorkload())
     {
         cfg_.scheduler = opts.scheduler;
@@ -176,6 +218,10 @@ class Explorer
              cfg_.banksPerRank % cfg_.timing.bankGroups != 0)) {
             cfg_.timing.bankGroups = 1;
         }
+        // PRAC exploration (armed by a PRAC fault or a disturbance-
+        // threshold override) runs the hammer workload.
+        if (cfg_.pracEnabled)
+            workload_ = ModelChecker::pracWorkload();
         for (ModelRequest &m : workload_) {
             m.rank %= cfg_.ranksPerChannel;
             m.bank %= cfg_.banksPerRank;
@@ -275,6 +321,18 @@ class Explorer
 
     // --- Command application (mirrors the controller's issue paths) ------
 
+    /** Spec-shadow slot for (rank, bank, row); PRAC configs only. */
+    std::uint16_t &
+    specCountAt(ModelState &s, unsigned r, unsigned b,
+                std::uint32_t row) const
+    {
+        return s.specCounts[(static_cast<std::size_t>(r) *
+                                 cfg_.banksPerRank +
+                             b) *
+                                cfg_.rowsPerBank +
+                            row];
+    }
+
     /** Feed @p cmd to the path checker; non-empty on a rule breach. */
     std::string
     observe(ModelState &s, const CheckedCommand &cmd)
@@ -333,6 +391,26 @@ class Explorer
         }
         bank.activate(s.now, req.loc.row, open_mask, partial);
         rank.recordActivation(s.now, weight);
+        // The implementation model counts through the (possibly faulted)
+        // PRAC state machine; the spec shadow counts *every* ACT. Their
+        // divergence is exactly what the threshold property watches.
+        if (cfg_.pracEnabled && req.loc.row < cfg_.rowsPerBank) {
+            s.prac.onActivate(req.loc.rank, req.loc.bank, req.loc.row,
+                              partial, s.now);
+            std::uint16_t &cnt = specCountAt(s, req.loc.rank,
+                                             req.loc.bank, req.loc.row);
+            ++cnt;
+            if (v.empty() && cnt >= cfg_.disturbanceThreshold) {
+                v = "cycle " + std::to_string(s.now) + " rank " +
+                    std::to_string(req.loc.rank) + " bank " +
+                    std::to_string(req.loc.bank) + ": row " +
+                    std::to_string(req.loc.row) +
+                    " activation count reached the disturbance "
+                    "threshold " +
+                    std::to_string(cfg_.disturbanceThreshold) +
+                    " without mitigation";
+            }
+        }
         s.bus.holdCmdBus(s.now,
                          partial ? cfg_.timing.praMaskCycles : 0u);
         s.banks.recountOpenRowMatches(req.loc.rank, req.loc.bank, s.readQ,
@@ -434,6 +512,29 @@ class Explorer
         return v;
     }
 
+    /** Mirrors MemoryController::issueRfm: clear the hottest tracked
+     *  entry, busy the rank for tRFM, and reset the victim's spec
+     *  count — the mitigation the threshold property credits. */
+    std::string
+    applyRfm(ModelState &s, unsigned r, std::vector<ScriptCommand> &path)
+    {
+        const dram::PracMitigation mit = s.prac.applyRfm(r, s.now);
+        ScriptCommand sc;
+        sc.kind = CheckedCommand::Kind::Rfm;
+        sc.cycle = s.now;
+        sc.rank = r;
+        sc.bank = mit.bank;
+        sc.row = mit.row;
+        path.push_back(sc);
+
+        const std::string v = observe(s, sc.checked());
+        s.banks.rank(r).rfm(s.now);
+        s.bus.holdCmdBus(s.now);
+        if (cfg_.pracEnabled && mit.row < cfg_.rowsPerBank)
+            specCountAt(s, r, mit.bank, mit.row) = 0;
+        return v;
+    }
+
     /** Retire every ready auto-precharge (forced, not a choice). */
     std::string
     applyAutoPrecharges(ModelState &s, std::vector<ScriptCommand> &path)
@@ -500,6 +601,10 @@ class Explorer
             break;
           case Choice::Kind::Column:
             out.violation = applyColumn(s, c.isWrite, c.index, path);
+            served = true;
+            break;
+          case Choice::Kind::Rfm:
+            out.violation = applyRfm(s, c.rank, path);
             served = true;
             break;
         }
@@ -573,6 +678,25 @@ class Explorer
                            std::to_string(opts_.refreshSlack);
                 }
             }
+            // Disturbance-safety recovery window (DESIGN.md §13):
+            // under work conservation an outstanding Alert Back-Off
+            // must see its RFM mitigation inside the window — the
+            // late_rfm fault holds the mitigation back one full window
+            // and must land here.
+            if (cfg_.pracEnabled && s.prac.alertActive(r)) {
+                const Cycle wait = s.now - s.prac.alertRaisedAt(r);
+                res.maxRecoveryWait =
+                    std::max(res.maxRecoveryWait, wait);
+                if (wait > cfg_.pracRecoveryWindow) {
+                    return "cycle " + std::to_string(s.now) + " rank " +
+                           std::to_string(r) +
+                           ": PRAC alert outstanding " +
+                           std::to_string(wait) +
+                           " cycles > recovery window " +
+                           std::to_string(cfg_.pracRecoveryWindow) +
+                           " - RFM mitigation missed its window";
+                }
+            }
             if (s.rankOwed[r] != kNever &&
                 s.now - s.rankOwed[r] > opts_.livenessBound) {
                 return "cycle " + std::to_string(s.now) + " rank " +
@@ -605,6 +729,10 @@ class Explorer
             upd(s.banks.rank(r).nextRefreshAt() + opts_.refreshSlack + 1);
             if (s.rankOwed[r] != kNever)
                 upd(s.rankOwed[r] + opts_.livenessBound + 1);
+            if (cfg_.pracEnabled && s.prac.alertActive(r)) {
+                upd(s.prac.alertRaisedAt(r) + cfg_.pracRecoveryWindow +
+                    1);
+            }
         }
         return d;
     }
@@ -698,6 +826,12 @@ class Explorer
               case RowProbe::Closed: {
                 if (rank.refreshDue(s.now) || rank.refreshing(s.now))
                     break;
+                // Alert Back-Off: the rank drains toward its RFM; no
+                // new activation may issue while the alert stands.
+                if (cfg_.pracEnabled &&
+                    s.prac.alertActive(req.loc.rank)) {
+                    break;
+                }
                 if (!bank.canActivate(s.now))
                     break;
                 const WordMask dirty =
@@ -784,9 +918,16 @@ class Explorer
             return;   // The controller's early-out: nothing issues.
 
         MaintenanceEngine maint(cfg_, s.banks, g_nullHooks);
+        maint.setPracState(&s.prac);
         for (unsigned r : maint.refreshCandidates(s.now)) {
             Choice c;
             c.kind = Choice::Kind::Refresh;
+            c.rank = r;
+            out.push_back(c);
+        }
+        for (unsigned r : maint.rfmCandidates(s.now)) {
+            Choice c;
+            c.kind = Choice::Kind::Rfm;
             c.rank = r;
             out.push_back(c);
         }
@@ -901,6 +1042,13 @@ class Explorer
                         consider(rank.refreshDoneAt());
                     break;
                 }
+                // ABO is state-gated for the ACT path; the prac_rfm
+                // op's own bound (rfmWakeBound, considered by the
+                // caller) publishes the wake.
+                if (cfg_.pracEnabled &&
+                    s.prac.alertActive(req.loc.rank)) {
+                    break;
+                }
                 if (!bank.canActivate(s.now)) {
                     consider(bank.earliestActivate());
                     break;
@@ -967,7 +1115,16 @@ class Explorer
         if (!s.readQ.empty() || !s.writeQ.empty())
             consider(sched_->nextDecisionChangeAt(inputsOf(s), s.now));
         MaintenanceEngine maint(cfg_, s.banks, g_nullHooks);
+        maint.setPracState(&s.prac);
         consider(maint.nextWakeAt(s.now));
+        if (cfg_.pracEnabled) {
+            // The prac_rfm op's registered bound, under opWakeBound()'s
+            // clamp rule (a bound at or before now wakes at now + 1).
+            Cycle c = maint.rfmWakeBound(s.now);
+            if (c != kNever && c <= s.now)
+                c = s.now + 1;
+            consider(c);
+        }
         return best;
     }
 
@@ -1126,7 +1283,11 @@ class Explorer
     std::uint64_t
     fingerprint(const ModelState &s) const
     {
-        if (opts_.reduction)
+        // Per-row disturbance counters and per-rank alerts break the
+        // rank/bank interchangeability argument, so PRAC exploration
+        // always uses the plain (symmetry-free) fingerprint; the idle
+        // leap and sleep sets stay on.
+        if (opts_.reduction && !cfg_.pracEnabled)
             return canonicalFingerprint(s);
         Fnv1a h;
         s.banks.fingerprint(h, s.now, kFingerprintHorizon);
@@ -1155,6 +1316,11 @@ class Explorer
         addQueue(s.writeQ);
         for (unsigned r = 0; r < cfg_.ranksPerChannel; ++r)
             addRankLiveness(h, s, r);
+        if (cfg_.pracEnabled) {
+            s.prac.fingerprint(h, s.now, kFingerprintHorizon);
+            for (const std::uint16_t c : s.specCounts)
+                h.add(c);
+        }
         h.add(s.nextArrival);
         if (s.nextArrival < workload_.size()) {
             const Cycle a = workload_[s.nextArrival].arrival;
@@ -1476,6 +1642,8 @@ faultName(Fault f)
       case Fault::IgnoreTwtr: return "ignore_twtr";
       case Fault::SuppressWake: return "suppress_wake";
       case Fault::StarveAged: return "starve_aged";
+      case Fault::DropCount: return "drop_count";
+      case Fault::LateRfm: return "late_rfm";
     }
     return "none";
 }
@@ -1495,6 +1663,10 @@ parseFault(const std::string &name, Fault &out)
         out = Fault::SuppressWake;
     else if (name == "starve_aged")
         out = Fault::StarveAged;
+    else if (name == "drop_count")
+        out = Fault::DropCount;
+    else if (name == "late_rfm")
+        out = Fault::LateRfm;
     else
         return false;
     return true;
@@ -1510,7 +1682,7 @@ ModelChecker::run()
 }
 
 dram::DramConfig
-ModelChecker::modelConfig(Fault fault)
+ModelChecker::modelConfig(Fault fault, unsigned disturbanceThreshold)
 {
     DramConfig cfg;
     cfg.channels = 1;
@@ -1588,6 +1760,21 @@ ModelChecker::modelConfig(Fault fault)
         // depth budget.
         cfg.faultStarveAgedCycles = 8;
         break;
+      case Fault::DropCount:
+        armModelPrac(cfg);
+        cfg.faultPracDropCount = true;
+        break;
+      case Fault::LateRfm:
+        armModelPrac(cfg);
+        cfg.faultPracLateRfm = true;
+        break;
+    }
+    // The clean arm of the disturbance-safety family: PRAC on with no
+    // fault (or a threshold override on top of a PRAC fault).
+    if (disturbanceThreshold > 0) {
+        if (!cfg.pracEnabled)
+            armModelPrac(cfg);
+        cfg.disturbanceThreshold = disturbanceThreshold;
     }
     return cfg;
 }
@@ -1621,6 +1808,29 @@ ModelChecker::defaultWorkload()
         // Full-mask write on the fourth bank: non-partial ACT, tFAW
         // pressure with four banks active in rank 0.
         {3, true, 0, 3, 5, 0, 0xff},
+    };
+}
+
+std::vector<ModelRequest>
+ModelChecker::pracWorkload()
+{
+    // Geometry: 2 ranks x 4 banks; threshold 3 (alert at 2) with
+    // rowHitCap forced to 1 (armModelPrac), so each of row 1's three
+    // writes is its own re-activation: three ACTs of one row exist on
+    // explored paths, and the second must raise the alert. Masks are
+    // chosen so each row's merged PRA mask stays partial (union 0x0f,
+    // never a full row): the drop_count fault then drops exactly these
+    // ACTs from the implementation counters while the spec shadow keeps
+    // counting. Row 2 gives the bank CAM a second entry (victim
+    // selection is observable, not vacuous).
+    return {
+        {0, true, 0, 0, 1, 0, 0x03},
+        {0, true, 0, 0, 1, 1, 0x0c},
+        {1, true, 0, 0, 2, 0, 0x03},
+        {1, true, 0, 0, 1, 2, 0x03},
+        // Cross-rank read: rank 1's refresh and liveness clocks stay
+        // exercised while rank 0 sits alert-blocked.
+        {2, false, 1, 0, 3, 0, 0xff},
     };
 }
 

@@ -33,6 +33,20 @@
  *    than the first cycle at which idling actually changes the legal
  *    command set — a statically explored "no lost wakeup" proof.
  *
+ * Under a PRAC-enabled model (DESIGN.md §13) a third family —
+ * *disturbance safety* — joins in:
+ *
+ *  - no row's modeled activation count (every ACT counted, partial or
+ *    not, in a spec-side per-row shadow independent of the controller's
+ *    tag CAM) reaches Options::disturbanceThreshold on any explored
+ *    path without an intervening RFM mitigation of that row;
+ *  - an Alert Back-Off never stays outstanding past the configured
+ *    recovery window (DramConfig::pracRecoveryWindow) — the RFM must
+ *    land inside it, and RFM never collides with refresh (the
+ *    TimingChecker rejects commands inside tRFC/tRFM);
+ *  - the prac_rfm maintenance op's published wake bound obeys the same
+ *    wakeup-soundness contract as every other layer.
+ *
  * Exploration is depth-first over a reduced-timing model configuration
  * (small tRCD/tRAS/tREFI so refresh and every turnaround rule fire
  * within a shallow horizon), with visited-state deduplication keyed on
@@ -45,10 +59,11 @@
  * re-exploration — every reported violation lies on a concretely
  * simulated path and is emitted as a replayable CommandScript.
  *
- * The five deliberate fault hooks (DramConfig::auditFaultWidenAct,
+ * The seven deliberate fault hooks (DramConfig::auditFaultWidenAct,
  * faultIgnoreTccdL, faultIgnoreTwtr, faultSuppressWakeTwtr,
- * faultStarveAgedCycles) weaken controller-side gates without touching
- * the checker; the default budgets must find a counterexample for each
+ * faultStarveAgedCycles, faultPracDropCount, faultPracLateRfm) weaken
+ * controller-side gates without touching the checker; the default
+ * budgets must find a counterexample for each
  * (tests/test_modelcheck_regressions.cpp pins this), and must find none
  * with no fault armed.
  */
@@ -73,6 +88,8 @@ enum class Fault
     IgnoreTwtr,   //!< faultIgnoreTwtr: write-to-read tWTR gate dropped.
     SuppressWake, //!< faultSuppressWakeTwtr: tWTR wake bound suppressed.
     StarveAged,   //!< faultStarveAgedCycles: aged requests never issue.
+    DropCount,    //!< faultPracDropCount: partial ACTs left uncounted.
+    LateRfm,      //!< faultPracLateRfm: RFM released one window too late.
 };
 
 /** Config-flag spelling of @p f (none, widen_act, ...). */
@@ -117,6 +134,10 @@ struct ModelCheckResult
      *  tREFI deadline. Used to tune the default bounds. */
     Cycle maxRequestWait = 0;
     Cycle maxRefreshOverrun = 0;
+    /** Disturbance-safety headroom (PRAC models): the longest any
+     *  Alert Back-Off stayed outstanding before its RFM landed. Used to
+     *  tune DramConfig::pracRecoveryWindow the same way. */
+    Cycle maxRecoveryWait = 0;
 };
 
 /** Bounded exhaustive explorer (see file header). */
@@ -145,6 +166,15 @@ class ModelChecker
         Cycle livenessBound = kDefaultLivenessBound;
         /** Refresh may run at most this far past its tREFI deadline. */
         Cycle refreshSlack = kDefaultRefreshSlack;
+        /**
+         * Non-zero arms PRAC on the model config (when the fault alone
+         * does not) and overrides the disturbance threshold the safety
+         * property checks against; 0 keeps the model default (PRAC off
+         * unless the fault is a PRAC drill). Exploration under PRAC
+         * switches to pracWorkload() and disables the symmetry
+         * canonicalizer (per-row counters break rank/bank symmetry).
+         */
+        unsigned disturbanceThreshold = 0;
         /** Check the published-wake-bound contract at quiet states. */
         bool wakeupSoundness = true;
         /** Idle time-leap + symmetry canonicalization + sleep sets. */
@@ -178,6 +208,14 @@ class ModelChecker
     /** Default refresh slack past tREFI (measured clean-run maximum
      *  overrun: 21 cycles), tuned the same way. */
     static constexpr Cycle kDefaultRefreshSlack = 32;
+    /** Disturbance threshold the PRAC model arms when a PRAC fault (or
+     *  a replayed RFM-bearing script) enables PRAC without an explicit
+     *  Options::disturbanceThreshold override. Three keeps the full
+     *  alert → RFM → re-activate cycle (and both PRAC fault drills)
+     *  inside the default depth and liveness budgets: the hammer rows
+     *  re-activate serially under rowHitCap 1, so each extra counted
+     *  ACT costs a full ACT/WR/PRE round trip of drain time. */
+    static constexpr unsigned kDefaultDisturbanceThreshold = 3;
 
     explicit ModelChecker(const Options &opts);
 
@@ -190,8 +228,14 @@ class ModelChecker
      * bank groups are on with tCCD_L > tCCD_S so the group rule is
      * observable, and the scheme is PRA so partial-activation masks
      * exercise the mask invariants.
+     *
+     * A non-zero @p disturbanceThreshold arms the PRAC model (counters,
+     * ABO, RFM, reduced tRFM and recovery window) when the fault alone
+     * does not, and overrides the threshold either way — the same
+     * arming Options::disturbanceThreshold applies to an exploration.
      */
-    static dram::DramConfig modelConfig(Fault fault);
+    static dram::DramConfig modelConfig(Fault fault,
+                                        unsigned disturbanceThreshold = 0);
 
     /**
      * The deterministic exploration workload: same-row partial writes
@@ -200,6 +244,17 @@ class ModelChecker
      * one rank to saturate the weighted tFAW window.
      */
     static std::vector<ModelRequest> defaultWorkload();
+
+    /**
+     * The PRAC hammer workload (used whenever the explored config has
+     * pracEnabled): alternating same-bank rows whose re-activations are
+     * all partial write ACTs — the merged mask union stays below a full
+     * row, so the drop_count fault suppresses exactly the counting the
+     * threshold property watches — plus one cross-rank read so the
+     * second rank's refresh and liveness clocks stay exercised while
+     * rank 0 is alert-blocked.
+     */
+    static std::vector<ModelRequest> pracWorkload();
 
   private:
     Options opts_;

@@ -47,6 +47,11 @@ TimingChecker::observe(const CheckedCommand &cmd)
         cmd.kind != CheckedCommand::Kind::Refresh) {
         fail(cmd, "command during tRFC of an ongoing refresh");
     }
+    // The RFM recovery window blocks *everything* to the rank — a
+    // refresh colliding with an in-progress mitigation is exactly the
+    // collision the disturbance-safety family must rule out.
+    if (cmd.cycle < rk.rfmUntil)
+        fail(cmd, "command during tRFM of an ongoing RFM");
 
     switch (cmd.kind) {
       case CheckedCommand::Kind::Activate: {
@@ -174,6 +179,22 @@ TimingChecker::observe(const CheckedCommand &cmd)
         rk.refreshUntil = cmd.cycle + t.tRfc;
         for (auto &b : rk.banks)
             b.actAllowed = std::max(b.actAllowed, rk.refreshUntil);
+        break;
+      }
+
+      case CheckedCommand::Kind::Rfm: {
+        if (!cfg_.pracEnabled)
+            fail(cmd, "RFM with PRAC disabled");
+        for (unsigned b = 0; b < rk.banks.size(); ++b) {
+            if (rk.banks[b].open)
+                fail(cmd, "RFM with bank " + std::to_string(b) +
+                              " open");
+            if (cmd.cycle < rk.banks[b].actAllowed)
+                fail(cmd, "RFM before tRP of bank " + std::to_string(b));
+        }
+        rk.rfmUntil = cmd.cycle + t.tRfm;
+        for (auto &b : rk.banks)
+            b.actAllowed = std::max(b.actAllowed, rk.rfmUntil);
         break;
       }
     }

@@ -23,6 +23,9 @@
  *    WL + burst + tWR (from WRITE);
  *  - REF only with all banks of the rank precharged, and no command to
  *    a refreshing rank before tRFC elapses;
+ *  - RFM (PRAC mitigation) only with all banks of the rank precharged,
+ *    and no command at all — refresh included — to the rank before its
+ *    tRFM recovery window elapses;
  *  - READ no earlier than WL + burst + tWTR after a WRITE to the same
  *    rank (write-to-read turnaround);
  *  - data-bus occupancy never overlaps between transfers on a channel,
@@ -50,6 +53,7 @@ struct CheckedCommand
         Write,
         Precharge,
         Refresh,
+        Rfm,       //!< PRAC mitigation; rank-scoped like Refresh.
     };
 
     Kind kind;
@@ -97,6 +101,7 @@ class TimingChecker
         double lastActWeight = 1.0;
         bool everActivated = false;
         Cycle refreshUntil = 0;
+        Cycle rfmUntil = 0;        //!< tRFM recovery-window gate.
         Cycle writeToReadOk = 0;   //!< tWTR gate for READs to this rank.
     };
 

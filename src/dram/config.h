@@ -157,6 +157,49 @@ struct DramConfig
                now - arrival >= faultStarveAgedCycles;
     }
 
+    // --- PRAC / RFM read-disturbance mitigation (DESIGN.md §13) ------------
+    /**
+     * Per-row activation counting with Alert Back-Off and RFM recovery.
+     * Off by default: every PRAC field below is consulted only when this
+     * is set, so disabled configurations are bit-identical to builds
+     * that predate the feature. Affects simulated behaviour, so it
+     * participates in the canonical config / result-cache key.
+     */
+    bool pracEnabled = false;
+    /**
+     * Activation count at which a row is considered disturbed. The
+     * controller raises its alert one activation *early* (at threshold
+     * - 1) and back-offs further ACTs to the rank until an RFM
+     * mitigation lands, so no counted row ever reaches the threshold.
+     */
+    unsigned disturbanceThreshold = 512;
+    /**
+     * Tag-CAM entries per bank tracking the hottest rows. Eviction
+     * inherits min-count + 1 (Misra-Gries style), so every tracked
+     * count is a sound over-approximation of the row's true activation
+     * count and the tracked sum rises by exactly 1 per counted ACT.
+     */
+    unsigned pracCamEntries = 8;
+    /**
+     * Recovery window in cycles: an RFM mitigation must issue within
+     * this many cycles of the alert being raised. The model checker
+     * proves the bound; the live controller treats alert recovery as
+     * top-priority maintenance (right after refresh).
+     */
+    Cycle pracRecoveryWindow = 1024;
+    /**
+     * Test-only PRAC fault hooks, drilled by the model checker's
+     * disturbance-safety properties (DESIGN.md §13). The first makes
+     * the counter skip masked *partial* activations — a row disturbed
+     * through partial ACTs then crosses the threshold with no alert
+     * ever raised. The second delays RFM readiness until a full
+     * recovery window after the alert — the mitigation lands one
+     * window too late on every path. Both affect simulated behaviour,
+     * so they participate in the canonical config / result-cache key.
+     */
+    bool faultPracDropCount = false;
+    bool faultPracLateRfm = false;
+
     // PRA design-space ablation knobs (DESIGN.md "ablations").
     /** OR the masks of queued same-row writes into one activation. */
     bool mergeWriteMasks = true;

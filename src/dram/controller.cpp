@@ -59,12 +59,22 @@ MemoryController::MemoryController(const DramConfig &cfg,
                                    unsigned channel_id)
     : cfg_(&cfg), scheme_(cfg.scheme), channelId_(channel_id),
       banks_(cfg), bus_(cfg), sched_(makeSchedulerPolicy(cfg)),
-      maint_(cfg, banks_, *this), tables_(TimingTables::build(cfg)),
+      maint_(cfg, banks_, *this), prac_(cfg),
+      tables_(TimingTables::build(cfg)),
       eventMode_(eventEngineSelected(cfg)),
       replayForce_(verify::Auditor::envReplay())
 {
     if (cfg.enableChecker)
         checker_ = std::make_unique<TimingChecker>(cfg);
+    if (cfg.pracEnabled) {
+        // RFM mitigation plugs in through the generic maintenance-op
+        // seam: the engine owns the readiness decision (rfmReady) and
+        // the wake contract, the controller only issues the command.
+        maint_.setPracState(&prac_);
+        maint_.registerOp(
+            "prac_rfm", [this](Cycle now) { return maint_.tryRfm(now); },
+            [this](Cycle now) { return maint_.rfmWakeBound(now); });
+    }
 }
 
 bool
@@ -263,12 +273,13 @@ MemoryController::issueActivate(Request &req, bool is_write, Cycle now)
     }
     bank.activate(now, req.loc.row, open_mask, partial);
     rank.recordActivation(now, weight);
+    prac_.onActivate(req.loc.rank, req.loc.bank, req.loc.row, partial, now);
     if (audit_) {
         audit_->onCommand({verify::DramCommandEvent::Kind::Activate, now,
                            channelId_, req.loc.rank, req.loc.bank,
                            req.loc.row, req.addr, open_mask,
                            WordMask::none(), partial, is_write, gran,
-                           weight});
+                           weight, prac_.trackedSum(req.loc.rank), 0});
     }
 
     // A partial activation occupies the command/address bus one extra
@@ -422,6 +433,31 @@ MemoryController::issueRefresh(unsigned rank_id, Cycle now)
     }
 }
 
+void
+MemoryController::issueRfm(unsigned rank_id, Cycle now)
+{
+    roundActivity_ = true;
+    // Clear the hottest tracked row first so the victim (bank, row) can
+    // be reported to the checker, trace, and auditor.
+    const PracMitigation mit = prac_.applyRfm(rank_id, now);
+    if (checker_) {
+        checker_->observe({CheckedCommand::Kind::Rfm, now, rank_id,
+                           mit.bank, mit.row, false, 0.0, 0});
+    }
+    banks_.rank(rank_id).rfm(now);
+    bus_.holdCmdBus(now);
+    ++stats_.rfms;
+    ++energy_.rfmOps;
+    trace(now, channelId_, "RFM", rank_id, mit.bank, mit.row, 0);
+    if (audit_) {
+        audit_->onCommand({verify::DramCommandEvent::Kind::Rfm, now,
+                           channelId_, rank_id, mit.bank, mit.row, 0,
+                           WordMask::none(), WordMask::none(), false,
+                           false, 0, 0.0, prac_.trackedSum(rank_id),
+                           mit.cleared});
+    }
+}
+
 bool
 MemoryController::tryColumnAccess(std::deque<Request> &queue, bool is_write,
                                   Cycle now)
@@ -511,6 +547,16 @@ MemoryController::tryPrepare(std::deque<Request> &queue, bool is_write,
                 if (rank.refreshing(now))
                     noteWake(rank.refreshDoneAt(), now);
                 break;   // Let the rank drain for refresh.
+            }
+            // Alert Back-Off: while a PRAC alert is pending, no further
+            // ACT may issue to the rank until RFM clears it. State-gated
+            // (the alert only clears via the RFM command, which runs
+            // inside a round); tRFM blocking is noted like tRFC below.
+            if (prac_.alertActive(req.loc.rank))
+                break;
+            if (rank.rfmBusy(now)) {
+                noteWake(rank.rfmDoneAt(), now);
+                break;
             }
             // The bank gate needs no mask, so check it before the (write-
             // queue scanning) merged-mask / weight derivation.
@@ -755,9 +801,11 @@ MemoryController::publishWakeups(Cycle now)
     if (!readQ_.empty() || !writeQ_.empty())
         consider(sched_->nextDecisionChangeAt(schedulerInputs(), now));
     consider(maint_.nextWakeAt(now));
-    // Pluggable maintenance ops are opaque (no wake contract): while
-    // one is registered the engine degrades to per-cycle rounds.
-    if (maint_.hasOps())
+    // Named maintenance ops publish through their wake-bound contract;
+    // ops registered without one are opaque, and while any such op is
+    // present the engine degrades to per-cycle rounds.
+    consider(maint_.opWakeBound(now));
+    if (maint_.hasOpaqueOps())
         consider(now + 1);
     engineStats_.heapPushes += pushes;
     engineStats_.heapPeak =

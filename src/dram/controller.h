@@ -60,6 +60,7 @@
 #include "dram/checker.h"
 #include "dram/config.h"
 #include "dram/maintenance_engine.h"
+#include "dram/prac.h"
 #include "dram/request.h"
 #include "dram/sched/scheduler_policy.h"
 #include "dram/timing_tables.h"
@@ -90,6 +91,7 @@ struct ControllerStats
     std::uint64_t actsForWrites = 0;
     std::uint64_t precharges = 0;
     std::uint64_t refreshes = 0;
+    std::uint64_t rfms = 0;            //!< PRAC mitigations issued.
     std::uint64_t forwardedReads = 0;  //!< Served from the write queue.
 
     /** Activation counts by granularity (bucket g = 1..8). */
@@ -256,6 +258,7 @@ class MemoryController : private MaintenanceHooks
     void issueAutoPrecharge(unsigned rank_id, unsigned bank_id,
                             Cycle now) override;
     void issueRefresh(unsigned rank_id, Cycle now) override;
+    void issueRfm(unsigned rank_id, Cycle now) override;
 
     /**
      * OR of PRA masks of every queued write to @p req's row, cached per
@@ -332,6 +335,12 @@ class MemoryController : private MaintenanceHooks
         if (any_queued)
             consider(sched_->nextDecisionChangeAt(schedulerInputs(), now));
 
+        // Named maintenance ops (e.g. prac_rfm) publish their own wake
+        // bound; an op without one degrades the skip to per-cycle.
+        consider(maint_.opWakeBound(now));
+        if (maint_.hasOpaqueOps())
+            consider(now + 1);
+
         for (unsigned r = 0; r < banks_.numRanks(); ++r) {
             const Rank &rank = banks_.rank(r);
             // Refresh deadlines apply even to idle ranks.
@@ -342,12 +351,14 @@ class MemoryController : private MaintenanceHooks
                 rank.forEachActWindowExpiry(consider);
             }
             const bool refresh_pending = rank.refreshDue(now);
+            const bool maint_pending =
+                refresh_pending || prac_.alertActive(r);
             for (unsigned b = 0; b < rank.numBanks(); ++b) {
                 const Bank &bank = rank.bank(b);
                 if (bank.isOpen()) {
                     consider(bank.earliestPrecharge());
                     consider(bank.earliestColumnAccess());
-                } else if (rank_queued || refresh_pending) {
+                } else if (rank_queued || maint_pending) {
                     consider(bank.earliestActivate());
                 }
             }
@@ -365,6 +376,9 @@ class MemoryController : private MaintenanceHooks
     BusArbiter bus_;
     std::unique_ptr<SchedulerPolicy> sched_;
     MaintenanceEngine maint_;
+    /** PRAC counters/alert state; inert unless DramConfig::pracEnabled
+     *  (the ctor then registers the "prac_rfm" maintenance op). */
+    PracState prac_;
 
     std::deque<Request> readQ_;
     std::deque<Request> writeQ_;

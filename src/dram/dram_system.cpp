@@ -120,6 +120,7 @@ DramSystem::aggregateStats() const
         agg.actsForWrites += s.actsForWrites;
         agg.precharges += s.precharges;
         agg.refreshes += s.refreshes;
+        agg.rfms += s.rfms;
         agg.forwardedReads += s.forwardedReads;
         for (std::size_t g = 0; g < s.actGranularity.buckets(); ++g)
             agg.actGranularity.record(g, s.actGranularity.count(g));

@@ -18,16 +18,33 @@ MaintenanceEngine::refreshReady(const Rank &rank, Cycle now) const
 }
 
 bool
+MaintenanceEngine::rfmReady(unsigned r, const Rank &rank, Cycle now) const
+{
+    // Same bank preconditions as refresh (all closed, past tRP —
+    // canRefresh() covers the in-progress tRFM window too, since RFM
+    // blocks the banks the same way), plus the PRAC readiness gate.
+    return prac_ && prac_->rfmReady(r, now) && rank.canRefresh(now) &&
+           !rank.refreshing(now);
+}
+
+bool
+MaintenanceEngine::wantMaint(unsigned r, const Rank &rank, Cycle now) const
+{
+    return rank.refreshDue(now) || (prac_ && prac_->alertActive(r));
+}
+
+bool
 MaintenanceEngine::closeEligible(unsigned r, unsigned b, const Bank &bank,
-                                 bool want_refresh, Cycle now) const
+                                 bool want_maint, Cycle now) const
 {
     if (!bank.isOpen() || !bank.canPrecharge(now))
         return false;
     const bool useless = banks_->openRowMatches(r, b) == 0 ||
                          bank.hitCount() >= cfg_->rowHitCap;
-    // Open-page keeps rows open unless refresh needs them shut.
+    // Open-page keeps rows open unless refresh (or an RFM drain) needs
+    // them shut.
     return (cfg_->policy == PagePolicy::RelaxedClose && useless) ||
-           want_refresh;
+           want_maint;
 }
 
 std::vector<MaintenanceEngine::BankRef>
@@ -93,9 +110,9 @@ MaintenanceEngine::closeCandidates(Cycle now) const
     std::vector<BankRef> out;
     for (unsigned r = 0; r < banks_->numRanks(); ++r) {
         const Rank &rank = banks_->rank(r);
-        const bool want_refresh = rank.refreshDue(now);
+        const bool want_maint = wantMaint(r, rank, now);
         for (unsigned b = 0; b < rank.numBanks(); ++b) {
-            if (closeEligible(r, b, rank.bank(b), want_refresh, now))
+            if (closeEligible(r, b, rank.bank(b), want_maint, now))
                 out.emplace_back(r, b);
         }
     }
@@ -108,15 +125,71 @@ MaintenanceEngine::tryMaintenanceClose(Cycle now)
     // First bank in closeCandidates() order.
     for (unsigned r = 0; r < banks_->numRanks(); ++r) {
         const Rank &rank = banks_->rank(r);
-        const bool want_refresh = rank.refreshDue(now);
+        const bool want_maint = wantMaint(r, rank, now);
         for (unsigned b = 0; b < rank.numBanks(); ++b) {
-            if (closeEligible(r, b, rank.bank(b), want_refresh, now)) {
+            if (closeEligible(r, b, rank.bank(b), want_maint, now)) {
                 hooks_->issuePrecharge(r, b, now);
                 return true;
             }
         }
     }
     return false;
+}
+
+std::vector<unsigned>
+MaintenanceEngine::rfmCandidates(Cycle now) const
+{
+    std::vector<unsigned> out;
+    if (!prac_ || !prac_->enabled())
+        return out;
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        if (rfmReady(r, banks_->rank(r), now))
+            out.push_back(r);
+    }
+    return out;
+}
+
+bool
+MaintenanceEngine::tryRfm(Cycle now)
+{
+    if (!prac_ || !prac_->enabled())
+        return false;
+    // First rank in rfmCandidates() order.
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        if (rfmReady(r, banks_->rank(r), now)) {
+            hooks_->issueRfm(r, now);
+            return true;
+        }
+    }
+    return false;
+}
+
+Cycle
+MaintenanceEngine::rfmWakeBound(Cycle now) const
+{
+    Cycle next = ~Cycle{0};
+    if (!prac_ || !prac_->enabled())
+        return next;
+    auto consider = [&](Cycle c) {
+        if (c < next)
+            next = c;
+    };
+    for (unsigned r = 0; r < banks_->numRanks(); ++r) {
+        if (!prac_->alertActive(r))
+            continue;
+        const Rank &rank = banks_->rank(r);
+        // An open bank is state-gated: its close happens inside a
+        // round, which re-publishes. Only the time gates bound here.
+        if (!rank.allBanksClosed())
+            continue;
+        Cycle ready = prac_->rfmReadyAt(r);
+        for (unsigned b = 0; b < rank.numBanks(); ++b)
+            ready = std::max(ready, rank.bank(b).earliestActivate());
+        if (rank.refreshing(now))
+            ready = std::max(ready, rank.refreshDoneAt());
+        consider(ready);
+    }
+    return next;
 }
 
 Cycle
@@ -135,6 +208,7 @@ MaintenanceEngine::nextWakeAt(Cycle now) const
         if (rank.refreshing(now))
             consider(rank.refreshDoneAt());
         const bool want_refresh = rank.refreshDue(now);
+        const bool want_maint = wantMaint(r, rank, now);
         bool all_closed = true;
         Cycle refresh_ready = 0;
         for (unsigned b = 0; b < rank.numBanks(); ++b) {
@@ -148,9 +222,10 @@ MaintenanceEngine::nextWakeAt(Cycle now) const
                     bank.hitCount() >= cfg_->rowHitCap;
                 // A close blocked only by its tRAS/tWR/tRTP gate fires
                 // exactly when the gate releases; a still-useful row is
-                // state-gated (its hits drain inside rounds).
+                // state-gated (its hits drain inside rounds). An RFM
+                // drain (PRAC alert) forces closes like a due refresh.
                 if ((cfg_->policy == PagePolicy::RelaxedClose && useless) ||
-                    want_refresh) {
+                    want_maint) {
                     consider(bank.earliestPrecharge());
                 }
             } else {
@@ -159,7 +234,8 @@ MaintenanceEngine::nextWakeAt(Cycle now) const
             }
         }
         // A due refresh with every bank closed becomes issuable the
-        // cycle the last tRP expires.
+        // cycle the last tRP expires. (RFM readiness publishes through
+        // the prac_rfm op's own wake bound — rfmWakeBound().)
         if (want_refresh && all_closed && !rank.refreshing(now))
             consider(refresh_ready);
     }

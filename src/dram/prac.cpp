@@ -1,0 +1,196 @@
+#include "dram/prac.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace pra::dram {
+
+PracState::PracState(const DramConfig &cfg)
+    : enabled_(cfg.pracEnabled), threshold_(cfg.disturbanceThreshold),
+      camEntries_(cfg.pracCamEntries),
+      recoveryWindow_(cfg.pracRecoveryWindow),
+      faultDropCount_(cfg.faultPracDropCount),
+      faultLateRfm_(cfg.faultPracLateRfm)
+{
+    if (!enabled_)
+        return;
+    assert(threshold_ >= 2 && "alert fires at threshold - 1");
+    assert(camEntries_ >= 1);
+    ranks_.resize(cfg.ranksPerChannel);
+    for (auto &r : ranks_)
+        r.cams.resize(cfg.banksPerRank);
+}
+
+void
+PracState::onActivate(unsigned rank, unsigned bank, std::uint32_t row,
+                      bool partial, Cycle now)
+{
+    if (!enabled_)
+        return;
+    // drop_count fault: masked partial activations disturb their
+    // neighbours like any other ACT, but the broken counter skips them.
+    if (faultDropCount_ && partial)
+        return;
+
+    RankState &rs = ranks_[rank];
+    auto &cam = rs.cams[bank];
+    ++rs.countedActs;
+
+    PracEntry *hit = nullptr;
+    for (auto &e : cam) {
+        if (e.row == row) {
+            hit = &e;
+            break;
+        }
+    }
+    if (!hit) {
+        if (cam.size() < camEntries_) {
+            cam.push_back({row, 0});
+            hit = &cam.back();
+        } else {
+            // Misra-Gries eviction: displace the minimum entry and
+            // inherit its count — the new row *might* have been that
+            // hot, so over-approximate (never under-count a row).
+            hit = &cam.front();
+            for (auto &e : cam) {
+                if (e.count < hit->count)
+                    hit = &e;
+            }
+            hit->row = row;
+        }
+    }
+    ++hit->count;
+
+    // Alert Back-Off one activation early: the next ACT to this row
+    // would reach the threshold, so stall the rank until an RFM lands.
+    if (!rs.alert && hit->count >= threshold_ - 1) {
+        rs.alert = true;
+        rs.alertRaisedAt = now;
+    }
+}
+
+bool
+PracState::alertActive(unsigned rank) const
+{
+    return enabled_ && ranks_[rank].alert;
+}
+
+Cycle
+PracState::alertRaisedAt(unsigned rank) const
+{
+    return ranks_[rank].alertRaisedAt;
+}
+
+bool
+PracState::rfmReady(unsigned rank, Cycle now) const
+{
+    if (!alertActive(rank))
+        return false;
+    // late_rfm fault: readiness held back until the recovery window has
+    // already elapsed, so the mitigation is one window too late.
+    if (faultLateRfm_)
+        return now > ranks_[rank].alertRaisedAt + recoveryWindow_;
+    return true;
+}
+
+Cycle
+PracState::rfmReadyAt(unsigned rank) const
+{
+    if (!alertActive(rank))
+        return kNever;
+    if (faultLateRfm_)
+        return ranks_[rank].alertRaisedAt + recoveryWindow_ + 1;
+    return 0;
+}
+
+PracMitigation
+PracState::applyRfm(unsigned rank, Cycle now)
+{
+    RankState &rs = ranks_[rank];
+    PracMitigation out;
+    // Clear the hottest tracked entry across the rank (first-seen on
+    // ties, so the choice is deterministic).
+    unsigned victim_bank = 0;
+    std::size_t victim_idx = 0;
+    std::uint32_t victim_count = 0;
+    for (unsigned b = 0; b < rs.cams.size(); ++b) {
+        for (std::size_t i = 0; i < rs.cams[b].size(); ++i) {
+            if (rs.cams[b][i].count > victim_count) {
+                victim_bank = b;
+                victim_idx = i;
+                victim_count = rs.cams[b][i].count;
+            }
+        }
+    }
+    if (victim_count > 0) {
+        auto &cam = rs.cams[victim_bank];
+        out = {victim_bank, cam[victim_idx].row, victim_count};
+        cam.erase(cam.begin() +
+                  static_cast<std::ptrdiff_t>(victim_idx));
+        rs.mitigated += victim_count;
+    }
+    // Re-arm when another row already sits at the alert line; the
+    // recovery window restarts — each RFM buys one fresh window.
+    rs.alert = false;
+    for (const auto &cam : rs.cams) {
+        for (const auto &e : cam) {
+            if (e.count >= threshold_ - 1) {
+                rs.alert = true;
+                rs.alertRaisedAt = now;
+                break;
+            }
+        }
+        if (rs.alert)
+            break;
+    }
+    return out;
+}
+
+std::uint64_t
+PracState::countedActs(unsigned rank) const
+{
+    return enabled_ ? ranks_[rank].countedActs : 0;
+}
+
+std::uint64_t
+PracState::mitigatedCount(unsigned rank) const
+{
+    return enabled_ ? ranks_[rank].mitigated : 0;
+}
+
+std::uint64_t
+PracState::trackedSum(unsigned rank) const
+{
+    if (!enabled_)
+        return 0;
+    std::uint64_t sum = 0;
+    for (const auto &cam : ranks_[rank].cams) {
+        for (const auto &e : cam)
+            sum += e.count;
+    }
+    return sum;
+}
+
+void
+PracState::fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const
+{
+    if (!enabled_)
+        return;
+    for (const auto &rs : ranks_) {
+        h.add(rs.alert);
+        // The alert's *age* (not its absolute cycle) drives the
+        // recovery-window property, saturated like every other
+        // now-relative register.
+        if (rs.alert)
+            h.add(std::min(now - rs.alertRaisedAt, horizon));
+        for (const auto &cam : rs.cams) {
+            h.add(cam.size());
+            for (const auto &e : cam) {
+                h.add(e.row);
+                h.add(e.count);
+            }
+        }
+    }
+}
+
+} // namespace pra::dram

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * PRAC: per-row activation counting with Alert Back-Off and RFM
+ * recovery (DESIGN.md §13).
+ *
+ * Real PRAC DRAM counts activations inside the array; the controller
+ * only sees the alert pin. This model keeps the counters controller-
+ * side in a bounded tag CAM per bank (the hottest-row working set),
+ * Misra-Gries style: when a new row displaces a full CAM's minimum
+ * entry it *inherits* min-count + 1, so every tracked count is a sound
+ * over-approximation of the row's true activation count — a row can be
+ * mitigated early, never late — and the tracked sum rises by exactly 1
+ * per counted activation. That gives the conservation identity
+ *
+ *     trackedSum(rank) == countedActs(rank) - mitigatedCount(rank)
+ *
+ * which verify::Auditor re-derives from the event stream and checks
+ * online during sweeps.
+ *
+ * Alert Back-Off: when any tracked count reaches disturbanceThreshold
+ * - 1, the rank raises its alert; further activations to the rank are
+ * blocked until an RFM mitigation clears the hottest entry. The model
+ * checker proves that, under this protocol, no row's activation count
+ * can reach the threshold on any explored path, and that the
+ * mitigation always lands within DramConfig::pracRecoveryWindow of the
+ * alert.
+ *
+ * The two PRAC fault hooks (DramConfig::faultPracDropCount,
+ * faultPracLateRfm) weaken exactly this state machine; the checker's
+ * disturbance-safety properties must catch both.
+ *
+ * PracState is a plain value type: the live controller owns one, and
+ * the model checker copies one per explored state.
+ */
+#ifndef PRA_DRAM_PRAC_H
+#define PRA_DRAM_PRAC_H
+
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/types.h"
+#include "dram/config.h"
+
+namespace pra::dram {
+
+/** One tag-CAM entry: a tracked row and its over-approximate count. */
+struct PracEntry
+{
+    std::uint32_t row = 0;
+    std::uint32_t count = 0;
+};
+
+/** What one RFM mitigation cleared (for events and replay scripts). */
+struct PracMitigation
+{
+    unsigned bank = 0;
+    std::uint32_t row = 0;
+    std::uint32_t cleared = 0;   //!< Tracked count the RFM reset.
+};
+
+/** Controller-side PRAC counter/alert state machine (see file header). */
+class PracState
+{
+  public:
+    /** Sentinel cycle: no pending wake. */
+    static constexpr Cycle kNever = ~Cycle{0};
+
+    /** Disabled state (no banks tracked; every query is inert). */
+    PracState() = default;
+
+    explicit PracState(const DramConfig &cfg);
+
+    bool enabled() const { return enabled_; }
+
+    /**
+     * Count an activation of (rank, bank, row) at @p now and raise the
+     * rank's alert when the row's tracked count reaches threshold - 1.
+     * @p partial marks a masked (PRA) activation — the drop_count fault
+     * hook skips exactly those, which is the bug the model checker's
+     * threshold property must catch.
+     */
+    void onActivate(unsigned rank, unsigned bank, std::uint32_t row,
+                    bool partial, Cycle now);
+
+    /** Alert Back-Off: ACTs to @p rank are blocked while this holds. */
+    bool alertActive(unsigned rank) const;
+
+    /** Cycle the outstanding alert was raised (valid while active). */
+    Cycle alertRaisedAt(unsigned rank) const;
+
+    /**
+     * True when an RFM mitigation may issue to @p rank (alert pending;
+     * the late_rfm fault hook additionally holds it back until a full
+     * recovery window has already elapsed — one window too late).
+     */
+    bool rfmReady(unsigned rank, Cycle now) const;
+
+    /**
+     * Earliest cycle rfmReady() can turn true: kNever with no alert,
+     * the faulted release cycle under late_rfm, otherwise 0 (ready now;
+     * only the rank's bank state gates the command). Event-engine wake
+     * bound for the prac_rfm maintenance op.
+     */
+    Cycle rfmReadyAt(unsigned rank) const;
+
+    /**
+     * Apply an RFM to @p rank: clear the hottest tracked entry and
+     * re-arm (or drop) the alert. The alert window restarts at @p now
+     * when other entries still sit at threshold - 1 — each mitigation
+     * buys one fresh recovery window.
+     */
+    PracMitigation applyRfm(unsigned rank, Cycle now);
+
+    // --- Conservation accessors (verify::Auditor cross-checks these) ------
+    std::uint64_t countedActs(unsigned rank) const;
+    std::uint64_t mitigatedCount(unsigned rank) const;
+    std::uint64_t trackedSum(unsigned rank) const;
+
+    /**
+     * Fold the behavioural PRAC state (CAM contents in insertion order,
+     * alert flag and its now-relative age saturated at @p horizon) into
+     * @p h. The monotone conservation counters are deliberately
+     * excluded — they never influence a future decision.
+     */
+    void fingerprint(Fnv1a &h, Cycle now, Cycle horizon) const;
+
+  private:
+    struct RankState
+    {
+        std::vector<std::vector<PracEntry>> cams;   //!< One CAM per bank.
+        bool alert = false;
+        Cycle alertRaisedAt = 0;
+        std::uint64_t countedActs = 0;
+        std::uint64_t mitigated = 0;
+    };
+
+    bool enabled_ = false;
+    unsigned threshold_ = 0;
+    unsigned camEntries_ = 0;
+    Cycle recoveryWindow_ = 0;
+    bool faultDropCount_ = false;
+    bool faultLateRfm_ = false;
+    std::vector<RankState> ranks_;
+};
+
+} // namespace pra::dram
+
+#endif // PRA_DRAM_PRAC_H

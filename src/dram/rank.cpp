@@ -74,6 +74,14 @@ Rank::refresh(Cycle now)
 }
 
 void
+Rank::rfm(Cycle now)
+{
+    rfmDone_ = now + t_.rfmCycle;
+    for (auto &b : banks_)
+        b.blockUntil(rfmDone_);
+}
+
+void
 Rank::updatePowerState(Cycle now, bool has_queued_work)
 {
     const bool idle = allBanksClosed() && !has_queued_work &&
@@ -138,6 +146,10 @@ Rank::fingerprintRankLevel(Fnv1a &h, Cycle now, Cycle horizon) const
     delta(nextActAllowed_);
     delta(nextRefresh_);
     delta(refreshDone_);
+    // Gated so PRAC-off fingerprint streams stay byte-identical to the
+    // pre-PRAC revision (the model checker pins exact state counts).
+    if (cfg_->pracEnabled)
+        delta(rfmDone_);
     h.add(poweredDown_);
 }
 

@@ -107,6 +107,21 @@ class Rank
     /** Cycle the in-progress (or last) refresh releases the banks. */
     Cycle refreshDoneAt() const { return refreshDone_; }
 
+    // --- RFM (PRAC mitigation, DESIGN.md §13) -------------------------------
+
+    /**
+     * Issue an all-bank RFM at @p now: banks block for tRFM exactly as
+     * refresh blocks them for tRFC. Preconditions match canRefresh()
+     * (all banks closed, past tRP).
+     */
+    void rfm(Cycle now);
+
+    /** True inside the tRFM window of an in-progress RFM. */
+    bool rfmBusy(Cycle now) const { return now < rfmDone_; }
+
+    /** Cycle the in-progress (or last) RFM releases the banks. */
+    Cycle rfmDoneAt() const { return rfmDone_; }
+
     // --- Power-down ----------------------------------------------------------
 
     /**
@@ -166,6 +181,7 @@ class Rank
 
     Cycle nextRefresh_;
     Cycle refreshDone_ = 0;
+    Cycle rfmDone_ = 0;
 
     bool poweredDown_ = false;
     Cycle idleSince_ = 0;

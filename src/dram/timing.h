@@ -38,6 +38,15 @@ struct Timing
     /** Extra cycles a partial (PRA) activation adds for mask delivery. */
     unsigned praMaskCycles = 1;
 
+    /**
+     * RFM (refresh management) cycle time: how long an all-bank RFM
+     * mitigation command blocks the rank. JEDEC leaves tRFM device-
+     * dependent but at most tRFC; DDR5 datasheets place the all-bank
+     * value near tRFC/2, which 80 cycles is for the 2Gb part modeled
+     * here. Only consulted when DramConfig::pracEnabled is set.
+     */
+    unsigned tRfm = 80;
+
     unsigned rl() const { return tCas; }
 };
 

@@ -23,6 +23,7 @@ TimingTables::build(const DramConfig &cfg)
     tt.rank.fawWindow = t.tFaw;
     tt.rank.refreshInterval = t.tRefi;
     tt.rank.refreshCycle = t.tRfc;
+    tt.rank.rfmCycle = t.tRfm;
     tt.rank.powerUp = t.tXp;
 
     tt.channel.readLatency = t.rl();

@@ -27,6 +27,7 @@
  *   rank.fawWindow        = tFAW
  *   rank.refreshInterval  = tREFI
  *   rank.refreshCycle     = tRFC
+ *   rank.rfmCycle         = tRFM (PRAC mitigation rank-block window)
  *   rank.powerUp          = tXP
  *   channel.readLatency   = RL (= tCAS)
  *   channel.writeLatency  = WL
@@ -72,6 +73,7 @@ struct RankTables
     Cycle fawWindow = 0;        //!< Rolling four-activate window span.
     Cycle refreshInterval = 0;  //!< REF cadence.
     Cycle refreshCycle = 0;     //!< REF -> any command to the rank.
+    Cycle rfmCycle = 0;         //!< RFM -> any command to the rank.
     Cycle powerUp = 0;          //!< Power-down exit to first command.
 
     /**

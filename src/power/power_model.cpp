@@ -19,6 +19,7 @@ EnergyCounts::operator+=(const EnergyCounts &o)
     preStandbyCycles += o.preStandbyCycles;
     powerDownCycles += o.powerDownCycles;
     refreshOps += o.refreshOps;
+    rfmOps += o.rfmOps;
     elapsedCycles += o.elapsedCycles;
     return *this;
 }
@@ -117,6 +118,11 @@ PowerModel::energy(const EnergyCounts &c) const
 
     e.refresh = static_cast<double>(c.refreshOps) * p.refresh *
                 static_cast<double>(p.tRfc) * ns_per_cycle * chips * kPjToNj;
+    // RFM internally refreshes the victim row's neighbourhood: charge it
+    // like a refresh burst scaled to the tRFM window.
+    e.refresh += static_cast<double>(c.rfmOps) * p.refresh *
+                 static_cast<double>(p.tRfm) * ns_per_cycle * chips *
+                 kPjToNj;
 
     if (eccChips_ > 0) {
         // The ECC devices ignore PRA/SDS masks: full-row activation on
@@ -137,6 +143,9 @@ PowerModel::energy(const EnergyCounts &c) const
             ns_per_cycle * ecc * kPjToNj;
         e.refresh += static_cast<double>(c.refreshOps) * p.refresh *
                      static_cast<double>(p.tRfc) * ns_per_cycle * ecc *
+                     kPjToNj;
+        e.refresh += static_cast<double>(c.rfmOps) * p.refresh *
+                     static_cast<double>(p.tRfm) * ns_per_cycle * ecc *
                      kPjToNj;
     }
 

@@ -60,6 +60,7 @@ struct EnergyCounts
     std::uint64_t preStandbyCycles = 0; //!< Rank-cycles idle, not PDN.
     std::uint64_t powerDownCycles = 0;  //!< Rank-cycles in PRE PDN.
     std::uint64_t refreshOps = 0;       //!< All-bank REF commands issued.
+    std::uint64_t rfmOps = 0;           //!< PRAC RFM mitigations issued.
 
     std::uint64_t elapsedCycles = 0;    //!< Wall-clock DRAM cycles.
 

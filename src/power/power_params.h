@@ -51,6 +51,7 @@ struct PowerParams
     unsigned burstCycles = 4;   //!< Cycles a BL8 transfer occupies the bus.
     unsigned tRfc = 128;        //!< Refresh cycle time (160 ns).
     unsigned tRefi = 6240;      //!< Refresh interval (7.8 us).
+    unsigned tRfm = 80;         //!< PRAC RFM window (~tRFC/2), if enabled.
 
     /** P_ACT (mW) for a granularity-g activation, g in 1..8. */
     double

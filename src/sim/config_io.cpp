@@ -193,6 +193,30 @@ constexpr KeyHandler kKeyHandlers[] = {
      [](const std::string &v, SystemConfig &c) {
          c.dram.faultStarveAgedCycles = asUnsigned(v);
      }},
+    {"prac",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.pracEnabled = parseBool(v);
+     }},
+    {"disturbance_threshold",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.disturbanceThreshold = asUnsigned(v);
+     }},
+    {"prac_cam_entries",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.pracCamEntries = asUnsigned(v);
+     }},
+    {"prac_recovery_window",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.pracRecoveryWindow = asUnsigned(v);
+     }},
+    {"fault_prac_drop_count",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.faultPracDropCount = parseBool(v);
+     }},
+    {"fault_prac_late_rfm",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.faultPracLateRfm = parseBool(v);
+     }},
     {"checker",
      [](const std::string &v, SystemConfig &c) {
          c.dram.enableChecker = parseBool(v);
@@ -279,6 +303,10 @@ constexpr KeyHandler kKeyHandlers[] = {
     {"pra_mask_cycles",
      [](const std::string &v, SystemConfig &c) {
          c.dram.timing.praMaskCycles = asUnsigned(v);
+     }},
+    {"trfm",
+     [](const std::string &v, SystemConfig &c) {
+         c.dram.timing.tRfm = asUnsigned(v);
      }},
 };
 
@@ -386,7 +414,19 @@ canonicalConfig(const SystemConfig &cfg)
        << "fault_suppress_wake_twtr = " << d.faultSuppressWakeTwtr
        << '\n'
        << "fault_starve_aged_cycles = " << d.faultStarveAgedCycles
-       << '\n';
+       << '\n'
+       // PRAC / RFM mitigation (maintenance op prac_rfm): counting,
+       // Alert Back-Off and recovery scheduling all change which
+       // commands issue when, so the whole block keys the cache.
+       << "prac = " << d.pracEnabled << '\n'
+       << "disturbance_threshold = " << d.disturbanceThreshold << '\n'
+       << "prac_cam_entries = " << d.pracCamEntries << '\n'
+       << "prac_recovery_window = " << d.pracRecoveryWindow << '\n'
+       << "fault_prac_drop_count = " << d.faultPracDropCount << '\n'
+       << "fault_prac_late_rfm = " << d.faultPracLateRfm << '\n'
+       // The maintenance op the PRAC block registers: naming it keys
+       // the cache on the op's presence, not just its parameters.
+       << "prac_op = " << (d.pracEnabled ? "prac_rfm" : "none") << '\n';
 
     const dram::Timing &t = d.timing;
     os << "trcd = " << t.tRcd << '\n'
@@ -408,7 +448,8 @@ canonicalConfig(const SystemConfig &cfg)
        << "burst_cycles = " << t.burstCycles << '\n'
        << "bank_groups = " << t.bankGroups << '\n'
        << "tccd_l = " << t.tCcdL << '\n'
-       << "pra_mask_cycles = " << t.praMaskCycles << '\n';
+       << "pra_mask_cycles = " << t.praMaskCycles << '\n'
+       << "trfm = " << t.tRfm << '\n';
 
     const power::PowerParams &p = d.power;
     bits("p_pre_standby", p.preStandby);
@@ -431,6 +472,7 @@ canonicalConfig(const SystemConfig &cfg)
     os << "power_trc = " << p.tRc << '\n'
        << "power_burst_cycles = " << p.burstCycles << '\n'
        << "power_trfc = " << p.tRfc << '\n'
+       << "power_trfm = " << p.tRfm << '\n'
        << "power_trefi = " << p.tRefi << '\n';
 
     os << "issue_width = " << cfg.core.issueWidth << '\n'
@@ -475,6 +517,7 @@ dumpConfig(const SystemConfig &cfg)
        << "read_queue = " << cfg.dram.readQueueDepth << '\n'
        << "write_queue = " << cfg.dram.writeQueueDepth << '\n'
        << "row_hit_cap = " << cfg.dram.rowHitCap << '\n'
+       << "prac = " << (cfg.dram.pracEnabled ? "true" : "false") << '\n'
        << "target_instructions = " << cfg.targetInstructions << '\n';
     return os.str();
 }

@@ -208,6 +208,7 @@ serializeRunResult(const RunResult &res)
        << "acts_for_writes " << s.actsForWrites << '\n'
        << "precharges " << s.precharges << '\n'
        << "refreshes " << s.refreshes << '\n'
+       << "rfms " << s.rfms << '\n'
        << "forwarded_reads " << s.forwardedReads << '\n';
     os << "act_granularity " << s.actGranularity.buckets();
     for (std::size_t b = 0; b < s.actGranularity.buckets(); ++b)
@@ -240,6 +241,7 @@ serializeRunResult(const RunResult &res)
        << "pre_standby_cycles " << e.preStandbyCycles << '\n'
        << "power_down_cycles " << e.powerDownCycles << '\n'
        << "refresh_ops " << e.refreshOps << '\n'
+       << "rfm_ops " << e.rfmOps << '\n'
        << "elapsed_cycles " << e.elapsedCycles << '\n';
 
     os << "dirty_words " << res.dirtyWords.buckets();
@@ -298,6 +300,7 @@ deserializeRunResult(const std::string &text)
     s.actsForWrites = r.u64("acts_for_writes");
     s.precharges = r.u64("precharges");
     s.refreshes = r.u64("refreshes");
+    s.rfms = r.u64("rfms");
     s.forwardedReads = r.u64("forwarded_reads");
     r.u64Seq("act_granularity", s.actGranularity.buckets(),
              [&](std::size_t b, std::uint64_t v) {
@@ -330,6 +333,7 @@ deserializeRunResult(const std::string &text)
     e.preStandbyCycles = r.u64("pre_standby_cycles");
     e.powerDownCycles = r.u64("power_down_cycles");
     e.refreshOps = r.u64("refresh_ops");
+    e.rfmOps = r.u64("rfm_ops");
     e.elapsedCycles = r.u64("elapsed_cycles");
 
     r.u64Seq("dirty_words", res.dirtyWords.buckets(),

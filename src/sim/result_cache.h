@@ -47,8 +47,9 @@ namespace pra::sim {
  * never be replayed across behavioural revisions.
  */
 inline constexpr std::string_view kResultCacheSalt =
-    "pra-result-cache-v3";   // v3: scheme plugins, read-words counter,
-                             // and the read-activation histogram.
+    "pra-result-cache-v4";   // v4: PRAC/RFM maintenance ops — rfms
+                             // stat, rfm_ops energy counter, and the
+                             // PRAC canonical-config block.
 
 /** 64-bit FNV-1a hash of @p data. */
 std::uint64_t fnv1a(std::string_view data);

@@ -85,6 +85,9 @@ System::setupAudit()
     ac.power = cfg_.dram.power;
     ac.chipsPerRank = cfg_.dram.chipsPerRank;
     ac.eccChipsPerRank = cfg_.dram.eccChipsPerRank;
+    ac.pracEnabled = cfg_.dram.pracEnabled;
+    ac.pracThreshold = cfg_.dram.disturbanceThreshold;
+    ac.pracCamEntries = cfg_.dram.pracCamEntries;
     ac.scanStride = cfg_.auditScanStride;
     ac.configFingerprint = fnv1a64(canonicalConfig(cfg_));
 

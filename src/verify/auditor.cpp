@@ -48,6 +48,8 @@ invariantMeta()
         "warm-snapshot forks replicate hierarchy state bit-exactly");
     set(Invariant::EventWakeSound, "fastpath.event-wake-sound",
         "heap-declared-quiet rounds do nothing when forced to run");
+    set(Invariant::PracConservation, "dram.prac.count-conservation",
+        "PRAC tracked-count sum == ACTs counted - counts mitigated");
     return meta;
 }
 
@@ -97,9 +99,15 @@ Auditor::Auditor(const AuditConfig &cfg)
       stats_(invariantMeta())
 {
     channels_.resize(cfg_.channels);
-    for (auto &ch : channels_)
+    for (auto &ch : channels_) {
         ch.banks.resize(static_cast<std::size_t>(cfg_.ranksPerChannel) *
                         cfg_.banksPerRank);
+        if (cfg_.pracEnabled) {
+            ch.prac.resize(cfg_.ranksPerChannel);
+            for (auto &pr : ch.prac)
+                pr.cams.resize(cfg_.banksPerRank);
+        }
+    }
     scanStride_ = resolveScanStride(cfg_.scanStride);
 }
 
@@ -282,6 +290,7 @@ Auditor::onCommand(const DramCommandEvent &ev)
             : ev.kind == DramCommandEvent::Kind::Read      ? 'R'
             : ev.kind == DramCommandEvent::Kind::Write     ? 'W'
             : ev.kind == DramCommandEvent::Kind::Precharge ? 'P'
+            : ev.kind == DramCommandEvent::Kind::Rfm       ? 'M'
                                                            : 'F',
             ev.cycle, ev.channel, ev.rank, ev.bank, ev.row, ev.addr,
             ev.mask.bits(), ev.need.bits(), ev.partial});
@@ -306,6 +315,8 @@ Auditor::onCommand(const DramCommandEvent &ev)
                      std::to_string(bank.row) + ")");
         }
         checkActivate(ev, ch);
+        if (cfg_.pracEnabled)
+            pracCountActivate(ev, ch);
         bank.open = true;
         bank.row = ev.row;
         bank.mask = ev.mask;   // Actual mask: columns check reality.
@@ -375,6 +386,150 @@ Auditor::onCommand(const DramCommandEvent &ev)
         accountCommandEnergy(ev);
         break;
       }
+
+      case DramCommandEvent::Kind::Rfm: {
+        ++stat(Invariant::ShadowRowState).checks;
+        if (!cfg_.pracEnabled) {
+            fail(Invariant::ShadowRowState, ev.cycle,
+                 "RFM issued with PRAC disabled");
+            break;
+        }
+        for (unsigned b = 0; b < cfg_.banksPerRank; ++b) {
+            const ShadowBank &sb =
+                ch.banks[static_cast<std::size_t>(ev.rank) *
+                             cfg_.banksPerRank +
+                         b];
+            if (sb.open) {
+                fail(Invariant::ShadowRowState, ev.cycle,
+                     "RFM with shadow bank " + std::to_string(b) +
+                         " still open");
+                break;
+            }
+        }
+        pracCheckRfm(ev, ch);
+        accountCommandEnergy(ev);
+        break;
+      }
+    }
+}
+
+std::uint64_t
+Auditor::pracTrackedSum(const ShadowPracRank &pr)
+{
+    std::uint64_t sum = 0;
+    for (const auto &cam : pr.cams) {
+        for (const auto &e : cam)
+            sum += e.count;
+    }
+    return sum;
+}
+
+void
+Auditor::pracCountActivate(const DramCommandEvent &ev, ShadowChannel &ch)
+{
+    // Replay the spec CAM: *every* activation of a row disturbs its
+    // neighbours, partial (masked) or not, so every ACT must be counted.
+    // The Misra-Gries eviction (replace the coldest entry, inherit its
+    // count) is part of the contract: it only ever over-approximates a
+    // row's true count, and it keeps the tracked sum rising by exactly
+    // one per counted ACT — which is what conservation checks below.
+    ShadowPracRank &pr = ch.prac[ev.rank];
+    ++pr.acts;
+    auto &cam = pr.cams[ev.bank];
+    auto it = std::find_if(cam.begin(), cam.end(),
+                           [&](const ShadowPracEntry &e) {
+                               return e.row == ev.row;
+                           });
+    if (it == cam.end()) {
+        if (cam.size() < cfg_.pracCamEntries) {
+            cam.push_back({ev.row, 0});
+            it = cam.end() - 1;
+        } else {
+            it = std::min_element(cam.begin(), cam.end(),
+                                  [](const ShadowPracEntry &a,
+                                     const ShadowPracEntry &b) {
+                                      return a.count < b.count;
+                                  });
+            it->row = ev.row;   // Inherit the evictee's count.
+        }
+    }
+    ++it->count;
+
+    // Online conservation: the controller's reported tracked sum must
+    // equal the replica's, and both must equal acts - mitigated. A
+    // dropped count (e.g. the drop_count fault drill) trips this at the
+    // very first uncounted ACT.
+    ++stat(Invariant::PracConservation).checks;
+    const std::uint64_t expect = pr.acts - pr.mitigated;
+    if (ev.pracTracked != expect || pracTrackedSum(pr) != expect) {
+        fail(Invariant::PracConservation, ev.cycle,
+             "after ACT r" + std::to_string(ev.rank) + " b" +
+                 std::to_string(ev.bank) + " row " +
+                 std::to_string(ev.row) + ": controller tracked sum " +
+                 std::to_string(ev.pracTracked) + ", replica " +
+                 std::to_string(pracTrackedSum(pr)) +
+                 ", conservation expects " + std::to_string(expect) +
+                 " (acts " + std::to_string(pr.acts) + " - mitigated " +
+                 std::to_string(pr.mitigated) + ")");
+    }
+}
+
+void
+Auditor::pracCheckRfm(const DramCommandEvent &ev, ShadowChannel &ch)
+{
+    ShadowPracRank &pr = ch.prac[ev.rank];
+
+    // The replica selects its own victim — hottest tracked entry, bank
+    // then insertion order breaking ties — and the controller's reported
+    // (bank, row, cleared) must match it exactly.
+    unsigned vic_bank = 0;
+    std::size_t vic_idx = 0;
+    std::uint32_t vic_count = 0;
+    bool found = false;
+    for (unsigned b = 0; b < pr.cams.size(); ++b) {
+        const auto &cam = pr.cams[b];
+        for (std::size_t i = 0; i < cam.size(); ++i) {
+            if (!found || cam[i].count > vic_count) {
+                found = true;
+                vic_bank = b;
+                vic_idx = i;
+                vic_count = cam[i].count;
+            }
+        }
+    }
+
+    ++stat(Invariant::PracConservation).checks;
+    if (!found) {
+        fail(Invariant::PracConservation, ev.cycle,
+             "RFM on rank " + std::to_string(ev.rank) +
+                 " with no tracked activation counts to mitigate");
+        return;
+    }
+    const std::uint32_t vic_row = pr.cams[vic_bank][vic_idx].row;
+    if (ev.bank != vic_bank || ev.row != vic_row ||
+        ev.pracCleared != vic_count) {
+        fail(Invariant::PracConservation, ev.cycle,
+             "RFM cleared b" + std::to_string(ev.bank) + " row " +
+                 std::to_string(ev.row) + " (count " +
+                 std::to_string(ev.pracCleared) +
+                 ") but the replica's hottest entry is b" +
+                 std::to_string(vic_bank) + " row " +
+                 std::to_string(vic_row) + " (count " +
+                 std::to_string(vic_count) + ")");
+    }
+    pr.cams[vic_bank].erase(pr.cams[vic_bank].begin() +
+                            static_cast<std::ptrdiff_t>(vic_idx));
+    pr.mitigated += vic_count;
+
+    ++stat(Invariant::PracConservation).checks;
+    const std::uint64_t expect = pr.acts - pr.mitigated;
+    if (ev.pracTracked != expect || pracTrackedSum(pr) != expect) {
+        fail(Invariant::PracConservation, ev.cycle,
+             "after RFM on rank " + std::to_string(ev.rank) +
+                 ": controller tracked sum " +
+                 std::to_string(ev.pracTracked) + ", replica " +
+                 std::to_string(pracTrackedSum(pr)) +
+                 ", conservation expects " + std::to_string(expect));
     }
 }
 
@@ -398,6 +553,9 @@ Auditor::accountCommandEnergy(const DramCommandEvent &ev)
             break;
           case DramCommandEvent::Kind::Refresh:
             ++c.refreshOps;
+            break;
+          case DramCommandEvent::Kind::Rfm:
+            ++c.rfmOps;
             break;
         }
     };
@@ -599,6 +757,7 @@ Auditor::finalize(const power::EnergyCounts &aggregate)
     check_count("writeWordsDriven", shadow_.writeWordsDriven,
                 aggregate.writeWordsDriven);
     check_count("refreshOps", shadow_.refreshOps, aggregate.refreshOps);
+    check_count("rfmOps", shadow_.rfmOps, aggregate.rfmOps);
 
     // Background residency is not event-driven; conservation here means
     // every rank is in exactly one background state every cycle.

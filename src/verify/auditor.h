@@ -39,7 +39,14 @@
  *  - fastpath.event-wake-sound   scheduling rounds the event engine's
  *                                wake-up heap declared quiet do nothing
  *                                when forced to run anyway
- *                                (PRA_AUDIT_REPLAY=1).
+ *                                (PRA_AUDIT_REPLAY=1);
+ *  - dram.prac.count-conservation
+ *                                the controller's PRAC activation
+ *                                counters are conservation-exact: its
+ *                                reported tracked-count sum equals the
+ *                                replayed-CAM sum, which by construction
+ *                                equals ACTs counted minus counts
+ *                                mitigated (pracEnabled only).
  *
  * Attachment mirrors DramConfig::enableChecker: set
  * sim::SystemConfig::enableAudit (or export PRA_AUDIT=1, which also
@@ -91,6 +98,12 @@ struct AuditConfig
     unsigned chipsPerRank = 8;
     unsigned eccChipsPerRank = 0;
 
+    // PRAC (DramConfig::pracEnabled &c.); the auditor replays its own
+    // tag-CAM from the raw command stream and checks conservation.
+    bool pracEnabled = false;
+    unsigned pracThreshold = 512;
+    unsigned pracCamEntries = 8;
+
     /** Coherence-scan stride in accesses; 0 = auto (denser in debug). */
     unsigned scanStride = 0;
     /** FNV-1a of the canonical config, echoed in every report. */
@@ -110,6 +123,7 @@ enum class Invariant
     SkipQuiescent,
     ForkFingerprint,
     EventWakeSound,
+    PracConservation,
     Count_,
 };
 
@@ -202,10 +216,26 @@ class Auditor
         std::uint8_t chipMask = 0;
     };
 
+    /** One tracked row of the auditor's independent PRAC CAM replica. */
+    struct ShadowPracEntry
+    {
+        std::uint32_t row = 0;
+        std::uint32_t count = 0;
+    };
+
+    /** Independent PRAC shadow for one rank: per-bank CAM + ledger. */
+    struct ShadowPracRank
+    {
+        std::vector<std::vector<ShadowPracEntry>> cams;  //!< Per bank.
+        std::uint64_t acts = 0;        //!< ACTs that must be counted.
+        std::uint64_t mitigated = 0;   //!< Counts cleared by RFMs.
+    };
+
     struct ShadowChannel
     {
         std::vector<ShadowBank> banks;
         std::vector<ShadowWrite> writes;   //!< Controller queue order.
+        std::vector<ShadowPracRank> prac;  //!< Empty unless pracEnabled.
     };
 
     /** Compact raw entry for the pre-violation ring buffer. */
@@ -233,6 +263,9 @@ class Auditor
     void record(const RingEntry &entry);
     std::string formatRing() const;
     void checkActivate(const DramCommandEvent &ev, ShadowChannel &ch);
+    void pracCountActivate(const DramCommandEvent &ev, ShadowChannel &ch);
+    void pracCheckRfm(const DramCommandEvent &ev, ShadowChannel &ch);
+    static std::uint64_t pracTrackedSum(const ShadowPracRank &pr);
     void accountCommandEnergy(const DramCommandEvent &ev);
     void closeEnergyWindow();
     void runCoherenceScan();

@@ -28,6 +28,7 @@ struct DramCommandEvent
         Write,
         Precharge,
         Refresh,
+        Rfm,     //!< PRAC mitigation (DESIGN.md §13).
     };
 
     Kind kind;
@@ -51,6 +52,16 @@ struct DramCommandEvent
     bool forWrite = false;    //!< ACT triggered by / column is a write.
     unsigned granularity = 0; //!< ACT granularity the controller charged.
     double weight = 0.0;      //!< ACT tFAW/tRRD weight charged.
+
+    /**
+     * PRAC accounting facts (zero unless pracEnabled). ACT and RFM
+     * report the controller's post-command tracked-count sum for the
+     * rank; RFM additionally reports the count the mitigation cleared.
+     * The auditor replays its own CAM from the raw command stream and
+     * checks the conservation identity against these.
+     */
+    std::uint64_t pracTracked = 0;
+    std::uint64_t pracCleared = 0;
 };
 
 /** A write transaction entering a controller write queue (pre-combine). */

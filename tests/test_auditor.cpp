@@ -174,6 +174,144 @@ TEST(Auditor, FingerprintMismatchFlagged)
               std::string::npos);
 }
 
+// --- PRAC count conservation (DESIGN.md §13) --------------------------
+
+AuditConfig
+pracOnConfig()
+{
+    // A tiny CAM so the Misra-Gries eviction path is reachable in a
+    // handful of events.
+    AuditConfig ac = praAuditConfig();
+    ac.pracEnabled = true;
+    ac.pracCamEntries = 2;
+    return ac;
+}
+
+DramCommandEvent
+pracAct(const AuditConfig &ac, std::uint32_t row, std::uint64_t tracked,
+        Cycle cycle)
+{
+    DramCommandEvent ev = actEvent(ac, false, WordMask::full());
+    ev.cycle = cycle;
+    ev.row = row;
+    ev.pracTracked = tracked;
+    return ev;
+}
+
+DramCommandEvent
+preEvent(Cycle cycle)
+{
+    DramCommandEvent ev;
+    ev.kind = DramCommandEvent::Kind::Precharge;
+    ev.cycle = cycle;
+    return ev;
+}
+
+DramCommandEvent
+rfmEvent(Cycle cycle, std::uint32_t row, std::uint64_t cleared,
+         std::uint64_t tracked)
+{
+    DramCommandEvent ev;
+    ev.kind = DramCommandEvent::Kind::Rfm;
+    ev.cycle = cycle;
+    ev.row = row;
+    ev.pracCleared = cleared;
+    ev.pracTracked = tracked;
+    return ev;
+}
+
+bool
+mentions(const Auditor &a, const char *needle)
+{
+    for (const auto &v : a.violations()) {
+        if (v.find(needle) != std::string::npos)
+            return true;
+    }
+    return false;
+}
+
+TEST(Auditor, PracConservationCleanActRfmSequence)
+{
+    // Hammer one row twice, then mitigate it: the controller's reported
+    // tracked sums (1, 2, then 0 after the RFM clears 2) satisfy
+    // trackedSum == acts - mitigated at every step.
+    const AuditConfig ac = pracOnConfig();
+    Auditor a(ac);
+    a.onCommand(pracAct(ac, 7, 1, 100));
+    a.onCommand(preEvent(110));
+    a.onCommand(pracAct(ac, 7, 2, 120));
+    a.onCommand(preEvent(130));
+    a.onCommand(rfmEvent(150, 7, 2, 0));
+    EXPECT_TRUE(a.clean()) << a.report();
+}
+
+TEST(Auditor, PracDroppedCountFlagged)
+{
+    // The drop_count fault shape: an ACT the controller never counted.
+    // Conservation expects tracked sum 1 after the first ACT; reporting
+    // 0 must trip at that very event.
+    const AuditConfig ac = pracOnConfig();
+    Auditor a(ac);
+    a.onCommand(pracAct(ac, 7, 0, 100));
+    ASSERT_FALSE(a.clean());
+    EXPECT_TRUE(mentions(a, "count-conservation")) << a.report();
+    EXPECT_TRUE(mentions(a, "conservation expects 1")) << a.report();
+}
+
+TEST(Auditor, PracRfmVictimMismatchFlagged)
+{
+    // Row 7 is twice as hot as row 9; an RFM claiming to have mitigated
+    // row 9 disagrees with the replica's hottest-entry selection.
+    const AuditConfig ac = pracOnConfig();
+    Auditor a(ac);
+    a.onCommand(pracAct(ac, 7, 1, 100));
+    a.onCommand(preEvent(110));
+    a.onCommand(pracAct(ac, 7, 2, 120));
+    a.onCommand(preEvent(130));
+    a.onCommand(pracAct(ac, 9, 3, 140));
+    a.onCommand(preEvent(150));
+    a.onCommand(rfmEvent(170, 9, 1, 2));
+    ASSERT_FALSE(a.clean());
+    EXPECT_TRUE(mentions(a, "hottest entry")) << a.report();
+}
+
+TEST(Auditor, PracCamEvictionInheritsCountAndConserves)
+{
+    // Three distinct rows overflow the 2-entry CAM: the eviction
+    // inherits the coldest count (over-approximating the newcomer, never
+    // undercounting), so the tracked sum still rises by exactly one per
+    // ACT and conservation holds throughout — including a return of the
+    // evicted row.
+    const AuditConfig ac = pracOnConfig();
+    Auditor a(ac);
+    std::uint64_t tracked = 0;
+    Cycle cycle = 100;
+    for (std::uint32_t row : {1u, 2u, 3u, 1u}) {
+        a.onCommand(pracAct(ac, row, ++tracked, cycle));
+        a.onCommand(preEvent(cycle + 10));
+        cycle += 20;
+    }
+    EXPECT_TRUE(a.clean()) << a.report();
+}
+
+TEST(Auditor, RfmWithPracDisabledFlagged)
+{
+    Auditor a(praAuditConfig());
+    a.onCommand(rfmEvent(100, 7, 1, 0));
+    ASSERT_FALSE(a.clean());
+    EXPECT_TRUE(mentions(a, "PRAC disabled")) << a.report();
+}
+
+TEST(Auditor, RfmWithNothingTrackedFlagged)
+{
+    const AuditConfig ac = pracOnConfig();
+    Auditor a(ac);
+    a.onCommand(rfmEvent(100, 7, 0, 0));
+    ASSERT_FALSE(a.clean());
+    EXPECT_TRUE(mentions(a, "no tracked activation counts"))
+        << a.report();
+}
+
 // --- End-to-end -------------------------------------------------------
 
 sim::SystemConfig
@@ -229,6 +367,24 @@ TEST(AuditorEndToEnd, AuditedRunsAreCleanAcrossSchemes)
         EXPECT_GT(view->auditor()->eventsAudited(), 1000u);
         EXPECT_GT(view->auditor()->scansRun(), 0u);
     }
+}
+
+TEST(AuditorEndToEnd, PracRunAuditedCleanWithRealRfms)
+{
+    // An aggressive PRAC point (threshold 4, 2-entry CAM) so the run
+    // issues real RFMs; the conservation invariant then audits every
+    // ACT and every mitigation online against the replayed CAM.
+    sim::SystemConfig cfg = smallConfig(&schemeByName("pra"), false);
+    cfg.dram.pracEnabled = true;
+    cfg.dram.disturbanceThreshold = 4;
+    cfg.dram.pracCamEntries = 2;
+    cfg.dram.pracRecoveryWindow = 4096;
+    std::unique_ptr<sim::System> sys;
+    const sim::System *view = nullptr;
+    const sim::RunResult res = runAudited(cfg, &view, sys);
+    EXPECT_GT(res.dramStats.rfms, 0u);
+    ASSERT_NE(view->auditor(), nullptr);
+    EXPECT_TRUE(view->auditor()->clean()) << view->auditor()->report();
 }
 
 TEST(AuditorEndToEnd, InjectedMaskWideningIsCaught)

@@ -511,6 +511,145 @@ TEST(FaultCoverageRule, NonHookFieldsAreOutOfScope)
             << i.message;
 }
 
+// --- Rule: maintop-coverage ---------------------------------------------
+
+namespace maintopdrill {
+
+/** A config_io.cpp stand-in whose canonical key names (or omits) an op. */
+std::string
+configIo(bool names_op)
+{
+    std::string body = "std::string canonicalConfig(const SystemConfig "
+                       "&cfg)\n{\n    std::ostringstream os;\n";
+    if (names_op)
+        body += "    os << \"maint_op = scrub_patrol\" << '\\n';\n";
+    body += "    return os.str();\n}\n";
+    return body;
+}
+
+std::vector<SourceFile>
+files(const std::string &src_text, const std::string &test_text,
+      bool canonical_names_op = true)
+{
+    std::vector<SourceFile> out{
+        {"src/dram/engine_user.cpp", src_text},
+        {"src/sim/config_io.cpp", configIo(canonical_names_op)}};
+    if (!test_text.empty())
+        out.push_back({"tests/test_drill.cpp", test_text});
+    return out;
+}
+
+const char *const kNamedCall =
+    "void wire(MaintenanceEngine &maint)\n"
+    "{\n"
+    "    maint.registerOp(\n"
+    "        \"scrub_patrol\", [](Cycle now) { return false; },\n"
+    "        [](Cycle now) { return now + 1; });\n"
+    "}\n";
+
+} // namespace maintopdrill
+
+TEST(MaintopCoverageRule, CoveredNamedOpPasses)
+{
+    const auto issues = issuesOfRule(
+        lintSources(maintopdrill::files(
+            maintopdrill::kNamedCall,
+            "TEST(X, Y) { run(\"scrub_patrol\"); }\n")),
+        "maintop-coverage");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
+TEST(MaintopCoverageRule, UndrilledOpFlaggedAtTheCallSite)
+{
+    // The op is named in the canonical key but no tests/ file mentions
+    // it: flagged once, at the registration line.
+    const auto issues = issuesOfRule(
+        lintSources(maintopdrill::files(maintopdrill::kNamedCall,
+                                        "TEST(X, Y) { unrelated(); }\n")),
+        "maintop-coverage");
+    ASSERT_EQ(issues.size(), 1u) << joined(issues);
+    EXPECT_EQ(issues[0].file, "src/dram/engine_user.cpp");
+    EXPECT_EQ(issues[0].line, 3u);
+    EXPECT_NE(issues[0].message.find("scrub_patrol"), std::string::npos);
+    EXPECT_NE(issues[0].message.find("tests/"), std::string::npos);
+}
+
+TEST(MaintopCoverageRule, OpMissingFromCanonicalKeyFlagged)
+{
+    const auto issues = issuesOfRule(
+        lintSources(maintopdrill::files(
+            maintopdrill::kNamedCall,
+            "TEST(X, Y) { run(\"scrub_patrol\"); }\n",
+            /*canonical_names_op=*/false)),
+        "maintop-coverage");
+    ASSERT_EQ(issues.size(), 1u) << joined(issues);
+    EXPECT_NE(issues[0].message.find("canonicalConfig"), std::string::npos);
+}
+
+TEST(MaintopCoverageRule, ObservationalAnnotationWaivesTheCanonicalKey)
+{
+    // A vetted result-neutral op opts out of the cache-key requirement
+    // (but never out of the tests/ requirement).
+    const char *const annotated =
+        "void wire(MaintenanceEngine &maint)\n"
+        "{\n"
+        "    // pra-lint: observational\n"
+        "    maint.registerOp(\n"
+        "        \"scrub_patrol\", [](Cycle now) { return false; },\n"
+        "        [](Cycle now) { return now + 1; });\n"
+        "}\n";
+    const auto issues = issuesOfRule(
+        lintSources(maintopdrill::files(
+            annotated, "TEST(X, Y) { run(\"scrub_patrol\"); }\n",
+            /*canonical_names_op=*/false)),
+        "maintop-coverage");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
+TEST(MaintopCoverageRule, UnnamedRegistrationAlwaysFlagged)
+{
+    const auto issues = issuesOfRule(
+        lintSources(maintopdrill::files(
+            "void wire(MaintenanceEngine &maint)\n"
+            "{\n"
+            "    maint.registerOp([](Cycle now) { return false; });\n"
+            "}\n",
+            "TEST(X, Y) { everything(); }\n")),
+        "maintop-coverage");
+    ASSERT_EQ(issues.size(), 1u) << joined(issues);
+    EXPECT_NE(issues[0].message.find("unnamed"), std::string::npos);
+    EXPECT_EQ(issues[0].line, 3u);
+}
+
+TEST(MaintopCoverageRule, DeclarationsAndTestCallersAreOutOfScope)
+{
+    // The seam's own declarations (no member access before the name)
+    // must not read as call sites, and registrations inside tests/ are
+    // drills, not production ops.
+    const auto issues = issuesOfRule(
+        lintSources({{"src/dram/maintenance_engine.h",
+                      "class MaintenanceEngine {\n"
+                      "  public:\n"
+                      "    void registerOp(MaintenanceOp op);\n"
+                      "    void registerOp(std::string name, "
+                      "MaintenanceOp op, OpWakeBound wake);\n"
+                      "};\n"},
+                     {"tests/test_drill.cpp",
+                      "TEST(X, Y) { maint.registerOp(op); }\n"}}),
+        "maintop-coverage");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
+TEST(MaintopCoverageRule, TestsRequirementInactiveWithoutCorpus)
+{
+    // A src-only scan still enforces the canonical key but has no
+    // corpus to demand drills from.
+    const auto issues = issuesOfRule(
+        lintSources(maintopdrill::files(maintopdrill::kNamedCall, "")),
+        "maintop-coverage");
+    EXPECT_TRUE(issues.empty()) << joined(issues);
+}
+
 // --- The real tree must be clean ----------------------------------------
 
 TEST(RepoScan, SourceTreeIsLintClean)

@@ -234,6 +234,51 @@ TEST(ResultCacheKey, SensitiveToEveryInput)
     EXPECT_NE(mat, resultCacheMaterial(base, gupsRate(), "v2-salt"));
 }
 
+TEST(ResultCacheKey, SensitiveToEveryPracKnob)
+{
+    // The PRAC block changes which commands issue when (RFMs steal
+    // slots, recovery windows block ranks), so every knob — and the op's
+    // very presence — must reach the canonical key. The seed for this
+    // family was the v4 salt bump; the per-field checks keep it honest.
+    const SystemConfig base = shortConfig(&schemeByName("pra"));
+    const std::string mat = resultCacheMaterial(base, gupsRate());
+
+    SystemConfig prac = base;
+    prac.dram.pracEnabled = true;
+    const std::string prac_mat = resultCacheMaterial(prac, gupsRate());
+    EXPECT_NE(mat, prac_mat);
+
+    const auto mutate = [&](auto &&fn) {
+        SystemConfig c = prac;
+        fn(c.dram);
+        return resultCacheMaterial(c, gupsRate());
+    };
+    EXPECT_NE(prac_mat, mutate([](dram::DramConfig &d) {
+                  d.disturbanceThreshold += 1;
+              }));
+    EXPECT_NE(prac_mat,
+              mutate([](dram::DramConfig &d) { d.pracCamEntries += 1; }));
+    EXPECT_NE(prac_mat, mutate([](dram::DramConfig &d) {
+                  d.pracRecoveryWindow += 1;
+              }));
+    EXPECT_NE(prac_mat, mutate([](dram::DramConfig &d) {
+                  d.faultPracDropCount = true;
+              }));
+    EXPECT_NE(prac_mat, mutate([](dram::DramConfig &d) {
+                  d.faultPracLateRfm = true;
+              }));
+    EXPECT_NE(prac_mat,
+              mutate([](dram::DramConfig &d) { d.timing.tRfm += 1; }));
+    EXPECT_NE(prac_mat,
+              mutate([](dram::DramConfig &d) { d.power.tRfm += 1; }));
+
+    // The salt records the PRAC generation: stale v3 results can never
+    // replay against this build.
+    EXPECT_EQ(kResultCacheSalt, "pra-result-cache-v4");
+    EXPECT_NE(mat, resultCacheMaterial(base, gupsRate(),
+                                       "pra-result-cache-v3"));
+}
+
 TEST(ResultCache, StoreThenLoadIsByteIdentical)
 {
     ScopedCacheDir tmp;

@@ -51,7 +51,8 @@ usage(const char *argv0)
         "                       (default: all)\n"
         "  --fault NAME         none | widen_act | ignore_tccd_l |\n"
         "                       ignore_twtr | suppress_wake | starve_aged\n"
-        "                       | all (default: none; env PRA_MC_SEED_FAULT)\n"
+        "                       | drop_count | late_rfm | all\n"
+        "                       (default: none; env PRA_MC_SEED_FAULT)\n"
         "  --scheme NAME        registered scheme to explore under\n"
         "                       (default: pra; see 'scheme =' in configs)\n"
         "  --liveness-bound N   bounded-progress horizon in cycles\n"
@@ -59,6 +60,12 @@ usage(const char *argv0)
         "                       work-conserving exploration)\n"
         "  --refresh-slack N    allowed refresh overrun past tREFI\n"
         "                       (default %llu)\n"
+        "  --disturbance-threshold N\n"
+        "                       arm the PRAC model (counters, ABO, RFM)\n"
+        "                       with this activation threshold and check\n"
+        "                       the disturbance-safety properties; also\n"
+        "                       applies to --replay (default: off unless\n"
+        "                       the fault is a PRAC drill)\n"
         "  --reduction on|off   idle time-leap + symmetry + sleep sets\n"
         "                       (default: on)\n"
         "  --strict-budget      exit 3 when any run exhausts the state\n"
@@ -92,7 +99,7 @@ parseSchedulerName(const std::string &name, pra::dram::SchedulerKind &out)
 }
 
 int
-replay(const std::string &path)
+replay(const std::string &path, unsigned disturbanceThreshold)
 {
     std::ifstream in(path);
     if (!in) {
@@ -123,7 +130,19 @@ replay(const std::string &path)
                      path.c_str(), script.scheme.c_str());
         return 2;
     }
-    pra::dram::DramConfig cfg = ModelChecker::modelConfig(fault);
+    // Scripts carrying RFM lines were explored under a PRAC model: arm
+    // the same knobs for replay (the checker rejects RFM with PRAC off)
+    // unless the script's own fault already does.
+    unsigned thr = disturbanceThreshold;
+    if (thr == 0) {
+        for (const pra::analysis::ScriptCommand &c : script.commands) {
+            if (c.kind == pra::dram::CheckedCommand::Kind::Rfm) {
+                thr = ModelChecker::kDefaultDisturbanceThreshold;
+                break;
+            }
+        }
+    }
+    pra::dram::DramConfig cfg = ModelChecker::modelConfig(fault, thr);
     cfg.scheme = scheme;
     const auto violations = pra::analysis::replayScript(script, cfg);
     std::printf("replayed %zu commands (scheduler=%s fault=%s scheme=%s): "
@@ -146,6 +165,7 @@ main(int argc, char **argv)
     bool strictBudget = false;
     bool quiet = false;
     std::string emitPath;
+    std::string replayPath;
     std::vector<Fault> faults{Fault::None};
 
     if (const char *env = std::getenv("PRA_MC_DEPTH"))
@@ -194,9 +214,10 @@ main(int argc, char **argv)
             if (!v)
                 return usage(argv[0]);
             if (std::strcmp(v, "all") == 0) {
-                faults = {Fault::WidenAct, Fault::IgnoreTccdL,
-                          Fault::IgnoreTwtr, Fault::SuppressWake,
-                          Fault::StarveAged};
+                faults = {Fault::WidenAct,     Fault::IgnoreTccdL,
+                          Fault::IgnoreTwtr,   Fault::SuppressWake,
+                          Fault::StarveAged,   Fault::DropCount,
+                          Fault::LateRfm};
             } else {
                 Fault f = Fault::None;
                 if (!pra::analysis::parseFault(v, f)) {
@@ -231,6 +252,12 @@ main(int argc, char **argv)
                 return usage(argv[0]);
             opts.refreshSlack = static_cast<pra::Cycle>(
                 std::strtoull(v, nullptr, 10));
+        } else if (arg == "--disturbance-threshold") {
+            const char *v = value();
+            if (!v)
+                return usage(argv[0]);
+            opts.disturbanceThreshold =
+                static_cast<unsigned>(std::strtoul(v, nullptr, 10));
         } else if (arg == "--reduction") {
             const char *v = value();
             if (!v || (std::strcmp(v, "on") != 0 &&
@@ -251,13 +278,18 @@ main(int argc, char **argv)
             const char *v = value();
             if (!v)
                 return usage(argv[0]);
-            return replay(v);
+            replayPath = v;
         } else if (arg == "--quiet") {
             quiet = true;
         } else {
             return usage(argv[0]);
         }
     }
+
+    // Replay runs after the whole command line is parsed so a
+    // --disturbance-threshold anywhere on it applies.
+    if (!replayPath.empty())
+        return replay(replayPath, opts.disturbanceThreshold);
 
     std::vector<pra::dram::SchedulerKind> schedulers;
     if (allSchedulers) {
@@ -314,6 +346,15 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             run.refreshSlack));
                 }
+                if (run.disturbanceThreshold > 0 ||
+                    fault == Fault::DropCount ||
+                    fault == Fault::LateRfm) {
+                    std::printf(
+                        "  disturbance headroom: max recovery wait "
+                        "%llu\n",
+                        static_cast<unsigned long long>(
+                            res.maxRecoveryWait));
+                }
             }
             if (res.violationFound) {
                 anyViolation = true;
@@ -327,7 +368,8 @@ main(int argc, char **argv)
                     // reproducer keeps only the commands needed to
                     // reproduce the original violation under replay.
                     pra::dram::DramConfig shrink_cfg =
-                        ModelChecker::modelConfig(fault);
+                        ModelChecker::modelConfig(
+                            fault, run.disturbanceThreshold);
                     if (!run.scheme.empty())
                         shrink_cfg.scheme =
                             &pra::schemeByName(run.scheme);
